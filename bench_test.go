@@ -1,0 +1,283 @@
+// Package repro's root benchmark harness: one benchmark per reproduced
+// table and figure (the code that regenerates each paper artifact), plus
+// benchmarks of the underlying solvers. Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ctmc"
+	"repro/internal/opprofile"
+	"repro/internal/optimize"
+	"repro/internal/queueing"
+	"repro/internal/repairmodel"
+	"repro/internal/sim"
+	"repro/internal/travelagency"
+	"repro/internal/webfarm"
+)
+
+// sink prevents dead-code elimination of benchmark results.
+var sink float64
+
+// BenchmarkTable1Scenarios regenerates the Table 1 scenario lists.
+func BenchmarkTable1Scenarios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, class := range []travelagency.UserClass{travelagency.ClassA, travelagency.ClassB} {
+			scs, err := travelagency.Scenarios(class)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += scs[0].Probability
+		}
+	}
+}
+
+// BenchmarkTable2Mapping regenerates the function→service mapping from the
+// interaction diagrams.
+func BenchmarkTable2Mapping(b *testing.B) {
+	p := travelagency.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		m, err := travelagency.FunctionServiceMapping(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += float64(len(m))
+	}
+}
+
+// BenchmarkTables3to5Services regenerates all service availabilities
+// (external 1-of-N groups, AS/DS blocks, and the composite web service).
+func BenchmarkTables3to5Services(b *testing.B) {
+	p := travelagency.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		avail, err := travelagency.ServiceAvailabilities(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += avail[travelagency.SvcWeb]
+	}
+}
+
+// BenchmarkTable6Functions regenerates the function-level availabilities.
+func BenchmarkTable6Functions(b *testing.B) {
+	p := travelagency.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		fns, err := travelagency.ClosedFormFunctionAvailabilities(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += fns[travelagency.FnPay]
+	}
+}
+
+// BenchmarkTable8Row evaluates one full Table 8 cell (both user classes at
+// one reservation-system count) through the whole hierarchy.
+func BenchmarkTable8Row(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := travelagency.DefaultParams()
+		n := 1 + i%10
+		p.FlightSystems, p.HotelSystems, p.CarSystems = n, n, n
+		for _, class := range []travelagency.UserClass{travelagency.ClassA, travelagency.ClassB} {
+			rep, err := travelagency.Evaluate(p, class)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += rep.UserAvailability
+		}
+	}
+}
+
+// BenchmarkFigure2Fit calibrates the operational-profile transition
+// probabilities to Table 1 (class A).
+func BenchmarkFigure2Fit(b *testing.B) {
+	scenarios, err := travelagency.Scenarios(travelagency.ClassA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := make([]opprofile.Scenario, 0, len(scenarios))
+	for _, sc := range scenarios {
+		targets = append(targets, opprofile.Scenario{Functions: sc.Functions, Probability: sc.Probability})
+	}
+	edges := []opprofile.Edge{
+		{From: opprofile.Start, To: travelagency.FnHome},
+		{From: opprofile.Start, To: travelagency.FnBrowse},
+		{From: travelagency.FnHome, To: travelagency.FnBrowse},
+		{From: travelagency.FnHome, To: travelagency.FnSearch},
+		{From: travelagency.FnHome, To: opprofile.Exit},
+		{From: travelagency.FnBrowse, To: travelagency.FnHome},
+		{From: travelagency.FnBrowse, To: travelagency.FnSearch},
+		{From: travelagency.FnBrowse, To: opprofile.Exit},
+		{From: travelagency.FnSearch, To: travelagency.FnBook},
+		{From: travelagency.FnSearch, To: opprofile.Exit},
+		{From: travelagency.FnBook, To: travelagency.FnSearch},
+		{From: travelagency.FnBook, To: travelagency.FnPay},
+		{From: travelagency.FnBook, To: opprofile.Exit},
+		{From: travelagency.FnPay, To: opprofile.Exit},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := opprofile.Fit(edges, targets, optimize.Options{MaxIterations: 2000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += res.Residual
+	}
+}
+
+// benchmarkWebServiceFigure sweeps the full Figure 11/12 grid
+// (3 failure rates × 3 arrival rates × 10 farm sizes).
+func benchmarkWebServiceFigure(b *testing.B, coverage float64) {
+	b.Helper()
+	base := travelagency.WebFarm(travelagency.DefaultParams())
+	for i := 0; i < b.N; i++ {
+		for _, lambda := range []float64{1e-2, 1e-3, 1e-4} {
+			for _, alpha := range []float64{50, 100, 150} {
+				for n := 1; n <= 10; n++ {
+					farm := base
+					farm.Servers = n
+					farm.ArrivalRate = alpha
+					farm.FailureRate = lambda
+					farm.Coverage = coverage
+					u, err := farm.Unavailability()
+					if err != nil {
+						b.Fatal(err)
+					}
+					sink += u
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure11Grid regenerates the perfect-coverage figure.
+func BenchmarkFigure11Grid(b *testing.B) { benchmarkWebServiceFigure(b, 1) }
+
+// BenchmarkFigure12Grid regenerates the imperfect-coverage figure.
+func BenchmarkFigure12Grid(b *testing.B) { benchmarkWebServiceFigure(b, 0.98) }
+
+// BenchmarkFigure13Categories regenerates the per-category unavailability
+// decomposition for both classes.
+func BenchmarkFigure13Categories(b *testing.B) {
+	p := travelagency.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		for _, class := range []travelagency.UserClass{travelagency.ClassA, travelagency.ClassB} {
+			rep, err := travelagency.Evaluate(p, class)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cats, err := travelagency.CategoryUnavailability(rep)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += cats[travelagency.SC4]
+		}
+	}
+}
+
+// BenchmarkGTHSteadyState solves the Figure 10 chain with the generic
+// numeric path used throughout the validation experiments.
+func BenchmarkGTHSteadyState(b *testing.B) {
+	m := repairmodel.ImperfectCoverage{
+		Servers: 10, FailureRate: 1e-4, RepairRate: 1, Coverage: 0.98, ReconfigRate: 12,
+	}
+	chain, err := m.ToCTMC()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist, err := chain.SteadyState()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += dist.Probability("0")
+	}
+}
+
+// BenchmarkUniformization computes a transient point solution.
+func BenchmarkUniformization(b *testing.B) {
+	chain := ctmc.New()
+	for i := 0; i < 20; i++ {
+		from := fmt.Sprintf("s%d", i)
+		to := fmt.Sprintf("s%d", i+1)
+		if err := chain.AddTransition(from, to, 1.5); err != nil {
+			b.Fatal(err)
+		}
+		if err := chain.AddTransition(to, from, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	initial := ctmc.Distribution{"s0": 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := chain.Transient(initial, 5, 1e-10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += d.Probability("s20")
+	}
+}
+
+// BenchmarkMMcKLoss evaluates the paper's equation (3) via the birth–death
+// path (the per-state cost inside every figure sweep).
+func BenchmarkMMcKLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		q := queueing.MMcK{Arrival: 100, Service: 100, Servers: 1 + i%10, Capacity: 10}
+		p, err := q.LossProbability()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += p
+	}
+}
+
+// BenchmarkHierarchyEvaluate measures one full four-level evaluation.
+func BenchmarkHierarchyEvaluate(b *testing.B) {
+	m, err := travelagency.Build(travelagency.DefaultParams(), travelagency.ClassB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := m.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += rep.UserAvailability
+	}
+}
+
+// BenchmarkFarmSimulator measures the joint-process simulation throughput
+// (arrivals per benchmark iteration: 10000).
+func BenchmarkFarmSimulator(b *testing.B) {
+	s := sim.FarmSimulator{
+		Servers: 3, ArrivalRate: 5, ServiceRate: 4, BufferSize: 5,
+		FailureRate: 0.002, RepairRate: 0.05, Coverage: 0.9, ReconfigRate: 0.5,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := s.Run(10000, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += res.Availability
+	}
+}
+
+// BenchmarkWebFarmCompose measures one composite model assembly (the unit of
+// work behind every Figure 11/12 data point).
+func BenchmarkWebFarmCompose(b *testing.B) {
+	farm := webfarm.Farm{
+		Servers: 4, ArrivalRate: 100, ServiceRate: 100, BufferSize: 10,
+		FailureRate: 1e-4, RepairRate: 1, Coverage: 0.98, ReconfigRate: 12,
+	}
+	for i := 0; i < b.N; i++ {
+		m, err := farm.Compose()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += m.Unavailability()
+	}
+}

@@ -1,0 +1,182 @@
+// Command availsim runs the discrete-event simulations that validate the
+// analytic travel-agency models:
+//
+//   - mode "farm": the joint failure/repair/queue process of the web farm
+//     (Gillespie simulation), compared against the composite analytic model.
+//   - mode "visits": replayed user visits over a calibrated operational
+//     profile, compared against the hierarchy evaluation.
+//
+// Usage:
+//
+//	availsim -mode farm -arrivals 1000000 -seed 7
+//	availsim -mode visits -visits 200000 -class B
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/hierarchy"
+	"repro/internal/opprofile"
+	"repro/internal/optimize"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/travelagency"
+	"repro/internal/webfarm"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "availsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("availsim", flag.ContinueOnError)
+	var (
+		mode     = fs.String("mode", "farm", `"farm" or "visits"`)
+		seed     = fs.Int64("seed", 1, "random seed")
+		arrivals = fs.Int64("arrivals", 500000, "farm mode: number of request arrivals")
+		visits   = fs.Int64("visits", 200000, "visits mode: number of user visits")
+		class    = fs.String("class", "A", `visits mode: user class "A" or "B"`)
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *mode {
+	case "farm":
+		return runFarm(w, *arrivals, *seed)
+	case "visits":
+		return runVisits(w, *visits, *class, *seed)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+// runFarm simulates an accelerated-failure operating point (failures sped up
+// so the simulation observes them in reasonable time) and compares with the
+// composite model at the same parameters.
+func runFarm(w io.Writer, arrivals, seed int64) error {
+	farm := webfarm.Farm{
+		Servers: 3, ArrivalRate: 5, ServiceRate: 4, BufferSize: 5,
+		FailureRate: 0.002, RepairRate: 0.05, Coverage: 0.9, ReconfigRate: 0.5,
+	}
+	analytic, err := farm.Availability()
+	if err != nil {
+		return err
+	}
+	s := sim.FarmSimulator{
+		Servers: farm.Servers, ArrivalRate: farm.ArrivalRate, ServiceRate: farm.ServiceRate,
+		BufferSize: farm.BufferSize, FailureRate: farm.FailureRate, RepairRate: farm.RepairRate,
+		Coverage: farm.Coverage, ReconfigRate: farm.ReconfigRate,
+	}
+	res, err := s.Run(arrivals, seed)
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Web-farm joint-process simulation (%d arrivals, seed %d)", arrivals, seed),
+		"measure", "value")
+	tbl.MustAddRow("analytic A(WS) (composite model)", report.Fixed(analytic, 6))
+	tbl.MustAddRow("simulated A(WS)", report.Fixed(res.Availability, 6))
+	tbl.MustAddRow("95% CI half-width", report.Scientific(res.CI95.HalfWidth, 2))
+	tbl.MustAddRow("structural up-time fraction", report.Fixed(res.UpTimeFraction, 6))
+	tbl.MustAddRow("simulated time (rate units)", report.Float(res.SimulatedTime, 6))
+	return tbl.Render(w)
+}
+
+// runVisits calibrates the Figure 2 profile to the requested class, builds
+// the analytic model on it, and replays visits.
+func runVisits(w io.Writer, visits int64, className string, seed int64) error {
+	var class travelagency.UserClass
+	switch className {
+	case "A", "a":
+		class = travelagency.ClassA
+	case "B", "b":
+		class = travelagency.ClassB
+	default:
+		return fmt.Errorf("unknown class %q", className)
+	}
+	params := travelagency.DefaultParams()
+
+	scenarios, err := travelagency.Scenarios(class)
+	if err != nil {
+		return err
+	}
+	targets := make([]opprofile.Scenario, 0, len(scenarios))
+	for _, sc := range scenarios {
+		targets = append(targets, opprofile.Scenario{Functions: sc.Functions, Probability: sc.Probability})
+	}
+	edges := []opprofile.Edge{
+		{From: opprofile.Start, To: travelagency.FnHome},
+		{From: opprofile.Start, To: travelagency.FnBrowse},
+		{From: travelagency.FnHome, To: travelagency.FnBrowse},
+		{From: travelagency.FnHome, To: travelagency.FnSearch},
+		{From: travelagency.FnHome, To: opprofile.Exit},
+		{From: travelagency.FnBrowse, To: travelagency.FnHome},
+		{From: travelagency.FnBrowse, To: travelagency.FnSearch},
+		{From: travelagency.FnBrowse, To: opprofile.Exit},
+		{From: travelagency.FnSearch, To: travelagency.FnBook},
+		{From: travelagency.FnSearch, To: opprofile.Exit},
+		{From: travelagency.FnBook, To: travelagency.FnSearch},
+		{From: travelagency.FnBook, To: travelagency.FnPay},
+		{From: travelagency.FnBook, To: opprofile.Exit},
+		{From: travelagency.FnPay, To: opprofile.Exit},
+	}
+	fit, err := opprofile.Fit(edges, targets, optimize.Options{MaxIterations: 8000})
+	if err != nil {
+		return err
+	}
+
+	diagrams, err := travelagency.Diagrams(params)
+	if err != nil {
+		return err
+	}
+	avail, err := travelagency.ServiceAvailabilities(params)
+	if err != nil {
+		return err
+	}
+	model := hierarchy.New()
+	for svc, a := range avail {
+		if err := model.AddService(svc, a); err != nil {
+			return err
+		}
+	}
+	for _, fn := range []string{
+		travelagency.FnHome, travelagency.FnBrowse, travelagency.FnSearch,
+		travelagency.FnBook, travelagency.FnPay,
+	} {
+		if err := model.AddFunction(diagrams[fn]); err != nil {
+			return err
+		}
+	}
+	if err := model.SetProfile(fit.Profile); err != nil {
+		return err
+	}
+	analytic, err := model.Evaluate()
+	if err != nil {
+		return err
+	}
+
+	simulator := sim.VisitSimulator{
+		Profile:             fit.Profile,
+		Diagrams:            diagrams,
+		ServiceAvailability: avail,
+	}
+	res, err := simulator.Run(visits, seed)
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("User-visit simulation, %v (%d visits, seed %d, fit residual %.1e)",
+			class, visits, seed, fit.Residual),
+		"measure", "value")
+	tbl.MustAddRow("analytic A(user) on fitted profile", report.Fixed(analytic.UserAvailability, 6))
+	tbl.MustAddRow("simulated A(user)", report.Fixed(res.Availability, 6))
+	tbl.MustAddRow("95% CI half-width", report.Scientific(res.CI95.HalfWidth, 2))
+	return tbl.Render(w)
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestFarmMode(t *testing.T) {
+	out, err := runCapture(t, "-mode", "farm", "-arrivals", "50000", "-seed", "3")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"analytic A(WS)", "simulated A(WS)", "95% CI half-width"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFarmModeDeterministic(t *testing.T) {
+	a, err := runCapture(t, "-mode", "farm", "-arrivals", "20000", "-seed", "9")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	b, err := runCapture(t, "-mode", "farm", "-arrivals", "20000", "-seed", "9")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if a != b {
+		t.Error("same seed produced different reports")
+	}
+}
+
+func TestVisitsMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fit + simulation is slow in -short mode")
+	}
+	out, err := runCapture(t, "-mode", "visits", "-visits", "30000", "-class", "B", "-seed", "4")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"class B", "analytic A(user) on fitted profile", "simulated A(user)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadModeAndClass(t *testing.T) {
+	if _, err := runCapture(t, "-mode", "bogus"); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if _, err := runCapture(t, "-mode", "visits", "-class", "Z", "-visits", "10"); err == nil {
+		t.Error("bad class accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeModel(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const twoStateModel = `{
+  "transitions": [
+    {"from": "up",   "to": "down", "rate": 0.001},
+    {"from": "down", "to": "up",   "rate": 0.5}
+  ]
+}`
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestSteadyState(t *testing.T) {
+	path := writeModel(t, twoStateModel)
+	out, err := runCapture(t, path)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// π(up) = 0.5/0.501 ≈ 0.998004.
+	if !strings.Contains(out, "9.980040e-01") {
+		t.Errorf("missing steady-state value:\n%s", out)
+	}
+}
+
+func TestTransient(t *testing.T) {
+	path := writeModel(t, twoStateModel)
+	out, err := runCapture(t, "-transient", "1", "-initial", "up", path)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, `Distribution at t=1 starting from "up"`) {
+		t.Errorf("missing transient block:\n%s", out)
+	}
+}
+
+func TestTransientRequiresInitial(t *testing.T) {
+	path := writeModel(t, twoStateModel)
+	if _, err := runCapture(t, "-transient", "1", path); err == nil {
+		t.Error("missing -initial accepted")
+	}
+}
+
+func TestMTTA(t *testing.T) {
+	path := writeModel(t, `{"transitions":[{"from":"up","to":"down","rate":0.25}]}`)
+	out, err := runCapture(t, "-mtta", "down", path)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// MTTF = 1/0.25 = 4.
+	if !strings.Contains(out, "4") || !strings.Contains(out, "up") {
+		t.Errorf("MTTA output:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if _, err := runCapture(t); err == nil {
+		t.Error("missing file argument accepted")
+	}
+	if _, err := runCapture(t, "/nonexistent/model.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeModel(t, `{"transitions":[{"from":"a","to":"a","rate":1}]}`)
+	if _, err := runCapture(t, bad); err == nil {
+		t.Error("self-loop model accepted")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	path := writeModel(t, twoStateModel)
+	out, err := runCapture(t, "-dot", path)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"digraph ctmc", `"up" -> "down"`, "π="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

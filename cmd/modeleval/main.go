@@ -1,0 +1,107 @@
+// Command modeleval evaluates a four-level availability model described in
+// JSON (see internal/modelspec for the format and testdata/quickstart.json
+// for a complete document): it prints the per-service, per-function and
+// per-scenario availabilities, the user-perceived availability, and the
+// yearly downtime.
+//
+// Usage:
+//
+//	modeleval model.json
+//	modeleval -csv model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/modelspec"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "modeleval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("modeleval", flag.ContinueOnError)
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: modeleval [flags] <model.json>")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	spec, err := modelspec.Parse(data)
+	if err != nil {
+		return err
+	}
+	model, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	rep, err := model.Evaluate()
+	if err != nil {
+		return err
+	}
+
+	render := func(t *report.Table) error {
+		if *csv {
+			return t.RenderCSV(w)
+		}
+		return t.Render(w)
+	}
+
+	title := spec.Name
+	if title == "" {
+		title = fs.Arg(0)
+	}
+	services := report.NewTable(fmt.Sprintf("%s — services", title), "service", "availability")
+	for _, name := range sortedKeys(rep.Services) {
+		services.MustAddRow(name, report.Fixed(rep.Services[name], 9))
+	}
+	if err := render(services); err != nil {
+		return err
+	}
+
+	functions := report.NewTable(fmt.Sprintf("%s — functions", title), "function", "availability")
+	for _, name := range sortedKeys(rep.Functions) {
+		functions.MustAddRow(name, report.Fixed(rep.Functions[name], 9))
+	}
+	if err := render(functions); err != nil {
+		return err
+	}
+
+	scenarios := report.NewTable(fmt.Sprintf("%s — user scenarios", title),
+		"scenario", "probability", "availability")
+	for _, sc := range rep.Scenarios {
+		scenarios.MustAddRow(sc.Name, report.Fixed(sc.Probability, 4), report.Fixed(sc.Availability, 9))
+	}
+	if err := render(scenarios); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "user-perceived availability: %s (downtime %s h/year)\n",
+		report.Fixed(rep.UserAvailability, 9),
+		report.Fixed(rep.UserUnavailability()*8760, 2))
+	return nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

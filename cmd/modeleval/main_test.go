@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEvaluateFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"testdata/quickstart.json"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"quickstart store — services",
+		"Web", "0.999900000",
+		"Checkout",
+		"user-perceived availability: 0.992430",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-csv", "testdata/quickstart.json"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "service,availability") {
+		t.Errorf("CSV header missing:\n%s", sb.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("missing argument accepted")
+	}
+	if err := run([]string{"/no/such/file.json"}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+}

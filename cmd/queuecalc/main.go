@@ -1,0 +1,167 @@
+// Command queuecalc evaluates the Markovian queueing models used by the
+// reproduction: M/M/1, M/M/c, M/M/1/K and M/M/c/K. It prints utilization,
+// loss probability (paper equations 1 and 3), mean occupancy, response
+// times, and optionally a response-time tail.
+//
+// Usage:
+//
+//	queuecalc -arrival 100 -service 100 -servers 4 -capacity 10
+//	queuecalc -arrival 50 -service 100 -servers 2 -deadline 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/queueing"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "queuecalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("queuecalc", flag.ContinueOnError)
+	var (
+		arrival  = fs.Float64("arrival", 100, "arrival rate α (requests/s)")
+		service  = fs.Float64("service", 100, "per-server service rate ν (requests/s)")
+		servers  = fs.Int("servers", 1, "number of servers c")
+		capacity = fs.Int("capacity", 0, "system capacity K (0 = infinite buffer)")
+		deadline = fs.Float64("deadline", 0, "optional response-time deadline in seconds (infinite-buffer models only)")
+		scv      = fs.Float64("scv", -1, "service-time squared coefficient of variation: switches to the M/G/1 model (0 = deterministic, 1 = exponential; single server, infinite buffer)")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tbl := report.NewTable(describe(*arrival, *service, *servers, *capacity), "measure", "value")
+	add := func(name string, v float64, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		return tbl.AddRow(name, report.Float(v, 8))
+	}
+
+	if *scv >= 0 {
+		if *capacity > 0 || *servers != 1 {
+			return fmt.Errorf("-scv selects the M/G/1 model: single server, infinite buffer")
+		}
+		mean := 1 / *service
+		q := queueing.MG1{Arrival: *arrival, MeanService: mean, ServiceVariance: *scv * mean * mean}
+		tbl := report.NewTable(fmt.Sprintf("M/G/1 queue (λ=%g, E[S]=%g, SCV=%g)", *arrival, mean, *scv), "measure", "value")
+		if err := tbl.AddRow("utilization ρ", report.Float(q.Utilization(), 8)); err != nil {
+			return err
+		}
+		wq, err := q.MeanWaitingTime()
+		if err != nil {
+			return err
+		}
+		if err := tbl.AddRow("mean waiting time Wq (P-K)", report.Float(wq, 8)); err != nil {
+			return err
+		}
+		wr, err := q.MeanResponseTime()
+		if err != nil {
+			return err
+		}
+		if err := tbl.AddRow("mean response time W", report.Float(wr, 8)); err != nil {
+			return err
+		}
+		return tbl.Render(w)
+	}
+
+	if *capacity > 0 {
+		q := queueing.MMcK{Arrival: *arrival, Service: *service, Servers: *servers, Capacity: *capacity}
+		loss, err := q.LossProbability()
+		if err != nil {
+			return err
+		}
+		if err := add("utilization α/(cν)", q.Utilization(), nil); err != nil {
+			return err
+		}
+		if err := add("loss probability p_K", loss, nil); err != nil {
+			return err
+		}
+		x, err := q.Throughput()
+		if err2 := add("throughput", x, err); err2 != nil {
+			return err2
+		}
+		l, err := q.MeanCustomers()
+		if err2 := add("mean in system L", l, err); err2 != nil {
+			return err2
+		}
+		wResp, err := q.MeanResponseTime()
+		if err2 := add("mean response time W (accepted)", wResp, err); err2 != nil {
+			return err2
+		}
+		if *deadline > 0 {
+			return fmt.Errorf("deadline analysis requires an infinite buffer (omit -capacity)")
+		}
+		return tbl.Render(w)
+	}
+
+	if *servers == 1 {
+		q := queueing.MM1{Arrival: *arrival, Service: *service}
+		if err := add("utilization ρ", q.Utilization(), nil); err != nil {
+			return err
+		}
+		l, err := q.MeanCustomers()
+		if err2 := add("mean in system L", l, err); err2 != nil {
+			return err2
+		}
+		wResp, err := q.MeanResponseTime()
+		if err2 := add("mean response time W", wResp, err); err2 != nil {
+			return err2
+		}
+		if *deadline > 0 {
+			tail, err := q.ResponseTimeTail(*deadline)
+			if err2 := add(fmt.Sprintf("P(T > %gs)", *deadline), tail, err); err2 != nil {
+				return err2
+			}
+		}
+		return tbl.Render(w)
+	}
+
+	q := queueing.MMc{Arrival: *arrival, Service: *service, Servers: *servers}
+	if err := add("utilization ρ", q.Utilization(), nil); err != nil {
+		return err
+	}
+	c, err := q.ProbWait()
+	if err2 := add("Erlang-C P(wait)", c, err); err2 != nil {
+		return err2
+	}
+	wq, err := q.MeanWaitingTime()
+	if err2 := add("mean waiting time Wq", wq, err); err2 != nil {
+		return err2
+	}
+	wResp, err := q.MeanResponseTime()
+	if err2 := add("mean response time W", wResp, err); err2 != nil {
+		return err2
+	}
+	if *deadline > 0 {
+		tail, err := q.ResponseTimeTail(*deadline)
+		if err2 := add(fmt.Sprintf("P(T > %gs)", *deadline), tail, err); err2 != nil {
+			return err2
+		}
+	}
+	return tbl.Render(w)
+}
+
+func describe(arrival, service float64, servers, capacity int) string {
+	switch {
+	case capacity > 0 && servers == 1:
+		return fmt.Sprintf("M/M/1/%d queue (α=%g, ν=%g)", capacity, arrival, service)
+	case capacity > 0:
+		return fmt.Sprintf("M/M/%d/%d queue (α=%g, ν=%g)", servers, capacity, arrival, service)
+	case servers == 1:
+		return fmt.Sprintf("M/M/1 queue (α=%g, ν=%g)", arrival, service)
+	default:
+		return fmt.Sprintf("M/M/%d queue (α=%g, ν=%g)", servers, arrival, service)
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestMM1KPaperPoint(t *testing.T) {
+	out, err := runCapture(t, "-arrival", "100", "-service", "100", "-capacity", "10")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// p_K = 1/11 at ρ=1, K=10.
+	if !strings.Contains(out, "0.090909091") {
+		t.Errorf("missing loss probability 1/11:\n%s", out)
+	}
+	if !strings.Contains(out, "M/M/1/10") {
+		t.Errorf("missing model description:\n%s", out)
+	}
+}
+
+func TestMMcK(t *testing.T) {
+	out, err := runCapture(t, "-arrival", "100", "-service", "100", "-servers", "4", "-capacity", "10")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "M/M/4/10") || !strings.Contains(out, "3.736851e-06") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestMM1WithDeadline(t *testing.T) {
+	out, err := runCapture(t, "-arrival", "50", "-service", "100", "-deadline", "0.02")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "P(T > 0.02s)") {
+		t.Errorf("missing tail row:\n%s", out)
+	}
+	// e^{-(100-50)·0.02} = e^{-1} ≈ 0.3679.
+	if !strings.Contains(out, "0.36787944") {
+		t.Errorf("wrong tail value:\n%s", out)
+	}
+}
+
+func TestMMcErlang(t *testing.T) {
+	out, err := runCapture(t, "-arrival", "3", "-service", "2", "-servers", "2")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "Erlang-C P(wait)") {
+		t.Errorf("missing Erlang row:\n%s", out)
+	}
+}
+
+func TestUnstableQueueRejected(t *testing.T) {
+	if _, err := runCapture(t, "-arrival", "200", "-service", "100"); err == nil {
+		t.Error("unstable M/M/1 accepted")
+	}
+}
+
+func TestDeadlineWithFiniteBufferRejected(t *testing.T) {
+	if _, err := runCapture(t, "-arrival", "50", "-service", "100", "-capacity", "5", "-deadline", "0.1"); err == nil {
+		t.Error("deadline with finite buffer accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if _, err := runCapture(t, "-bogus"); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestMG1Mode(t *testing.T) {
+	out, err := runCapture(t, "-arrival", "60", "-service", "100", "-scv", "0")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "M/G/1 queue") || !strings.Contains(out, "0.0075") {
+		t.Errorf("output:\n%s", out)
+	}
+	if _, err := runCapture(t, "-arrival", "60", "-service", "100", "-scv", "1", "-capacity", "5"); err == nil {
+		t.Error("scv with finite buffer accepted")
+	}
+}

@@ -1,0 +1,237 @@
+// E-commerce store: a second application modeled with the same framework,
+// demonstrating that nothing in the library is travel-agency specific.
+//
+// The store has a CDN-cached catalog, a search function backed by an index
+// service, a cart, and a checkout that touches inventory and an external
+// payment provider. Two customer populations are compared (window shoppers
+// vs determined buyers), and the checkout path's availability is probed for
+// the component worth hardening first.
+//
+// Run with:
+//
+//	go run ./examples/ecommerce
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hierarchy"
+	"repro/internal/interaction"
+	"repro/internal/opprofile"
+	"repro/internal/rbd"
+	"repro/internal/sensitivity"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildModel assembles the store model. The edge availability acts like the
+// paper's A_net: every function needs it.
+func buildModel(paymentAvail float64) (*hierarchy.Model, *opprofile.Profile, error) {
+	model := hierarchy.New()
+
+	// Service level.
+	cdnNodes, err := rbd.Replicate("cdn-pop", 3, 0.995)
+	if err != nil {
+		return nil, nil, err
+	}
+	webNodes, err := rbd.Replicate("web", 4, 0.99)
+	if err != nil {
+		return nil, nil, err
+	}
+	dbPrimary := rbd.MustComponent("db-primary", 0.998)
+	dbReplica := rbd.MustComponent("db-replica", 0.998)
+	services := []struct {
+		name  string
+		block rbd.Block
+	}{
+		{"Edge", rbd.MustComponent("edge", 0.9995)},
+		{"CDN", rbd.Parallel("cdn", cdnNodes...)},
+		{"Web", rbd.KofN("web-quorum", 2, webNodes...)}, // needs 2 of 4 for capacity
+		{"Index", rbd.MustComponent("search-index", 0.997)},
+		{"DB", rbd.Parallel("db", dbPrimary, dbReplica)},
+		{"Inventory", rbd.MustComponent("inventory", 0.996)},
+	}
+	for _, s := range services {
+		if err := model.AddServiceBlock(s.name, s.block); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := model.AddService("Pay", paymentAvail); err != nil {
+		return nil, nil, err
+	}
+
+	// Function level.
+	type step struct {
+		name string
+		svcs []string
+	}
+	mk := func(name string, steps []step, arcs [][3]interface{}) (*interaction.Diagram, error) {
+		d := interaction.New(name)
+		for _, s := range steps {
+			if err := d.AddStep(s.name, s.svcs...); err != nil {
+				return nil, err
+			}
+		}
+		for _, a := range arcs {
+			if err := d.AddTransition(a[0].(string), a[1].(string), a[2].(float64)); err != nil {
+				return nil, err
+			}
+		}
+		return d, nil
+	}
+
+	// Catalog: 80% of pages come straight from the CDN, 20% fall through to
+	// the web tier and database.
+	catalog, err := mk("Catalog",
+		[]step{{"edge", []string{"Edge"}}, {"cdn-hit", []string{"CDN"}}, {"origin", []string{"Web", "DB"}}},
+		[][3]interface{}{
+			{interaction.Begin, "edge", 1.0},
+			{"edge", "cdn-hit", 0.8},
+			{"cdn-hit", interaction.End, 1.0},
+			{"edge", "origin", 0.2},
+			{"origin", interaction.End, 1.0},
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	search, err := mk("Search",
+		[]step{{"edge", []string{"Edge"}}, {"query", []string{"Web", "Index"}}},
+		[][3]interface{}{
+			{interaction.Begin, "edge", 1.0},
+			{"edge", "query", 1.0},
+			{"query", interaction.End, 1.0},
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	cart, err := mk("Cart",
+		[]step{{"edge", []string{"Edge"}}, {"update", []string{"Web", "DB"}}},
+		[][3]interface{}{
+			{interaction.Begin, "edge", 1.0},
+			{"edge", "update", 1.0},
+			{"update", interaction.End, 1.0},
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	checkout, err := mk("Checkout",
+		[]step{
+			{"edge", []string{"Edge"}},
+			{"reserve", []string{"Web", "DB", "Inventory"}},
+			{"charge", []string{"Pay"}},
+		},
+		[][3]interface{}{
+			{interaction.Begin, "edge", 1.0},
+			{"edge", "reserve", 1.0},
+			{"reserve", "charge", 1.0},
+			{"charge", interaction.End, 1.0},
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, d := range []*interaction.Diagram{catalog, search, cart, checkout} {
+		if err := model.AddFunction(d); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// User level: an operational profile.
+	profile := opprofile.New()
+	for _, tr := range []struct {
+		from, to string
+		p        float64
+	}{
+		{opprofile.Start, "Catalog", 1},
+		{"Catalog", "Search", 0.45},
+		{"Catalog", "Cart", 0.10},
+		{"Catalog", opprofile.Exit, 0.45},
+		{"Search", "Catalog", 0.30},
+		{"Search", "Cart", 0.25},
+		{"Search", opprofile.Exit, 0.45},
+		{"Cart", "Checkout", 0.6},
+		{"Cart", "Catalog", 0.1},
+		{"Cart", opprofile.Exit, 0.3},
+		{"Checkout", opprofile.Exit, 1},
+	} {
+		if err := profile.AddTransition(tr.from, tr.to, tr.p); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := model.SetProfile(profile); err != nil {
+		return nil, nil, err
+	}
+	return model, profile, nil
+}
+
+func run() error {
+	const paymentAvail = 0.985
+	model, profile, err := buildModel(paymentAvail)
+	if err != nil {
+		return err
+	}
+	rep, err := model.Evaluate()
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("== Store availability report ==")
+	fmt.Println("Functions:")
+	for _, fn := range []string{"Catalog", "Search", "Cart", "Checkout"} {
+		fmt.Printf("  %-9s %.6f\n", fn, rep.Functions[fn])
+	}
+	fmt.Println("Top scenario classes:")
+	for i, sc := range rep.Scenarios {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  π=%.3f  A=%.6f  %s\n", sc.Probability, sc.Availability, sc.Name)
+	}
+	fmt.Printf("User-perceived availability: %.6f\n", rep.UserAvailability)
+
+	// Which visits reach checkout, and what do they experience?
+	buyUA := rep.UnavailabilityWhere(func(s hierarchy.ScenarioResult) bool {
+		for _, fn := range s.Functions {
+			if fn == "Checkout" {
+				return true
+			}
+		}
+		return false
+	})
+	scenarios, err := profile.Scenarios()
+	if err != nil {
+		return err
+	}
+	var buyShare float64
+	for _, sc := range scenarios {
+		if sc.Invokes("Checkout") {
+			buyShare += sc.Probability
+		}
+	}
+	fmt.Printf("\n%.1f%% of visits attempt a purchase; they contribute %.1f h/year of downtime\n",
+		buyShare*100, buyUA*365*24)
+
+	// What should be hardened first for buyers? Elasticity of the user
+	// availability with respect to the payment provider's availability.
+	el, err := sensitivity.Elasticity(func(a float64) (float64, error) {
+		m, _, err := buildModel(a)
+		if err != nil {
+			return 0, err
+		}
+		r, err := m.Evaluate()
+		if err != nil {
+			return 0, err
+		}
+		return r.UserAvailability, nil
+	}, paymentAvail, 1e-4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Elasticity of A(user) w.r.t. payment-provider availability: %.4f\n", el)
+	fmt.Println("(= the share of visits whose success rides on the payment provider)")
+	return nil
+}

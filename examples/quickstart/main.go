@@ -1,0 +1,112 @@
+// Quickstart: model a small two-tier web application with the four-level
+// framework and compute its user-perceived availability.
+//
+// The site offers two functions: a static Landing page (web tier only) and a
+// Checkout (web tier + database + external payment provider). 70% of visits
+// only look at the landing page; 30% proceed to checkout.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hierarchy"
+	"repro/internal/interaction"
+	"repro/internal/rbd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	model := hierarchy.New()
+
+	// Service level. The web tier is two redundant servers (1-of-2); the
+	// database and the payment provider are single resources.
+	webServers, err := rbd.Replicate("web", 2, 0.99)
+	if err != nil {
+		return err
+	}
+	if err := model.AddServiceBlock("Web", rbd.Parallel("web-tier", webServers...)); err != nil {
+		return err
+	}
+	if err := model.AddService("DB", 0.995); err != nil {
+		return err
+	}
+	if err := model.AddService("Pay", 0.98); err != nil {
+		return err
+	}
+
+	// Function level: interaction diagrams.
+	landing := interaction.New("Landing")
+	if err := landing.AddStep("serve", "Web"); err != nil {
+		return err
+	}
+	if err := landing.AddTransition(interaction.Begin, "serve", 1); err != nil {
+		return err
+	}
+	if err := landing.AddTransition("serve", interaction.End, 1); err != nil {
+		return err
+	}
+	if err := model.AddFunction(landing); err != nil {
+		return err
+	}
+
+	checkout := interaction.New("Checkout")
+	for _, step := range []struct {
+		name string
+		svc  string
+	}{{"cart", "Web"}, {"reserve", "DB"}, {"charge", "Pay"}} {
+		if err := checkout.AddStep(step.name, step.svc); err != nil {
+			return err
+		}
+	}
+	for _, tr := range []struct {
+		from, to string
+	}{
+		{interaction.Begin, "cart"}, {"cart", "reserve"},
+		{"reserve", "charge"}, {"charge", interaction.End},
+	} {
+		if err := checkout.AddTransition(tr.from, tr.to, 1); err != nil {
+			return err
+		}
+	}
+	if err := model.AddFunction(checkout); err != nil {
+		return err
+	}
+
+	// User level: two scenario classes.
+	if err := model.SetScenarios([]hierarchy.UserScenario{
+		{Name: "browse-only", Functions: []string{"Landing"}, Probability: 0.7},
+		{Name: "buy", Functions: []string{"Landing", "Checkout"}, Probability: 0.3},
+	}); err != nil {
+		return err
+	}
+
+	rep, err := model.Evaluate()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Service availabilities:")
+	for _, svc := range []string{"Web", "DB", "Pay"} {
+		fmt.Printf("  %-4s %.6f\n", svc, rep.Services[svc])
+	}
+	fmt.Println("Function availabilities:")
+	for _, fn := range []string{"Landing", "Checkout"} {
+		fmt.Printf("  %-9s %.6f\n", fn, rep.Functions[fn])
+	}
+	fmt.Println("Scenario availabilities:")
+	for _, sc := range rep.Scenarios {
+		fmt.Printf("  %-12s π=%.2f  A=%.6f\n", sc.Name, sc.Probability, sc.Availability)
+	}
+	fmt.Printf("User-perceived availability: %.6f (%.1f hours of user-visible downtime/year)\n",
+		rep.UserAvailability, rep.UserUnavailability()*365*24)
+	return nil
+}

@@ -1,0 +1,95 @@
+// Web-farm sizing: the §5.1 design decision of the paper as a reusable
+// program. Given an unavailability budget (default: five minutes per year),
+// how many web servers are needed for each combination of failure rate and
+// traffic level — and where does adding servers stop helping because of
+// imperfect fault coverage?
+//
+// Run with:
+//
+//	go run ./examples/webfarm
+//	go run ./examples/webfarm -budget 1h
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/travelagency"
+	"repro/internal/webfarm"
+)
+
+func main() {
+	budget := flag.Duration("budget", 5*time.Minute, "allowed downtime per year")
+	flag.Parse()
+	if err := run(*budget); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(budget time.Duration) error {
+	target := budget.Hours() / (365 * 24)
+	fmt.Printf("Unavailability budget: %v/year (UA < %.2e)\n\n", budget, target)
+
+	base := travelagency.WebFarm(travelagency.DefaultParams())
+	fmt.Println("Minimum number of web servers (imperfect coverage c=0.98, β=12/h, ν=100/s, K=10):")
+	fmt.Printf("%12s", "α \\ λ")
+	lambdas := []float64{1e-2, 1e-3, 1e-4}
+	for _, l := range lambdas {
+		fmt.Printf("  %8.0e/h", l)
+	}
+	fmt.Println()
+	for _, alpha := range []float64{50, 100, 150} {
+		fmt.Printf("%9.0f/s ", alpha)
+		for _, lambda := range lambdas {
+			n, ua, err := minServers(base, alpha, lambda, target)
+			if err != nil {
+				return err
+			}
+			if n < 0 {
+				fmt.Printf("  %10s", "unreachable")
+			} else {
+				fmt.Printf("  %4d (%0.0e)", n, ua)
+				_ = ua
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nWhy more servers stop helping (α=100/s, λ=1e-2/h):")
+	fmt.Printf("%4s  %12s  %14s  %14s\n", "N_W", "UA(WS)", "buffer losses", "failure down")
+	for n := 1; n <= 10; n++ {
+		farm := base
+		farm.Servers = n
+		farm.ArrivalRate = 100
+		farm.FailureRate = 1e-2
+		b, err := farm.Breakdown()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%4d  %12.3e  %14.3e  %14.3e\n", n, b.Total(), b.Performance, b.Structural)
+	}
+	fmt.Println("\nBuffer losses vanish once capacity covers the load; beyond that every extra")
+	fmt.Println("server adds uncovered failures that require manual reconfiguration, so the")
+	fmt.Println("unavailability curve turns around — the paper's Figure 12 phenomenon.")
+	return nil
+}
+
+// minServers finds the smallest farm meeting the target, up to 10 servers.
+func minServers(base webfarm.Farm, alpha, lambda, target float64) (int, float64, error) {
+	for n := 1; n <= 10; n++ {
+		farm := base
+		farm.Servers = n
+		farm.ArrivalRate = alpha
+		farm.FailureRate = lambda
+		ua, err := farm.Unavailability()
+		if err != nil {
+			return 0, 0, err
+		}
+		if ua < target {
+			return n, ua, nil
+		}
+	}
+	return -1, 0, nil
+}

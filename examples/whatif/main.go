@@ -1,0 +1,80 @@
+// What-if analysis: where should the travel agency spend its next
+// reliability dollar? The program ranks every service by its user-level
+// Birnbaum importance and by the achievable gain from making it perfect,
+// then prints the three most effective single-service upgrades for class B
+// (buying) customers, in yearly downtime terms.
+//
+// Run with:
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/travelagency"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	params := travelagency.DefaultParams()
+	model, err := travelagency.Build(params, travelagency.ClassB)
+	if err != nil {
+		return err
+	}
+	base, err := model.Evaluate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Baseline (Table 7): A(user, class B) = %.6f — %.0f h/year of perceived downtime\n\n",
+		base.UserAvailability, base.UserUnavailability()*travelagency.HoursPerYear)
+
+	imps, err := model.ServiceImportances()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Service ranking (user-level Birnbaum importance | gain if made perfect):")
+	for _, imp := range imps {
+		fmt.Printf("  %-7s importance %.4f | perfect-service gain %7.1f h/year\n",
+			imp.Service, imp.Birnbaum, imp.RiskReduction*travelagency.HoursPerYear)
+	}
+
+	fmt.Println("\nConcrete upgrades, evaluated end to end:")
+	type upgrade struct {
+		label string
+		apply func(*travelagency.Params)
+	}
+	for _, u := range []upgrade{
+		{"payment provider 0.90 → 0.99", func(p *travelagency.Params) { p.PaymentAvailability = 0.99 }},
+		{"third mirrored disk (A_Disk 0.9, 1-of-3)", func(p *travelagency.Params) {
+			// 1-of-3 mirrored disks: modeled by raising the effective disk
+			// availability to 1−(1−0.9)³ at the host level... the framework
+			// takes the per-disk value, so express it as the pair equivalent.
+			p.DiskAvailability = 0.9683 // solves 1−(1−x)² = 1−(1−0.9)³
+		}},
+		{"second internet uplink (A_net 1-of-2)", func(p *travelagency.Params) {
+			p.NetAvailability = 1 - (1-0.9966)*(1-0.9966)
+		}},
+		{"contract two more reservation systems (N=7)", func(p *travelagency.Params) {
+			p.FlightSystems, p.HotelSystems, p.CarSystems = 7, 7, 7
+		}},
+	} {
+		p := params
+		u.apply(&p)
+		rep, err := travelagency.Evaluate(p, travelagency.ClassB)
+		if err != nil {
+			return err
+		}
+		gain := (rep.UserAvailability - base.UserAvailability) * travelagency.HoursPerYear
+		fmt.Printf("  %-45s %+7.1f h/year\n", u.label, gain)
+	}
+	fmt.Println("\nThe ranking mirrors the tornado analysis: payment and storage first,")
+	fmt.Println("connectivity second; the external reservation fan-out is already saturated at N=5.")
+	return nil
+}

@@ -1,0 +1,57 @@
+package ctmc
+
+import (
+	"fmt"
+	"testing"
+)
+
+var benchSink float64
+
+// benchChain builds an irreducible birth-death chain with n states.
+func benchChain(n int) *Chain {
+	c := New()
+	for i := 0; i < n-1; i++ {
+		from := fmt.Sprintf("s%d", i)
+		to := fmt.Sprintf("s%d", i+1)
+		_ = c.AddTransition(from, to, 1.0+float64(i%3))
+		_ = c.AddTransition(to, from, 0.5+float64(i%2))
+	}
+	return c
+}
+
+func BenchmarkSteadyStateGTH100(b *testing.B) {
+	c := benchChain(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := c.SteadyState()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += d.Probability("s0")
+	}
+}
+
+func BenchmarkSteadyStateLU100(b *testing.B) {
+	c := benchChain(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := c.SteadyStateLU()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += d.Probability("s0")
+	}
+}
+
+func BenchmarkTransient50(b *testing.B) {
+	c := benchChain(50)
+	initial := Distribution{"s0": 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := c.Transient(initial, 3, 1e-10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += d.Probability("s49")
+	}
+}

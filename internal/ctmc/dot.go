@@ -1,0 +1,37 @@
+package ctmc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MarshalDOT renders the chain in Graphviz DOT format for visualization
+// (state names become node labels, edges carry rates). Optionally, a
+// steady-state distribution annotates each node with its probability.
+func (c *Chain) MarshalDOT(title string, steady Distribution) string {
+	var b strings.Builder
+	b.WriteString("digraph ctmc {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle fontsize=11];\n")
+	if title != "" {
+		fmt.Fprintf(&b, "  label=%q;\n  labelloc=t;\n", title)
+	}
+	for _, name := range c.names {
+		label := name
+		if steady != nil {
+			label = fmt.Sprintf("%s\nπ=%.3g", name, steady.Probability(name))
+		}
+		fmt.Fprintf(&b, "  %q [label=%q];\n", name, label)
+	}
+	for i := range c.names {
+		succ := c.successors(i)
+		sort.Ints(succ)
+		for _, j := range succ {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", c.names[i], c.names[j],
+				fmt.Sprintf("%g", c.rates[i][j]))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,29 @@
+package ctmc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarshalDOT(t *testing.T) {
+	c := twoState(t, 0.001, 0.5)
+	dot := c.MarshalDOT("repairable", nil)
+	for _, want := range []string{
+		"digraph ctmc {",
+		`"up" -> "down" [label="0.001"];`,
+		`"down" -> "up" [label="0.5"];`,
+		`label="repairable";`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	steady, err := c.SteadyState()
+	if err != nil {
+		t.Fatalf("SteadyState: %v", err)
+	}
+	annotated := c.MarshalDOT("", steady)
+	if !strings.Contains(annotated, `π=0.998`) {
+		t.Errorf("annotated DOT missing steady-state label:\n%s", annotated)
+	}
+}

@@ -1,0 +1,35 @@
+package ctmc
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzUnmarshalJSON ensures arbitrary input can never panic the chain
+// decoder or produce a chain that panics during analysis.
+func FuzzUnmarshalJSON(f *testing.F) {
+	f.Add([]byte(`{"transitions":[{"from":"up","to":"down","rate":0.001},{"from":"down","to":"up","rate":0.5}]}`))
+	f.Add([]byte(`{"transitions":[]}`))
+	f.Add([]byte(`{"states":["a"],"transitions":[{"from":"a","to":"b","rate":1e308}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"transitions":[{"from":"a","to":"a","rate":1}]}`))
+	f.Add([]byte(`{"transitions":[{"from":"a","to":"b","rate":-5}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c Chain
+		if err := json.Unmarshal(data, &c); err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Whatever decoded must survive analysis attempts gracefully.
+		if c.NumStates() == 0 {
+			return
+		}
+		_, _ = c.SteadyState()
+		if _, err := c.Generator(); err != nil {
+			t.Errorf("Generator failed on decoded chain: %v", err)
+		}
+		// Round trip must succeed for anything that decoded.
+		if _, err := json.Marshal(&c); err != nil {
+			t.Errorf("re-marshal failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package ctmc
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// TransitionSpec is the JSON wire format of a single transition.
+type TransitionSpec struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	Rate float64 `json:"rate"`
+}
+
+// ChainSpec is the JSON wire format of a chain, used by cmd/ctmcsolve and in
+// examples. States only referenced by transitions need not be listed
+// explicitly.
+type ChainSpec struct {
+	States      []string         `json:"states,omitempty"`
+	Transitions []TransitionSpec `json:"transitions"`
+}
+
+// MarshalJSON encodes the chain as a ChainSpec.
+func (c *Chain) MarshalJSON() ([]byte, error) {
+	spec := ChainSpec{States: c.StateNames()}
+	for i := range c.names {
+		for _, j := range c.successors(i) {
+			spec.Transitions = append(spec.Transitions, TransitionSpec{
+				From: c.names[i],
+				To:   c.names[j],
+				Rate: c.rates[i][j],
+			})
+		}
+	}
+	sort.Slice(spec.Transitions, func(a, b int) bool {
+		ta, tb := spec.Transitions[a], spec.Transitions[b]
+		if ta.From != tb.From {
+			return ta.From < tb.From
+		}
+		return ta.To < tb.To
+	})
+	return json.Marshal(spec)
+}
+
+// UnmarshalJSON decodes a ChainSpec into the chain. Any existing content is
+// replaced.
+func (c *Chain) UnmarshalJSON(data []byte) error {
+	var spec ChainSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return fmt.Errorf("ctmc: decode chain: %w", err)
+	}
+	fresh := New()
+	for _, s := range spec.States {
+		fresh.AddState(s)
+	}
+	for _, t := range spec.Transitions {
+		if err := fresh.AddTransition(t.From, t.To, t.Rate); err != nil {
+			return err
+		}
+	}
+	*c = *fresh
+	return nil
+}

@@ -1,0 +1,122 @@
+package ctmc
+
+import (
+	"math"
+	"testing"
+)
+
+// For the two-state repairable component the expected up time over [0, t]
+// has the closed form
+//
+//	E[up time] = A·t + (1−A)·(1 − e^{−(λ+µ)t})/(λ+µ),  A = µ/(λ+µ),
+//
+// starting from the up state.
+func TestExpectedUpTimeTwoStateClosedForm(t *testing.T) {
+	const lambda, mu = 0.4, 1.6
+	c := twoState(t, lambda, mu)
+	a := mu / (lambda + mu)
+	for _, tt := range []float64{0.1, 0.5, 1, 3, 10} {
+		got, err := c.ExpectedUpTime(Distribution{"up": 1}, tt, func(s string) bool { return s == "up" })
+		if err != nil {
+			t.Fatalf("ExpectedUpTime(%v): %v", tt, err)
+		}
+		want := a*tt + (1-a)*(1-math.Exp(-(lambda+mu)*tt))/(lambda+mu)
+		if math.Abs(got-want) > 1e-8 {
+			t.Errorf("E[up time](%v) = %.10f, want %.10f", tt, got, want)
+		}
+	}
+}
+
+func TestIntervalAvailabilityConvergesToSteadyState(t *testing.T) {
+	c := twoState(t, 0.2, 0.8)
+	ss, err := c.SteadyState()
+	if err != nil {
+		t.Fatalf("SteadyState: %v", err)
+	}
+	ia, err := c.IntervalAvailability(Distribution{"up": 1}, 200, func(s string) bool { return s == "up" })
+	if err != nil {
+		t.Fatalf("IntervalAvailability: %v", err)
+	}
+	// Closed form: A + (1−A)(1−e^{−(λ+µ)t})/((λ+µ)t) = 0.8 + 0.2/200.
+	want := 0.8 + 0.2*(1-math.Exp(-200))/200
+	if math.Abs(ia-want) > 1e-6 {
+		t.Errorf("interval availability %v, want %v (steady state %v)", ia, want, ss.Probability("up"))
+	}
+	// Starting up, the interval availability over a short window exceeds
+	// the steady-state value (the system has not had time to fail).
+	short, err := c.IntervalAvailability(Distribution{"up": 1}, 0.1, func(s string) bool { return s == "up" })
+	if err != nil {
+		t.Fatalf("IntervalAvailability: %v", err)
+	}
+	if !(short > ss.Probability("up")) {
+		t.Errorf("short-window availability %v should exceed steady state %v", short, ss.Probability("up"))
+	}
+}
+
+func TestExpectedAccumulatedRewardValidation(t *testing.T) {
+	c := twoState(t, 1, 1)
+	up := func(s string) float64 { return 1 }
+	if _, err := c.ExpectedAccumulatedReward(Distribution{"up": 0.5}, 1, up, 0); err == nil {
+		t.Error("bad initial distribution accepted")
+	}
+	if _, err := c.ExpectedAccumulatedReward(Distribution{"up": 1}, -1, up, 0); err == nil {
+		t.Error("negative time accepted")
+	}
+	if _, err := c.ExpectedAccumulatedReward(Distribution{"up": 1}, 1, func(string) float64 { return math.NaN() }, 0); err == nil {
+		t.Error("NaN reward accepted")
+	}
+	if _, err := c.IntervalAvailability(Distribution{"up": 1}, 0, func(string) bool { return true }); err == nil {
+		t.Error("t = 0 accepted for interval availability")
+	}
+	got, err := c.ExpectedAccumulatedReward(Distribution{"up": 1}, 0, up, 0)
+	if err != nil || got != 0 {
+		t.Errorf("reward over [0,0] = %v, %v", got, err)
+	}
+}
+
+func TestExpectedAccumulatedRewardNoTransitions(t *testing.T) {
+	c := New()
+	c.AddState("only")
+	got, err := c.ExpectedAccumulatedReward(Distribution{"only": 1}, 5, func(string) float64 { return 2 }, 0)
+	if err != nil {
+		t.Fatalf("ExpectedAccumulatedReward: %v", err)
+	}
+	if math.Abs(got-10) > 1e-12 {
+		t.Errorf("reward = %v, want 10", got)
+	}
+}
+
+// First-year downtime of the paper's web farm (structural only): the
+// transient measure must be positive and below the steady-state bound
+// UA·t... actually above it when starting from full strength the transient
+// unavailability is *below* steady state, so downtime < UA_ss·t.
+func TestFirstYearDowntime(t *testing.T) {
+	c := New()
+	// 2-server farm, λ=1e-3/h, µ=1/h shared repair.
+	_ = c.AddTransition("2", "1", 2e-3)
+	_ = c.AddTransition("1", "0", 1e-3)
+	_ = c.AddTransition("1", "2", 1)
+	_ = c.AddTransition("0", "1", 1)
+	const year = 8760.0
+	down := func(s string) bool { return s == "0" }
+	upTime, err := c.ExpectedUpTime(Distribution{"2": 1}, year, func(s string) bool { return !down(s) })
+	if err != nil {
+		t.Fatalf("ExpectedUpTime: %v", err)
+	}
+	downtime := year - upTime
+	ss, err := c.SteadyState()
+	if err != nil {
+		t.Fatalf("SteadyState: %v", err)
+	}
+	ssDowntime := ss.Probability("0") * year
+	if downtime <= 0 {
+		t.Fatalf("downtime = %v", downtime)
+	}
+	if downtime > ssDowntime {
+		t.Errorf("first-year downtime %v should not exceed the steady-state bound %v when starting from full strength", downtime, ssDowntime)
+	}
+	// But it should be the right order of magnitude (within 2×).
+	if downtime < ssDowntime/2 {
+		t.Errorf("first-year downtime %v implausibly below steady state %v", downtime, ssDowntime)
+	}
+}

@@ -1,0 +1,196 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// SteadyState computes the stationary distribution π of an irreducible chain
+// using the Grassmann–Taksar–Heyman (GTH) elimination algorithm, which avoids
+// subtractive cancellation and is therefore accurate even when transition
+// rates span many orders of magnitude (e.g. repair rate 1/h vs. failure rate
+// 1e-4/h as in the travel-agency models).
+func (c *Chain) SteadyState() (Distribution, error) {
+	pi, err := c.steadyStateVector()
+	if err != nil {
+		return nil, err
+	}
+	return c.toDistribution(pi), nil
+}
+
+func (c *Chain) steadyStateVector() ([]float64, error) {
+	n := len(c.names)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if n == 1 {
+		return []float64{1}, nil
+	}
+	if !c.isIrreducible() {
+		return nil, ErrNotIrreducible
+	}
+
+	// Work on a dense copy of the rate matrix (off-diagonal rates only).
+	a := linalg.NewMatrix(n, n)
+	for i, row := range c.rates {
+		for j, r := range row {
+			a.Set(i, j, r)
+		}
+	}
+
+	// GTH elimination: for k = n-1 down to 1, redistribute state k's
+	// probability flow over states 0..k-1. Only additions, multiplications
+	// and divisions by positive numbers occur.
+	for k := n - 1; k >= 1; k-- {
+		var total float64
+		for j := 0; j < k; j++ {
+			total += a.At(k, j)
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("%w: state %q has no transitions to lower-numbered states during GTH elimination", ErrNotIrreducible, c.names[k])
+		}
+		for i := 0; i < k; i++ {
+			rateIK := a.At(i, k)
+			if rateIK == 0 {
+				continue
+			}
+			f := rateIK / total
+			for j := 0; j < k; j++ {
+				if v := a.At(k, j); v != 0 {
+					a.Add(i, j, f*v)
+				}
+			}
+		}
+	}
+
+	// Back substitution: π₀ unnormalized = 1; πₖ = Σ_{i<k} πᵢ·a(i,k)/total(k).
+	pi := make([]float64, n)
+	pi[0] = 1
+	for k := 1; k < n; k++ {
+		var total float64
+		for j := 0; j < k; j++ {
+			total += a.At(k, j)
+		}
+		var num float64
+		for i := 0; i < k; i++ {
+			num += pi[i] * a.At(i, k)
+		}
+		pi[k] = num / total
+	}
+	if _, err := linalg.Normalize(pi); err != nil {
+		return nil, fmt.Errorf("ctmc: normalize steady state: %w", err)
+	}
+	if !linalg.AllFinite(pi) {
+		return nil, fmt.Errorf("ctmc: steady state contains non-finite probabilities")
+	}
+	return pi, nil
+}
+
+// SteadyStateLU computes the stationary distribution by directly solving
+// πQ = 0 with the normalization Σπ = 1 via LU factorization. It is provided
+// as an independent cross-check of the GTH path; GTH should be preferred for
+// stiff chains.
+func (c *Chain) SteadyStateLU() (Distribution, error) {
+	n := len(c.names)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if !c.isIrreducible() {
+		return nil, ErrNotIrreducible
+	}
+	q, err := c.Generator()
+	if err != nil {
+		return nil, err
+	}
+	// Solve Qᵀπ = 0 with the last equation replaced by Σπ = 1.
+	a := q.Transpose()
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	pi, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: steady-state solve: %w", err)
+	}
+	// Clamp tiny negative round-off.
+	for i, p := range pi {
+		if p < 0 {
+			if p < -1e-9 {
+				return nil, fmt.Errorf("ctmc: steady-state probability %v for state %q is negative beyond round-off", p, c.names[i])
+			}
+			pi[i] = 0
+		}
+	}
+	if _, err := linalg.Normalize(pi); err != nil {
+		return nil, err
+	}
+	return c.toDistribution(pi), nil
+}
+
+// MeanTimeToAbsorption computes, for a chain in which the given states are
+// absorbing targets, the expected time to reach any of them from each
+// transient state. Transitions out of target states are ignored. The result
+// maps transient state names to expected hitting times; target states map
+// to zero.
+func (c *Chain) MeanTimeToAbsorption(targets ...string) (map[string]float64, error) {
+	n := len(c.names)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	isTarget := make([]bool, n)
+	for _, t := range targets {
+		i, err := c.StateIndex(t)
+		if err != nil {
+			return nil, err
+		}
+		isTarget[i] = true
+	}
+	// Transient states.
+	var trans []int
+	pos := make([]int, n)
+	for i := 0; i < n; i++ {
+		pos[i] = -1
+		if !isTarget[i] {
+			pos[i] = len(trans)
+			trans = append(trans, i)
+		}
+	}
+	out := make(map[string]float64, n)
+	for _, t := range targets {
+		out[t] = 0
+	}
+	if len(trans) == 0 {
+		return out, nil
+	}
+	// Solve  Q_TT · h = -1  restricted to transient states.
+	m := len(trans)
+	a := linalg.NewMatrix(m, m)
+	b := make([]float64, m)
+	for r, i := range trans {
+		exit := c.ExitRate(i)
+		if exit == 0 {
+			return nil, fmt.Errorf("ctmc: transient state %q cannot reach any target", c.names[i])
+		}
+		a.Set(r, r, -exit)
+		for j, rate := range c.rates[i] {
+			if !isTarget[j] {
+				a.Add(r, pos[j], rate)
+			}
+		}
+		b[r] = -1
+	}
+	h, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: hitting-time solve: %w", err)
+	}
+	for r, i := range trans {
+		if h[r] < 0 || math.IsNaN(h[r]) {
+			return nil, fmt.Errorf("ctmc: invalid hitting time %v for state %q (target set unreachable?)", h[r], c.names[i])
+		}
+		out[c.names[i]] = h[r]
+	}
+	return out, nil
+}

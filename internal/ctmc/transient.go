@@ -1,0 +1,115 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transient computes the state distribution at time t, starting from the
+// given initial distribution, using uniformization (randomization / Jensen's
+// method) with adaptive truncation of the Poisson series.
+//
+// The tolerance bounds the total truncated probability mass; 1e-12 is a good
+// default. Initial states absent from `initial` have probability zero.
+func (c *Chain) Transient(initial Distribution, t float64, tol float64) (Distribution, error) {
+	n := len(c.names)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("ctmc: invalid time %v", t)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	p0 := make([]float64, n)
+	var total float64
+	for name, pr := range initial {
+		i, err := c.StateIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		if pr < 0 {
+			return nil, fmt.Errorf("ctmc: negative initial probability %v for %q", pr, name)
+		}
+		p0[i] = pr
+		total += pr
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return nil, fmt.Errorf("ctmc: initial distribution sums to %v, want 1", total)
+	}
+	if t == 0 {
+		return c.toDistribution(p0), nil
+	}
+
+	// Uniformization rate: strictly larger than every exit rate.
+	var lambda float64
+	for i := 0; i < n; i++ {
+		if r := c.ExitRate(i); r > lambda {
+			lambda = r
+		}
+	}
+	if lambda == 0 {
+		// No transitions at all: distribution is unchanged.
+		return c.toDistribution(p0), nil
+	}
+	lambda *= 1.02
+
+	// DTMC kernel P = I + Q/lambda, applied as vector-matrix products using
+	// the sparse rate maps.
+	applyP := func(v []float64) []float64 {
+		out := make([]float64, n)
+		for i, vi := range v {
+			if vi == 0 {
+				continue
+			}
+			exit := c.ExitRate(i)
+			out[i] += vi * (1 - exit/lambda)
+			for j, r := range c.rates[i] {
+				out[j] += vi * r / lambda
+			}
+		}
+		return out
+	}
+
+	// Poisson weights with scaling: accumulate Σ_k w_k · (p0·P^k).
+	lt := lambda * t
+	// Upper truncation point: mean + wide safety margin.
+	kMax := int(lt + 12*math.Sqrt(lt) + 40)
+	acc := make([]float64, n)
+	v := p0
+	logW := -lt // log of Poisson(k=0) weight
+	sumW := 0.0
+	for k := 0; ; k++ {
+		w := math.Exp(logW)
+		for i := range acc {
+			acc[i] += w * v[i]
+		}
+		sumW += w
+		if 1-sumW < tol && float64(k) >= lt {
+			break
+		}
+		if k >= kMax {
+			break
+		}
+		logW += math.Log(lt) - math.Log(float64(k+1))
+		v = applyP(v)
+	}
+	// Renormalize the truncation defect.
+	if sumW > 0 {
+		for i := range acc {
+			acc[i] /= sumW
+		}
+	}
+	return c.toDistribution(acc), nil
+}
+
+// PointAvailability computes the probability of being in any of the `up`
+// states at time t, starting from the initial distribution.
+func (c *Chain) PointAvailability(initial Distribution, t float64, up func(name string) bool) (float64, error) {
+	d, err := c.Transient(initial, t, 1e-12)
+	if err != nil {
+		return 0, err
+	}
+	return d.SumOver(up), nil
+}

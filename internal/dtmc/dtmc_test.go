@@ -1,0 +1,403 @@
+package dtmc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustAdd(t *testing.T, c *Chain, from, to string, p float64) {
+	t.Helper()
+	if err := c.AddTransition(from, to, p); err != nil {
+		t.Fatalf("AddTransition(%s, %s, %v): %v", from, to, p, err)
+	}
+}
+
+func TestAddTransitionValidation(t *testing.T) {
+	c := New()
+	for _, p := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if err := c.AddTransition("a", "b", p); err == nil {
+			t.Errorf("probability %v accepted", p)
+		}
+	}
+	// Accumulation beyond 1 rejected.
+	mustAdd(t, c, "x", "y", 0.7)
+	if err := c.AddTransition("x", "y", 0.7); err == nil {
+		t.Error("accumulated probability > 1 accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := New()
+	mustAdd(t, c, "a", "b", 0.5)
+	if err := c.Validate(); err == nil {
+		t.Error("sub-stochastic row accepted")
+	}
+	mustAdd(t, c, "a", "c", 0.5)
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestIsAbsorbing(t *testing.T) {
+	c := New()
+	mustAdd(t, c, "a", "b", 1)
+	got, err := c.IsAbsorbing("b")
+	if err != nil || !got {
+		t.Errorf("IsAbsorbing(b) = %v, %v; want true", got, err)
+	}
+	got, err = c.IsAbsorbing("a")
+	if err != nil || got {
+		t.Errorf("IsAbsorbing(a) = %v, %v; want false", got, err)
+	}
+	if _, err := c.IsAbsorbing("ghost"); err == nil {
+		t.Error("unknown state accepted")
+	}
+}
+
+func TestStationaryTwoState(t *testing.T) {
+	// a→b with 0.3, a→a 0.7; b→a 0.4, b→b 0.6. π_a = 0.4/0.7, π_b = 0.3/0.7.
+	c := New()
+	mustAdd(t, c, "a", "b", 0.3)
+	mustAdd(t, c, "a", "a", 0.7)
+	mustAdd(t, c, "b", "a", 0.4)
+	mustAdd(t, c, "b", "b", 0.6)
+	pi, err := c.StationaryDistribution()
+	if err != nil {
+		t.Fatalf("StationaryDistribution: %v", err)
+	}
+	if math.Abs(pi["a"]-4.0/7.0) > 1e-12 || math.Abs(pi["b"]-3.0/7.0) > 1e-12 {
+		t.Errorf("π = %v", pi)
+	}
+}
+
+func TestStationaryRejectsAbsorbing(t *testing.T) {
+	c := New()
+	mustAdd(t, c, "a", "b", 1)
+	if _, err := c.StationaryDistribution(); err == nil {
+		t.Error("chain with absorbing state accepted")
+	}
+}
+
+// Property: for random irreducible 3-state chains, the stationary
+// distribution satisfies πP = π.
+func TestStationaryFixedPointProperty(t *testing.T) {
+	f := func(raw [9]float64) bool {
+		c := New()
+		names := []string{"a", "b", "c"}
+		for i := 0; i < 3; i++ {
+			w := make([]float64, 3)
+			var sum float64
+			for j := 0; j < 3; j++ {
+				w[j] = math.Abs(math.Mod(raw[i*3+j], 10)) + 0.05
+				sum += w[j]
+			}
+			for j := 0; j < 3; j++ {
+				if err := c.AddTransition(names[i], names[j], w[j]/sum); err != nil {
+					return false
+				}
+			}
+		}
+		pi, err := c.StationaryDistribution()
+		if err != nil {
+			return false
+		}
+		p, err := c.TransitionMatrix()
+		if err != nil {
+			return false
+		}
+		vec := []float64{pi["a"], pi["b"], pi["c"]}
+		next, err := p.VecMul(vec)
+		if err != nil {
+			return false
+		}
+		for i := range vec {
+			if math.Abs(next[i]-vec[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// gambler builds the classic gambler's-ruin chain on 0..n with win prob p.
+func gambler(t *testing.T, n int, p float64) *Chain {
+	t.Helper()
+	c := New()
+	c.AddState("0")
+	for i := 1; i < n; i++ {
+		mustAdd(t, c, name(i), name(i+1), p)
+		mustAdd(t, c, name(i), name(i-1), 1-p)
+	}
+	c.AddState(name(n))
+	return c
+}
+
+func name(i int) string {
+	return string(rune('0' + i))
+}
+
+func TestAbsorbingGamblersRuin(t *testing.T) {
+	// Fair game on 0..4: from state i, P(absorb at 4) = i/4, and the
+	// expected duration from i is i·(4−i).
+	c := gambler(t, 4, 0.5)
+	an, err := c.AnalyzeAbsorbing()
+	if err != nil {
+		t.Fatalf("AnalyzeAbsorbing: %v", err)
+	}
+	for i := 1; i <= 3; i++ {
+		probs, err := an.AbsorptionProbabilities(name(i))
+		if err != nil {
+			t.Fatalf("AbsorptionProbabilities(%d): %v", i, err)
+		}
+		want := float64(i) / 4
+		if math.Abs(probs["4"]-want) > 1e-12 {
+			t.Errorf("P(ruin→4 | start %d) = %v, want %v", i, probs["4"], want)
+		}
+		if math.Abs(probs["0"]-(1-want)) > 1e-12 {
+			t.Errorf("P(ruin→0 | start %d) = %v, want %v", i, probs["0"], 1-want)
+		}
+		steps, err := an.ExpectedStepsToAbsorption(name(i))
+		if err != nil {
+			t.Fatalf("ExpectedStepsToAbsorption: %v", err)
+		}
+		if wantSteps := float64(i * (4 - i)); math.Abs(steps-wantSteps) > 1e-10 {
+			t.Errorf("E[steps | start %d] = %v, want %v", i, steps, wantSteps)
+		}
+	}
+}
+
+func TestAbsorbingExpectedVisits(t *testing.T) {
+	// a →(0.5) a (self loop), →(0.5) done. Expected visits to a from a = 2.
+	c := New()
+	mustAdd(t, c, "a", "a", 0.5)
+	mustAdd(t, c, "a", "done", 0.5)
+	an, err := c.AnalyzeAbsorbing()
+	if err != nil {
+		t.Fatalf("AnalyzeAbsorbing: %v", err)
+	}
+	v, err := an.ExpectedVisits("a")
+	if err != nil {
+		t.Fatalf("ExpectedVisits: %v", err)
+	}
+	if math.Abs(v["a"]-2) > 1e-12 {
+		t.Errorf("E[visits to a] = %v, want 2", v["a"])
+	}
+}
+
+func TestAbsorbingStartAtAbsorbing(t *testing.T) {
+	c := New()
+	mustAdd(t, c, "a", "end", 1)
+	an, err := c.AnalyzeAbsorbing()
+	if err != nil {
+		t.Fatalf("AnalyzeAbsorbing: %v", err)
+	}
+	probs, err := an.AbsorptionProbabilities("end")
+	if err != nil {
+		t.Fatalf("AbsorptionProbabilities: %v", err)
+	}
+	if probs["end"] != 1 {
+		t.Errorf("P = %v, want end:1", probs)
+	}
+	if _, err := an.ExpectedVisits("end"); err == nil {
+		t.Error("ExpectedVisits of absorbing state accepted")
+	}
+}
+
+func TestAbsorbingRequiresAbsorbingState(t *testing.T) {
+	c := New()
+	mustAdd(t, c, "a", "b", 1)
+	mustAdd(t, c, "b", "a", 1)
+	if _, err := c.AnalyzeAbsorbing(); err == nil {
+		t.Error("chain without absorbing states accepted")
+	}
+}
+
+func TestAbsorbingUnreachableAbsorption(t *testing.T) {
+	// a and b cycle forever; 'end' exists but is only reachable from c.
+	c := New()
+	mustAdd(t, c, "a", "b", 1)
+	mustAdd(t, c, "b", "a", 1)
+	mustAdd(t, c, "c", "end", 1)
+	if _, err := c.AnalyzeAbsorbing(); err == nil {
+		t.Error("chain with transient states unable to reach absorption accepted")
+	}
+}
+
+func TestAbsorbingStateLists(t *testing.T) {
+	c := New()
+	mustAdd(t, c, "start", "mid", 1)
+	mustAdd(t, c, "mid", "end", 1)
+	an, err := c.AnalyzeAbsorbing()
+	if err != nil {
+		t.Fatalf("AnalyzeAbsorbing: %v", err)
+	}
+	if got := an.TransientStates(); len(got) != 2 {
+		t.Errorf("TransientStates = %v", got)
+	}
+	if got := an.AbsorbingStates(); len(got) != 1 || got[0] != "end" {
+		t.Errorf("AbsorbingStates = %v", got)
+	}
+}
+
+// Property: absorption probabilities from any transient start sum to one in
+// random branching chains that always leak probability to an absorbing end.
+func TestAbsorptionProbabilitySumProperty(t *testing.T) {
+	f := func(raw [4]float64) bool {
+		c := New()
+		// s → {m1, m2, endA}; m1 → {m2, endA}; m2 → {m1 (looping), endB}.
+		u := func(x float64) float64 { return 0.1 + 0.8*math.Abs(math.Mod(x, 1)) }
+		a, b, d, e := u(raw[0]), u(raw[1]), u(raw[2]), u(raw[3])
+		if err := c.AddTransition("s", "m1", a/2); err != nil {
+			return false
+		}
+		if err := c.AddTransition("s", "m2", (1-a/2)/2); err != nil {
+			return false
+		}
+		if err := c.AddTransition("s", "endA", 1-a/2-(1-a/2)/2); err != nil {
+			return false
+		}
+		if err := c.AddTransition("m1", "m2", b/2); err != nil {
+			return false
+		}
+		if err := c.AddTransition("m1", "endA", 1-b/2); err != nil {
+			return false
+		}
+		if err := c.AddTransition("m2", "m1", d/2); err != nil {
+			return false
+		}
+		if err := c.AddTransition("m2", "endB", 1-d/2); err != nil {
+			return false
+		}
+		_ = e
+		an, err := c.AnalyzeAbsorbing()
+		if err != nil {
+			return false
+		}
+		for _, start := range []string{"s", "m1", "m2"} {
+			probs, err := an.AbsorptionProbabilities(start)
+			if err != nil {
+				return false
+			}
+			var sum float64
+			for _, p := range probs {
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbabilityLookup(t *testing.T) {
+	c := New()
+	mustAdd(t, c, "a", "b", 0.25)
+	p, err := c.Probability("a", "b")
+	if err != nil || p != 0.25 {
+		t.Errorf("Probability = %v, %v", p, err)
+	}
+	if _, err := c.Probability("a", "nope"); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestStepDistribution(t *testing.T) {
+	c := New()
+	mustAdd(t, c, "a", "b", 1)
+	mustAdd(t, c, "b", "a", 0.5)
+	mustAdd(t, c, "b", "b", 0.5)
+	d0, err := c.StepDistribution(map[string]float64{"a": 1}, 0)
+	if err != nil {
+		t.Fatalf("StepDistribution: %v", err)
+	}
+	if d0["a"] != 1 {
+		t.Errorf("0 steps = %v", d0)
+	}
+	d1, err := c.StepDistribution(map[string]float64{"a": 1}, 1)
+	if err != nil {
+		t.Fatalf("StepDistribution: %v", err)
+	}
+	if d1["b"] != 1 {
+		t.Errorf("1 step = %v", d1)
+	}
+	d2, err := c.StepDistribution(map[string]float64{"a": 1}, 2)
+	if err != nil {
+		t.Fatalf("StepDistribution: %v", err)
+	}
+	if math.Abs(d2["a"]-0.5) > 1e-15 || math.Abs(d2["b"]-0.5) > 1e-15 {
+		t.Errorf("2 steps = %v", d2)
+	}
+}
+
+func TestStepDistributionAbsorbing(t *testing.T) {
+	c := New()
+	mustAdd(t, c, "a", "end", 0.5)
+	mustAdd(t, c, "a", "a", 0.5)
+	d, err := c.StepDistribution(map[string]float64{"a": 1}, 10)
+	if err != nil {
+		t.Fatalf("StepDistribution: %v", err)
+	}
+	// P(still in a) = 0.5^10; the rest absorbed.
+	if math.Abs(d["a"]-math.Pow(0.5, 10)) > 1e-15 {
+		t.Errorf("P(a) = %v", d["a"])
+	}
+	if math.Abs(d["end"]-(1-math.Pow(0.5, 10))) > 1e-15 {
+		t.Errorf("P(end) = %v", d["end"])
+	}
+}
+
+func TestStepDistributionValidation(t *testing.T) {
+	c := New()
+	mustAdd(t, c, "a", "b", 1)
+	if _, err := c.StepDistribution(map[string]float64{"a": 0.5}, 1); err == nil {
+		t.Error("bad initial accepted")
+	}
+	if _, err := c.StepDistribution(map[string]float64{"a": 1}, -1); err == nil {
+		t.Error("negative steps accepted")
+	}
+	if _, err := c.StepDistribution(map[string]float64{"ghost": 1}, 1); err == nil {
+		t.Error("unknown state accepted")
+	}
+}
+
+// Property: after many steps the step distribution of an irreducible chain
+// approaches the stationary distribution.
+func TestStepConvergesToStationaryProperty(t *testing.T) {
+	f := func(raw [4]float64) bool {
+		c := New()
+		p1 := 0.1 + 0.8*math.Abs(math.Mod(raw[0], 1))
+		p2 := 0.1 + 0.8*math.Abs(math.Mod(raw[1], 1))
+		if err := c.AddTransition("a", "b", p1); err != nil {
+			return false
+		}
+		if err := c.AddTransition("a", "a", 1-p1); err != nil {
+			return false
+		}
+		if err := c.AddTransition("b", "a", p2); err != nil {
+			return false
+		}
+		if err := c.AddTransition("b", "b", 1-p2); err != nil {
+			return false
+		}
+		pi, err := c.StationaryDistribution()
+		if err != nil {
+			return false
+		}
+		d, err := c.StepDistribution(map[string]float64{"a": 1}, 500)
+		if err != nil {
+			return false
+		}
+		return math.Abs(d["a"]-pi["a"]) < 1e-6 && math.Abs(d["b"]-pi["b"]) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

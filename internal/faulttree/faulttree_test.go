@@ -1,0 +1,270 @@
+package faulttree
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBasicEventValidation(t *testing.T) {
+	for _, bad := range []float64{-0.5, 1.5, math.NaN()} {
+		if _, err := NewBasicEvent("e", bad); err == nil {
+			t.Errorf("probability %v accepted", bad)
+		}
+	}
+	e := MustBasicEvent("e", 0.1)
+	if e.Label() != "e" || e.Probability() != 0.1 {
+		t.Errorf("event = %v %v", e.Label(), e.Probability())
+	}
+	if err := e.SetProbability(0.2); err != nil || e.Probability() != 0.2 {
+		t.Errorf("SetProbability: %v, prob %v", err, e.Probability())
+	}
+	if err := e.SetProbability(2); err == nil {
+		t.Error("invalid probability accepted")
+	}
+}
+
+func TestMustBasicEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustBasicEvent("bad", -1)
+}
+
+func TestGatePanicsWithoutChildren(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OR("empty")
+}
+
+func TestANDOREvaluation(t *testing.T) {
+	a := MustBasicEvent("a", 0.1)
+	b := MustBasicEvent("b", 0.2)
+	and, err := TopEventProbability(AND("and", a, b))
+	if err != nil {
+		t.Fatalf("TopEventProbability: %v", err)
+	}
+	if !almostEqual(and, 0.02, 1e-15) {
+		t.Errorf("AND = %v, want 0.02", and)
+	}
+	or, err := TopEventProbability(OR("or", a, b))
+	if err != nil {
+		t.Fatalf("TopEventProbability: %v", err)
+	}
+	if !almostEqual(or, 1-0.9*0.8, 1e-15) {
+		t.Errorf("OR = %v, want 0.28", or)
+	}
+}
+
+func TestAtLeastEvaluation(t *testing.T) {
+	// 2-of-3 with q = 0.1: 3·q²(1−q) + q³ = 0.028.
+	a := MustBasicEvent("a", 0.1)
+	b := MustBasicEvent("b", 0.1)
+	c := MustBasicEvent("c", 0.1)
+	p, err := TopEventProbability(AtLeast("vote", 2, a, b, c))
+	if err != nil {
+		t.Fatalf("TopEventProbability: %v", err)
+	}
+	if !almostEqual(p, 0.028, 1e-12) {
+		t.Errorf("2-of-3 = %v, want 0.028", p)
+	}
+}
+
+func TestAtLeastPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AtLeast("bad", 4, MustBasicEvent("a", 0.1), MustBasicEvent("b", 0.1))
+}
+
+// Fault tree duality with an RBD: the travel-agency Search function fails if
+// the web service OR application service OR database service OR *all* flight
+// systems OR all hotel systems OR all car systems fail.
+func TestSearchFunctionFailureTree(t *testing.T) {
+	unavailability := func(a float64) float64 { return 1 - a }
+	ws := MustBasicEvent("ws-fail", unavailability(0.999995587))
+	as := MustBasicEvent("as-fail", unavailability(0.999984))
+	ds := MustBasicEvent("ds-fail", unavailability(0.98998416))
+	mkExt := func(prefix string) Node {
+		events := make([]Node, 5)
+		for i := range events {
+			events[i] = MustBasicEvent(prefix, 0.1)
+		}
+		return AND(prefix+"-all", events...)
+	}
+	top := OR("search-fails", ws, as, ds, mkExt("flight"), mkExt("hotel"), mkExt("car"))
+	got, err := TopEventProbability(top)
+	if err != nil {
+		t.Fatalf("TopEventProbability: %v", err)
+	}
+	// Equivalent availability product: A_WS·A_AS·A_DS·(1−1e-5)³.
+	want := 1 - 0.999995587*0.999984*0.98998416*math.Pow(1-1e-5, 3)
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("P(search fails) = %v, want %v", got, want)
+	}
+}
+
+func TestRepeatedEventEvaluation(t *testing.T) {
+	// (a AND b) OR (a AND c): with a repeated, P = P(a)·P(b ∪ c).
+	a := MustBasicEvent("a", 0.5)
+	b := MustBasicEvent("b", 0.3)
+	c := MustBasicEvent("c", 0.4)
+	top := OR("top", AND("g1", a, b), AND("g2", a, c))
+	got, err := TopEventProbability(top)
+	if err != nil {
+		t.Fatalf("TopEventProbability: %v", err)
+	}
+	want := 0.5 * (1 - 0.7*0.6)
+	if !almostEqual(got, want, 1e-14) {
+		t.Errorf("P = %v, want %v", got, want)
+	}
+	if a.Probability() != 0.5 {
+		t.Error("factoring mutated the event probability")
+	}
+}
+
+func TestMinimalCutSetsSimple(t *testing.T) {
+	a := MustBasicEvent("a", 0.1)
+	b := MustBasicEvent("b", 0.1)
+	c := MustBasicEvent("c", 0.1)
+	// top = a OR (b AND c): cut sets {a}, {b,c}.
+	got := MinimalCutSets(OR("top", a, AND("g", b, c)))
+	want := []CutSet{{"a"}, {"b", "c"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("cut sets = %v, want %v", got, want)
+	}
+}
+
+func TestMinimalCutSetsAbsorption(t *testing.T) {
+	a := MustBasicEvent("a", 0.1)
+	b := MustBasicEvent("b", 0.1)
+	// top = a OR (a AND b): {a,b} is absorbed by {a}.
+	got := MinimalCutSets(OR("top", a, AND("g", a, b)))
+	want := []CutSet{{"a"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("cut sets = %v, want %v", got, want)
+	}
+}
+
+func TestMinimalCutSetsKofN(t *testing.T) {
+	a := MustBasicEvent("a", 0.1)
+	b := MustBasicEvent("b", 0.1)
+	c := MustBasicEvent("c", 0.1)
+	got := MinimalCutSets(AtLeast("vote", 2, a, b, c))
+	want := []CutSet{{"a", "b"}, {"a", "c"}, {"b", "c"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("cut sets = %v, want %v", got, want)
+	}
+}
+
+func TestMinimalCutSetsDeduplicated(t *testing.T) {
+	a := MustBasicEvent("a", 0.1)
+	got := MinimalCutSets(OR("top", a, a))
+	if len(got) != 1 || got[0][0] != "a" {
+		t.Errorf("cut sets = %v, want [[a]]", got)
+	}
+}
+
+func TestBirnbaumImportance(t *testing.T) {
+	// top = a OR (b AND c) with P(a)=0.01, P(b)=P(c)=0.3:
+	// imp(a) = 1 − P(b∧c) = 0.91,
+	// imp(b) = P(c)·(1−P(a)) = 0.297, same for c.
+	a := MustBasicEvent("a", 0.01)
+	b := MustBasicEvent("b", 0.3)
+	c := MustBasicEvent("c", 0.3)
+	imp, err := BirnbaumImportance(OR("top", a, AND("g", b, c)))
+	if err != nil {
+		t.Fatalf("BirnbaumImportance: %v", err)
+	}
+	if imp[0].Event != "a" || !almostEqual(imp[0].Birnbaum, 0.91, 1e-12) {
+		t.Errorf("imp[0] = %+v", imp[0])
+	}
+	if !almostEqual(imp[1].Birnbaum, 0.297, 1e-12) {
+		t.Errorf("imp[1] = %+v", imp[1])
+	}
+	if a.Probability() != 0.01 {
+		t.Error("importance computation mutated probabilities")
+	}
+}
+
+// Property: a fault tree over the same structure as an RBD computes the
+// complementary probability: P(top) = 1 − A for series↔OR, parallel↔AND.
+func TestDualityProperty(t *testing.T) {
+	f := func(raw [3]float64) bool {
+		q := make([]float64, 3)
+		for i, x := range raw {
+			q[i] = math.Abs(math.Mod(x, 1))
+			if math.IsNaN(q[i]) {
+				q[i] = 0.5
+			}
+		}
+		// Series system availability Πa_i ↔ OR of failures.
+		or := OR("or",
+			MustBasicEvent("a", q[0]),
+			MustBasicEvent("b", q[1]),
+			MustBasicEvent("c", q[2]),
+		)
+		pOr, err := TopEventProbability(or)
+		if err != nil {
+			return false
+		}
+		avail := (1 - q[0]) * (1 - q[1]) * (1 - q[2])
+		if !almostEqual(pOr, 1-avail, 1e-12) {
+			return false
+		}
+		// Parallel availability 1−Π(1−a_i) ↔ AND of failures.
+		and := AND("and",
+			MustBasicEvent("a", q[0]),
+			MustBasicEvent("b", q[1]),
+			MustBasicEvent("c", q[2]),
+		)
+		pAnd, err := TopEventProbability(and)
+		if err != nil {
+			return false
+		}
+		return almostEqual(pAnd, q[0]*q[1]*q[2], 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the top-event probability computed by evaluation equals the
+// probability computed from minimal cut sets by inclusion-exclusion for
+// small trees with repeated events.
+func TestCutSetConsistencyProperty(t *testing.T) {
+	f := func(raw [3]float64) bool {
+		p := make([]float64, 3)
+		for i, x := range raw {
+			p[i] = math.Abs(math.Mod(x, 1))
+			if math.IsNaN(p[i]) {
+				p[i] = 0.5
+			}
+		}
+		a := MustBasicEvent("a", p[0])
+		b := MustBasicEvent("b", p[1])
+		c := MustBasicEvent("c", p[2])
+		// top = (a AND b) OR (a AND c) OR (b AND c) — 2-of-3 with sharing.
+		top := OR("top", AND("ab", a, b), AND("ac", a, c), AND("bc", b, c))
+		got, err := TopEventProbability(top)
+		if err != nil {
+			return false
+		}
+		// Inclusion–exclusion over {ab, ac, bc}:
+		want := p[0]*p[1] + p[0]*p[2] + p[1]*p[2] - 2*p[0]*p[1]*p[2]
+		return almostEqual(got, want, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

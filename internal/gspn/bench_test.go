@@ -1,0 +1,46 @@
+package gspn
+
+import "testing"
+
+var benchSink float64
+
+// benchNet is an M/M/1/K net with K = 30 (31 tangible markings).
+func benchNet(b *testing.B) *Net {
+	b.Helper()
+	n := New()
+	if err := n.AddPlace("buffer", 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := n.AddTimedTransition("arrive", 95); err != nil {
+		b.Fatal(err)
+	}
+	if err := n.AddTimedTransition("serve", 100); err != nil {
+		b.Fatal(err)
+	}
+	if err := n.AddOutputArc("arrive", "buffer", 1); err != nil {
+		b.Fatal(err)
+	}
+	if err := n.AddInhibitorArc("buffer", "arrive", 30); err != nil {
+		b.Fatal(err)
+	}
+	if err := n.AddInputArc("buffer", "serve", 1); err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+func BenchmarkReachabilityAndSolve(b *testing.B) {
+	n := benchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := n.Analyze(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := a.TokenProbability("buffer", 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += p
+	}
+}

@@ -1,0 +1,36 @@
+package gspn_test
+
+import (
+	"fmt"
+
+	"repro/internal/gspn"
+)
+
+// A repairable component as a two-place net.
+func Example() {
+	n := gspn.New()
+	check := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	check(n.AddPlace("up", 1))
+	check(n.AddPlace("down", 0))
+	check(n.AddTimedTransition("fail", 0.001))
+	check(n.AddInputArc("up", "fail", 1))
+	check(n.AddOutputArc("fail", "down", 1))
+	check(n.AddTimedTransition("repair", 0.5))
+	check(n.AddInputArc("down", "repair", 1))
+	check(n.AddOutputArc("repair", "up", 1))
+
+	analysis, err := n.Analyze(0)
+	if err != nil {
+		panic(err)
+	}
+	avail, err := analysis.ProbAtLeast("up", 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("availability = %.6f\n", avail)
+	// Output: availability = 0.998004
+}

@@ -1,0 +1,494 @@
+package gspn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/queueing"
+	"repro/internal/repairmodel"
+)
+
+func relDiff(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+func mustPlace(t *testing.T, n *Net, name string, tokens int) {
+	t.Helper()
+	if err := n.AddPlace(name, tokens); err != nil {
+		t.Fatalf("AddPlace(%s): %v", name, err)
+	}
+}
+
+func mustTimed(t *testing.T, n *Net, name string, rate float64) {
+	t.Helper()
+	if err := n.AddTimedTransition(name, rate); err != nil {
+		t.Fatalf("AddTimedTransition(%s): %v", name, err)
+	}
+}
+
+func mustArc(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("arc: %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	n := New()
+	if err := n.AddPlace("", 0); err == nil {
+		t.Error("empty place name accepted")
+	}
+	if err := n.AddPlace("p", -1); err == nil {
+		t.Error("negative tokens accepted")
+	}
+	mustPlace(t, n, "p", 1)
+	if err := n.AddPlace("p", 0); err == nil {
+		t.Error("duplicate place accepted")
+	}
+	if err := n.AddTimedTransition("t", 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if err := n.AddTimedTransitionFunc("t", nil); err == nil {
+		t.Error("nil rate func accepted")
+	}
+	if err := n.AddImmediateTransition("i", -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	mustTimed(t, n, "t", 1)
+	if err := n.AddTimedTransition("t", 1); err == nil {
+		t.Error("duplicate transition accepted")
+	}
+	if err := n.AddInputArc("ghost", "t", 1); err == nil {
+		t.Error("arc from unknown place accepted")
+	}
+	if err := n.AddInputArc("p", "ghost", 1); err == nil {
+		t.Error("arc to unknown transition accepted")
+	}
+	if err := n.AddInputArc("p", "t", 0); err == nil {
+		t.Error("zero multiplicity accepted")
+	}
+}
+
+func TestAnalyzeRequiresStructure(t *testing.T) {
+	if _, err := New().Analyze(0); err == nil {
+		t.Error("empty net accepted")
+	}
+	n := New()
+	mustPlace(t, n, "p", 1)
+	if _, err := n.Analyze(0); err == nil {
+		t.Error("net without transitions accepted")
+	}
+}
+
+// Two-state repairable component as a net: up --fail--> down --repair--> up.
+func TestTwoStateComponent(t *testing.T) {
+	n := New()
+	mustPlace(t, n, "up", 1)
+	mustPlace(t, n, "down", 0)
+	mustTimed(t, n, "fail", 1e-3)
+	mustTimed(t, n, "repair", 0.5)
+	mustArc(t, n.AddInputArc("up", "fail", 1))
+	mustArc(t, n.AddOutputArc("fail", "down", 1))
+	mustArc(t, n.AddInputArc("down", "repair", 1))
+	mustArc(t, n.AddOutputArc("repair", "up", 1))
+
+	a, err := n.Analyze(0)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if a.NumMarkings() != 2 {
+		t.Fatalf("markings = %d, want 2", a.NumMarkings())
+	}
+	avail, err := a.ProbAtLeast("up", 1)
+	if err != nil {
+		t.Fatalf("ProbAtLeast: %v", err)
+	}
+	want := 0.5 / (0.5 + 1e-3)
+	if relDiff(avail, want) > 1e-12 {
+		t.Errorf("availability = %v, want %v", avail, want)
+	}
+}
+
+// The M/M/1/K queue as a net: arrivals inhibited at K, single server.
+// Blocking probability must match queueing.MM1K (paper equation 1).
+func TestMM1KAsNet(t *testing.T) {
+	const (
+		alpha = 100.0
+		nu    = 100.0
+		k     = 10
+	)
+	n := New()
+	mustPlace(t, n, "buffer", 0)
+	mustTimed(t, n, "arrive", alpha)
+	mustTimed(t, n, "serve", nu)
+	mustArc(t, n.AddOutputArc("arrive", "buffer", 1))
+	mustArc(t, n.AddInhibitorArc("buffer", "arrive", k))
+	mustArc(t, n.AddInputArc("buffer", "serve", 1))
+
+	a, err := n.Analyze(0)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if a.NumMarkings() != k+1 {
+		t.Fatalf("markings = %d, want %d", a.NumMarkings(), k+1)
+	}
+	blocked, err := a.TokenProbability("buffer", k)
+	if err != nil {
+		t.Fatalf("TokenProbability: %v", err)
+	}
+	q := queueing.MM1K{Arrival: alpha, Service: nu, Capacity: k}
+	want, err := q.LossProbability()
+	if err != nil {
+		t.Fatalf("LossProbability: %v", err)
+	}
+	if relDiff(blocked, want) > 1e-10 {
+		t.Errorf("blocking = %v, want %v (= 1/11)", blocked, want)
+	}
+	// Mean queue length must also agree.
+	l, err := a.ExpectedTokens("buffer")
+	if err != nil {
+		t.Fatalf("ExpectedTokens: %v", err)
+	}
+	wantL, err := q.MeanCustomers()
+	if err != nil {
+		t.Fatalf("MeanCustomers: %v", err)
+	}
+	if relDiff(l, wantL) > 1e-10 {
+		t.Errorf("E[N] = %v, want %v", l, wantL)
+	}
+}
+
+// imperfectCoverageNet builds the Figure 10 repair model as a GSPN using an
+// immediate-transition coverage choice: a failure moves a token to a choice
+// place; immediate transitions resolve it to covered (weight c) or
+// uncovered (weight 1−c, manual reconfiguration).
+func imperfectCoverageNet(t *testing.T, servers int, lambda, mu, c, beta float64) *Net {
+	t.Helper()
+	n := New()
+	mustPlace(t, n, "up", servers)
+	mustPlace(t, n, "down", 0)
+	mustPlace(t, n, "choice", 0)
+	mustPlace(t, n, "reconf", 0)
+
+	// Failures: rate i·λ (infinite-server semantics), frozen during manual
+	// reconfiguration and while a choice is pending.
+	if err := n.AddTimedTransitionFunc("fail", func(m Marking) float64 {
+		return float64(m["up"]) * lambda
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustArc(t, n.AddInputArc("up", "fail", 1))
+	mustArc(t, n.AddOutputArc("fail", "choice", 1))
+	mustArc(t, n.AddInhibitorArc("reconf", "fail", 1))
+
+	// Coverage resolution.
+	if err := n.AddImmediateTransition("covered", c); err != nil {
+		t.Fatal(err)
+	}
+	mustArc(t, n.AddInputArc("choice", "covered", 1))
+	mustArc(t, n.AddOutputArc("covered", "down", 1))
+	if err := n.AddImmediateTransition("uncovered", 1-c); err != nil {
+		t.Fatal(err)
+	}
+	mustArc(t, n.AddInputArc("choice", "uncovered", 1))
+	mustArc(t, n.AddOutputArc("uncovered", "reconf", 1))
+
+	// Manual reconfiguration: the failed server finally counts as down.
+	mustTimed(t, n, "reconfigure", beta)
+	mustArc(t, n.AddInputArc("reconf", "reconfigure", 1))
+	mustArc(t, n.AddOutputArc("reconfigure", "down", 1))
+
+	// Shared repair facility: rate µ whenever someone is down, frozen
+	// during manual reconfiguration (as in the Figure 10 chain).
+	mustTimed(t, n, "repair", mu)
+	mustArc(t, n.AddInputArc("down", "repair", 1))
+	mustArc(t, n.AddOutputArc("repair", "up", 1))
+	mustArc(t, n.AddInhibitorArc("reconf", "repair", 1))
+	return n
+}
+
+// The GSPN encoding of Figure 10 must reproduce the closed forms of
+// equations (6)-(8) — three formalisms (closed form, CTMC, GSPN) agreeing.
+func TestImperfectCoverageAsNet(t *testing.T) {
+	const (
+		servers = 4
+		lambda  = 1e-4
+		mu      = 1.0
+		c       = 0.98
+		beta    = 12.0
+	)
+	n := imperfectCoverageNet(t, servers, lambda, mu, c, beta)
+	a, err := n.Analyze(0)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+
+	m := repairmodel.ImperfectCoverage{
+		Servers: servers, FailureRate: lambda, RepairRate: mu,
+		Coverage: c, ReconfigRate: beta,
+	}
+	probs, err := m.StateProbabilities()
+	if err != nil {
+		t.Fatalf("StateProbabilities: %v", err)
+	}
+
+	// Operational state i ↔ marking (up=i, reconf=0).
+	for i := 0; i <= servers; i++ {
+		got := a.Probability(func(mk Marking) bool {
+			return mk["up"] == i && mk["reconf"] == 0
+		})
+		if relDiff(got, probs.Operational[i]) > 1e-9 {
+			t.Errorf("state %d: net %v vs closed form %v", i, got, probs.Operational[i])
+		}
+	}
+	// y_i ↔ marking (up=i−1, reconf=1).
+	for i := 1; i <= servers; i++ {
+		got := a.Probability(func(mk Marking) bool {
+			return mk["up"] == i-1 && mk["reconf"] == 1
+		})
+		if relDiff(got, probs.Reconfig[i]) > 1e-9 {
+			t.Errorf("state y%d: net %v vs closed form %v", i, got, probs.Reconfig[i])
+		}
+	}
+	// Service down probability.
+	down := a.Probability(func(mk Marking) bool {
+		return mk["up"] == 0 || mk["reconf"] > 0
+	})
+	if relDiff(down, probs.DownProbability()) > 1e-9 {
+		t.Errorf("down = %v, want %v", down, probs.DownProbability())
+	}
+}
+
+func TestVanishingChain(t *testing.T) {
+	// Timed t1 feeds a chain of two immediates before reaching a tangible
+	// place; probabilities must flow through the whole chain.
+	n := New()
+	mustPlace(t, n, "a", 1)
+	mustPlace(t, n, "v1", 0)
+	mustPlace(t, n, "v2", 0)
+	mustPlace(t, n, "b", 0)
+	mustTimed(t, n, "go", 2)
+	mustArc(t, n.AddInputArc("a", "go", 1))
+	mustArc(t, n.AddOutputArc("go", "v1", 1))
+	if err := n.AddImmediateTransition("i1", 1); err != nil {
+		t.Fatal(err)
+	}
+	mustArc(t, n.AddInputArc("v1", "i1", 1))
+	mustArc(t, n.AddOutputArc("i1", "v2", 1))
+	if err := n.AddImmediateTransition("i2", 1); err != nil {
+		t.Fatal(err)
+	}
+	mustArc(t, n.AddInputArc("v2", "i2", 1))
+	mustArc(t, n.AddOutputArc("i2", "b", 1))
+	mustTimed(t, n, "back", 3)
+	mustArc(t, n.AddInputArc("b", "back", 1))
+	mustArc(t, n.AddOutputArc("back", "a", 1))
+
+	a, err := n.Analyze(0)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if a.NumMarkings() != 2 {
+		t.Fatalf("markings = %d, want 2 (vanishing eliminated)", a.NumMarkings())
+	}
+	// Alternating renewal: π(a) = (1/2)/(1/2+1/3) = 3/5.
+	pa, err := a.ProbAtLeast("a", 1)
+	if err != nil {
+		t.Fatalf("ProbAtLeast: %v", err)
+	}
+	if relDiff(pa, 0.6) > 1e-12 {
+		t.Errorf("π(a) = %v, want 0.6", pa)
+	}
+}
+
+func TestVanishingLoopDetected(t *testing.T) {
+	// Two immediates that keep re-enabling each other: must be rejected.
+	n := New()
+	mustPlace(t, n, "a", 1)
+	mustPlace(t, n, "b", 0)
+	if err := n.AddImmediateTransition("ab", 1); err != nil {
+		t.Fatal(err)
+	}
+	mustArc(t, n.AddInputArc("a", "ab", 1))
+	mustArc(t, n.AddOutputArc("ab", "b", 1))
+	if err := n.AddImmediateTransition("ba", 1); err != nil {
+		t.Fatal(err)
+	}
+	mustArc(t, n.AddInputArc("b", "ba", 1))
+	mustArc(t, n.AddOutputArc("ba", "a", 1))
+	mustTimed(t, n, "tick", 1) // never fires; net is purely vanishing
+	mustArc(t, n.AddInputArc("a", "tick", 1))
+	mustArc(t, n.AddOutputArc("tick", "a", 1))
+	if _, err := n.Analyze(0); err == nil {
+		t.Error("vanishing loop accepted")
+	}
+}
+
+func TestStateSpaceLimit(t *testing.T) {
+	// Unbounded net: a source transition with no input arcs grows the
+	// marking forever; the explorer must stop at the limit.
+	n := New()
+	mustPlace(t, n, "p", 0)
+	mustTimed(t, n, "source", 1)
+	mustArc(t, n.AddOutputArc("source", "p", 1))
+	mustTimed(t, n, "sink", 2)
+	mustArc(t, n.AddInputArc("p", "sink", 1))
+	// With sink the net is actually an M/M/1 (infinite): unbounded.
+	if _, _, err := n.ToCTMC(50); err == nil {
+		t.Error("unbounded net accepted within 50 markings")
+	}
+}
+
+func TestImmediateWeights(t *testing.T) {
+	// A token splits 1:3 between two branches via an immediate choice;
+	// steady state must reflect the branch probabilities since the branch
+	// places drain back at equal rates.
+	n2 := New()
+	mustPlace(t, n2, "src", 1)
+	mustPlace(t, n2, "choice", 0)
+	mustPlace(t, n2, "left", 0)
+	mustPlace(t, n2, "right", 0)
+	mustTimed(t, n2, "emit", 1)
+	mustArc(t, n2.AddInputArc("src", "emit", 1))
+	mustArc(t, n2.AddOutputArc("emit", "choice", 1))
+	if err := n2.AddImmediateTransition("goLeft", 1); err != nil {
+		t.Fatal(err)
+	}
+	mustArc(t, n2.AddInputArc("choice", "goLeft", 1))
+	mustArc(t, n2.AddOutputArc("goLeft", "left", 1))
+	if err := n2.AddImmediateTransition("goRight", 3); err != nil {
+		t.Fatal(err)
+	}
+	mustArc(t, n2.AddInputArc("choice", "goRight", 1))
+	mustArc(t, n2.AddOutputArc("goRight", "right", 1))
+	mustTimed(t, n2, "drainLeft", 5)
+	mustArc(t, n2.AddInputArc("left", "drainLeft", 1))
+	mustArc(t, n2.AddOutputArc("drainLeft", "src", 1))
+	mustTimed(t, n2, "drainRight", 5)
+	mustArc(t, n2.AddInputArc("right", "drainRight", 1))
+	mustArc(t, n2.AddOutputArc("drainRight", "src", 1))
+
+	a, err := n2.Analyze(0)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	pl, err := a.ProbAtLeast("left", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := a.ProbAtLeast("right", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(pr/pl, 3) > 1e-9 {
+		t.Errorf("branch ratio = %v, want 3", pr/pl)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	n := New()
+	mustPlace(t, n, "up", 1)
+	mustPlace(t, n, "down", 0)
+	mustTimed(t, n, "fail", 1)
+	mustArc(t, n.AddInputArc("up", "fail", 1))
+	mustArc(t, n.AddOutputArc("fail", "down", 1))
+	mustTimed(t, n, "repair", 1)
+	mustArc(t, n.AddInputArc("down", "repair", 1))
+	mustArc(t, n.AddOutputArc("repair", "up", 1))
+	a, err := n.Analyze(0)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if a.Chain() == nil || a.Chain().NumStates() != 2 {
+		t.Error("Chain accessor broken")
+	}
+	if _, err := a.TokenProbability("ghost", 1); err == nil {
+		t.Error("unknown place accepted")
+	}
+	if _, err := a.ProbAtLeast("ghost", 1); err == nil {
+		t.Error("unknown place accepted")
+	}
+	if _, err := a.ExpectedTokens("ghost"); err == nil {
+		t.Error("unknown place accepted")
+	}
+	init := n.InitialMarking()
+	init["up"] = 99
+	if n.InitialMarking()["up"] != 1 {
+		t.Error("InitialMarking leaked internal state")
+	}
+	key := a.Chain().StateNames()[0]
+	if a.StateProbability(key) <= 0 {
+		t.Error("StateProbability broken")
+	}
+}
+
+// Property: a random birth–death system expressed as a net agrees with the
+// direct birth–death solver on every state probability.
+func TestBirthDeathEquivalenceProperty(t *testing.T) {
+	f := func(rawN uint8, rawRates [8]float64) bool {
+		n := 2 + int(rawN%4) // 2..5 levels
+		birth := make([]float64, n)
+		death := make([]float64, n)
+		for i := 0; i < n; i++ {
+			birth[i] = 0.1 + math.Abs(math.Mod(rawRates[i], 5))
+			death[i] = 0.1 + math.Abs(math.Mod(rawRates[(i+4)%8], 5))
+		}
+		net := New()
+		if err := net.AddPlace("tokens", 0); err != nil {
+			return false
+		}
+		// Level-dependent birth/death via marking-dependent rates.
+		if err := net.AddTimedTransitionFunc("birth", func(m Marking) float64 {
+			k := m["tokens"]
+			if k < len(birth) {
+				return birth[k]
+			}
+			return 1 // unreachable: inhibited at n
+		}); err != nil {
+			return false
+		}
+		if err := net.AddOutputArc("birth", "tokens", 1); err != nil {
+			return false
+		}
+		if err := net.AddInhibitorArc("tokens", "birth", n); err != nil {
+			return false
+		}
+		if err := net.AddTimedTransitionFunc("death", func(m Marking) float64 {
+			k := m["tokens"]
+			if k >= 1 && k <= len(death) {
+				return death[k-1]
+			}
+			return 1
+		}); err != nil {
+			return false
+		}
+		if err := net.AddInputArc("tokens", "death", 1); err != nil {
+			return false
+		}
+		a, err := net.Analyze(0)
+		if err != nil {
+			return false
+		}
+		want, err := queueing.BirthDeath(birth, death)
+		if err != nil {
+			return false
+		}
+		for k := 0; k <= n; k++ {
+			got, err := a.TokenProbability("tokens", k)
+			if err != nil {
+				return false
+			}
+			if relDiff(got, want[k]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

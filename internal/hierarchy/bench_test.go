@@ -1,0 +1,80 @@
+package hierarchy
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/interaction"
+)
+
+var benchSink float64
+
+// benchModel builds a model with nServices shared services and nFuncs
+// linear functions, each touching a sliding window of three services.
+func benchModel(b *testing.B, nServices, nFuncs int) *Model {
+	b.Helper()
+	m := New()
+	names := make([]string, nServices)
+	for i := range names {
+		names[i] = fmt.Sprintf("svc%d", i)
+		if err := m.AddService(names[i], 0.99); err != nil {
+			b.Fatal(err)
+		}
+	}
+	scenarios := make([]UserScenario, 0, nFuncs)
+	for f := 0; f < nFuncs; f++ {
+		d := interaction.New(fmt.Sprintf("fn%d", f))
+		prev := interaction.Begin
+		for k := 0; k < 3; k++ {
+			svc := names[(f+k)%nServices]
+			step := fmt.Sprintf("s%d", k)
+			if err := d.AddStep(step, svc); err != nil {
+				b.Fatal(err)
+			}
+			if err := d.AddTransition(prev, step, 1); err != nil {
+				b.Fatal(err)
+			}
+			prev = step
+		}
+		if err := d.AddTransition(prev, interaction.End, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.AddFunction(d); err != nil {
+			b.Fatal(err)
+		}
+		scenarios = append(scenarios, UserScenario{
+			Name:        fmt.Sprintf("sc%d", f),
+			Functions:   []string{fmt.Sprintf("fn%d", f), fmt.Sprintf("fn%d", (f+1)%nFuncs)},
+			Probability: 1 / float64(nFuncs),
+		})
+	}
+	if err := m.SetScenarios(scenarios); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkEvaluateSmall(b *testing.B) {
+	m := benchModel(b, 6, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := m.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += rep.UserAvailability
+	}
+}
+
+func BenchmarkEvaluateWide(b *testing.B) {
+	// 12 shared services stress the per-scenario Shannon decomposition.
+	m := benchModel(b, 12, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := m.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += rep.UserAvailability
+	}
+}

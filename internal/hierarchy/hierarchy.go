@@ -1,0 +1,351 @@
+// Package hierarchy implements the paper's four-level dependability-modeling
+// framework (Figure 1): resources feed services, services feed functions,
+// functions feed the user-perceived measure.
+//
+//   - Service level: each service's availability is supplied directly, from
+//     a reliability block diagram over resources (package rbd), or from an
+//     arbitrary evaluator (e.g. the composite web-farm model of package
+//     webfarm).
+//   - Function level: each function is an interaction diagram (package
+//     interaction) over the declared services; its availability is the
+//     branch-weighted product of Table 6.
+//   - User level: a set of user scenarios (package opprofile) with
+//     activation probabilities; the user-perceived availability is
+//     Σ_i π_i·A(scenario i), where A(scenario) is the probability that every
+//     function invoked by the scenario succeeds.
+//
+// The user level is where shared services matter ("a careful analysis of the
+// dependencies that might exist among the functions due to shared services
+// or resources is needed", §4.3): a scenario invoking Home, Browse and
+// Search must count the web service once, not three times. Evaluate
+// therefore conditions on the joint up/down state of all services involved
+// in a scenario (Shannon decomposition) instead of multiplying function
+// availabilities.
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/interaction"
+	"repro/internal/opprofile"
+	"repro/internal/rbd"
+)
+
+// ErrModel is returned for malformed models.
+var ErrModel = errors.New("hierarchy: invalid model")
+
+// maxScenarioServices bounds the per-scenario Shannon decomposition.
+const maxScenarioServices = 20
+
+// Model is a four-level availability model under construction.
+type Model struct {
+	serviceOrder []string
+	services     map[string]func() (float64, error)
+	funcOrder    []string
+	functions    map[string]*interaction.Diagram
+	scenarios    []UserScenario
+}
+
+// UserScenario is one user-level scenario class: a set of invoked functions
+// and its activation probability π.
+type UserScenario struct {
+	// Name labels the scenario in reports (e.g. "St-Ho-Se-Ex").
+	Name string
+	// Functions invoked by the scenario.
+	Functions []string
+	// Probability is the scenario's activation probability.
+	Probability float64
+}
+
+// New returns an empty model.
+func New() *Model {
+	return &Model{
+		services:  make(map[string]func() (float64, error)),
+		functions: make(map[string]*interaction.Diagram),
+	}
+}
+
+// AddService declares a service with a fixed availability.
+func (m *Model) AddService(name string, availability float64) error {
+	if availability < 0 || availability > 1 || math.IsNaN(availability) {
+		return fmt.Errorf("%w: service %q availability %v", ErrModel, name, availability)
+	}
+	return m.AddServiceEval(name, func() (float64, error) { return availability, nil })
+}
+
+// AddServiceBlock declares a service whose availability is computed from a
+// reliability block diagram over its resources (the paper's resource level).
+func (m *Model) AddServiceBlock(name string, block rbd.Block) error {
+	if block == nil {
+		return fmt.Errorf("%w: service %q has nil block", ErrModel, name)
+	}
+	return m.AddServiceEval(name, func() (float64, error) { return rbd.Eval(block) })
+}
+
+// AddServiceEval declares a service backed by an arbitrary availability
+// evaluator — typically a composite performance-availability model such as
+// webfarm.Farm.Availability.
+func (m *Model) AddServiceEval(name string, eval func() (float64, error)) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty service name", ErrModel)
+	}
+	if eval == nil {
+		return fmt.Errorf("%w: service %q has nil evaluator", ErrModel, name)
+	}
+	if _, ok := m.services[name]; ok {
+		return fmt.Errorf("%w: service %q already declared", ErrModel, name)
+	}
+	m.services[name] = eval
+	m.serviceOrder = append(m.serviceOrder, name)
+	return nil
+}
+
+// AddFunction declares a function by its interaction diagram. Every service
+// the diagram references must already be declared.
+func (m *Model) AddFunction(d *interaction.Diagram) error {
+	if d == nil {
+		return fmt.Errorf("%w: nil diagram", ErrModel)
+	}
+	name := d.Name()
+	if _, ok := m.functions[name]; ok {
+		return fmt.Errorf("%w: function %q already declared", ErrModel, name)
+	}
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("hierarchy: function %q: %w", name, err)
+	}
+	for _, svc := range d.Services() {
+		if _, ok := m.services[svc]; !ok {
+			return fmt.Errorf("%w: function %q references undeclared service %q", ErrModel, name, svc)
+		}
+	}
+	m.functions[name] = d
+	m.funcOrder = append(m.funcOrder, name)
+	return nil
+}
+
+// SetScenarios installs the user-level scenarios. Probabilities must sum to
+// one and every referenced function must be declared.
+func (m *Model) SetScenarios(scenarios []UserScenario) error {
+	if len(scenarios) == 0 {
+		return fmt.Errorf("%w: no scenarios", ErrModel)
+	}
+	var sum float64
+	for _, sc := range scenarios {
+		if sc.Probability < 0 || sc.Probability > 1 || math.IsNaN(sc.Probability) {
+			return fmt.Errorf("%w: scenario %q probability %v", ErrModel, sc.Name, sc.Probability)
+		}
+		if len(sc.Functions) == 0 {
+			return fmt.Errorf("%w: scenario %q invokes no functions", ErrModel, sc.Name)
+		}
+		for _, fn := range sc.Functions {
+			if _, ok := m.functions[fn]; !ok {
+				return fmt.Errorf("%w: scenario %q references undeclared function %q", ErrModel, sc.Name, fn)
+			}
+		}
+		sum += sc.Probability
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("%w: scenario probabilities sum to %v", ErrModel, sum)
+	}
+	cp := make([]UserScenario, len(scenarios))
+	copy(cp, scenarios)
+	m.scenarios = cp
+	return nil
+}
+
+// SetProfile derives the user scenarios from an operational profile: each
+// scenario class of the profile becomes a UserScenario named by its function
+// set.
+func (m *Model) SetProfile(p *opprofile.Profile) error {
+	scenarios, err := p.Scenarios()
+	if err != nil {
+		return err
+	}
+	out := make([]UserScenario, 0, len(scenarios))
+	for _, sc := range scenarios {
+		out = append(out, UserScenario{
+			Name:        sc.Key(),
+			Functions:   sc.Functions,
+			Probability: sc.Probability,
+		})
+	}
+	return m.SetScenarios(out)
+}
+
+// ScenarioResult is the evaluated availability of one user scenario.
+type ScenarioResult struct {
+	Name         string
+	Functions    []string
+	Probability  float64
+	Availability float64
+}
+
+// Report is the full multi-level evaluation result.
+type Report struct {
+	// Services maps each service to its availability.
+	Services map[string]float64
+	// Functions maps each function to its availability (Table 6).
+	Functions map[string]float64
+	// Scenarios lists per-scenario availabilities in input order.
+	Scenarios []ScenarioResult
+	// UserAvailability is Σ_i π_i·A(scenario i) (equation 10).
+	UserAvailability float64
+}
+
+// UserUnavailability returns 1 − UserAvailability computed without
+// cancellation: Σ_i π_i·(1 − A_i).
+func (r *Report) UserUnavailability() float64 {
+	var u float64
+	for _, sc := range r.Scenarios {
+		u += sc.Probability * (1 - sc.Availability)
+	}
+	return u
+}
+
+// UnavailabilityWhere returns the unavailability contribution
+// Σ π_i·(1 − A_i) of the scenarios selected by keep — the quantity plotted
+// per scenario category in Figure 13.
+func (r *Report) UnavailabilityWhere(keep func(ScenarioResult) bool) float64 {
+	var u float64
+	for _, sc := range r.Scenarios {
+		if keep(sc) {
+			u += sc.Probability * (1 - sc.Availability)
+		}
+	}
+	return u
+}
+
+// Evaluate computes service, function, scenario and user availabilities.
+func (m *Model) Evaluate() (*Report, error) {
+	if len(m.scenarios) == 0 {
+		return nil, fmt.Errorf("%w: no user scenarios installed", ErrModel)
+	}
+	report := &Report{
+		Services:  make(map[string]float64, len(m.services)),
+		Functions: make(map[string]float64, len(m.functions)),
+	}
+	for _, name := range m.serviceOrder {
+		a, err := m.services[name]()
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: service %q: %w", name, err)
+		}
+		if a < 0 || a > 1 || math.IsNaN(a) {
+			return nil, fmt.Errorf("%w: service %q evaluated to %v", ErrModel, name, a)
+		}
+		report.Services[name] = a
+	}
+
+	// Cache each function's scenarios once.
+	funcScenarios := make(map[string][]interaction.Scenario, len(m.functions))
+	for _, name := range m.funcOrder {
+		scs, err := m.functions[name].Scenarios()
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: function %q: %w", name, err)
+		}
+		funcScenarios[name] = scs
+		a, err := m.functions[name].Availability(report.Services)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: function %q: %w", name, err)
+		}
+		report.Functions[name] = a
+	}
+
+	var user float64
+	for _, sc := range m.scenarios {
+		a, err := m.scenarioAvailability(sc, report.Services, funcScenarios)
+		if err != nil {
+			return nil, err
+		}
+		report.Scenarios = append(report.Scenarios, ScenarioResult{
+			Name:         sc.Name,
+			Functions:    append([]string(nil), sc.Functions...),
+			Probability:  sc.Probability,
+			Availability: a,
+		})
+		user += sc.Probability * a
+	}
+	report.UserAvailability = math.Min(1, math.Max(0, user))
+	return report, nil
+}
+
+// scenarioAvailability computes P(every invoked function succeeds) by
+// conditioning on the joint state of all services any invoked function can
+// touch. Function branch choices are independent of each other and of the
+// service states; service states are shared across functions.
+func (m *Model) scenarioAvailability(sc UserScenario, avail map[string]float64, funcScenarios map[string][]interaction.Scenario) (float64, error) {
+	// Union of services across the scenario's functions, deterministic order.
+	svcSet := make(map[string]bool)
+	for _, fn := range sc.Functions {
+		for _, fscs := range funcScenarios[fn] {
+			for _, svc := range fscs.Services {
+				svcSet[svc] = true
+			}
+		}
+	}
+	services := make([]string, 0, len(svcSet))
+	for svc := range svcSet {
+		services = append(services, svc)
+	}
+	sort.Strings(services)
+	if len(services) > maxScenarioServices {
+		return 0, fmt.Errorf("%w: scenario %q touches %d services, exceeding the decomposition limit %d", ErrModel, sc.Name, len(services), maxScenarioServices)
+	}
+	bit := make(map[string]int, len(services))
+	for i, svc := range services {
+		bit[svc] = i
+	}
+
+	// Precompute per function the (requiredMask, probability) pairs.
+	type req struct {
+		mask int
+		prob float64
+	}
+	perFunc := make([][]req, 0, len(sc.Functions))
+	for _, fn := range sc.Functions {
+		var reqs []req
+		for _, fsc := range funcScenarios[fn] {
+			mask := 0
+			for _, svc := range fsc.Services {
+				mask |= 1 << bit[svc]
+			}
+			reqs = append(reqs, req{mask: mask, prob: fsc.Probability})
+		}
+		perFunc = append(perFunc, reqs)
+	}
+
+	var total float64
+	for up := 0; up < 1<<len(services); up++ {
+		weight := 1.0
+		for i, svc := range services {
+			if up&(1<<i) != 0 {
+				weight *= avail[svc]
+			} else {
+				weight *= 1 - avail[svc]
+			}
+			if weight == 0 {
+				break
+			}
+		}
+		if weight == 0 {
+			continue
+		}
+		joint := 1.0
+		for _, reqs := range perFunc {
+			var succ float64
+			for _, r := range reqs {
+				if r.mask&^up == 0 { // required ⊆ up
+					succ += r.prob
+				}
+			}
+			joint *= succ
+			if joint == 0 {
+				break
+			}
+		}
+		total += weight * joint
+	}
+	return total, nil
+}

@@ -1,0 +1,309 @@
+package hierarchy
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/interaction"
+	"repro/internal/opprofile"
+	"repro/internal/rbd"
+)
+
+func simpleDiagram(t *testing.T, name string, services ...string) *interaction.Diagram {
+	t.Helper()
+	d := interaction.New(name)
+	prev := interaction.Begin
+	for i, svc := range services {
+		step := name + "-step-" + svc
+		_ = i
+		if err := d.AddStep(step, svc); err != nil {
+			t.Fatalf("AddStep: %v", err)
+		}
+		if err := d.AddTransition(prev, step, 1); err != nil {
+			t.Fatalf("AddTransition: %v", err)
+		}
+		prev = step
+	}
+	if err := d.AddTransition(prev, interaction.End, 1); err != nil {
+		t.Fatalf("AddTransition: %v", err)
+	}
+	return d
+}
+
+// browse builds a Figure 3-style branching diagram over WS/AS/DS.
+func browse(t *testing.T) *interaction.Diagram {
+	t.Helper()
+	d := interaction.New("Browse")
+	steps := []struct {
+		name string
+		svc  string
+	}{
+		{"recv", "WS"}, {"cache", "WS"}, {"as", "AS"}, {"ds", "DS"}, {"render", "WS"},
+	}
+	for _, s := range steps {
+		if err := d.AddStep(s.name, s.svc); err != nil {
+			t.Fatalf("AddStep: %v", err)
+		}
+	}
+	must := func(from, to string, q float64) {
+		t.Helper()
+		if err := d.AddTransition(from, to, q); err != nil {
+			t.Fatalf("AddTransition: %v", err)
+		}
+	}
+	must(interaction.Begin, "recv", 1)
+	must("recv", "cache", 0.2)
+	must("cache", interaction.End, 1)
+	must("recv", "as", 0.8)
+	must("as", interaction.End, 0.4)
+	must("as", "ds", 0.6)
+	must("ds", "render", 1)
+	must("render", interaction.End, 1)
+	return d
+}
+
+func TestAddServiceValidation(t *testing.T) {
+	m := New()
+	if err := m.AddService("s", 1.5); err == nil {
+		t.Error("invalid availability accepted")
+	}
+	if err := m.AddService("", 0.9); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := m.AddService("s", 0.9); err != nil {
+		t.Fatalf("AddService: %v", err)
+	}
+	if err := m.AddService("s", 0.9); err == nil {
+		t.Error("duplicate service accepted")
+	}
+	if err := m.AddServiceEval("e", nil); err == nil {
+		t.Error("nil evaluator accepted")
+	}
+	if err := m.AddServiceBlock("b", nil); err == nil {
+		t.Error("nil block accepted")
+	}
+}
+
+func TestAddFunctionValidation(t *testing.T) {
+	m := New()
+	if err := m.AddFunction(nil); err == nil {
+		t.Error("nil diagram accepted")
+	}
+	d := simpleDiagram(t, "Home", "WS")
+	if err := m.AddFunction(d); err == nil {
+		t.Error("function with undeclared service accepted")
+	}
+	if err := m.AddService("WS", 0.99); err != nil {
+		t.Fatalf("AddService: %v", err)
+	}
+	if err := m.AddFunction(d); err != nil {
+		t.Fatalf("AddFunction: %v", err)
+	}
+	if err := m.AddFunction(simpleDiagram(t, "Home", "WS")); err == nil {
+		t.Error("duplicate function accepted")
+	}
+}
+
+func TestSetScenariosValidation(t *testing.T) {
+	m := New()
+	_ = m.AddService("WS", 0.99)
+	_ = m.AddFunction(simpleDiagram(t, "Home", "WS"))
+	if err := m.SetScenarios(nil); err == nil {
+		t.Error("empty scenarios accepted")
+	}
+	if err := m.SetScenarios([]UserScenario{{Name: "s", Functions: []string{"Ghost"}, Probability: 1}}); err == nil {
+		t.Error("undeclared function accepted")
+	}
+	if err := m.SetScenarios([]UserScenario{{Name: "s", Functions: []string{"Home"}, Probability: 0.4}}); err == nil {
+		t.Error("probabilities not summing to 1 accepted")
+	}
+	if err := m.SetScenarios([]UserScenario{{Name: "s", Probability: 1}}); err == nil {
+		t.Error("scenario without functions accepted")
+	}
+	if err := m.SetScenarios([]UserScenario{{Name: "s", Functions: []string{"Home"}, Probability: 1}}); err != nil {
+		t.Errorf("SetScenarios: %v", err)
+	}
+}
+
+func TestEvaluateRequiresScenarios(t *testing.T) {
+	m := New()
+	if _, err := m.Evaluate(); err == nil {
+		t.Error("Evaluate without scenarios accepted")
+	}
+}
+
+func TestEvaluateSingleFunction(t *testing.T) {
+	m := New()
+	_ = m.AddService("WS", 0.98)
+	_ = m.AddFunction(simpleDiagram(t, "Home", "WS"))
+	_ = m.SetScenarios([]UserScenario{{Name: "home-only", Functions: []string{"Home"}, Probability: 1}})
+	rep, err := m.Evaluate()
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if math.Abs(rep.UserAvailability-0.98) > 1e-12 {
+		t.Errorf("A(user) = %v, want 0.98", rep.UserAvailability)
+	}
+	if math.Abs(rep.Functions["Home"]-0.98) > 1e-12 {
+		t.Errorf("A(Home) = %v", rep.Functions["Home"])
+	}
+	if math.Abs(rep.Services["WS"]-0.98) > 1e-12 {
+		t.Errorf("A(WS) = %v", rep.Services["WS"])
+	}
+}
+
+// The core shared-service test: Home needs WS; Search needs WS and DB. A
+// scenario invoking both must yield A(WS)·A(DB), not A(WS)²·A(DB).
+func TestEvaluateSharedServiceNotDoubleCounted(t *testing.T) {
+	m := New()
+	_ = m.AddService("WS", 0.9)
+	_ = m.AddService("DB", 0.8)
+	_ = m.AddFunction(simpleDiagram(t, "Home", "WS"))
+	_ = m.AddFunction(simpleDiagram(t, "Search", "WS", "DB"))
+	_ = m.SetScenarios([]UserScenario{
+		{Name: "both", Functions: []string{"Home", "Search"}, Probability: 1},
+	})
+	rep, err := m.Evaluate()
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	want := 0.9 * 0.8
+	if math.Abs(rep.UserAvailability-want) > 1e-12 {
+		t.Errorf("A(user) = %v, want %v (shared WS counted once)", rep.UserAvailability, want)
+	}
+	naive := rep.Functions["Home"] * rep.Functions["Search"]
+	if math.Abs(naive-want) < 1e-12 {
+		t.Error("test premise broken: naive product equals correct value")
+	}
+}
+
+// A Browse-only scenario must reproduce the Table 6 bracket; a scenario
+// that also invokes Search (whose services cover Browse's) must collapse to
+// the Search product, exactly as in equation (10).
+func TestEvaluateBrowseBracketAndAbsorption(t *testing.T) {
+	const aWS, aAS, aDS, aExt = 0.99, 0.98, 0.97, 0.9
+	m := New()
+	_ = m.AddService("WS", aWS)
+	_ = m.AddService("AS", aAS)
+	_ = m.AddService("DS", aDS)
+	_ = m.AddService("Ext", aExt)
+	_ = m.AddFunction(browse(t))
+	_ = m.AddFunction(simpleDiagram(t, "Search", "WS", "AS", "DS", "Ext"))
+	_ = m.SetScenarios([]UserScenario{
+		{Name: "browse-only", Functions: []string{"Browse"}, Probability: 0.5},
+		{Name: "browse-search", Functions: []string{"Browse", "Search"}, Probability: 0.5},
+	})
+	rep, err := m.Evaluate()
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	bracket := aWS * (0.2 + aAS*(0.8*0.4+0.8*0.6*aDS))
+	if math.Abs(rep.Scenarios[0].Availability-bracket) > 1e-12 {
+		t.Errorf("A(browse-only) = %v, want %v", rep.Scenarios[0].Availability, bracket)
+	}
+	searchProduct := aWS * aAS * aDS * aExt
+	if math.Abs(rep.Scenarios[1].Availability-searchProduct) > 1e-12 {
+		t.Errorf("A(browse+search) = %v, want %v", rep.Scenarios[1].Availability, searchProduct)
+	}
+	wantUser := 0.5*bracket + 0.5*searchProduct
+	if math.Abs(rep.UserAvailability-wantUser) > 1e-12 {
+		t.Errorf("A(user) = %v, want %v", rep.UserAvailability, wantUser)
+	}
+}
+
+func TestEvaluateWithServiceBlock(t *testing.T) {
+	m := New()
+	blocks, err := rbd.Replicate("flight", 3, 0.9)
+	if err != nil {
+		t.Fatalf("Replicate: %v", err)
+	}
+	if err := m.AddServiceBlock("Flight", rbd.Parallel("flight-1ofN", blocks...)); err != nil {
+		t.Fatalf("AddServiceBlock: %v", err)
+	}
+	_ = m.AddFunction(simpleDiagram(t, "Search", "Flight"))
+	_ = m.SetScenarios([]UserScenario{{Name: "s", Functions: []string{"Search"}, Probability: 1}})
+	rep, err := m.Evaluate()
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	want := 1 - math.Pow(0.1, 3)
+	if math.Abs(rep.UserAvailability-want) > 1e-12 {
+		t.Errorf("A = %v, want %v", rep.UserAvailability, want)
+	}
+}
+
+func TestEvaluateServiceEvalError(t *testing.T) {
+	m := New()
+	wantErr := errors.New("boom")
+	_ = m.AddServiceEval("WS", func() (float64, error) { return 0, wantErr })
+	_ = m.AddFunction(simpleDiagram(t, "Home", "WS"))
+	_ = m.SetScenarios([]UserScenario{{Name: "s", Functions: []string{"Home"}, Probability: 1}})
+	if _, err := m.Evaluate(); !errors.Is(err, wantErr) {
+		t.Errorf("Evaluate error = %v, want wrapped boom", err)
+	}
+	m2 := New()
+	_ = m2.AddServiceEval("WS", func() (float64, error) { return 1.7, nil })
+	_ = m2.AddFunction(simpleDiagram(t, "Home", "WS"))
+	_ = m2.SetScenarios([]UserScenario{{Name: "s", Functions: []string{"Home"}, Probability: 1}})
+	if _, err := m2.Evaluate(); err == nil {
+		t.Error("out-of-range service evaluation accepted")
+	}
+}
+
+func TestSetProfile(t *testing.T) {
+	p := opprofile.New()
+	add := func(from, to string, prob float64) {
+		t.Helper()
+		if err := p.AddTransition(from, to, prob); err != nil {
+			t.Fatalf("AddTransition: %v", err)
+		}
+	}
+	add(opprofile.Start, "Home", 1)
+	add("Home", "Search", 0.3)
+	add("Home", opprofile.Exit, 0.7)
+	add("Search", opprofile.Exit, 1)
+
+	m := New()
+	_ = m.AddService("WS", 0.99)
+	_ = m.AddService("DB", 0.95)
+	_ = m.AddFunction(simpleDiagram(t, "Home", "WS"))
+	_ = m.AddFunction(simpleDiagram(t, "Search", "WS", "DB"))
+	if err := m.SetProfile(p); err != nil {
+		t.Fatalf("SetProfile: %v", err)
+	}
+	rep, err := m.Evaluate()
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	want := 0.7*0.99 + 0.3*0.99*0.95
+	if math.Abs(rep.UserAvailability-want) > 1e-12 {
+		t.Errorf("A(user) = %v, want %v", rep.UserAvailability, want)
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	m := New()
+	_ = m.AddService("WS", 0.9)
+	_ = m.AddFunction(simpleDiagram(t, "Home", "WS"))
+	_ = m.AddFunction(simpleDiagram(t, "Pay", "WS"))
+	_ = m.SetScenarios([]UserScenario{
+		{Name: "browse", Functions: []string{"Home"}, Probability: 0.6},
+		{Name: "buy", Functions: []string{"Pay"}, Probability: 0.4},
+	})
+	rep, err := m.Evaluate()
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if got := rep.UserUnavailability(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("UA = %v, want 0.1", got)
+	}
+	buyUA := rep.UnavailabilityWhere(func(s ScenarioResult) bool { return s.Name == "buy" })
+	if math.Abs(buyUA-0.4*0.1) > 1e-12 {
+		t.Errorf("UA(buy) = %v, want 0.04", buyUA)
+	}
+	// Complement identity.
+	if math.Abs(rep.UserAvailability+rep.UserUnavailability()-1) > 1e-12 {
+		t.Error("A + UA != 1")
+	}
+}

@@ -1,0 +1,93 @@
+package hierarchy
+
+import (
+	"math"
+	"testing"
+)
+
+// importanceModel: Home needs WS; Search needs WS+DB; 60/40 scenario split.
+func importanceModel(t *testing.T) *Model {
+	t.Helper()
+	m := New()
+	if err := m.AddService("WS", 0.95); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddService("DB", 0.90); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddFunction(simpleDiagram(t, "Home", "WS")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddFunction(simpleDiagram(t, "Search", "WS", "DB")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetScenarios([]UserScenario{
+		{Name: "browse", Functions: []string{"Home"}, Probability: 0.6},
+		{Name: "search", Functions: []string{"Home", "Search"}, Probability: 0.4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEvaluateWith(t *testing.T) {
+	m := importanceModel(t)
+	base, err := m.Evaluate()
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	// A(user) = 0.6·WS + 0.4·WS·DB.
+	wantBase := 0.6*0.95 + 0.4*0.95*0.90
+	if math.Abs(base.UserAvailability-wantBase) > 1e-12 {
+		t.Fatalf("base = %v, want %v", base.UserAvailability, wantBase)
+	}
+	patched, err := m.EvaluateWith(map[string]float64{"DB": 1})
+	if err != nil {
+		t.Fatalf("EvaluateWith: %v", err)
+	}
+	if math.Abs(patched.UserAvailability-0.95) > 1e-12 {
+		t.Errorf("patched = %v, want 0.95", patched.UserAvailability)
+	}
+	// The model itself must be untouched.
+	again, err := m.Evaluate()
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if math.Abs(again.UserAvailability-wantBase) > 1e-12 {
+		t.Errorf("EvaluateWith mutated the model: %v", again.UserAvailability)
+	}
+}
+
+func TestEvaluateWithValidation(t *testing.T) {
+	m := importanceModel(t)
+	if _, err := m.EvaluateWith(map[string]float64{"ghost": 1}); err == nil {
+		t.Error("override for unknown service accepted")
+	}
+	if _, err := m.EvaluateWith(map[string]float64{"WS": 1.5}); err == nil {
+		t.Error("invalid override accepted")
+	}
+}
+
+func TestServiceImportances(t *testing.T) {
+	m := importanceModel(t)
+	imps, err := m.ServiceImportances()
+	if err != nil {
+		t.Fatalf("ServiceImportances: %v", err)
+	}
+	if len(imps) != 2 {
+		t.Fatalf("got %d importances", len(imps))
+	}
+	// WS gates every scenario: Birnbaum = 0.6 + 0.4·0.9 = 0.96.
+	// DB gates only the search scenario: Birnbaum = 0.4·0.95 = 0.38.
+	if imps[0].Service != "WS" || math.Abs(imps[0].Birnbaum-0.96) > 1e-12 {
+		t.Errorf("imps[0] = %+v, want WS 0.96", imps[0])
+	}
+	if imps[1].Service != "DB" || math.Abs(imps[1].Birnbaum-0.38) > 1e-12 {
+		t.Errorf("imps[1] = %+v, want DB 0.38", imps[1])
+	}
+	// Risk reduction: fixing WS gains (1−0.95)·Birnbaum(WS).
+	wantRR := 0.05 * 0.96
+	if math.Abs(imps[0].RiskReduction-wantRR) > 1e-12 {
+		t.Errorf("WS risk reduction = %v, want %v", imps[0].RiskReduction, wantRR)
+	}
+}

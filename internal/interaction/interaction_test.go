@@ -1,0 +1,258 @@
+package interaction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustStep(t *testing.T, d *Diagram, step string, services ...string) {
+	t.Helper()
+	if err := d.AddStep(step, services...); err != nil {
+		t.Fatalf("AddStep(%s): %v", step, err)
+	}
+}
+
+func mustTrans(t *testing.T, d *Diagram, from, to string, q float64) {
+	t.Helper()
+	if err := d.AddTransition(from, to, q); err != nil {
+		t.Fatalf("AddTransition(%s, %s, %v): %v", from, to, q, err)
+	}
+}
+
+// browseDiagram reproduces Figure 3 with its three execution scenarios.
+func browseDiagram(t *testing.T, q23, q24, q45, q47 float64) *Diagram {
+	t.Helper()
+	d := New("Browse")
+	mustStep(t, d, "ws-recv", "WS")
+	mustStep(t, d, "ws-cache-hit", "WS")
+	mustStep(t, d, "as-process", "AS")
+	mustStep(t, d, "as-dynamic", "AS")
+	mustStep(t, d, "ws-return-dynamic", "WS")
+	mustStep(t, d, "ds-query", "DS")
+	mustStep(t, d, "as-merge", "AS")
+	mustStep(t, d, "ws-render", "WS")
+	mustStep(t, d, "ws-return-full", "WS")
+	mustTrans(t, d, Begin, "ws-recv", 1)
+	mustTrans(t, d, "ws-recv", "ws-cache-hit", q23)
+	mustTrans(t, d, "ws-recv", "as-process", q24)
+	mustTrans(t, d, "ws-cache-hit", End, 1)
+	mustTrans(t, d, "as-process", "as-dynamic", q45)
+	mustTrans(t, d, "as-process", "ds-query", q47)
+	mustTrans(t, d, "as-dynamic", "ws-return-dynamic", 1)
+	mustTrans(t, d, "ws-return-dynamic", End, 1)
+	mustTrans(t, d, "ds-query", "as-merge", 1)
+	mustTrans(t, d, "as-merge", "ws-render", 1)
+	mustTrans(t, d, "ws-render", "ws-return-full", 1)
+	mustTrans(t, d, "ws-return-full", End, 1)
+	return d
+}
+
+func TestAddStepValidation(t *testing.T) {
+	d := New("f")
+	if err := d.AddStep(Begin); err == nil {
+		t.Error("reserved name accepted")
+	}
+	mustStep(t, d, "s", "WS")
+	if err := d.AddStep("s"); err == nil {
+		t.Error("duplicate step accepted")
+	}
+}
+
+func TestAddTransitionValidation(t *testing.T) {
+	d := New("f")
+	mustStep(t, d, "s", "WS")
+	if err := d.AddTransition("s", Begin, 1); err == nil {
+		t.Error("transition into Begin accepted")
+	}
+	if err := d.AddTransition(End, "s", 1); err == nil {
+		t.Error("transition out of End accepted")
+	}
+	if err := d.AddTransition("ghost", "s", 1); err == nil {
+		t.Error("undeclared source accepted")
+	}
+	if err := d.AddTransition("s", "ghost", 1); err == nil {
+		t.Error("undeclared destination accepted")
+	}
+	for _, bad := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if err := d.AddTransition(Begin, "s", bad); err == nil {
+			t.Errorf("probability %v accepted", bad)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := New("f")
+	if err := d.Validate(); err == nil {
+		t.Error("empty diagram accepted")
+	}
+	mustStep(t, d, "s", "WS")
+	mustTrans(t, d, Begin, "s", 1)
+	if err := d.Validate(); err == nil {
+		t.Error("dangling step accepted")
+	}
+	mustTrans(t, d, "s", End, 0.5)
+	if err := d.Validate(); err == nil {
+		t.Error("sub-stochastic step accepted")
+	}
+	mustTrans(t, d, "s", End, 0.5)
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+// Figure 3 scenarios: {WS} with q23, {WS,AS} with q24·q45,
+// {WS,AS,DS} with q24·q47.
+func TestBrowseScenarios(t *testing.T) {
+	d := browseDiagram(t, 0.2, 0.8, 0.4, 0.6)
+	scenarios, err := d.Scenarios()
+	if err != nil {
+		t.Fatalf("Scenarios: %v", err)
+	}
+	byKey := make(map[string]float64)
+	for _, sc := range scenarios {
+		byKey[sc.Key()] = sc.Probability
+	}
+	if len(byKey) != 3 {
+		t.Fatalf("got %d scenarios: %v", len(byKey), byKey)
+	}
+	if math.Abs(byKey["WS"]-0.2) > 1e-12 {
+		t.Errorf("P({WS}) = %v, want 0.2", byKey["WS"])
+	}
+	if math.Abs(byKey["AS+WS"]-0.32) > 1e-12 {
+		t.Errorf("P({WS,AS}) = %v, want 0.32", byKey["AS+WS"])
+	}
+	if math.Abs(byKey["AS+DS+WS"]-0.48) > 1e-12 {
+		t.Errorf("P({WS,AS,DS}) = %v, want 0.48", byKey["AS+DS+WS"])
+	}
+}
+
+// Table 6: A(Browse) = A(WS)·[q23 + A(AS)(q24·q45 + q24·q47·A(DS))].
+func TestBrowseAvailabilityMatchesTable6(t *testing.T) {
+	const q23, q24, q45, q47 = 0.2, 0.8, 0.4, 0.6
+	d := browseDiagram(t, q23, q24, q45, q47)
+	avail := map[string]float64{"WS": 0.999995587, "AS": 0.999984, "DS": 0.98998416}
+	got, err := d.Availability(avail)
+	if err != nil {
+		t.Fatalf("Availability: %v", err)
+	}
+	want := avail["WS"] * (q23 + avail["AS"]*(q24*q45+q24*q47*avail["DS"]))
+	if math.Abs(got-want) > 1e-14 {
+		t.Errorf("A(Browse) = %.15f, want %.15f", got, want)
+	}
+}
+
+// A Search-like diagram with an AND fan-out to the three booking services:
+// a single step requiring Flight, Hotel and Car simultaneously.
+func TestSearchStyleANDFanOut(t *testing.T) {
+	d := New("Search")
+	mustStep(t, d, "ws", "WS")
+	mustStep(t, d, "as", "AS")
+	mustStep(t, d, "ds", "DS")
+	mustStep(t, d, "fan", "Flight", "Hotel", "Car")
+	mustStep(t, d, "reply", "WS")
+	mustTrans(t, d, Begin, "ws", 1)
+	mustTrans(t, d, "ws", "as", 1)
+	mustTrans(t, d, "as", "ds", 1)
+	mustTrans(t, d, "ds", "fan", 1)
+	mustTrans(t, d, "fan", "reply", 1)
+	mustTrans(t, d, "reply", End, 1)
+	avail := map[string]float64{
+		"WS": 0.999, "AS": 0.998, "DS": 0.99, "Flight": 0.9, "Hotel": 0.95, "Car": 0.92,
+	}
+	got, err := d.Availability(avail)
+	if err != nil {
+		t.Fatalf("Availability: %v", err)
+	}
+	want := 0.999 * 0.998 * 0.99 * 0.9 * 0.95 * 0.92
+	if math.Abs(got-want) > 1e-14 {
+		t.Errorf("A(Search) = %v, want %v", got, want)
+	}
+	if svcs := d.Services(); len(svcs) != 6 {
+		t.Errorf("Services = %v", svcs)
+	}
+}
+
+func TestAvailabilityMissingService(t *testing.T) {
+	d := browseDiagram(t, 0.2, 0.8, 0.4, 0.6)
+	if _, err := d.Availability(map[string]float64{"WS": 1}); err == nil {
+		t.Error("missing service availability accepted")
+	}
+	if _, err := d.Availability(map[string]float64{"WS": 1, "AS": 2, "DS": 1}); err == nil {
+		t.Error("invalid service availability accepted")
+	}
+}
+
+func TestSuccessGivenUp(t *testing.T) {
+	d := browseDiagram(t, 0.2, 0.8, 0.4, 0.6)
+	// All services up: success probability 1 (branches sum to one).
+	p, err := d.SuccessGivenUp(map[string]bool{"WS": true, "AS": true, "DS": true})
+	if err != nil {
+		t.Fatalf("SuccessGivenUp: %v", err)
+	}
+	if math.Abs(p-1) > 1e-12 {
+		t.Errorf("P(success | all up) = %v, want 1", p)
+	}
+	// DS down: only the cache and dynamic scenarios succeed.
+	p, err = d.SuccessGivenUp(map[string]bool{"WS": true, "AS": true})
+	if err != nil {
+		t.Fatalf("SuccessGivenUp: %v", err)
+	}
+	if math.Abs(p-(0.2+0.32)) > 1e-12 {
+		t.Errorf("P(success | DS down) = %v, want 0.52", p)
+	}
+	// WS down: nothing succeeds.
+	p, err = d.SuccessGivenUp(map[string]bool{"AS": true, "DS": true})
+	if err != nil {
+		t.Fatalf("SuccessGivenUp: %v", err)
+	}
+	if p != 0 {
+		t.Errorf("P(success | WS down) = %v, want 0", p)
+	}
+}
+
+// Property: for random branch probabilities, Availability equals the
+// expectation of SuccessGivenUp over independent service states, computed by
+// brute-force enumeration.
+func TestAvailabilityMatchesConditioningProperty(t *testing.T) {
+	f := func(rawQ, rawA [3]float64) bool {
+		u := func(x float64) float64 {
+			v := math.Abs(math.Mod(x, 1))
+			if math.IsNaN(v) {
+				v = 0.5
+			}
+			return 0.05 + 0.9*v
+		}
+		q23 := u(rawQ[0])
+		q45 := u(rawQ[1])
+		d := browseDiagram(t, q23, 1-q23, q45, 1-q45)
+		avail := map[string]float64{"WS": u(rawA[0]), "AS": u(rawA[1]), "DS": u(rawA[2])}
+		direct, err := d.Availability(avail)
+		if err != nil {
+			return false
+		}
+		services := []string{"WS", "AS", "DS"}
+		var expect float64
+		for mask := 0; mask < 8; mask++ {
+			up := make(map[string]bool, 3)
+			w := 1.0
+			for i, svc := range services {
+				if mask&(1<<i) != 0 {
+					up[svc] = true
+					w *= avail[svc]
+				} else {
+					w *= 1 - avail[svc]
+				}
+			}
+			p, err := d.SuccessGivenUp(up)
+			if err != nil {
+				return false
+			}
+			expect += w * p
+		}
+		return math.Abs(direct-expect) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU holds an LU factorization with partial pivoting of a square matrix:
+// P·A = L·U, where L is unit lower triangular and U is upper triangular.
+// The factors are stored packed in lu; piv records the row permutation.
+type LU struct {
+	lu   *Matrix
+	piv  []int
+	sign int // +1 or -1 depending on permutation parity
+}
+
+// Factor computes the LU factorization of the square matrix a using partial
+// pivoting. It returns ErrSingular if a pivot is exactly zero; near-singular
+// matrices are detected by ConditionEstimate or by inspecting the result.
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("%w: LU of %dx%d matrix", ErrDimension, a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Find pivot.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max = v
+				p = i
+			}
+		}
+		if max == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			swapRows(lu, p, k)
+			piv[p], piv[k] = piv[k], piv[p]
+			sign = -sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / pivot
+			lu.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Add(i, j, -f*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	for c := 0; c < m.Cols(); c++ {
+		vi, vj := m.At(i, c), m.At(j, c)
+		m.Set(i, c, vj)
+		m.Set(j, c, vi)
+	}
+}
+
+// Solve solves A·x = b for x using the factorization.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrDimension, len(b), n)
+	}
+	// Apply permutation.
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution (L has unit diagonal).
+	for i := 1; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += f.lu.At(i, j) * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += f.lu.At(i, j) * x[j]
+		}
+		d := f.lu.At(i, i)
+		if d == 0 {
+			return nil, fmt.Errorf("%w: zero diagonal during back substitution", ErrSingular)
+		}
+		x[i] = (x[i] - s) / d
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	det := float64(f.sign)
+	for i := 0; i < f.lu.Rows(); i++ {
+		det *= f.lu.At(i, i)
+	}
+	return det
+}
+
+// Solve solves the linear system a·x = b.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns the inverse of a, or ErrSingular.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows()
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,90 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: dot of lengths %d and %d", ErrDimension, len(a), len(b))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s, nil
+}
+
+// Sum returns the sum of the elements of v.
+func Sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// SumKahan returns the sum of the elements of v using Neumaier's improved
+// Kahan–Babuška compensated summation, for use when elements span many
+// orders of magnitude or partially cancel.
+func SumKahan(v []float64) float64 {
+	var s, c float64
+	for _, x := range v {
+		t := s + x
+		if math.Abs(s) >= math.Abs(x) {
+			c += (s - t) + x
+		} else {
+			c += (x - t) + s
+		}
+		s = t
+	}
+	return s + c
+}
+
+// Normalize scales v in place so its elements sum to one and returns v.
+// It returns an error if the sum is zero or not finite.
+func Normalize(v []float64) ([]float64, error) {
+	s := SumKahan(v)
+	if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("linalg: cannot normalize vector with sum %v", s)
+	}
+	for i := range v {
+		v[i] /= s
+	}
+	return v, nil
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between a
+// and b, or an error if the lengths differ.
+func MaxAbsDiff(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: diff of lengths %d and %d", ErrDimension, len(a), len(b))
+	}
+	var max float64
+	for i, v := range a {
+		if d := math.Abs(v - b[i]); d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// Scale multiplies every element of v by s in place and returns v.
+func Scale(v []float64, s float64) []float64 {
+	for i := range v {
+		v[i] *= s
+	}
+	return v
+}
+
+// AllFinite reports whether every element of v is a finite number.
+func AllFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

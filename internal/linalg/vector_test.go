@@ -1,0 +1,103 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	got, err := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatalf("Dot: %v", err)
+	}
+	if got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if _, err := Dot([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestSumAndKahan(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	if got := Sum(v); got != 10 {
+		t.Errorf("Sum = %v, want 10", got)
+	}
+	// Kahan summation should survive catastrophic cancellation better
+	// than naive summation.
+	big := []float64{1e16, 1, -1e16, 1}
+	if got := SumKahan(big); got != 2 {
+		t.Errorf("SumKahan = %v, want 2", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v, err := Normalize([]float64{2, 6})
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if !almostEqual(v[0], 0.25, 1e-15) || !almostEqual(v[1], 0.75, 1e-15) {
+		t.Errorf("Normalize = %v", v)
+	}
+	if _, err := Normalize([]float64{0, 0}); err == nil {
+		t.Error("expected error for zero-sum vector")
+	}
+	if _, err := Normalize([]float64{math.Inf(1)}); err == nil {
+		t.Error("expected error for infinite sum")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	d, err := MaxAbsDiff([]float64{1, 2}, []float64{1.5, 1})
+	if err != nil {
+		t.Fatalf("MaxAbsDiff: %v", err)
+	}
+	if d != 1 {
+		t.Errorf("MaxAbsDiff = %v, want 1", d)
+	}
+	if _, err := MaxAbsDiff([]float64{1}, []float64{}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestScaleVector(t *testing.T) {
+	v := Scale([]float64{1, -2}, 3)
+	if v[0] != 3 || v[1] != -6 {
+		t.Errorf("Scale = %v", v)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, 2, 3}) {
+		t.Error("AllFinite(finite) = false")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Error("AllFinite(NaN) = true")
+	}
+	if AllFinite([]float64{math.Inf(-1)}) {
+		t.Error("AllFinite(-Inf) = true")
+	}
+}
+
+// Property: Normalize yields a probability vector (sums to 1) for any
+// positive input vector.
+func TestNormalizeProperty(t *testing.T) {
+	f := func(raw [6]float64) bool {
+		v := make([]float64, len(raw))
+		for i, x := range raw {
+			v[i] = math.Abs(math.Mod(x, 1000)) + 1e-3
+			if math.IsNaN(v[i]) || math.IsInf(v[i], 0) {
+				v[i] = 1
+			}
+		}
+		out, err := Normalize(v)
+		if err != nil {
+			return false
+		}
+		return math.Abs(SumKahan(out)-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

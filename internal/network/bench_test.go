@@ -1,0 +1,37 @@
+package network
+
+import "testing"
+
+var benchSink float64
+
+func BenchmarkRingAllTerminal8(b *testing.B) {
+	g, stations, err := RingLAN(8, 0.995)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := g.AllTerminalAvailability(stations...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += p
+	}
+}
+
+func BenchmarkBridgeTwoTerminal(b *testing.B) {
+	g := New()
+	_ = g.AddEdge("e1", "s", "u", 0.9)
+	_ = g.AddEdge("e2", "s", "v", 0.8)
+	_ = g.AddEdge("e3", "u", "t", 0.85)
+	_ = g.AddEdge("e4", "v", "t", 0.75)
+	_ = g.AddEdge("e5", "u", "v", 0.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := g.TwoTerminalAvailability("s", "t")
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += p
+	}
+}

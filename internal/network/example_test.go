@@ -1,0 +1,43 @@
+package network_test
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+)
+
+// A ring LAN of five servers tolerates any single link failure, so its
+// all-terminal availability far exceeds the product of link availabilities.
+func ExampleRingLAN() {
+	g, stations, err := network.RingLAN(5, 0.99)
+	if err != nil {
+		panic(err)
+	}
+	a, err := g.AllTerminalAvailability(stations...)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("A(ring LAN) = %.6f\n", a)
+	// Output: A(ring LAN) = 0.999020
+}
+
+// The classical bridge network, solved exactly by factoring.
+func ExampleGraph_TwoTerminalAvailability() {
+	g := network.New()
+	check := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	check(g.AddEdge("e1", "s", "u", 0.9))
+	check(g.AddEdge("e2", "s", "v", 0.9))
+	check(g.AddEdge("e3", "u", "t", 0.9))
+	check(g.AddEdge("e4", "v", "t", 0.9))
+	check(g.AddEdge("bridge", "u", "v", 0.9))
+	p, err := g.TwoTerminalAvailability("s", "t")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("R(s,t) = %.6f\n", p)
+	// Output: R(s,t) = 0.978480
+}

@@ -1,0 +1,213 @@
+// Package network computes the availability of communication topologies by
+// exact factoring over component states. The paper treats the LAN
+// interconnecting the travel agency's servers as a single resource and
+// points to hierarchical LAN availability models (its refs [16, 17], which
+// evaluate bus and ring topologies for the Delta-4 architecture); this
+// package supplies those models, so A_LAN can be *derived* from component
+// availabilities instead of assumed.
+//
+// Graphs have perfect nodes and failing edges (a physical component with its
+// own availability — a cable segment, a tap, a hub port — is modeled as an
+// edge, inserting a node where needed). Two measures are provided:
+//
+//   - TwoTerminalAvailability: probability that two stations can reach each
+//     other.
+//   - AllTerminalAvailability: probability that all listed stations are
+//     mutually connected — the paper's "LAN available" notion, since every
+//     server must reach every other.
+//
+// Both use the factoring theorem (condition on one edge: contract if up,
+// delete if down) with connectivity-based pruning; exact and exponential in
+// the worst case, fine for LAN-scale graphs (tens of edges).
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrGraph is returned for structurally invalid graphs or queries.
+var ErrGraph = errors.New("network: invalid graph")
+
+// maxEdges bounds the factoring recursion (2^maxEdges leaves worst case,
+// heavily pruned in practice).
+const maxEdges = 30
+
+type edge struct {
+	name  string
+	a, b  int
+	avail float64
+}
+
+// Graph is an undirected network with perfect nodes and failing edges.
+type Graph struct {
+	nodes   []string
+	nodeIdx map[string]int
+	edges   []edge
+	edgeSet map[string]bool
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{nodeIdx: make(map[string]int), edgeSet: make(map[string]bool)}
+}
+
+// AddNode declares a station or junction; redeclaring is idempotent.
+func (g *Graph) AddNode(name string) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty node name", ErrGraph)
+	}
+	if _, ok := g.nodeIdx[name]; ok {
+		return nil
+	}
+	g.nodeIdx[name] = len(g.nodes)
+	g.nodes = append(g.nodes, name)
+	return nil
+}
+
+// AddEdge declares a failing component connecting nodes a and b with the
+// given availability. Endpoints are declared implicitly.
+func (g *Graph) AddEdge(name, a, b string, avail float64) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty edge name", ErrGraph)
+	}
+	if g.edgeSet[name] {
+		return fmt.Errorf("%w: edge %q already declared", ErrGraph, name)
+	}
+	if avail < 0 || avail > 1 || math.IsNaN(avail) {
+		return fmt.Errorf("%w: edge %q availability %v", ErrGraph, name, avail)
+	}
+	if a == b {
+		return fmt.Errorf("%w: edge %q is a self-loop", ErrGraph, name)
+	}
+	if err := g.AddNode(a); err != nil {
+		return err
+	}
+	if err := g.AddNode(b); err != nil {
+		return err
+	}
+	if len(g.edges) >= maxEdges {
+		return fmt.Errorf("%w: more than %d edges", ErrGraph, maxEdges)
+	}
+	g.edgeSet[name] = true
+	g.edges = append(g.edges, edge{name: name, a: g.nodeIdx[a], b: g.nodeIdx[b], avail: avail})
+	return nil
+}
+
+// NumNodes returns the number of declared nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of declared edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// TwoTerminalAvailability returns P(s and t communicate).
+func (g *Graph) TwoTerminalAvailability(s, t string) (float64, error) {
+	si, ok := g.nodeIdx[s]
+	if !ok {
+		return 0, fmt.Errorf("%w: unknown node %q", ErrGraph, s)
+	}
+	ti, ok := g.nodeIdx[t]
+	if !ok {
+		return 0, fmt.Errorf("%w: unknown node %q", ErrGraph, t)
+	}
+	if si == ti {
+		return 1, nil
+	}
+	return g.factor([]int{si, ti}, newUnionFind(len(g.nodes)), 0), nil
+}
+
+// AllTerminalAvailability returns P(all listed stations are mutually
+// connected). With fewer than two terminals the probability is one.
+func (g *Graph) AllTerminalAvailability(terminals ...string) (float64, error) {
+	if len(terminals) < 2 {
+		return 1, nil
+	}
+	idx := make([]int, 0, len(terminals))
+	for _, name := range terminals {
+		i, ok := g.nodeIdx[name]
+		if !ok {
+			return 0, fmt.Errorf("%w: unknown node %q", ErrGraph, name)
+		}
+		idx = append(idx, i)
+	}
+	return g.factor(idx, newUnionFind(len(g.nodes)), 0), nil
+}
+
+// factor applies the factoring theorem: edges before position k are
+// decided (up edges already merged into uf), edge k is conditioned on.
+func (g *Graph) factor(terminals []int, uf *unionFind, k int) float64 {
+	if connected(uf, terminals) {
+		return 1
+	}
+	// Feasibility pruning: if even all remaining edges cannot connect the
+	// terminals, the probability is zero.
+	if !g.feasible(terminals, uf, k) {
+		return 0
+	}
+	if k >= len(g.edges) {
+		return 0
+	}
+	e := g.edges[k]
+	// Edge up: contract.
+	up := uf.clone()
+	up.union(e.a, e.b)
+	pUp := g.factor(terminals, up, k+1)
+	// Edge down: delete (uf unchanged).
+	pDown := g.factor(terminals, uf, k+1)
+	return e.avail*pUp + (1-e.avail)*pDown
+}
+
+// feasible reports whether the terminals could still be connected if every
+// undecided edge (index ≥ k) were up.
+func (g *Graph) feasible(terminals []int, uf *unionFind, k int) bool {
+	best := uf.clone()
+	for i := k; i < len(g.edges); i++ {
+		best.union(g.edges[i].a, g.edges[i].b)
+	}
+	return connected(best, terminals)
+}
+
+func connected(uf *unionFind, terminals []int) bool {
+	root := uf.find(terminals[0])
+	for _, t := range terminals[1:] {
+		if uf.find(t) != root {
+			return false
+		}
+	}
+	return true
+}
+
+// unionFind is a minimal disjoint-set structure with path compression.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) clone() *unionFind {
+	p := make([]int, len(u.parent))
+	copy(p, u.parent)
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}

@@ -1,0 +1,301 @@
+package network
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func relDiff(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestValidation(t *testing.T) {
+	g := New()
+	if err := g.AddNode(""); err == nil {
+		t.Error("empty node accepted")
+	}
+	if err := g.AddEdge("", "a", "b", 0.9); err == nil {
+		t.Error("empty edge name accepted")
+	}
+	if err := g.AddEdge("e", "a", "a", 0.9); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := g.AddEdge("e", "a", "b", 1.5); err == nil {
+		t.Error("bad availability accepted")
+	}
+	if err := g.AddEdge("e", "a", "b", 0.9); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.AddEdge("e", "a", "c", 0.9); err == nil {
+		t.Error("duplicate edge name accepted")
+	}
+	if _, err := g.TwoTerminalAvailability("a", "ghost"); err == nil {
+		t.Error("unknown terminal accepted")
+	}
+	if _, err := g.AllTerminalAvailability("a", "ghost"); err == nil {
+		t.Error("unknown terminal accepted")
+	}
+}
+
+func TestSingleEdge(t *testing.T) {
+	g := New()
+	if err := g.AddEdge("e", "a", "b", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	p, err := g.TwoTerminalAvailability("a", "b")
+	if err != nil {
+		t.Fatalf("TwoTerminal: %v", err)
+	}
+	if relDiff(p, 0.9) > 1e-15 {
+		t.Errorf("P = %v, want 0.9", p)
+	}
+	// Same terminal: trivially connected.
+	p, err = g.TwoTerminalAvailability("a", "a")
+	if err != nil || p != 1 {
+		t.Errorf("P(a,a) = %v, %v", p, err)
+	}
+}
+
+func TestSeriesParallel(t *testing.T) {
+	// a —0.9— m —0.8— b in series: 0.72.
+	g := New()
+	_ = g.AddEdge("e1", "a", "m", 0.9)
+	_ = g.AddEdge("e2", "m", "b", 0.8)
+	p, err := g.TwoTerminalAvailability("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(p, 0.72) > 1e-12 {
+		t.Errorf("series = %v, want 0.72", p)
+	}
+	// Parallel edges a—b: 1-(1-0.9)(1-0.8) = 0.98.
+	g2 := New()
+	_ = g2.AddEdge("e1", "a", "b", 0.9)
+	_ = g2.AddEdge("e2", "a", "b", 0.8)
+	p, err = g2.TwoTerminalAvailability("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(p, 0.98) > 1e-12 {
+		t.Errorf("parallel = %v, want 0.98", p)
+	}
+}
+
+// The classical bridge network: exact two-terminal reliability via the
+// conditioning formula on the bridge edge e5:
+// R = p5·R(contracted) + (1−p5)·R(deleted).
+func TestBridgeNetwork(t *testing.T) {
+	p := []float64{0.9, 0.8, 0.85, 0.75, 0.7} // e1..e5
+	g := New()
+	_ = g.AddEdge("e1", "s", "u", p[0])
+	_ = g.AddEdge("e2", "s", "v", p[1])
+	_ = g.AddEdge("e3", "u", "t", p[2])
+	_ = g.AddEdge("e4", "v", "t", p[3])
+	_ = g.AddEdge("e5", "u", "v", p[4])
+	got, err := g.TwoTerminalAvailability("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand computation by conditioning on e5:
+	par := func(a, b float64) float64 { return 1 - (1-a)*(1-b) }
+	// e5 up: (e1 ∥ e2) in series with (e3 ∥ e4).
+	up := par(p[0], p[1]) * par(p[2], p[3])
+	// e5 down: (e1·e3) ∥ (e2·e4).
+	down := par(p[0]*p[2], p[1]*p[3])
+	want := p[4]*up + (1-p[4])*down
+	if relDiff(got, want) > 1e-12 {
+		t.Errorf("bridge = %v, want %v", got, want)
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	g := New()
+	_ = g.AddEdge("e1", "a", "b", 0.9)
+	_ = g.AddEdge("e2", "c", "d", 0.9)
+	p, err := g.TwoTerminalAvailability("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("P = %v, want 0", p)
+	}
+}
+
+func TestAllTerminalTriangle(t *testing.T) {
+	// Triangle with identical links p: all three nodes connected iff at
+	// least two links are up: A = p³ + 3p²(1−p).
+	const p = 0.9
+	g := New()
+	_ = g.AddEdge("e1", "a", "b", p)
+	_ = g.AddEdge("e2", "b", "c", p)
+	_ = g.AddEdge("e3", "c", "a", p)
+	got, err := g.AllTerminalAvailability("a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(p, 3) + 3*p*p*(1-p)
+	if relDiff(got, want) > 1e-12 {
+		t.Errorf("triangle = %v, want %v", got, want)
+	}
+	// Fewer than two terminals: trivially 1.
+	got, err = g.AllTerminalAvailability("a")
+	if err != nil || got != 1 {
+		t.Errorf("single terminal = %v, %v", got, err)
+	}
+}
+
+func TestBusLANClosedForm(t *testing.T) {
+	const (
+		n   = 4
+		seg = 0.9995
+		tap = 0.999
+	)
+	g, stations, err := BusLAN(n, seg, tap)
+	if err != nil {
+		t.Fatalf("BusLAN: %v", err)
+	}
+	if len(stations) != n {
+		t.Fatalf("stations = %v", stations)
+	}
+	got, err := g.AllTerminalAvailability(stations...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(tap, n) * math.Pow(seg, n-1)
+	if relDiff(got, want) > 1e-12 {
+		t.Errorf("bus = %v, want %v", got, want)
+	}
+	if _, _, err := BusLAN(0, seg, tap); err == nil {
+		t.Error("0 stations accepted")
+	}
+}
+
+func TestRingLANClosedForm(t *testing.T) {
+	const (
+		n = 5
+		p = 0.995
+	)
+	g, stations, err := RingLAN(n, p)
+	if err != nil {
+		t.Fatalf("RingLAN: %v", err)
+	}
+	got, err := g.AllTerminalAvailability(stations...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(p, n) + float64(n)*math.Pow(p, n-1)*(1-p)
+	if relDiff(got, want) > 1e-12 {
+		t.Errorf("ring = %v, want %v", got, want)
+	}
+	if _, _, err := RingLAN(1, p); err == nil {
+		t.Error("1-station ring accepted")
+	}
+}
+
+func TestStarLANClosedForm(t *testing.T) {
+	const (
+		n    = 4
+		link = 0.999
+		port = 0.9995
+	)
+	g, stations, err := StarLAN(n, link, port)
+	if err != nil {
+		t.Fatalf("StarLAN: %v", err)
+	}
+	got, err := g.AllTerminalAvailability(stations...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(link*port, n)
+	if relDiff(got, want) > 1e-12 {
+		t.Errorf("star = %v, want %v", got, want)
+	}
+	if _, _, err := StarLAN(0, link, port); err == nil {
+		t.Error("0 stations accepted")
+	}
+}
+
+// A ring strictly beats a bus of the same size with the same per-component
+// availability: it tolerates one link failure.
+func TestRingBeatsBus(t *testing.T) {
+	const p = 0.99
+	ring, ringStations, err := RingLAN(5, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringA, err := ring.AllTerminalAvailability(ringStations...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus, busStations, err := BusLAN(5, p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busA, err := bus.AllTerminalAvailability(busStations...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ringA > busA) {
+		t.Errorf("ring %v should beat bus %v", ringA, busA)
+	}
+}
+
+func TestEdgeLimit(t *testing.T) {
+	g := New()
+	for i := 0; i < maxEdges; i++ {
+		if err := g.AddEdge(edgeName(i), "a", "b", 0.5); err != nil {
+			t.Fatalf("edge %d rejected: %v", i, err)
+		}
+	}
+	if err := g.AddEdge("overflow", "a", "b", 0.5); err == nil {
+		t.Error("edge beyond limit accepted")
+	}
+}
+
+func edgeName(i int) string { return string(rune('A'+i%26)) + string(rune('a'+i/26)) }
+
+// Property: two-terminal availability is monotone in every edge
+// availability, and bounded by [0, 1].
+func TestMonotonicityProperty(t *testing.T) {
+	f := func(raw [5]float64) bool {
+		probs := make([]float64, 5)
+		for i, x := range raw {
+			v := math.Abs(math.Mod(x, 1))
+			if math.IsNaN(v) {
+				v = 0.5
+			}
+			probs[i] = v
+		}
+		build := func(p []float64) *Graph {
+			g := New()
+			_ = g.AddEdge("e1", "s", "u", p[0])
+			_ = g.AddEdge("e2", "s", "v", p[1])
+			_ = g.AddEdge("e3", "u", "t", p[2])
+			_ = g.AddEdge("e4", "v", "t", p[3])
+			_ = g.AddEdge("e5", "u", "v", p[4])
+			return g
+		}
+		base, err := build(probs).TwoTerminalAvailability("s", "t")
+		if err != nil || base < 0 || base > 1 {
+			return false
+		}
+		// Raise one edge availability: result must not decrease.
+		for i := range probs {
+			boosted := make([]float64, 5)
+			copy(boosted, probs)
+			boosted[i] = math.Min(1, boosted[i]+0.3)
+			b, err := build(boosted).TwoTerminalAvailability("s", "t")
+			if err != nil || b < base-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package network
+
+import "fmt"
+
+// BusLAN builds a bus topology for n stations: a backbone of n bus segments
+// in series, each station attached to its junction through a tap. Station
+// nodes are named "station-1".."station-n".
+//
+//	j0 ──seg── j1 ──seg── j2 ··· jn
+//	           │          │
+//	          tap        tap
+//	           │          │
+//	       station-1  station-2 ···
+//
+// With perfect junctions, the LAN (all stations mutually connected) needs
+// every tap and every *interior* segment up, so the closed form is
+// A = tapAvail^n · segmentAvail^(n−1)  (for n ≥ 2; the two outermost
+// segments carry no inter-station traffic and are omitted).
+func BusLAN(n int, segmentAvail, tapAvail float64) (*Graph, []string, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("%w: %d stations", ErrGraph, n)
+	}
+	g := New()
+	stations := make([]string, n)
+	for i := 1; i <= n; i++ {
+		junction := fmt.Sprintf("j%d", i)
+		if i > 1 {
+			prev := fmt.Sprintf("j%d", i-1)
+			if err := g.AddEdge(fmt.Sprintf("seg-%d", i-1), prev, junction, segmentAvail); err != nil {
+				return nil, nil, err
+			}
+		}
+		station := fmt.Sprintf("station-%d", i)
+		if err := g.AddEdge(fmt.Sprintf("tap-%d", i), junction, station, tapAvail); err != nil {
+			return nil, nil, err
+		}
+		stations[i-1] = station
+	}
+	return g, stations, nil
+}
+
+// RingLAN builds a ring of n stations connected by n links. A ring survives
+// any single link failure (the traffic reroutes the other way), so with
+// perfect stations the all-terminal closed form is
+// A = p^n + n·p^(n−1)·(1−p).
+func RingLAN(n int, linkAvail float64) (*Graph, []string, error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("%w: ring needs ≥ 2 stations, have %d", ErrGraph, n)
+	}
+	g := New()
+	stations := make([]string, n)
+	for i := 0; i < n; i++ {
+		stations[i] = fmt.Sprintf("station-%d", i+1)
+	}
+	for i := 0; i < n; i++ {
+		next := (i + 1) % n
+		if err := g.AddEdge(fmt.Sprintf("link-%d", i+1), stations[i], stations[next], linkAvail); err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, stations, nil
+}
+
+// StarLAN builds a star: every station reaches the (perfect) switch core
+// through its own cable and its own switch port, both failing components:
+//
+//	station-i ──link-i── p_i ──port-i── core
+//
+// All-terminal availability over the stations is therefore
+// A = (linkAvail·portAvail)^n.
+func StarLAN(n int, linkAvail, portAvail float64) (*Graph, []string, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("%w: %d stations", ErrGraph, n)
+	}
+	g := New()
+	stations := make([]string, n)
+	for i := 1; i <= n; i++ {
+		stations[i-1] = fmt.Sprintf("station-%d", i)
+		port := fmt.Sprintf("p%d", i)
+		if err := g.AddEdge(fmt.Sprintf("link-%d", i), stations[i-1], port, linkAvail); err != nil {
+			return nil, nil, err
+		}
+		if err := g.AddEdge(fmt.Sprintf("port-%d", i), port, "core", portAvail); err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, stations, nil
+}

@@ -1,0 +1,53 @@
+package opprofile_test
+
+import (
+	"fmt"
+
+	"repro/internal/opprofile"
+)
+
+// A small operational profile: users land on Home, may search, and leave.
+// Scenario classes group all paths by the set of functions invoked.
+func ExampleProfile_Scenarios() {
+	p := opprofile.New()
+	check := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	check(p.AddTransition(opprofile.Start, "Home", 1))
+	check(p.AddTransition("Home", "Search", 0.3))
+	check(p.AddTransition("Home", opprofile.Exit, 0.7))
+	check(p.AddTransition("Search", opprofile.Exit, 1))
+
+	scenarios, err := p.Scenarios()
+	if err != nil {
+		panic(err)
+	}
+	for _, sc := range scenarios {
+		fmt.Printf("%s: %.2f\n", sc.Key(), sc.Probability)
+	}
+	// Output:
+	// Home: 0.70
+	// Home+Search: 0.30
+}
+
+// ExpectedInvocations counts repetitions, unlike scenario classes: with a
+// 40% chance of searching again, Search averages 0.5 invocations per visit.
+func ExampleProfile_ExpectedInvocations() {
+	p := opprofile.New()
+	check := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	check(p.AddTransition(opprofile.Start, "Search", 1))
+	check(p.AddTransition("Search", "Search", 0.4))
+	check(p.AddTransition("Search", opprofile.Exit, 0.6))
+	inv, err := p.ExpectedInvocations()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("E[Search] = %.3f\n", inv["Search"])
+	// Output: E[Search] = 1.667
+}

@@ -1,0 +1,148 @@
+// Package optimize provides a compact derivative-free minimizer
+// (Nelder–Mead with adaptive restart support) used to calibrate model
+// parameters against published data — e.g. fitting operational-profile
+// transition probabilities to the paper's Table 1 scenario probabilities,
+// which the paper derives from web-log measurements it does not print.
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrParam is returned for invalid optimizer inputs.
+var ErrParam = errors.New("optimize: invalid parameter")
+
+// Options tunes the Nelder–Mead run. Zero values select sane defaults.
+type Options struct {
+	// MaxIterations bounds the number of simplex iterations (default 2000).
+	MaxIterations int
+	// Tolerance stops the search when the simplex function-value spread
+	// falls below it (default 1e-12).
+	Tolerance float64
+	// InitialStep sets the simplex edge length around the start point
+	// (default 0.1).
+	InitialStep float64
+}
+
+func (o *Options) defaults() {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 2000
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-12
+	}
+	if o.InitialStep <= 0 {
+		o.InitialStep = 0.1
+	}
+}
+
+// Result reports the outcome of a minimization.
+type Result struct {
+	X          []float64 // best point found
+	Value      float64   // objective at X
+	Iterations int
+	Converged  bool
+}
+
+// Minimize runs Nelder–Mead on f starting from x0. The objective may return
+// +Inf to reject points (a poor man's constraint mechanism); NaN objective
+// values are treated as +Inf.
+func Minimize(f func([]float64) float64, x0 []float64, opts Options) (Result, error) {
+	if len(x0) == 0 {
+		return Result{}, fmt.Errorf("%w: empty start point", ErrParam)
+	}
+	opts.defaults()
+	n := len(x0)
+	eval := func(x []float64) float64 {
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+
+	// Build the initial simplex.
+	type vertex struct {
+		x []float64
+		v float64
+	}
+	simplex := make([]vertex, n+1)
+	for i := range simplex {
+		x := make([]float64, n)
+		copy(x, x0)
+		if i > 0 {
+			x[i-1] += opts.InitialStep
+		}
+		simplex[i] = vertex{x: x, v: eval(x)}
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	var iter int
+	for iter = 0; iter < opts.MaxIterations; iter++ {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+		best, worst := simplex[0], simplex[n]
+		if spread := math.Abs(worst.v - best.v); spread < opts.Tolerance && !math.IsInf(best.v, 1) {
+			return Result{X: best.x, Value: best.v, Iterations: iter, Converged: true}, nil
+		}
+
+		// Centroid of all but the worst.
+		centroid := make([]float64, n)
+		for _, vt := range simplex[:n] {
+			for j, xj := range vt.x {
+				centroid[j] += xj
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+
+		point := func(coef float64) []float64 {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = centroid[j] + coef*(centroid[j]-worst.x[j])
+			}
+			return x
+		}
+
+		refl := point(alpha)
+		reflV := eval(refl)
+		switch {
+		case reflV < best.v:
+			// Try expanding.
+			exp := point(gamma)
+			expV := eval(exp)
+			if expV < reflV {
+				simplex[n] = vertex{x: exp, v: expV}
+			} else {
+				simplex[n] = vertex{x: refl, v: reflV}
+			}
+		case reflV < simplex[n-1].v:
+			simplex[n] = vertex{x: refl, v: reflV}
+		default:
+			// Contract.
+			con := point(-rho)
+			conV := eval(con)
+			if conV < worst.v {
+				simplex[n] = vertex{x: con, v: conV}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = best.x[j] + sigma*(simplex[i].x[j]-best.x[j])
+					}
+					simplex[i].v = eval(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+	return Result{X: simplex[0].x, Value: simplex[0].v, Iterations: iter, Converged: false}, nil
+}

@@ -1,0 +1,98 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMinimizeQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + (x[1]+1)*(x[1]+1)
+	}
+	res, err := Minimize(f, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if !res.Converged {
+		t.Error("did not converge")
+	}
+	if math.Abs(res.X[0]-3) > 1e-5 || math.Abs(res.X[1]+1) > 1e-5 {
+		t.Errorf("X = %v, want [3 -1]", res.X)
+	}
+	if res.Value > 1e-9 {
+		t.Errorf("Value = %v", res.Value)
+	}
+}
+
+func TestMinimizeRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res, err := Minimize(f, []float64{-1.2, 1}, Options{MaxIterations: 10000})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-4 || math.Abs(res.X[1]-1) > 1e-4 {
+		t.Errorf("X = %v, want [1 1]", res.X)
+	}
+}
+
+func TestMinimizeRespectsInfConstraints(t *testing.T) {
+	// Constrain to x ≥ 0 by returning +Inf outside; optimum of (x−(−2))² on
+	// x ≥ 0 is x = 0.
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.Inf(1)
+		}
+		return (x[0] + 2) * (x[0] + 2)
+	}
+	res, err := Minimize(f, []float64{1}, Options{})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if math.Abs(res.X[0]) > 1e-4 {
+		t.Errorf("X = %v, want 0", res.X)
+	}
+}
+
+func TestMinimizeNaNTreatedAsInf(t *testing.T) {
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return x[0] * x[0]
+	}
+	res, err := Minimize(f, []float64{2}, Options{})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if math.Abs(res.X[0]) > 1e-4 {
+		t.Errorf("X = %v, want 0", res.X)
+	}
+}
+
+func TestMinimizeValidation(t *testing.T) {
+	if _, err := Minimize(func(x []float64) float64 { return 0 }, nil, Options{}); err == nil {
+		t.Error("empty start accepted")
+	}
+}
+
+func TestMinimizeIterationBound(t *testing.T) {
+	calls := 0
+	f := func(x []float64) float64 {
+		calls++
+		return x[0] * x[0]
+	}
+	res, err := Minimize(f, []float64{100}, Options{MaxIterations: 5})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if res.Converged {
+		t.Error("claimed convergence in 5 iterations from x=100 with default tolerance")
+	}
+	if res.Iterations != 5 {
+		t.Errorf("Iterations = %d, want 5", res.Iterations)
+	}
+}

@@ -1,0 +1,125 @@
+// Package perfavail implements the composite performance–availability
+// evaluation approach (Meyer's performability, refs [18, 19] of the paper)
+// used to define the user-perceived availability of the web service:
+//
+// a pure availability model supplies the steady-state probabilities of the
+// system's structural states (how many servers are up, down states under
+// manual reconfiguration, ...), a pure performance model supplies, for each
+// structural state, the probability that a request submitted in that state
+// succeeds, and the two are combined as
+//
+//	A = Σ_s π(s)·successProb(s).
+//
+// The approach rests on the time-scale separation assumption spelled out in
+// §4.1.2: failure/repair rates (per hour) are orders of magnitude below
+// request arrival/service rates (per second), so the queue reaches quasi
+// steady state between structural changes.
+package perfavail
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalid is returned for malformed composite models.
+var ErrInvalid = errors.New("perfavail: invalid composite model")
+
+// State couples one structural state's steady-state probability with the
+// probability that a request submitted while the system is in that state is
+// served successfully.
+type State struct {
+	// Name labels the structural state (for reports).
+	Name string
+	// Probability is the steady-state probability of the structural state.
+	Probability float64
+	// Success is the conditional probability that a request succeeds given
+	// the system is in this state (1 − loss probability; 0 for down states).
+	Success float64
+}
+
+// Model is a composite performance–availability model: a finite set of
+// structural states covering the whole probability space.
+type Model struct {
+	states []State
+}
+
+// New validates and builds a composite model. State probabilities must be
+// non-negative and sum to one (within tolerance); success probabilities must
+// lie in [0, 1].
+func New(states []State) (*Model, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("%w: no states", ErrInvalid)
+	}
+	var sum float64
+	for _, s := range states {
+		if s.Probability < 0 || math.IsNaN(s.Probability) {
+			return nil, fmt.Errorf("%w: state %q probability %v", ErrInvalid, s.Name, s.Probability)
+		}
+		if s.Success < 0 || s.Success > 1 || math.IsNaN(s.Success) {
+			return nil, fmt.Errorf("%w: state %q success probability %v", ErrInvalid, s.Name, s.Success)
+		}
+		sum += s.Probability
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("%w: state probabilities sum to %v", ErrInvalid, sum)
+	}
+	cp := make([]State, len(states))
+	copy(cp, states)
+	return &Model{states: cp}, nil
+}
+
+// Availability returns the user-perceived availability Σ π(s)·success(s).
+func (m *Model) Availability() float64 {
+	var a float64
+	for _, s := range m.states {
+		a += s.Probability * s.Success
+	}
+	// Clamp round-off.
+	return math.Min(1, math.Max(0, a))
+}
+
+// Unavailability returns 1 − Availability computed without cancellation:
+// Σ π(s)·(1 − success(s)). For highly available systems this retains many
+// more significant digits than 1 − Availability().
+func (m *Model) Unavailability() float64 {
+	var u float64
+	for _, s := range m.states {
+		u += s.Probability * (1 - s.Success)
+	}
+	return math.Min(1, math.Max(0, u))
+}
+
+// Breakdown splits the unavailability into the structural part (down states,
+// success = 0 exactly) and the performance part (operational states whose
+// success < 1 because of request loss). This is the decomposition behind the
+// paper's Figure 11/12 discussion of which effect dominates.
+type Breakdown struct {
+	// Structural is Σ π(s) over states with success = 0.
+	Structural float64
+	// Performance is Σ π(s)·(1 − success(s)) over states with success > 0.
+	Performance float64
+}
+
+// Total returns the total unavailability.
+func (b Breakdown) Total() float64 { return b.Structural + b.Performance }
+
+// UnavailabilityBreakdown computes the structural/performance split.
+func (m *Model) UnavailabilityBreakdown() Breakdown {
+	var b Breakdown
+	for _, s := range m.states {
+		if s.Success == 0 {
+			b.Structural += s.Probability
+		} else {
+			b.Performance += s.Probability * (1 - s.Success)
+		}
+	}
+	return b
+}
+
+// States returns a copy of the model's states.
+func (m *Model) States() []State {
+	out := make([]State, len(m.states))
+	copy(out, m.states)
+	return out
+}

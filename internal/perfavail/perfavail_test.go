@@ -1,0 +1,124 @@
+package perfavail
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		states []State
+	}{
+		{"empty", nil},
+		{"negative prob", []State{{Name: "a", Probability: -0.1, Success: 1}, {Name: "b", Probability: 1.1, Success: 1}}},
+		{"bad success", []State{{Name: "a", Probability: 1, Success: 1.5}}},
+		{"sum not one", []State{{Name: "a", Probability: 0.4, Success: 1}}},
+		{"nan", []State{{Name: "a", Probability: math.NaN(), Success: 1}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.states); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+func TestAvailabilityAndUnavailability(t *testing.T) {
+	m, err := New([]State{
+		{Name: "up", Probability: 0.9, Success: 0.99},
+		{Name: "degraded", Probability: 0.08, Success: 0.5},
+		{Name: "down", Probability: 0.02, Success: 0},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	wantA := 0.9*0.99 + 0.08*0.5
+	if got := m.Availability(); math.Abs(got-wantA) > 1e-15 {
+		t.Errorf("A = %v, want %v", got, wantA)
+	}
+	if got := m.Unavailability(); math.Abs(got-(1-wantA)) > 1e-12 {
+		t.Errorf("U = %v, want %v", got, 1-wantA)
+	}
+}
+
+func TestUnavailabilityPrecision(t *testing.T) {
+	// For a highly available system, Unavailability must not lose precision
+	// to cancellation: U = 1e-15 exactly here.
+	m, err := New([]State{
+		{Name: "up", Probability: 1, Success: 1 - 1e-15},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := m.Unavailability(); math.Abs(got-1e-15) > 1e-17 {
+		t.Errorf("U = %v, want 1e-15", got)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	m, err := New([]State{
+		{Name: "4-servers", Probability: 0.95, Success: 0.999},
+		{Name: "reconfig", Probability: 0.03, Success: 0},
+		{Name: "0-servers", Probability: 0.02, Success: 0},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	b := m.UnavailabilityBreakdown()
+	if math.Abs(b.Structural-0.05) > 1e-15 {
+		t.Errorf("structural = %v, want 0.05", b.Structural)
+	}
+	if math.Abs(b.Performance-0.95*0.001) > 1e-15 {
+		t.Errorf("performance = %v, want %v", b.Performance, 0.95*0.001)
+	}
+	if math.Abs(b.Total()-m.Unavailability()) > 1e-15 {
+		t.Errorf("breakdown total %v ≠ unavailability %v", b.Total(), m.Unavailability())
+	}
+}
+
+func TestStatesReturnsCopy(t *testing.T) {
+	orig := []State{{Name: "up", Probability: 1, Success: 1}}
+	m, err := New(orig)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	got := m.States()
+	got[0].Success = 0
+	if m.Availability() != 1 {
+		t.Error("States() leaked internal slice")
+	}
+	orig[0].Probability = 0.5
+	if m.Availability() != 1 {
+		t.Error("New() aliased the caller's slice")
+	}
+}
+
+// Property: A + U = 1 and both lie in [0, 1] for random valid models.
+func TestComplementProperty(t *testing.T) {
+	f := func(raw [4]float64, succ [4]float64) bool {
+		states := make([]State, 4)
+		var sum float64
+		for i := range states {
+			p := math.Abs(math.Mod(raw[i], 1)) + 0.01
+			states[i].Probability = p
+			sum += p
+			states[i].Success = math.Abs(math.Mod(succ[i], 1))
+		}
+		for i := range states {
+			states[i].Probability /= sum
+		}
+		m, err := New(states)
+		if err != nil {
+			return false
+		}
+		a, u := m.Availability(), m.Unavailability()
+		if a < 0 || a > 1 || u < 0 || u > 1 {
+			return false
+		}
+		return math.Abs(a+u-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

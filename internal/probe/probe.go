@@ -1,0 +1,189 @@
+// Package probe simulates the remote-measurement campaigns the paper relies
+// on for characterizing external suppliers (§1: "remote measurements can be
+// used to evaluate some parameters characterizing the dependability of these
+// services", refs [6–9]). An external reservation system is a black box; the
+// only way to obtain its availability is to probe it from outside.
+//
+// The package synthesizes an alternating-renewal ground truth (exponential
+// up and down periods) and runs a periodic probing campaign against it,
+// producing an availability estimate with a confidence interval and crude
+// MTTF/MTTR estimates from observed state changes. The estimates feed the
+// resource level of the hierarchy as measured parameters — reproducing the
+// paper's parameter-acquisition pathway end to end with synthetic data.
+package probe
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// ErrParam is returned for invalid parameters.
+var ErrParam = errors.New("probe: invalid parameter")
+
+// Service is the hidden ground truth: an alternating-renewal process with
+// exponential up periods (mean 1/FailureRate) and down periods
+// (mean 1/RepairRate).
+type Service struct {
+	FailureRate float64 // per time unit; up-period mean = 1/FailureRate
+	RepairRate  float64 // per time unit; down-period mean = 1/RepairRate
+}
+
+func (s Service) check() error {
+	if s.FailureRate <= 0 || math.IsNaN(s.FailureRate) || math.IsInf(s.FailureRate, 0) {
+		return fmt.Errorf("%w: failure rate %v", ErrParam, s.FailureRate)
+	}
+	if s.RepairRate <= 0 || math.IsNaN(s.RepairRate) || math.IsInf(s.RepairRate, 0) {
+		return fmt.Errorf("%w: repair rate %v", ErrParam, s.RepairRate)
+	}
+	return nil
+}
+
+// TrueAvailability returns the steady-state availability µ/(λ+µ).
+func (s Service) TrueAvailability() float64 {
+	return s.RepairRate / (s.FailureRate + s.RepairRate)
+}
+
+// Campaign describes a periodic probing plan.
+type Campaign struct {
+	// Interval between consecutive probes.
+	Interval float64
+	// Probes is the number of probes to send.
+	Probes int
+}
+
+func (c Campaign) check() error {
+	if c.Interval <= 0 || math.IsNaN(c.Interval) || math.IsInf(c.Interval, 0) {
+		return fmt.Errorf("%w: interval %v", ErrParam, c.Interval)
+	}
+	if c.Probes < 2 {
+		return fmt.Errorf("%w: probes %d", ErrParam, c.Probes)
+	}
+	return nil
+}
+
+// Estimate is the campaign outcome.
+type Estimate struct {
+	// Availability is the fraction of successful probes.
+	Availability float64
+	// CI95 is the Wald interval of Availability. Consecutive probes are
+	// correlated when Interval is short relative to 1/λ and 1/µ, so the
+	// interval is optimistic in that regime; pick Interval of the order of
+	// the down-period mean or longer for honest intervals.
+	CI95 stats.Interval
+	// Transitions is the number of observed up↔down changes between
+	// consecutive probes (state changes inside an interval are invisible).
+	Transitions int
+	// MTTFEstimate is the mean observed up-run length times the interval
+	// (a right-censored, discretized MTTF estimate); NaN if no down probe
+	// was observed.
+	MTTFEstimate float64
+	// MTTREstimate is the analogous down-run estimate; NaN if no down probe
+	// was observed.
+	MTTREstimate float64
+}
+
+// Run executes the campaign against the synthetic service.
+func Run(svc Service, c Campaign, seed int64) (Estimate, error) {
+	if err := svc.check(); err != nil {
+		return Estimate{}, err
+	}
+	if err := c.check(); err != nil {
+		return Estimate{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Start in steady state.
+	up := rng.Float64() < svc.TrueAvailability()
+	// nextChange is the absolute time of the next state flip.
+	var now, nextChange float64
+	rate := func(isUp bool) float64 {
+		if isUp {
+			return svc.FailureRate
+		}
+		return svc.RepairRate
+	}
+	nextChange = rng.ExpFloat64() / rate(up)
+
+	var (
+		prop        stats.Proportion
+		transitions int
+		upRuns      stats.Welford
+		downRuns    stats.Welford
+		runLen      int
+		prevUp      bool
+		havePrev    bool
+	)
+	flushRun := func(wasUp bool) {
+		if runLen == 0 {
+			return
+		}
+		if wasUp {
+			upRuns.Add(float64(runLen))
+		} else {
+			downRuns.Add(float64(runLen))
+		}
+		runLen = 0
+	}
+	for i := 0; i < c.Probes; i++ {
+		now = float64(i) * c.Interval
+		for nextChange <= now {
+			up = !up
+			nextChange += rng.ExpFloat64() / rate(up)
+		}
+		prop.Add(up)
+		if havePrev && up != prevUp {
+			transitions++
+			flushRun(prevUp)
+		}
+		runLen++
+		prevUp = up
+		havePrev = true
+	}
+	flushRun(prevUp)
+
+	avail, err := prop.Estimate()
+	if err != nil {
+		return Estimate{}, err
+	}
+	ci, err := prop.ConfidenceInterval(0.95)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est := Estimate{
+		Availability: avail,
+		CI95:         ci,
+		Transitions:  transitions,
+		MTTFEstimate: math.NaN(),
+		MTTREstimate: math.NaN(),
+	}
+	if downRuns.Count() > 0 && upRuns.Count() > 0 {
+		est.MTTFEstimate = upRuns.Mean() * c.Interval
+		est.MTTREstimate = downRuns.Mean() * c.Interval
+	}
+	return est, nil
+}
+
+// EstimateAvailabilities runs one campaign per service and returns the
+// estimated availabilities keyed like the input — a drop-in source for the
+// external-service parameters of the travel-agency model.
+func EstimateAvailabilities(services map[string]Service, c Campaign, seed int64) (map[string]float64, error) {
+	names := make([]string, 0, len(services))
+	for name := range services {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic seed assignment
+	out := make(map[string]float64, len(services))
+	for i, name := range names {
+		est, err := Run(services[name], c, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("probe: service %q: %w", name, err)
+		}
+		out[name] = est.Availability
+	}
+	return out, nil
+}

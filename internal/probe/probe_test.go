@@ -1,0 +1,135 @@
+package probe
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidation(t *testing.T) {
+	good := Service{FailureRate: 0.01, RepairRate: 0.1}
+	camp := Campaign{Interval: 1, Probes: 100}
+	if _, err := Run(good, camp, 1); err != nil {
+		t.Fatalf("valid campaign rejected: %v", err)
+	}
+	if _, err := Run(Service{FailureRate: 0, RepairRate: 1}, camp, 1); err == nil {
+		t.Error("zero failure rate accepted")
+	}
+	if _, err := Run(Service{FailureRate: 1, RepairRate: math.NaN()}, camp, 1); err == nil {
+		t.Error("NaN repair rate accepted")
+	}
+	if _, err := Run(good, Campaign{Interval: 0, Probes: 10}, 1); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := Run(good, Campaign{Interval: 1, Probes: 1}, 1); err == nil {
+		t.Error("single probe accepted")
+	}
+}
+
+func TestTrueAvailability(t *testing.T) {
+	s := Service{FailureRate: 1, RepairRate: 9}
+	if got := s.TrueAvailability(); math.Abs(got-0.9) > 1e-15 {
+		t.Errorf("TrueAvailability = %v, want 0.9", got)
+	}
+}
+
+func TestDeterministicSeeds(t *testing.T) {
+	svc := Service{FailureRate: 0.05, RepairRate: 0.5}
+	camp := Campaign{Interval: 2, Probes: 5000}
+	a, err := Run(svc, camp, 99)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(svc, camp, 99)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Availability != b.Availability || a.Transitions != b.Transitions {
+		t.Error("same seed produced different estimates")
+	}
+}
+
+// The estimated availability must converge to the ground truth. The paper's
+// external systems have A = 0.9 (Table 7); probe a service with that truth.
+func TestEstimateConvergesToTruth(t *testing.T) {
+	svc := Service{FailureRate: 0.1, RepairRate: 0.9} // A = 0.9
+	camp := Campaign{Interval: 5, Probes: 60000}      // sparse probes ⇒ near-i.i.d.
+	est, err := Run(svc, camp, 12345)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(est.Availability-0.9) > 0.01 {
+		t.Errorf("estimate %v vs truth 0.9", est.Availability)
+	}
+	if !est.CI95.Contains(0.9) && math.Abs(est.Availability-0.9) > 3*est.CI95.HalfWidth {
+		t.Errorf("truth far outside CI: %v ± %v", est.Availability, est.CI95.HalfWidth)
+	}
+	if est.Transitions == 0 {
+		t.Error("no transitions observed in a long campaign")
+	}
+}
+
+// MTTF/MTTR run-length estimates should be the right order of magnitude when
+// the probe interval resolves the dynamics.
+func TestMTTFMTTREstimates(t *testing.T) {
+	svc := Service{FailureRate: 0.02, RepairRate: 0.2} // MTTF 50, MTTR 5
+	camp := Campaign{Interval: 1, Probes: 200000}
+	est, err := Run(svc, camp, 7)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.IsNaN(est.MTTFEstimate) || math.IsNaN(est.MTTREstimate) {
+		t.Fatal("estimates are NaN despite observed transitions")
+	}
+	if est.MTTFEstimate < 25 || est.MTTFEstimate > 100 {
+		t.Errorf("MTTF estimate %v far from 50", est.MTTFEstimate)
+	}
+	if est.MTTREstimate < 2.5 || est.MTTREstimate > 10 {
+		t.Errorf("MTTR estimate %v far from 5", est.MTTREstimate)
+	}
+}
+
+func TestNoDownObservations(t *testing.T) {
+	// Nearly always-up service with a short campaign: most likely no down
+	// probes, so MTTF/MTTR must come back NaN, not garbage.
+	svc := Service{FailureRate: 1e-9, RepairRate: 1}
+	est, err := Run(svc, Campaign{Interval: 1, Probes: 100}, 3)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if est.Availability != 1 {
+		t.Skipf("rare down observation; availability %v", est.Availability)
+	}
+	if !math.IsNaN(est.MTTFEstimate) || !math.IsNaN(est.MTTREstimate) {
+		t.Error("expected NaN MTTF/MTTR without down observations")
+	}
+}
+
+func TestEstimateAvailabilities(t *testing.T) {
+	services := map[string]Service{
+		"flight-1": {FailureRate: 0.1, RepairRate: 0.9},
+		"hotel-1":  {FailureRate: 0.05, RepairRate: 0.45},
+	}
+	got, err := EstimateAvailabilities(services, Campaign{Interval: 5, Probes: 30000}, 11)
+	if err != nil {
+		t.Fatalf("EstimateAvailabilities: %v", err)
+	}
+	for name := range services {
+		if math.Abs(got[name]-0.9) > 0.02 {
+			t.Errorf("%s: estimate %v vs truth 0.9", name, got[name])
+		}
+	}
+	// Deterministic across invocations despite map ordering.
+	again, err := EstimateAvailabilities(services, Campaign{Interval: 5, Probes: 30000}, 11)
+	if err != nil {
+		t.Fatalf("EstimateAvailabilities: %v", err)
+	}
+	for name := range services {
+		if got[name] != again[name] {
+			t.Errorf("%s: non-deterministic estimate", name)
+		}
+	}
+	bad := map[string]Service{"x": {FailureRate: -1, RepairRate: 1}}
+	if _, err := EstimateAvailabilities(bad, Campaign{Interval: 1, Probes: 10}, 1); err == nil {
+		t.Error("invalid service accepted")
+	}
+}

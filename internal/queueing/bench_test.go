@@ -1,0 +1,59 @@
+package queueing
+
+import "testing"
+
+var benchSink float64
+
+func BenchmarkMM1KLoss(b *testing.B) {
+	q := MM1K{Arrival: 100, Service: 100, Capacity: 10}
+	for i := 0; i < b.N; i++ {
+		p, err := q.LossProbability()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += p
+	}
+}
+
+func BenchmarkMMcKLossBirthDeath(b *testing.B) {
+	q := MMcK{Arrival: 100, Service: 100, Servers: 4, Capacity: 10}
+	for i := 0; i < b.N; i++ {
+		p, err := q.LossProbability()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += p
+	}
+}
+
+func BenchmarkMMcKLossClosedForm(b *testing.B) {
+	q := MMcK{Arrival: 100, Service: 100, Servers: 4, Capacity: 10}
+	for i := 0; i < b.N; i++ {
+		p, err := q.LossProbabilityClosedForm()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += p
+	}
+}
+
+func BenchmarkErlangB100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := ErlangB(100, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += p
+	}
+}
+
+func BenchmarkMMcResponseTail(b *testing.B) {
+	q := MMc{Arrival: 50, Service: 100, Servers: 4}
+	for i := 0; i < b.N; i++ {
+		p, err := q.ResponseTimeTail(0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += p
+	}
+}

@@ -1,0 +1,59 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// BirthDeath computes the steady-state distribution of a finite birth–death
+// process with states 0..n, birth rates birth[i] (i → i+1, i = 0..n−1) and
+// death rates death[i] (i+1 → i, i = 0..n−1). All rates must be positive.
+//
+// The computation works in log space relative to the largest unnormalized
+// term, so chains whose probabilities span hundreds of orders of magnitude
+// (e.g. repair 1/h vs failure 1e-4/h with many servers) are handled without
+// overflow or underflow of the normalization constant.
+func BirthDeath(birth, death []float64) ([]float64, error) {
+	if len(birth) != len(death) {
+		return nil, fmt.Errorf("%w: %d birth rates but %d death rates", ErrParam, len(birth), len(death))
+	}
+	n := len(birth)
+	for i := 0; i < n; i++ {
+		if birth[i] <= 0 || math.IsNaN(birth[i]) || math.IsInf(birth[i], 0) {
+			return nil, fmt.Errorf("%w: birth[%d] = %v", ErrParam, i, birth[i])
+		}
+		if death[i] <= 0 || math.IsNaN(death[i]) || math.IsInf(death[i], 0) {
+			return nil, fmt.Errorf("%w: death[%d] = %v", ErrParam, i, death[i])
+		}
+	}
+	// log π̃_k = Σ_{i<k} log(birth[i]/death[i]); π̃_0 = 1.
+	logTerm := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		logTerm[i+1] = logTerm[i] + math.Log(birth[i]) - math.Log(death[i])
+	}
+	var maxLog float64
+	for _, l := range logTerm {
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	pi := make([]float64, n+1)
+	var sum float64
+	for k, l := range logTerm {
+		pi[k] = math.Exp(l - maxLog)
+		sum += pi[k]
+	}
+	for k := range pi {
+		pi[k] /= sum
+	}
+	return pi, nil
+}
+
+// MeanOf returns Σ k·p[k] for a distribution over 0..len(p)-1.
+func MeanOf(p []float64) float64 {
+	var m float64
+	for k, v := range p {
+		m += float64(k) * v
+	}
+	return m
+}

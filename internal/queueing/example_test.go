@@ -1,0 +1,43 @@
+package queueing_test
+
+import (
+	"fmt"
+
+	"repro/internal/queueing"
+)
+
+// The paper's Figure 11/12 operating point: four web servers at 100 req/s
+// each, offered 100 req/s, buffer of 10 — equation (3) of the paper.
+func ExampleMMcK_LossProbability() {
+	q := queueing.MMcK{Arrival: 100, Service: 100, Servers: 4, Capacity: 10}
+	p, err := q.LossProbability()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("p_K(4) = %.4g\n", p)
+	// Output: p_K(4) = 3.737e-06
+}
+
+// Equation (1): a single server at ρ = 1 loses exactly 1/(K+1) of requests.
+func ExampleMM1K_LossProbability() {
+	q := queueing.MM1K{Arrival: 100, Service: 100, Capacity: 10}
+	p, err := q.LossProbability()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("p_K = %.6f\n", p)
+	// Output: p_K = 0.090909
+}
+
+// Deterministic service halves queueing delay at equal load: the
+// Pollaczek–Khinchine (1 + SCV)/2 factor.
+func ExampleMG1() {
+	exponential := queueing.MM1AsMG1(60, 100)
+	deterministic := queueing.MD1(60, 0.01)
+	we, _ := exponential.MeanWaitingTime()
+	wd, _ := deterministic.MeanWaitingTime()
+	fmt.Printf("Wq exponential %.2f ms, deterministic %.2f ms\n", we*1000, wd*1000)
+	// Output: Wq exponential 15.00 ms, deterministic 7.50 ms
+}

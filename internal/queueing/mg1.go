@@ -1,0 +1,83 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MG1 is a single-server queue with Poisson arrivals and a general service
+// time distribution characterized by its first two moments (the
+// Pollaczek–Khinchine regime). It generalizes M/M/1: static web pages are
+// served in near-deterministic time, which *halves* queueing delay relative
+// to the exponential assumption — a model-risk check for the paper's
+// M/M/i/K choice.
+type MG1 struct {
+	Arrival         float64 // λ
+	MeanService     float64 // E[S] > 0
+	ServiceVariance float64 // Var[S] ≥ 0
+}
+
+// MD1 returns the M/D/1 special case (deterministic service).
+func MD1(arrival, serviceTime float64) MG1 {
+	return MG1{Arrival: arrival, MeanService: serviceTime, ServiceVariance: 0}
+}
+
+// MM1AsMG1 returns the M/M/1 special case (exponential service, variance
+// E[S]²) for cross-checks.
+func MM1AsMG1(arrival, serviceRate float64) MG1 {
+	mean := 1 / serviceRate
+	return MG1{Arrival: arrival, MeanService: mean, ServiceVariance: mean * mean}
+}
+
+func (q MG1) check() error {
+	if q.Arrival <= 0 || math.IsNaN(q.Arrival) || math.IsInf(q.Arrival, 0) {
+		return fmt.Errorf("%w: arrival rate %v", ErrParam, q.Arrival)
+	}
+	if q.MeanService <= 0 || math.IsNaN(q.MeanService) || math.IsInf(q.MeanService, 0) {
+		return fmt.Errorf("%w: mean service time %v", ErrParam, q.MeanService)
+	}
+	if q.ServiceVariance < 0 || math.IsNaN(q.ServiceVariance) || math.IsInf(q.ServiceVariance, 0) {
+		return fmt.Errorf("%w: service variance %v", ErrParam, q.ServiceVariance)
+	}
+	if q.Utilization() >= 1 {
+		return fmt.Errorf("%w: ρ = %v", ErrUnstable, q.Utilization())
+	}
+	return nil
+}
+
+// Utilization returns ρ = λ·E[S].
+func (q MG1) Utilization() float64 { return q.Arrival * q.MeanService }
+
+// SCV returns the squared coefficient of variation Var[S]/E[S]² of the
+// service time (1 for exponential, 0 for deterministic).
+func (q MG1) SCV() float64 {
+	return q.ServiceVariance / (q.MeanService * q.MeanService)
+}
+
+// MeanWaitingTime returns the Pollaczek–Khinchine waiting time
+// Wq = λ·E[S²] / (2(1−ρ)) with E[S²] = Var[S] + E[S]².
+func (q MG1) MeanWaitingTime() (float64, error) {
+	if err := q.check(); err != nil {
+		return 0, err
+	}
+	es2 := q.ServiceVariance + q.MeanService*q.MeanService
+	return q.Arrival * es2 / (2 * (1 - q.Utilization())), nil
+}
+
+// MeanResponseTime returns W = Wq + E[S].
+func (q MG1) MeanResponseTime() (float64, error) {
+	wq, err := q.MeanWaitingTime()
+	if err != nil {
+		return 0, err
+	}
+	return wq + q.MeanService, nil
+}
+
+// MeanCustomers returns L = λ·W (Little's law).
+func (q MG1) MeanCustomers() (float64, error) {
+	w, err := q.MeanResponseTime()
+	if err != nil {
+		return 0, err
+	}
+	return q.Arrival * w, nil
+}

@@ -1,0 +1,124 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMG1Validation(t *testing.T) {
+	bad := []MG1{
+		{Arrival: 0, MeanService: 1, ServiceVariance: 0},
+		{Arrival: 1, MeanService: 0, ServiceVariance: 0},
+		{Arrival: 1, MeanService: 1, ServiceVariance: -1},
+		{Arrival: 2, MeanService: 1, ServiceVariance: 0}, // ρ = 2
+		{Arrival: 1, MeanService: math.NaN(), ServiceVariance: 0},
+	}
+	for _, q := range bad {
+		if _, err := q.MeanWaitingTime(); err == nil {
+			t.Errorf("%+v accepted", q)
+		}
+	}
+}
+
+// The exponential special case must coincide with M/M/1 exactly.
+func TestMG1MatchesMM1(t *testing.T) {
+	const lambda, mu = 60.0, 100.0
+	mg1 := MM1AsMG1(lambda, mu)
+	mm1 := MM1{Arrival: lambda, Service: mu}
+	wMG1, err := mg1.MeanResponseTime()
+	if err != nil {
+		t.Fatalf("MG1: %v", err)
+	}
+	wMM1, err := mm1.MeanResponseTime()
+	if err != nil {
+		t.Fatalf("MM1: %v", err)
+	}
+	if relDiff(wMG1, wMM1) > 1e-12 {
+		t.Errorf("W: MG1 %v vs MM1 %v", wMG1, wMM1)
+	}
+	lMG1, err := mg1.MeanCustomers()
+	if err != nil {
+		t.Fatalf("MG1: %v", err)
+	}
+	lMM1, err := mm1.MeanCustomers()
+	if err != nil {
+		t.Fatalf("MM1: %v", err)
+	}
+	if relDiff(lMG1, lMM1) > 1e-12 {
+		t.Errorf("L: MG1 %v vs MM1 %v", lMG1, lMM1)
+	}
+	if mg1.SCV() != 1 {
+		t.Errorf("SCV = %v, want 1", mg1.SCV())
+	}
+}
+
+// Deterministic service halves the waiting time of exponential service at
+// equal utilization — the classical P-K factor (1 + SCV)/2.
+func TestMD1HalvesWaiting(t *testing.T) {
+	const lambda, mean = 60.0, 0.01
+	md1 := MD1(lambda, mean)
+	mm1 := MM1AsMG1(lambda, 1/mean)
+	wqD, err := md1.MeanWaitingTime()
+	if err != nil {
+		t.Fatalf("MD1: %v", err)
+	}
+	wqM, err := mm1.MeanWaitingTime()
+	if err != nil {
+		t.Fatalf("MM1: %v", err)
+	}
+	if relDiff(wqD, wqM/2) > 1e-12 {
+		t.Errorf("Wq(M/D/1) = %v, want half of %v", wqD, wqM)
+	}
+	if md1.SCV() != 0 {
+		t.Errorf("SCV = %v, want 0", md1.SCV())
+	}
+}
+
+// Known value: M/D/1 with λ=0.5, D=1 (ρ=0.5): Wq = λD²/(2(1−ρ)) = 0.5.
+func TestMD1KnownValue(t *testing.T) {
+	q := MD1(0.5, 1)
+	wq, err := q.MeanWaitingTime()
+	if err != nil {
+		t.Fatalf("MeanWaitingTime: %v", err)
+	}
+	if relDiff(wq, 0.5) > 1e-12 {
+		t.Errorf("Wq = %v, want 0.5", wq)
+	}
+}
+
+// Property: waiting time grows with service variability at fixed mean and
+// load, and Little's law holds.
+func TestMG1VariabilityProperty(t *testing.T) {
+	f := func(rawRho, rawSCV uint8) bool {
+		rho := 0.1 + 0.8*float64(rawRho)/255
+		scv := float64(rawSCV) / 64 // 0..4
+		mean := 0.01
+		lambda := rho / mean
+		q := MG1{Arrival: lambda, MeanService: mean, ServiceVariance: scv * mean * mean}
+		qLess := MG1{Arrival: lambda, MeanService: mean, ServiceVariance: scv * mean * mean / 2}
+		w1, err := q.MeanWaitingTime()
+		if err != nil {
+			return false
+		}
+		w2, err := qLess.MeanWaitingTime()
+		if err != nil {
+			return false
+		}
+		if w2 > w1+1e-15 {
+			return false
+		}
+		l, err := q.MeanCustomers()
+		if err != nil {
+			return false
+		}
+		w, err := q.MeanResponseTime()
+		if err != nil {
+			return false
+		}
+		return relDiff(l, lambda*w) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1 is a single-server queue with Poisson arrivals (rate Arrival) and
+// exponential service (rate Service) and an infinite buffer.
+type MM1 struct {
+	Arrival float64 // λ
+	Service float64 // ν
+}
+
+// Utilization returns ρ = λ/ν.
+func (q MM1) Utilization() float64 { return q.Arrival / q.Service }
+
+func (q MM1) check() error {
+	if err := checkRates(q.Arrival, q.Service); err != nil {
+		return err
+	}
+	if q.Utilization() >= 1 {
+		return fmt.Errorf("%w: ρ = %v", ErrUnstable, q.Utilization())
+	}
+	return nil
+}
+
+// MeanCustomers returns L = ρ/(1−ρ).
+func (q MM1) MeanCustomers() (float64, error) {
+	if err := q.check(); err != nil {
+		return 0, err
+	}
+	rho := q.Utilization()
+	return rho / (1 - rho), nil
+}
+
+// MeanResponseTime returns W = 1/(ν−λ) by Little's law.
+func (q MM1) MeanResponseTime() (float64, error) {
+	if err := q.check(); err != nil {
+		return 0, err
+	}
+	return 1 / (q.Service - q.Arrival), nil
+}
+
+// ResponseTimeTail returns P(T > t) = exp(−(ν−λ)·t): the probability that a
+// request's sojourn time exceeds t. This is the building block of the
+// "response time exceeds an acceptable threshold" failure mode the paper
+// lists as future work.
+func (q MM1) ResponseTimeTail(t float64) (float64, error) {
+	if err := q.check(); err != nil {
+		return 0, err
+	}
+	if t < 0 {
+		return 1, nil
+	}
+	return math.Exp(-(q.Service - q.Arrival) * t), nil
+}
+
+// StateProbability returns P(N = n) = (1−ρ)ρⁿ.
+func (q MM1) StateProbability(n int) (float64, error) {
+	if err := q.check(); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("%w: negative state %d", ErrParam, n)
+	}
+	rho := q.Utilization()
+	return (1 - rho) * math.Pow(rho, float64(n)), nil
+}

@@ -1,0 +1,98 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1K is a single-server queue with Poisson arrivals, exponential service
+// and a finite system capacity of K requests (one in service plus K−1
+// waiting). An arrival that finds K requests in the system is lost.
+//
+// Its loss probability is equation (1) of the paper:
+//
+//	p_K = ρᴷ(1−ρ) / (1−ρᴷ⁺¹),  ρ = α/ν
+//
+// with the analytic limit p_K = 1/(K+1) at ρ = 1.
+type MM1K struct {
+	Arrival  float64 // α
+	Service  float64 // ν
+	Capacity int     // K
+}
+
+func (q MM1K) check() error {
+	if err := checkRates(q.Arrival, q.Service); err != nil {
+		return err
+	}
+	if q.Capacity < 1 {
+		return fmt.Errorf("%w: capacity %d", ErrParam, q.Capacity)
+	}
+	return nil
+}
+
+// Utilization returns ρ = α/ν (which may exceed 1 for a loss system).
+func (q MM1K) Utilization() float64 { return q.Arrival / q.Service }
+
+// LossProbability returns the probability that an arriving request is
+// rejected because the system is full (paper equation 1).
+func (q MM1K) LossProbability() (float64, error) {
+	if err := q.check(); err != nil {
+		return 0, err
+	}
+	rho := q.Utilization()
+	k := q.Capacity
+	// Near ρ = 1 the closed form is 0/0; switch to the exact limit expansion
+	// computed via the state distribution, which is uniform at ρ = 1.
+	if math.Abs(rho-1) < 1e-9 {
+		return 1 / float64(k+1), nil
+	}
+	num := math.Pow(rho, float64(k)) * (1 - rho)
+	den := 1 - math.Pow(rho, float64(k+1))
+	return num / den, nil
+}
+
+// StateDistribution returns P(N = n) for n = 0..K.
+func (q MM1K) StateDistribution() ([]float64, error) {
+	if err := q.check(); err != nil {
+		return nil, err
+	}
+	birth := make([]float64, q.Capacity)
+	death := make([]float64, q.Capacity)
+	for i := range birth {
+		birth[i] = q.Arrival
+		death[i] = q.Service
+	}
+	return BirthDeath(birth, death)
+}
+
+// Throughput returns the accepted-request rate α·(1−p_K).
+func (q MM1K) Throughput() (float64, error) {
+	p, err := q.LossProbability()
+	if err != nil {
+		return 0, err
+	}
+	return q.Arrival * (1 - p), nil
+}
+
+// MeanCustomers returns E[N].
+func (q MM1K) MeanCustomers() (float64, error) {
+	dist, err := q.StateDistribution()
+	if err != nil {
+		return 0, err
+	}
+	return MeanOf(dist), nil
+}
+
+// MeanResponseTime returns the mean sojourn time of *accepted* requests via
+// Little's law with the effective arrival rate.
+func (q MM1K) MeanResponseTime() (float64, error) {
+	l, err := q.MeanCustomers()
+	if err != nil {
+		return 0, err
+	}
+	x, err := q.Throughput()
+	if err != nil {
+		return 0, err
+	}
+	return l / x, nil
+}

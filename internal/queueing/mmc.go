@@ -1,0 +1,137 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MMc is a c-server queue with Poisson arrivals, exponential per-server
+// service, and an infinite buffer. It provides the Erlang-C delay formula
+// and response-time tails used by the latency-threshold extension.
+type MMc struct {
+	Arrival float64 // λ
+	Service float64 // µ per server
+	Servers int     // c
+}
+
+func (q MMc) check() error {
+	if err := checkRates(q.Arrival, q.Service); err != nil {
+		return err
+	}
+	if q.Servers < 1 {
+		return fmt.Errorf("%w: servers %d", ErrParam, q.Servers)
+	}
+	if q.Utilization() >= 1 {
+		return fmt.Errorf("%w: ρ = %v with %d servers", ErrUnstable, q.Utilization(), q.Servers)
+	}
+	return nil
+}
+
+// Utilization returns ρ = λ/(c·µ).
+func (q MMc) Utilization() float64 {
+	return q.Arrival / (float64(q.Servers) * q.Service)
+}
+
+// ProbWait returns the Erlang-C probability that an arriving request must
+// wait (all c servers busy).
+func (q MMc) ProbWait() (float64, error) {
+	if err := q.check(); err != nil {
+		return 0, err
+	}
+	return erlangC(q.Servers, q.Arrival/q.Service), nil
+}
+
+// MeanQueueLength returns Lq = C·ρ/(1−ρ).
+func (q MMc) MeanQueueLength() (float64, error) {
+	c, err := q.ProbWait()
+	if err != nil {
+		return 0, err
+	}
+	rho := q.Utilization()
+	return c * rho / (1 - rho), nil
+}
+
+// MeanWaitingTime returns Wq = Lq/λ.
+func (q MMc) MeanWaitingTime() (float64, error) {
+	lq, err := q.MeanQueueLength()
+	if err != nil {
+		return 0, err
+	}
+	return lq / q.Arrival, nil
+}
+
+// MeanResponseTime returns W = Wq + 1/µ.
+func (q MMc) MeanResponseTime() (float64, error) {
+	wq, err := q.MeanWaitingTime()
+	if err != nil {
+		return 0, err
+	}
+	return wq + 1/q.Service, nil
+}
+
+// WaitingTimeTail returns P(Wq > t) = C·exp(−(cµ−λ)t).
+func (q MMc) WaitingTimeTail(t float64) (float64, error) {
+	c, err := q.ProbWait()
+	if err != nil {
+		return 0, err
+	}
+	if t < 0 {
+		return 1, nil
+	}
+	delta := float64(q.Servers)*q.Service - q.Arrival
+	return c * math.Exp(-delta*t), nil
+}
+
+// ResponseTimeTail returns P(T > t) for the FCFS sojourn time T = Wq + S,
+// with S exponential(µ) independent of Wq:
+//
+//	P(T>t) = (1−C)e^{−µt} + C·δ·(e^{−δt} − e^{−µt})/(µ−δ) + C·e^{−δt},
+//
+// where δ = cµ−λ and C is the Erlang-C probability; the µ = δ case is the
+// analytic limit (1−C)e^{−µt} + C·(1+µt)e^{−µt}... computed explicitly.
+func (q MMc) ResponseTimeTail(t float64) (float64, error) {
+	cProb, err := q.ProbWait()
+	if err != nil {
+		return 0, err
+	}
+	if t < 0 {
+		return 1, nil
+	}
+	mu := q.Service
+	delta := float64(q.Servers)*mu - q.Arrival
+	if math.Abs(mu-delta) < 1e-12*mu {
+		// δ → µ limit: ∫₀ᵗ Cδe^{−δw}e^{−µ(t−w)}dw → C·µ·t·e^{−µt}.
+		return (1-cProb)*math.Exp(-mu*t) + cProb*mu*t*math.Exp(-mu*t) + cProb*math.Exp(-delta*t), nil
+	}
+	mix := cProb * delta * (math.Exp(-delta*t) - math.Exp(-mu*t)) / (mu - delta)
+	return (1-cProb)*math.Exp(-mu*t) + mix + cProb*math.Exp(-delta*t), nil
+}
+
+// ErlangB returns the Erlang-B blocking probability for c servers offered
+// load a = λ/µ (an M/M/c/c loss system), computed with the standard stable
+// recurrence.
+func ErlangB(servers int, offered float64) (float64, error) {
+	if servers < 1 {
+		return 0, fmt.Errorf("%w: servers %d", ErrParam, servers)
+	}
+	if offered <= 0 || math.IsNaN(offered) || math.IsInf(offered, 0) {
+		return 0, fmt.Errorf("%w: offered load %v", ErrParam, offered)
+	}
+	b := 1.0
+	for k := 1; k <= servers; k++ {
+		b = offered * b / (float64(k) + offered*b)
+	}
+	return b, nil
+}
+
+// erlangC computes the Erlang-C probability of waiting for c servers and
+// offered load a = λ/µ (requires a < c), via Erlang-B:
+// C = c·B / (c − a(1−B)).
+func erlangC(servers int, offered float64) float64 {
+	b, err := ErlangB(servers, offered)
+	if err != nil {
+		return math.NaN()
+	}
+	c := float64(servers)
+	return c * b / (c - offered*(1-b))
+}

@@ -1,0 +1,39 @@
+// Package queueing implements the Markovian queueing models used as the
+// performance substrate of the travel-agency availability study:
+//
+//   - a general birth–death steady-state solver with overflow-safe
+//     normalization,
+//   - M/M/1 and M/M/c (Erlang-C) queues with response-time tails,
+//   - M/M/1/K and M/M/c/K finite-buffer queues, whose loss probabilities are
+//     equations (1) and (3) of the paper — the probability that a web request
+//     is rejected because the input buffer (size K) is full,
+//   - the Erlang-B blocking formula as a classical cross-check.
+//
+// All rates use consistent (arbitrary) time units; the paper uses requests
+// per second for arrivals/service and per hour for failures/repairs, which
+// is fine because the two models are composed only through probabilities.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrParam is returned for invalid model parameters (non-positive rates,
+// zero servers, etc.).
+var ErrParam = errors.New("queueing: invalid parameter")
+
+// ErrUnstable is returned when an infinite-buffer queue is asked for steady
+// state with utilization ≥ 1.
+var ErrUnstable = errors.New("queueing: queue is unstable (utilization ≥ 1)")
+
+func checkRates(arrival, service float64) error {
+	if arrival <= 0 || math.IsNaN(arrival) || math.IsInf(arrival, 0) {
+		return fmt.Errorf("%w: arrival rate %v", ErrParam, arrival)
+	}
+	if service <= 0 || math.IsNaN(service) || math.IsInf(service, 0) {
+		return fmt.Errorf("%w: service rate %v", ErrParam, service)
+	}
+	return nil
+}

@@ -1,0 +1,465 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func relDiff(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestBirthDeathValidation(t *testing.T) {
+	if _, err := BirthDeath([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := BirthDeath([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero birth rate accepted")
+	}
+	if _, err := BirthDeath([]float64{1}, []float64{-1}); err == nil {
+		t.Error("negative death rate accepted")
+	}
+}
+
+func TestBirthDeathTwoState(t *testing.T) {
+	pi, err := BirthDeath([]float64{2}, []float64{8})
+	if err != nil {
+		t.Fatalf("BirthDeath: %v", err)
+	}
+	if !almostEqual(pi[0], 0.8, 1e-14) || !almostEqual(pi[1], 0.2, 1e-14) {
+		t.Errorf("π = %v, want [0.8 0.2]", pi)
+	}
+}
+
+func TestBirthDeathExtremeRates(t *testing.T) {
+	// 200 states with ratio 1e4 per level: naive products overflow float64;
+	// the log-space solver must survive and concentrate mass at the top.
+	n := 200
+	birth := make([]float64, n)
+	death := make([]float64, n)
+	for i := range birth {
+		birth[i] = 1e4
+		death[i] = 1.0
+	}
+	pi, err := BirthDeath(birth, death)
+	if err != nil {
+		t.Fatalf("BirthDeath: %v", err)
+	}
+	var sum float64
+	for _, p := range pi {
+		if math.IsNaN(p) || p < 0 {
+			t.Fatalf("invalid probability %v", p)
+		}
+		sum += p
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Errorf("Σπ = %v", sum)
+	}
+	if pi[n] < 0.999 {
+		t.Errorf("π[top] = %v, want ≈ 1", pi[n])
+	}
+}
+
+// Property: birth–death solution satisfies detailed balance
+// π_k·birth_k = π_{k+1}·death_k.
+func TestBirthDeathDetailedBalanceProperty(t *testing.T) {
+	f := func(raw [8]float64) bool {
+		n := 4
+		birth := make([]float64, n)
+		death := make([]float64, n)
+		for i := 0; i < n; i++ {
+			birth[i] = math.Abs(math.Mod(raw[i], 100)) + 0.01
+			death[i] = math.Abs(math.Mod(raw[i+4], 100)) + 0.01
+		}
+		pi, err := BirthDeath(birth, death)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			if relDiff(pi[k]*birth[k], pi[k+1]*death[k]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMM1Basics(t *testing.T) {
+	q := MM1{Arrival: 2, Service: 5}
+	l, err := q.MeanCustomers()
+	if err != nil {
+		t.Fatalf("MeanCustomers: %v", err)
+	}
+	if !almostEqual(l, 0.4/0.6, 1e-14) {
+		t.Errorf("L = %v", l)
+	}
+	w, err := q.MeanResponseTime()
+	if err != nil {
+		t.Fatalf("MeanResponseTime: %v", err)
+	}
+	if !almostEqual(w, 1.0/3.0, 1e-14) {
+		t.Errorf("W = %v", w)
+	}
+	// Little's law: L = λW.
+	if !almostEqual(l, q.Arrival*w, 1e-12) {
+		t.Errorf("Little's law violated: L=%v, λW=%v", l, q.Arrival*w)
+	}
+	p0, err := q.StateProbability(0)
+	if err != nil {
+		t.Fatalf("StateProbability: %v", err)
+	}
+	if !almostEqual(p0, 0.6, 1e-14) {
+		t.Errorf("P(0) = %v", p0)
+	}
+	if _, err := q.StateProbability(-1); err == nil {
+		t.Error("negative state accepted")
+	}
+}
+
+func TestMM1Unstable(t *testing.T) {
+	q := MM1{Arrival: 5, Service: 5}
+	if _, err := q.MeanCustomers(); err == nil {
+		t.Error("ρ = 1 accepted for infinite-buffer queue")
+	}
+}
+
+func TestMM1ResponseTimeTail(t *testing.T) {
+	q := MM1{Arrival: 50, Service: 100}
+	tail, err := q.ResponseTimeTail(0)
+	if err != nil {
+		t.Fatalf("ResponseTimeTail: %v", err)
+	}
+	if !almostEqual(tail, 1, 1e-14) {
+		t.Errorf("P(T>0) = %v, want 1", tail)
+	}
+	tail, err = q.ResponseTimeTail(0.02)
+	if err != nil {
+		t.Fatalf("ResponseTimeTail: %v", err)
+	}
+	if !almostEqual(tail, math.Exp(-1), 1e-12) {
+		t.Errorf("P(T>0.02) = %v, want e⁻¹", tail)
+	}
+	if tail, _ := q.ResponseTimeTail(-1); tail != 1 {
+		t.Errorf("P(T>-1) = %v, want 1", tail)
+	}
+}
+
+// Paper equation (1): at ρ = 1, p_K = 1/(K+1). With K = 10 (the paper's
+// buffer size) and α = ν = 100/s: p_K = 1/11.
+func TestMM1KLossAtRhoOne(t *testing.T) {
+	q := MM1K{Arrival: 100, Service: 100, Capacity: 10}
+	p, err := q.LossProbability()
+	if err != nil {
+		t.Fatalf("LossProbability: %v", err)
+	}
+	if !almostEqual(p, 1.0/11.0, 1e-12) {
+		t.Errorf("p_K = %v, want 1/11", p)
+	}
+}
+
+func TestMM1KLossClosedForm(t *testing.T) {
+	// ρ = 0.5, K = 2: p = 0.25·0.5/(1−0.125) = 1/7.
+	q := MM1K{Arrival: 50, Service: 100, Capacity: 2}
+	p, err := q.LossProbability()
+	if err != nil {
+		t.Fatalf("LossProbability: %v", err)
+	}
+	if !almostEqual(p, 1.0/7.0, 1e-12) {
+		t.Errorf("p = %v, want 1/7", p)
+	}
+}
+
+func TestMM1KMatchesBirthDeath(t *testing.T) {
+	q := MM1K{Arrival: 150, Service: 100, Capacity: 10}
+	p, err := q.LossProbability()
+	if err != nil {
+		t.Fatalf("LossProbability: %v", err)
+	}
+	dist, err := q.StateDistribution()
+	if err != nil {
+		t.Fatalf("StateDistribution: %v", err)
+	}
+	if relDiff(p, dist[10]) > 1e-12 {
+		t.Errorf("closed form %v vs birth–death %v", p, dist[10])
+	}
+}
+
+func TestMM1KThroughputAndResponse(t *testing.T) {
+	q := MM1K{Arrival: 100, Service: 100, Capacity: 10}
+	x, err := q.Throughput()
+	if err != nil {
+		t.Fatalf("Throughput: %v", err)
+	}
+	if !almostEqual(x, 100*(1-1.0/11.0), 1e-9) {
+		t.Errorf("X = %v", x)
+	}
+	w, err := q.MeanResponseTime()
+	if err != nil {
+		t.Fatalf("MeanResponseTime: %v", err)
+	}
+	l, err := q.MeanCustomers()
+	if err != nil {
+		t.Fatalf("MeanCustomers: %v", err)
+	}
+	if relDiff(l, x*w) > 1e-12 {
+		t.Errorf("Little's law: L=%v, X·W=%v", l, x*w)
+	}
+}
+
+func TestMM1KValidation(t *testing.T) {
+	if _, err := (MM1K{Arrival: 1, Service: 1, Capacity: 0}).LossProbability(); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := (MM1K{Arrival: 0, Service: 1, Capacity: 2}).LossProbability(); err == nil {
+		t.Error("zero arrival accepted")
+	}
+}
+
+// Hand-computed values of the paper's equation (3) at ρ = α/ν = 1, K = 10
+// (the Figure 11/12 operating point with α = 100/s):
+//
+//	p_K(1) = 1/11, p_K(2) = (1/512)/2.998047,
+//	p_K(3) = (1/13122)/2.749962, p_K(4) = (1/98304)/2.722219.
+func TestMMcKLossPaperOperatingPoint(t *testing.T) {
+	want := map[int]float64{
+		1: 1.0 / 11.0,
+		2: (1.0 / 512.0) / (2 + (1 - 1.0/512.0)),
+		3: (1.0 / 13122.0) / (2.5 + 0.25*(1-math.Pow(3, -8))),
+		4: (1.0 / 98304.0) / (8.0/3.0 + (1.0/18.0)*(1-math.Pow(4, -7))),
+	}
+	for servers, w := range want {
+		q := MMcK{Arrival: 100, Service: 100, Servers: servers, Capacity: 10}
+		p, err := q.LossProbability()
+		if err != nil {
+			t.Fatalf("LossProbability(c=%d): %v", servers, err)
+		}
+		if relDiff(p, w) > 1e-10 {
+			t.Errorf("p_K(%d) = %.12g, want %.12g", servers, p, w)
+		}
+	}
+}
+
+func TestMMcKClosedFormMatchesBirthDeath(t *testing.T) {
+	for _, tc := range []MMcK{
+		{Arrival: 50, Service: 100, Servers: 1, Capacity: 10},
+		{Arrival: 100, Service: 100, Servers: 3, Capacity: 10},
+		{Arrival: 150, Service: 100, Servers: 4, Capacity: 10},
+		{Arrival: 150, Service: 100, Servers: 10, Capacity: 10},
+		{Arrival: 90, Service: 10, Servers: 5, Capacity: 40},
+	} {
+		direct, err := tc.LossProbability()
+		if err != nil {
+			t.Fatalf("LossProbability(%+v): %v", tc, err)
+		}
+		closed, err := tc.LossProbabilityClosedForm()
+		if err != nil {
+			t.Fatalf("LossProbabilityClosedForm(%+v): %v", tc, err)
+		}
+		if relDiff(direct, closed) > 1e-9 {
+			t.Errorf("%+v: birth–death %v vs closed form %v", tc, direct, closed)
+		}
+	}
+}
+
+// Property: p_K(i) decreases in the number of servers and increases in the
+// arrival rate.
+func TestMMcKLossMonotonicityProperty(t *testing.T) {
+	f := func(rawAlpha, rawK uint8) bool {
+		alpha := 10 + float64(rawAlpha%200)
+		k := 2 + int(rawK%20)
+		prev := math.Inf(1)
+		for c := 1; c <= 8; c++ {
+			q := MMcK{Arrival: alpha, Service: 100, Servers: c, Capacity: k}
+			p, err := q.LossProbability()
+			if err != nil {
+				return false
+			}
+			if p > prev+1e-15 {
+				return false
+			}
+			prev = p
+		}
+		pLow, err := MMcK{Arrival: alpha, Service: 100, Servers: 2, Capacity: k}.LossProbability()
+		if err != nil {
+			return false
+		}
+		pHigh, err := MMcK{Arrival: alpha + 50, Service: 100, Servers: 2, Capacity: k}.LossProbability()
+		if err != nil {
+			return false
+		}
+		return pHigh >= pLow-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMMcKValidation(t *testing.T) {
+	if _, err := (MMcK{Arrival: 1, Service: 1, Servers: 0, Capacity: 5}).LossProbability(); err == nil {
+		t.Error("0 servers accepted")
+	}
+	if _, err := (MMcK{Arrival: 1, Service: 1, Servers: 1, Capacity: 0}).LossProbability(); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+func TestErlangB(t *testing.T) {
+	// Known small values: B(1, 1) = 1/2, B(2, 1) = 1/5.
+	b, err := ErlangB(1, 1)
+	if err != nil {
+		t.Fatalf("ErlangB: %v", err)
+	}
+	if !almostEqual(b, 0.5, 1e-14) {
+		t.Errorf("B(1,1) = %v", b)
+	}
+	b, err = ErlangB(2, 1)
+	if err != nil {
+		t.Fatalf("ErlangB: %v", err)
+	}
+	if !almostEqual(b, 0.2, 1e-14) {
+		t.Errorf("B(2,1) = %v", b)
+	}
+	if _, err := ErlangB(0, 1); err == nil {
+		t.Error("0 servers accepted")
+	}
+	if _, err := ErlangB(2, -1); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestErlangBMatchesMMcKWithoutBuffer(t *testing.T) {
+	// Erlang-B is M/M/c/c: the MMcK model with Capacity = Servers.
+	for _, c := range []int{1, 2, 5, 10} {
+		offered := 3.5
+		b, err := ErlangB(c, offered)
+		if err != nil {
+			t.Fatalf("ErlangB: %v", err)
+		}
+		q := MMcK{Arrival: offered * 10, Service: 10, Servers: c, Capacity: c}
+		p, err := q.LossProbability()
+		if err != nil {
+			t.Fatalf("LossProbability: %v", err)
+		}
+		if relDiff(b, p) > 1e-10 {
+			t.Errorf("c=%d: ErlangB %v vs MMcK %v", c, b, p)
+		}
+	}
+}
+
+func TestMMcBasics(t *testing.T) {
+	q := MMc{Arrival: 3, Service: 2, Servers: 2}
+	// a = 1.5, ρ = 0.75. Erlang C = 2B/(2−1.5(1−B)) with B = B(2, 1.5).
+	b, _ := ErlangB(2, 1.5)
+	wantC := 2 * b / (2 - 1.5*(1-b))
+	c, err := q.ProbWait()
+	if err != nil {
+		t.Fatalf("ProbWait: %v", err)
+	}
+	if relDiff(c, wantC) > 1e-12 {
+		t.Errorf("C = %v, want %v", c, wantC)
+	}
+	lq, err := q.MeanQueueLength()
+	if err != nil {
+		t.Fatalf("MeanQueueLength: %v", err)
+	}
+	wq, err := q.MeanWaitingTime()
+	if err != nil {
+		t.Fatalf("MeanWaitingTime: %v", err)
+	}
+	if relDiff(lq, q.Arrival*wq) > 1e-12 {
+		t.Errorf("Little's law: Lq=%v, λWq=%v", lq, q.Arrival*wq)
+	}
+	w, err := q.MeanResponseTime()
+	if err != nil {
+		t.Fatalf("MeanResponseTime: %v", err)
+	}
+	if !almostEqual(w, wq+0.5, 1e-14) {
+		t.Errorf("W = %v, want Wq + 1/µ", w)
+	}
+}
+
+func TestMMcUnstable(t *testing.T) {
+	q := MMc{Arrival: 10, Service: 2, Servers: 5}
+	if _, err := q.ProbWait(); err == nil {
+		t.Error("ρ = 1 accepted")
+	}
+}
+
+// The M/M/c response-time tail must specialize to the M/M/1 closed form
+// e^{−(µ−λ)t} at c = 1.
+func TestMMcResponseTailMatchesMM1(t *testing.T) {
+	mmc := MMc{Arrival: 60, Service: 100, Servers: 1}
+	mm1 := MM1{Arrival: 60, Service: 100}
+	for _, tt := range []float64{0, 0.001, 0.01, 0.05, 0.2} {
+		a, err := mmc.ResponseTimeTail(tt)
+		if err != nil {
+			t.Fatalf("MMc.ResponseTimeTail: %v", err)
+		}
+		b, err := mm1.ResponseTimeTail(tt)
+		if err != nil {
+			t.Fatalf("MM1.ResponseTimeTail: %v", err)
+		}
+		if relDiff(a, b) > 1e-10 {
+			t.Errorf("t=%v: MMc %v vs MM1 %v", tt, a, b)
+		}
+	}
+}
+
+// Property: the response-time tail is a valid survival function: decreasing
+// in t, 1 at t = 0... and bounded in [0, 1].
+func TestMMcResponseTailSurvivalProperty(t *testing.T) {
+	f := func(rawLambda, rawC uint8) bool {
+		c := 1 + int(rawC%6)
+		mu := 10.0
+		lambda := 0.1 + float64(rawLambda%90)/100*float64(c)*mu // keep ρ < 0.9
+		q := MMc{Arrival: lambda, Service: mu, Servers: c}
+		prev := 1.1
+		for _, tt := range []float64{0, 0.01, 0.05, 0.1, 0.5, 1, 5} {
+			tail, err := q.ResponseTimeTail(tt)
+			if err != nil {
+				return false
+			}
+			if tail < -1e-12 || tail > 1+1e-12 {
+				return false
+			}
+			if tail > prev+1e-12 {
+				return false
+			}
+			prev = tail
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMMcWaitingTimeTail(t *testing.T) {
+	q := MMc{Arrival: 3, Service: 2, Servers: 2}
+	c, _ := q.ProbWait()
+	tail, err := q.WaitingTimeTail(0)
+	if err != nil {
+		t.Fatalf("WaitingTimeTail: %v", err)
+	}
+	if relDiff(tail, c) > 1e-12 {
+		t.Errorf("P(Wq>0) = %v, want C = %v", tail, c)
+	}
+	if tail, _ := q.WaitingTimeTail(-1); tail != 1 {
+		t.Errorf("P(Wq>−1) = %v, want 1", tail)
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if got := MeanOf([]float64{0.5, 0.25, 0.25}); !almostEqual(got, 0.75, 1e-15) {
+		t.Errorf("MeanOf = %v, want 0.75", got)
+	}
+}

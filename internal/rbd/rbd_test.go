@@ -1,0 +1,308 @@
+package rbd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewComponentValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := NewComponent("c", bad); err == nil {
+			t.Errorf("availability %v accepted", bad)
+		}
+	}
+	c, err := NewComponent("c", 0.99)
+	if err != nil {
+		t.Fatalf("NewComponent: %v", err)
+	}
+	if c.Name() != "c" || c.Availability() != 0.99 {
+		t.Errorf("component = %v %v", c.Name(), c.Availability())
+	}
+}
+
+func TestMustComponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustComponent("bad", 2)
+}
+
+func TestSetAvailability(t *testing.T) {
+	c := MustComponent("c", 0.5)
+	if err := c.SetAvailability(0.75); err != nil {
+		t.Fatalf("SetAvailability: %v", err)
+	}
+	if c.Availability() != 0.75 {
+		t.Errorf("availability = %v", c.Availability())
+	}
+	if err := c.SetAvailability(-1); err == nil {
+		t.Error("invalid availability accepted")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series("s", MustComponent("a", 0.9), MustComponent("b", 0.8))
+	if got := s.Availability(); !almostEqual(got, 0.72, 1e-15) {
+		t.Errorf("series = %v, want 0.72", got)
+	}
+	if s.Name() != "s" {
+		t.Errorf("name = %q", s.Name())
+	}
+}
+
+func TestParallel(t *testing.T) {
+	p := Parallel("p", MustComponent("a", 0.9), MustComponent("b", 0.8))
+	if got := p.Availability(); !almostEqual(got, 1-0.1*0.2, 1e-15) {
+		t.Errorf("parallel = %v, want 0.98", got)
+	}
+}
+
+// Table 3 of the paper: A(Flight) = 1 − Π(1 − A_Fi). With five systems at
+// 0.9 each: 1 − 1e-5 = 0.99999.
+func TestParallelExternalService(t *testing.T) {
+	blocks, err := Replicate("flight", 5, 0.9)
+	if err != nil {
+		t.Fatalf("Replicate: %v", err)
+	}
+	p := Parallel("flight-service", blocks...)
+	if got := p.Availability(); !almostEqual(got, 0.99999, 1e-12) {
+		t.Errorf("A(Flight) = %v, want 0.99999", got)
+	}
+}
+
+func TestReplicateValidation(t *testing.T) {
+	if _, err := Replicate("x", 0, 0.9); err == nil {
+		t.Error("0 replicas accepted")
+	}
+	if _, err := Replicate("x", 2, 1.5); err == nil {
+		t.Error("invalid availability accepted")
+	}
+}
+
+func TestKofNIdenticalMatchesBinomial(t *testing.T) {
+	// 2-of-3 with p = 0.9: 3·p²(1−p) + p³ = 0.972.
+	blocks, _ := Replicate("n", 3, 0.9)
+	g := KofN("vote", 2, blocks...)
+	if got := g.Availability(); !almostEqual(got, 0.972, 1e-12) {
+		t.Errorf("2-of-3 = %v, want 0.972", got)
+	}
+}
+
+func TestKofNEdgeCases(t *testing.T) {
+	blocks, _ := Replicate("n", 3, 0.8)
+	// 1-of-3 is parallel.
+	if got, want := KofN("k1", 1, blocks...).Availability(), Parallel("p", blocks...).Availability(); !almostEqual(got, want, 1e-14) {
+		t.Errorf("1-of-3 = %v, parallel = %v", got, want)
+	}
+	// 3-of-3 is series.
+	if got, want := KofN("k3", 3, blocks...).Availability(), Series("s", blocks...).Availability(); !almostEqual(got, want, 1e-14) {
+		t.Errorf("3-of-3 = %v, series = %v", got, want)
+	}
+}
+
+func TestKofNPanicsOnBadK(t *testing.T) {
+	blocks, _ := Replicate("n", 2, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k out of range")
+		}
+	}()
+	KofN("bad", 3, blocks...)
+}
+
+func TestKofNHeterogeneous(t *testing.T) {
+	// 2-of-3 with availabilities 0.9, 0.8, 0.7:
+	// P = .9·.8·.7 + .9·.8·.3 + .9·.2·.7 + .1·.8·.7 = 0.902.
+	g := KofN("mix", 2,
+		MustComponent("a", 0.9),
+		MustComponent("b", 0.8),
+		MustComponent("c", 0.7),
+	)
+	if got := g.Availability(); !almostEqual(got, 0.902, 1e-12) {
+		t.Errorf("2-of-3 het = %v, want 0.902", got)
+	}
+}
+
+func TestNestedDiagram(t *testing.T) {
+	// Table 4 redundant database service: (1 − (1−A_CDS)²)·(1 − (1−A_Disk)²).
+	const aCDS, aDisk = 0.996, 0.9
+	hosts, _ := Replicate("cds", 2, aCDS)
+	disks, _ := Replicate("disk", 2, aDisk)
+	ds := Series("database-service",
+		Parallel("db-hosts", hosts...),
+		Parallel("mirrored-disks", disks...),
+	)
+	want := (1 - math.Pow(1-aCDS, 2)) * (1 - math.Pow(1-aDisk, 2))
+	if got := ds.Availability(); !almostEqual(got, want, 1e-14) {
+		t.Errorf("A(DS) = %v, want %v", got, want)
+	}
+}
+
+func TestComponentsTraversal(t *testing.T) {
+	a := MustComponent("a", 0.9)
+	b := MustComponent("b", 0.9)
+	root := Series("root", a, Parallel("p", b, KofN("k", 1, a)))
+	leaves := root.Components(nil)
+	if len(leaves) != 3 {
+		t.Fatalf("got %d leaves, want 3 (with repetition)", len(leaves))
+	}
+}
+
+func TestBirnbaumImportanceSeries(t *testing.T) {
+	// In a two-component series, ∂A/∂A_a = A_b.
+	a := MustComponent("a", 0.9)
+	b := MustComponent("b", 0.8)
+	imp, err := BirnbaumImportance(Series("s", a, b))
+	if err != nil {
+		t.Fatalf("BirnbaumImportance: %v", err)
+	}
+	if len(imp) != 2 {
+		t.Fatalf("got %d importances", len(imp))
+	}
+	// a's importance = 0.8, b's = 0.9 → b first.
+	if imp[0].Component != "b" || !almostEqual(imp[0].Birnbaum, 0.9, 1e-12) {
+		t.Errorf("imp[0] = %+v", imp[0])
+	}
+	if imp[1].Component != "a" || !almostEqual(imp[1].Birnbaum, 0.8, 1e-12) {
+		t.Errorf("imp[1] = %+v", imp[1])
+	}
+	// Importance evaluation must not disturb the model.
+	if a.Availability() != 0.9 || b.Availability() != 0.8 {
+		t.Error("BirnbaumImportance mutated component availabilities")
+	}
+}
+
+func TestBirnbaumSharedComponentCountedOnce(t *testing.T) {
+	shared := MustComponent("lan", 0.99)
+	root := Series("sys",
+		Series("path1", shared, MustComponent("ws", 0.95)),
+		Series("path2", shared, MustComponent("as", 0.97)),
+	)
+	imp, err := BirnbaumImportance(root)
+	if err != nil {
+		t.Fatalf("BirnbaumImportance: %v", err)
+	}
+	if len(imp) != 3 {
+		t.Fatalf("got %d importances, want 3 distinct components", len(imp))
+	}
+	// With correct conditioning the structure is lan ∧ ws ∧ as, so each
+	// importance is the product of the *other* availabilities:
+	// imp(ws) = lan·as = 0.9603, imp(as) = lan·ws = 0.9405,
+	// imp(lan) = ws·as = 0.9215 (lan appears once, not squared).
+	if imp[0].Component != "ws" || !almostEqual(imp[0].Birnbaum, 0.99*0.97, 1e-12) {
+		t.Errorf("imp[0] = %+v, want ws with %v", imp[0], 0.99*0.97)
+	}
+	byName := make(map[string]float64, len(imp))
+	for _, im := range imp {
+		byName[im.Component] = im.Birnbaum
+	}
+	if !almostEqual(byName["lan"], 0.95*0.97, 1e-12) {
+		t.Errorf("lan importance = %v, want %v (counted once)", byName["lan"], 0.95*0.97)
+	}
+}
+
+func TestEvalNoSharing(t *testing.T) {
+	root := Series("s", MustComponent("a", 0.9), MustComponent("b", 0.8))
+	got, err := Eval(root)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if !almostEqual(got, 0.72, 1e-15) {
+		t.Errorf("Eval = %v, want 0.72", got)
+	}
+}
+
+func TestEvalSharedComponent(t *testing.T) {
+	// lan in series on two paths that are then in series again:
+	// boolean structure is lan ∧ ws ∧ as, so A = 0.99·0.95·0.97,
+	// NOT 0.99²·0.95·0.97 as naive multiplication would give.
+	shared := MustComponent("lan", 0.99)
+	root := Series("sys",
+		Series("path1", shared, MustComponent("ws", 0.95)),
+		Series("path2", shared, MustComponent("as", 0.97)),
+	)
+	got, err := Eval(root)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	want := 0.99 * 0.95 * 0.97
+	if !almostEqual(got, want, 1e-14) {
+		t.Errorf("Eval = %v, want %v", got, want)
+	}
+	naive := root.Availability()
+	if almostEqual(naive, want, 1e-14) {
+		t.Error("naive evaluation unexpectedly handled sharing; test premise broken")
+	}
+	// Eval must restore the shared component's availability.
+	if shared.Availability() != 0.99 {
+		t.Errorf("Eval mutated shared component: %v", shared.Availability())
+	}
+}
+
+func TestEvalSharedInParallel(t *testing.T) {
+	// A shared component in both branches of a parallel: structure is
+	// (shared ∧ a) ∨ (shared ∧ b) = shared ∧ (a ∨ b).
+	shared := MustComponent("db", 0.9)
+	a := MustComponent("a", 0.7)
+	b := MustComponent("b", 0.6)
+	root := Parallel("p", Series("s1", shared, a), Series("s2", shared, b))
+	got, err := Eval(root)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	want := 0.9 * (1 - 0.3*0.4)
+	if !almostEqual(got, want, 1e-14) {
+		t.Errorf("Eval = %v, want %v", got, want)
+	}
+}
+
+// Property: availability of any series/parallel composition lies in [0, 1],
+// series ≤ min(child), parallel ≥ max(child).
+func TestCompositionBoundsProperty(t *testing.T) {
+	f := func(raw [4]float64) bool {
+		av := make([]float64, 4)
+		for i, x := range raw {
+			av[i] = math.Abs(math.Mod(x, 1))
+			if math.IsNaN(av[i]) {
+				av[i] = 0.5
+			}
+		}
+		blocks := make([]Block, 4)
+		minA, maxA := 1.0, 0.0
+		for i, a := range av {
+			c, err := NewComponent("c", a)
+			if err != nil {
+				return false
+			}
+			blocks[i] = c
+			minA = math.Min(minA, a)
+			maxA = math.Max(maxA, a)
+		}
+		s := Series("s", blocks...).Availability()
+		p := Parallel("p", blocks...).Availability()
+		if s < 0 || s > minA+1e-12 {
+			return false
+		}
+		if p > 1 || p < maxA-1e-12 {
+			return false
+		}
+		// k-of-n availability is non-increasing in k.
+		prev := 1.1
+		for k := 1; k <= 4; k++ {
+			a := KofN("k", k, blocks...).Availability()
+			if a > prev+1e-12 {
+				return false
+			}
+			prev = a
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value")
+	if err := tbl.AddRow("alpha", "1"); err != nil {
+		t.Fatalf("AddRow: %v", err)
+	}
+	if err := tbl.AddRow("b", "22222"); err != nil {
+		t.Fatalf("AddRow: %v", err)
+	}
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "Demo\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Header and separator align to widest cells.
+	if !strings.Contains(lines[2], "-----") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "alpha  1") {
+		t.Errorf("row misaligned: %q", lines[2])
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestTableRowShape(t *testing.T) {
+	tbl := NewTable("x", "a", "b")
+	if err := tbl.AddRow("only-one"); err == nil {
+		t.Error("short row accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddRow did not panic")
+		}
+	}()
+	tbl.MustAddRow("1", "2", "3")
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tbl := NewTable("ignored", "a", "b")
+	tbl.MustAddRow("1", "x,y")
+	var sb strings.Builder
+	if err := tbl.RenderCSV(&sb); err != nil {
+		t.Fatalf("RenderCSV: %v", err)
+	}
+	want := "a,b\n1,\"x,y\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFloatFormats(t *testing.T) {
+	if got := Float(0.123456789, 4); got != "0.1235" {
+		t.Errorf("Float = %q", got)
+	}
+	if got := Fixed(1.0/3.0, 3); got != "0.333" {
+		t.Errorf("Fixed = %q", got)
+	}
+	if got := Scientific(12345.0, 2); got != "1.23e+04" {
+		t.Errorf("Scientific = %q", got)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	var sb strings.Builder
+	err := RenderSeries(&sb, "Fig", "N", []Series{
+		{Name: "curve1", X: []float64{1, 2}, Y: []float64{0.1, 0.01}},
+		{Name: "curve2", X: []float64{1, 2}, Y: []float64{0.2, 0.02}},
+	})
+	if err != nil {
+		t.Fatalf("RenderSeries: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig", "N", "curve1", "curve2", "1.0000e-01", "2.0000e-02"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderSeriesValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderSeries(&sb, "t", "x", nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	err := RenderSeries(&sb, "t", "x", []Series{
+		{Name: "a", X: []float64{1}, Y: []float64{1}},
+		{Name: "b", X: []float64{2}, Y: []float64{1}},
+	})
+	if err == nil {
+		t.Error("mismatched x grids accepted")
+	}
+	err = RenderSeries(&sb, "t", "x", []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{1}},
+	})
+	if err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+var benchSink float64
+
+func BenchmarkFarmGillespie(b *testing.B) {
+	s := FarmSimulator{
+		Servers: 3, ArrivalRate: 5, ServiceRate: 4, BufferSize: 5,
+		FailureRate: 0.002, RepairRate: 0.05, Coverage: 0.9, ReconfigRate: 0.5,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := s.Run(5000, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += res.Availability
+	}
+}
+
+func BenchmarkVisitReplay(b *testing.B) {
+	// Reuse the shared-service test model.
+	t := &testing.T{}
+	simulator, _ := buildVisitModel(t)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := simulator.Run(2000, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += res.Availability
+	}
+}

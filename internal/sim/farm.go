@@ -1,0 +1,231 @@
+// Package sim provides simulation-based validation of the analytic models:
+//
+//   - FarmSimulator is an exact stochastic simulation (Gillespie / SSA) of
+//     the *joint* web-farm process — failures, repairs, imperfect coverage
+//     with manual reconfiguration, and the finite-buffer multi-server queue
+//     all in one state space. Unlike the paper's composite model, it does not
+//     assume time-scale separation between failure/repair and
+//     arrival/service events, so it both validates the composite
+//     approximation and measures its error when the scales approach.
+//
+//   - VisitSimulator replays user visits against the four-level model:
+//     service states are sampled per visit, the operational-profile graph
+//     and interaction-diagram branches are walked randomly, and a visit
+//     succeeds iff every function execution finds the services it needs.
+//     Because the sampled service states are naturally shared across the
+//     functions of one visit, this validates the shared-service conditioning
+//     of the hierarchy evaluation (equation 10) by an independent mechanism.
+//
+// All simulators take explicit seeds and report confidence intervals via
+// package stats.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/stats"
+	"repro/internal/webfarm"
+)
+
+// ErrSim is returned for invalid simulation parameters.
+var ErrSim = errors.New("sim: invalid parameter")
+
+// FarmSimulator simulates the joint failure/repair/queue process of a web
+// farm. All rates must be expressed in the SAME time unit (unlike
+// webfarm.Farm, which follows the paper's per-second/per-hour split); use
+// FarmFromModel to convert.
+type FarmSimulator struct {
+	Servers      int
+	ArrivalRate  float64 // α
+	ServiceRate  float64 // ν per server
+	BufferSize   int     // K
+	FailureRate  float64 // λ per server
+	RepairRate   float64 // µ (single shared repair facility)
+	Coverage     float64 // c ∈ (0, 1]
+	ReconfigRate float64 // β (required when c < 1)
+}
+
+// FarmFromModel converts a webfarm.Farm (arrival/service per second,
+// failure/repair/reconfiguration per hour) into simulator parameters in
+// seconds.
+func FarmFromModel(f webfarm.Farm) FarmSimulator {
+	const secondsPerHour = 3600
+	return FarmSimulator{
+		Servers:      f.Servers,
+		ArrivalRate:  f.ArrivalRate,
+		ServiceRate:  f.ServiceRate,
+		BufferSize:   f.BufferSize,
+		FailureRate:  f.FailureRate / secondsPerHour,
+		RepairRate:   f.RepairRate / secondsPerHour,
+		Coverage:     f.Coverage,
+		ReconfigRate: f.ReconfigRate / secondsPerHour,
+	}
+}
+
+func (s FarmSimulator) check() error {
+	if s.Servers < 1 {
+		return fmt.Errorf("%w: servers %d", ErrSim, s.Servers)
+	}
+	if s.BufferSize < 1 {
+		return fmt.Errorf("%w: buffer size %d", ErrSim, s.BufferSize)
+	}
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"arrival", s.ArrivalRate}, {"service", s.ServiceRate},
+		{"failure", s.FailureRate}, {"repair", s.RepairRate},
+	}
+	for _, r := range rates {
+		if r.v <= 0 || math.IsNaN(r.v) || math.IsInf(r.v, 0) {
+			return fmt.Errorf("%w: %s rate %v", ErrSim, r.name, r.v)
+		}
+	}
+	if s.Coverage <= 0 || s.Coverage > 1 || math.IsNaN(s.Coverage) {
+		return fmt.Errorf("%w: coverage %v", ErrSim, s.Coverage)
+	}
+	if s.Coverage < 1 && (s.ReconfigRate <= 0 || math.IsNaN(s.ReconfigRate) || math.IsInf(s.ReconfigRate, 0)) {
+		return fmt.Errorf("%w: reconfiguration rate %v", ErrSim, s.ReconfigRate)
+	}
+	return nil
+}
+
+// FarmResult summarizes one simulation run.
+type FarmResult struct {
+	// Arrivals is the number of simulated request arrivals.
+	Arrivals int64
+	// Accepted is how many arrivals were admitted (servers up, buffer not
+	// full, not under manual reconfiguration).
+	Accepted int64
+	// Availability is the accepted fraction — the simulation estimate of
+	// the paper's user-perceived web-service availability.
+	Availability float64
+	// CI95 is the 95% confidence interval of Availability, computed by the
+	// method of batch means (~50 batches): consecutive request outcomes are
+	// strongly autocorrelated through the failure/repair process, so a
+	// naive Wald interval would be optimistic.
+	CI95 stats.Interval
+	// UpTimeFraction is the time-weighted fraction with ≥ 1 server
+	// operational and no manual reconfiguration in progress (structural
+	// availability, ignoring buffer losses).
+	UpTimeFraction float64
+	// SimulatedTime is the total simulated time.
+	SimulatedTime float64
+}
+
+// Run simulates until the given number of arrivals has been observed.
+func (s FarmSimulator) Run(arrivals int64, seed int64) (FarmResult, error) {
+	if err := s.check(); err != nil {
+		return FarmResult{}, err
+	}
+	if arrivals < 1 {
+		return FarmResult{}, fmt.Errorf("%w: arrivals %d", ErrSim, arrivals)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	batchSize := arrivals / 50
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	batches, err := stats.NewBatchMeans(batchSize)
+	if err != nil {
+		return FarmResult{}, err
+	}
+	var (
+		now       float64
+		inSystem  int // n
+		upServers = s.Servers
+		reconfig  bool
+		accept    stats.Proportion
+		upTime    stats.TimeWeighted
+		seen      int64
+	)
+	for seen < arrivals {
+		// Event rates in the current state.
+		aRate := s.ArrivalRate
+		var svcRate, failRate, repairRate, reconfRate float64
+		if !reconfig {
+			busy := inSystem
+			if busy > upServers {
+				busy = upServers
+			}
+			svcRate = float64(busy) * s.ServiceRate
+			failRate = float64(upServers) * s.FailureRate
+			if upServers < s.Servers {
+				repairRate = s.RepairRate
+			}
+		} else {
+			reconfRate = s.ReconfigRate
+		}
+		total := aRate + svcRate + failRate + repairRate + reconfRate
+		dt := rng.ExpFloat64() / total
+		up := 0.0
+		if !reconfig && upServers > 0 {
+			up = 1
+		}
+		if err := upTime.Add(up, dt); err != nil {
+			return FarmResult{}, err
+		}
+		now += dt
+
+		u := rng.Float64() * total
+		switch {
+		case u < aRate:
+			seen++
+			ok := !reconfig && upServers > 0 && inSystem < s.BufferSize
+			accept.Add(ok)
+			if ok {
+				batches.Add(1)
+				inSystem++
+			} else {
+				batches.Add(0)
+			}
+		case u < aRate+svcRate:
+			inSystem--
+		case u < aRate+svcRate+failRate:
+			if rng.Float64() < s.Coverage {
+				upServers--
+			} else {
+				reconfig = true
+			}
+		case u < aRate+svcRate+failRate+repairRate:
+			upServers++
+		default:
+			reconfig = false
+			upServers--
+		}
+		// A failure can leave more requests in service than servers; the
+		// surplus simply waits (queue capacity K is unchanged).
+		if upServers < 0 {
+			return FarmResult{}, errors.New("sim: internal error: negative server count")
+		}
+	}
+
+	avail, err := accept.Estimate()
+	if err != nil {
+		return FarmResult{}, err
+	}
+	ci, err := batches.ConfidenceInterval(0.95)
+	if err != nil {
+		// Too few batches for an interval (tiny runs): fall back to Wald.
+		ci, err = accept.ConfidenceInterval(0.95)
+		if err != nil {
+			return FarmResult{}, err
+		}
+	}
+	upFrac, err := upTime.Mean()
+	if err != nil {
+		return FarmResult{}, err
+	}
+	return FarmResult{
+		Arrivals:       accept.Trials(),
+		Accepted:       int64(avail*float64(accept.Trials()) + 0.5),
+		Availability:   avail,
+		CI95:           ci,
+		UpTimeFraction: upFrac,
+		SimulatedTime:  now,
+	}, nil
+}

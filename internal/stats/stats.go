@@ -1,0 +1,225 @@
+// Package stats provides the streaming statistics used to analyze
+// discrete-event simulation output: Welford mean/variance accumulation,
+// normal-approximation confidence intervals, and ratio estimators for
+// success probabilities.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInsufficientData is returned when a statistic needs more samples.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Welford accumulates a sample mean and variance in one pass, numerically
+// stably. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the sample mean (0 with no data).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance.
+func (w *Welford) Variance() (float64, error) {
+	if w.n < 2 {
+		return 0, fmt.Errorf("%w: need ≥ 2 samples, have %d", ErrInsufficientData, w.n)
+	}
+	return w.m2 / float64(w.n-1), nil
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() (float64, error) {
+	v, err := w.Variance()
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Interval is a symmetric confidence interval.
+type Interval struct {
+	Mean      float64
+	HalfWidth float64
+}
+
+// Low returns the interval's lower bound.
+func (i Interval) Low() float64 { return i.Mean - i.HalfWidth }
+
+// High returns the interval's upper bound.
+func (i Interval) High() float64 { return i.Mean + i.HalfWidth }
+
+// Contains reports whether x lies in the interval.
+func (i Interval) Contains(x float64) bool {
+	return x >= i.Low() && x <= i.High()
+}
+
+// ConfidenceInterval returns the normal-approximation interval at the given
+// confidence level (supported levels: 0.90, 0.95, 0.99).
+func (w *Welford) ConfidenceInterval(level float64) (Interval, error) {
+	z, err := zValue(level)
+	if err != nil {
+		return Interval{}, err
+	}
+	sd, err := w.StdDev()
+	if err != nil {
+		return Interval{}, err
+	}
+	return Interval{
+		Mean:      w.mean,
+		HalfWidth: z * sd / math.Sqrt(float64(w.n)),
+	}, nil
+}
+
+func zValue(level float64) (float64, error) {
+	switch level {
+	case 0.90:
+		return 1.6449, nil
+	case 0.95:
+		return 1.9600, nil
+	case 0.99:
+		return 2.5758, nil
+	default:
+		return 0, fmt.Errorf("stats: unsupported confidence level %v (use 0.90, 0.95 or 0.99)", level)
+	}
+}
+
+// Proportion estimates a Bernoulli success probability with a Wald interval.
+// The zero value is ready to use.
+type Proportion struct {
+	successes int64
+	trials    int64
+}
+
+// Add records one Bernoulli trial.
+func (p *Proportion) Add(success bool) {
+	p.trials++
+	if success {
+		p.successes++
+	}
+}
+
+// AddN records n trials with k successes.
+func (p *Proportion) AddN(k, n int64) error {
+	if n < 0 || k < 0 || k > n {
+		return fmt.Errorf("stats: invalid counts %d/%d", k, n)
+	}
+	p.successes += k
+	p.trials += n
+	return nil
+}
+
+// Trials returns the number of recorded trials.
+func (p *Proportion) Trials() int64 { return p.trials }
+
+// Estimate returns the success-probability point estimate.
+func (p *Proportion) Estimate() (float64, error) {
+	if p.trials == 0 {
+		return 0, fmt.Errorf("%w: no trials", ErrInsufficientData)
+	}
+	return float64(p.successes) / float64(p.trials), nil
+}
+
+// ConfidenceInterval returns a Wald interval at the given level.
+func (p *Proportion) ConfidenceInterval(level float64) (Interval, error) {
+	z, err := zValue(level)
+	if err != nil {
+		return Interval{}, err
+	}
+	est, err := p.Estimate()
+	if err != nil {
+		return Interval{}, err
+	}
+	se := math.Sqrt(est * (1 - est) / float64(p.trials))
+	return Interval{Mean: est, HalfWidth: z * se}, nil
+}
+
+// BatchMeans estimates the mean of a *correlated* stationary series by the
+// method of batch means: the stream is cut into fixed-size batches, batch
+// averages are treated as approximately independent, and a normal-theory
+// interval is built over them. Simulation output (consecutive request
+// outcomes in a queue, say) is strongly autocorrelated, so a Wald interval
+// over raw observations would be optimistic; batch means restores honest
+// coverage when batches are long relative to the correlation time.
+type BatchMeans struct {
+	batchSize int64
+	current   Welford
+	batches   Welford
+}
+
+// NewBatchMeans creates an estimator with the given batch size (≥ 1).
+func NewBatchMeans(batchSize int64) (*BatchMeans, error) {
+	if batchSize < 1 {
+		return nil, fmt.Errorf("stats: batch size %d", batchSize)
+	}
+	return &BatchMeans{batchSize: batchSize}, nil
+}
+
+// Add records one observation.
+func (b *BatchMeans) Add(x float64) {
+	b.current.Add(x)
+	if b.current.Count() >= b.batchSize {
+		b.batches.Add(b.current.Mean())
+		b.current = Welford{}
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int64 { return b.batches.Count() }
+
+// Mean returns the grand mean over completed batches.
+func (b *BatchMeans) Mean() (float64, error) {
+	if b.batches.Count() == 0 {
+		return 0, fmt.Errorf("%w: no completed batches", ErrInsufficientData)
+	}
+	return b.batches.Mean(), nil
+}
+
+// ConfidenceInterval returns the batch-means interval at the given level.
+// At least two completed batches are required.
+func (b *BatchMeans) ConfidenceInterval(level float64) (Interval, error) {
+	return b.batches.ConfidenceInterval(level)
+}
+
+// TimeWeighted accumulates a time-weighted average of a piecewise-constant
+// signal (e.g. fraction of time a system is up). The zero value is ready.
+type TimeWeighted struct {
+	integral float64
+	duration float64
+}
+
+// Add records that the signal held value v for duration d ≥ 0.
+func (t *TimeWeighted) Add(v, d float64) error {
+	if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		return fmt.Errorf("stats: invalid duration %v", d)
+	}
+	t.integral += v * d
+	t.duration += d
+	return nil
+}
+
+// Mean returns the time-weighted mean.
+func (t *TimeWeighted) Mean() (float64, error) {
+	if t.duration == 0 {
+		return 0, fmt.Errorf("%w: no elapsed time", ErrInsufficientData)
+	}
+	return t.integral / t.duration, nil
+}
+
+// Duration returns the total accumulated time.
+func (t *TimeWeighted) Duration() float64 { return t.duration }

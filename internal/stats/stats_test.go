@@ -1,0 +1,274 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	v, err := w.Variance()
+	if err != nil {
+		t.Fatalf("Variance: %v", err)
+	}
+	// Σ(x−5)² = 32; unbiased variance = 32/7.
+	if math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+}
+
+func TestWelfordInsufficientData(t *testing.T) {
+	var w Welford
+	if _, err := w.Variance(); err == nil {
+		t.Error("variance of empty sample accepted")
+	}
+	w.Add(1)
+	if _, err := w.StdDev(); err == nil {
+		t.Error("stddev of single sample accepted")
+	}
+	if _, err := w.ConfidenceInterval(0.95); err == nil {
+		t.Error("CI of single sample accepted")
+	}
+}
+
+func TestWelfordNumericalStability(t *testing.T) {
+	// Large offset: naive Σx² − n·mean² catastrophically cancels.
+	var w Welford
+	const offset = 1e9
+	for _, x := range []float64{offset + 1, offset + 2, offset + 3} {
+		w.Add(x)
+	}
+	v, err := w.Variance()
+	if err != nil {
+		t.Fatalf("Variance: %v", err)
+	}
+	if math.Abs(v-1) > 1e-6 {
+		t.Errorf("Variance = %v, want 1", v)
+	}
+}
+
+func TestConfidenceIntervalLevels(t *testing.T) {
+	var w Welford
+	for i := 0; i < 100; i++ {
+		w.Add(float64(i % 10))
+	}
+	prev := 0.0
+	for _, level := range []float64{0.90, 0.95, 0.99} {
+		ci, err := w.ConfidenceInterval(level)
+		if err != nil {
+			t.Fatalf("ConfidenceInterval(%v): %v", level, err)
+		}
+		if ci.HalfWidth <= prev {
+			t.Errorf("half width not increasing with level: %v", ci.HalfWidth)
+		}
+		if !ci.Contains(ci.Mean) {
+			t.Error("interval does not contain its mean")
+		}
+		prev = ci.HalfWidth
+	}
+	if _, err := w.ConfidenceInterval(0.42); err == nil {
+		t.Error("unsupported level accepted")
+	}
+}
+
+func TestIntervalBounds(t *testing.T) {
+	i := Interval{Mean: 10, HalfWidth: 2}
+	if i.Low() != 8 || i.High() != 12 {
+		t.Errorf("bounds = %v..%v", i.Low(), i.High())
+	}
+	if i.Contains(7.9) || !i.Contains(8) || !i.Contains(12) || i.Contains(12.1) {
+		t.Error("Contains broken")
+	}
+}
+
+func TestProportion(t *testing.T) {
+	var p Proportion
+	if _, err := p.Estimate(); err == nil {
+		t.Error("estimate with no trials accepted")
+	}
+	for i := 0; i < 100; i++ {
+		p.Add(i < 25)
+	}
+	est, err := p.Estimate()
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if est != 0.25 {
+		t.Errorf("Estimate = %v", est)
+	}
+	ci, err := p.ConfidenceInterval(0.95)
+	if err != nil {
+		t.Fatalf("ConfidenceInterval: %v", err)
+	}
+	want := 1.96 * math.Sqrt(0.25*0.75/100)
+	if math.Abs(ci.HalfWidth-want) > 1e-12 {
+		t.Errorf("half width = %v, want %v", ci.HalfWidth, want)
+	}
+}
+
+func TestProportionAddN(t *testing.T) {
+	var p Proportion
+	if err := p.AddN(5, 10); err != nil {
+		t.Fatalf("AddN: %v", err)
+	}
+	if err := p.AddN(11, 10); err == nil {
+		t.Error("k > n accepted")
+	}
+	if err := p.AddN(-1, 10); err == nil {
+		t.Error("negative k accepted")
+	}
+	if p.Trials() != 10 {
+		t.Errorf("Trials = %d", p.Trials())
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var tw TimeWeighted
+	if _, err := tw.Mean(); err == nil {
+		t.Error("mean with no time accepted")
+	}
+	if err := tw.Add(1, 9); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := tw.Add(0, 1); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	m, err := tw.Mean()
+	if err != nil {
+		t.Fatalf("Mean: %v", err)
+	}
+	if math.Abs(m-0.9) > 1e-12 {
+		t.Errorf("Mean = %v, want 0.9", m)
+	}
+	if tw.Duration() != 10 {
+		t.Errorf("Duration = %v", tw.Duration())
+	}
+	if err := tw.Add(1, -1); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+// Property: Welford mean matches the naive mean for random samples.
+func TestWelfordMatchesNaiveProperty(t *testing.T) {
+	f := func(raw [20]float64) bool {
+		var w Welford
+		var sum float64
+		n := 0
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			x = math.Mod(x, 1e6)
+			w.Add(x)
+			sum += x
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		return math.Abs(w.Mean()-sum/float64(n)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The 95% CI of a known Bernoulli(0.3) should usually contain 0.3.
+func TestProportionCoverageSmoke(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	covered := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		var p Proportion
+		for i := 0; i < 500; i++ {
+			p.Add(rng.Float64() < 0.3)
+		}
+		ci, err := p.ConfidenceInterval(0.95)
+		if err != nil {
+			t.Fatalf("ConfidenceInterval: %v", err)
+		}
+		if ci.Contains(0.3) {
+			covered++
+		}
+	}
+	// Expect ≈ 95% coverage; allow generous slack for the smoke test.
+	if covered < 175 {
+		t.Errorf("coverage %d/%d too low", covered, trials)
+	}
+}
+
+func TestBatchMeansBasics(t *testing.T) {
+	if _, err := NewBatchMeans(0); err == nil {
+		t.Error("batch size 0 accepted")
+	}
+	bm, err := NewBatchMeans(10)
+	if err != nil {
+		t.Fatalf("NewBatchMeans: %v", err)
+	}
+	if _, err := bm.Mean(); err == nil {
+		t.Error("mean with no batches accepted")
+	}
+	for i := 0; i < 100; i++ {
+		bm.Add(float64(i % 2)) // alternating 0/1: every batch mean is 0.5
+	}
+	if bm.Batches() != 10 {
+		t.Errorf("Batches = %d, want 10", bm.Batches())
+	}
+	m, err := bm.Mean()
+	if err != nil {
+		t.Fatalf("Mean: %v", err)
+	}
+	if math.Abs(m-0.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 0.5", m)
+	}
+	ci, err := bm.ConfidenceInterval(0.95)
+	if err != nil {
+		t.Fatalf("ConfidenceInterval: %v", err)
+	}
+	if ci.HalfWidth > 1e-12 {
+		t.Errorf("half width = %v, want ~0 for constant batch means", ci.HalfWidth)
+	}
+}
+
+// For strongly autocorrelated series, the batch-means interval must be
+// wider than the naive i.i.d. Wald interval (which underestimates).
+func TestBatchMeansWiderThanWaldOnCorrelatedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	bm, err := NewBatchMeans(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prop Proportion
+	// A slowly flipping 0/1 process: long runs of equal values.
+	state := 0
+	for i := 0; i < 100000; i++ {
+		if rng.Float64() < 0.002 {
+			state = 1 - state
+		}
+		bm.Add(float64(state))
+		prop.Add(state == 1)
+	}
+	bmCI, err := bm.ConfidenceInterval(0.95)
+	if err != nil {
+		t.Fatalf("batch means CI: %v", err)
+	}
+	waldCI, err := prop.ConfidenceInterval(0.95)
+	if err != nil {
+		t.Fatalf("Wald CI: %v", err)
+	}
+	if !(bmCI.HalfWidth > 3*waldCI.HalfWidth) {
+		t.Errorf("batch-means half width %v should dwarf Wald %v on correlated data",
+			bmCI.HalfWidth, waldCI.HalfWidth)
+	}
+}

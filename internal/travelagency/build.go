@@ -1,0 +1,158 @@
+package travelagency
+
+import (
+	"fmt"
+
+	"repro/internal/hierarchy"
+	"repro/internal/rbd"
+	"repro/internal/webfarm"
+)
+
+// ServiceAvailabilities computes every TA service availability from the
+// parameters: Tables 3, 4 and 5 of the paper in one map.
+func ServiceAvailabilities(p Params) (map[string]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{
+		SvcInternet: p.NetAvailability,
+		SvcLAN:      p.LANAvailability,
+		SvcPayment:  p.PaymentAvailability,
+	}
+
+	// Table 3: external reservation services are 1-of-N parallel groups.
+	external := []struct {
+		svc   string
+		n     int
+		avail float64
+	}{
+		{SvcFlight, p.FlightSystems, p.FlightSystemAvailability},
+		{SvcHotel, p.HotelSystems, p.HotelSystemAvailability},
+		{SvcCar, p.CarSystems, p.CarSystemAvailability},
+	}
+	for _, e := range external {
+		blocks, err := rbd.Replicate(e.svc, e.n, e.avail)
+		if err != nil {
+			return nil, fmt.Errorf("travelagency: %s: %w", e.svc, err)
+		}
+		a, err := rbd.Eval(rbd.Parallel(e.svc+"-1ofN", blocks...))
+		if err != nil {
+			return nil, fmt.Errorf("travelagency: %s: %w", e.svc, err)
+		}
+		out[e.svc] = a
+	}
+
+	// Table 4: application and database services.
+	switch p.Architecture {
+	case Basic:
+		out[SvcApp] = p.AppHostAvailability
+		out[SvcDB] = p.DBHostAvailability * p.DiskAvailability
+	case Redundant:
+		hosts, err := rbd.Replicate("app-host", 2, p.AppHostAvailability)
+		if err != nil {
+			return nil, err
+		}
+		as, err := rbd.Eval(rbd.Parallel("app-service", hosts...))
+		if err != nil {
+			return nil, err
+		}
+		out[SvcApp] = as
+
+		dbHosts, err := rbd.Replicate("db-host", 2, p.DBHostAvailability)
+		if err != nil {
+			return nil, err
+		}
+		disks, err := rbd.Replicate("disk", 2, p.DiskAvailability)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := rbd.Eval(rbd.Series("db-service",
+			rbd.Parallel("db-hosts", dbHosts...),
+			rbd.Parallel("mirrored-disks", disks...),
+		))
+		if err != nil {
+			return nil, err
+		}
+		out[SvcDB] = ds
+	}
+
+	// Table 5: web service via the composite performance-availability model.
+	ws, err := WebFarm(p).Availability()
+	if err != nil {
+		return nil, fmt.Errorf("travelagency: web service: %w", err)
+	}
+	out[SvcWeb] = ws
+	return out, nil
+}
+
+// WebFarm returns the webfarm model configured from the parameters.
+func WebFarm(p Params) webfarm.Farm {
+	return webfarm.Farm{
+		Servers:      p.WebServers,
+		ArrivalRate:  p.ArrivalRate,
+		ServiceRate:  p.ServiceRate,
+		BufferSize:   p.BufferSize,
+		FailureRate:  p.WebFailureRate,
+		RepairRate:   p.WebRepairRate,
+		Coverage:     p.Coverage,
+		ReconfigRate: p.ReconfigRate,
+	}
+}
+
+// Build assembles the full four-level TA model for one user class.
+func Build(p Params, class UserClass) (*hierarchy.Model, error) {
+	avail, err := ServiceAvailabilities(p)
+	if err != nil {
+		return nil, err
+	}
+	m := hierarchy.New()
+	for _, svc := range []string{
+		SvcInternet, SvcLAN, SvcWeb, SvcApp, SvcDB,
+		SvcFlight, SvcHotel, SvcCar, SvcPayment,
+	} {
+		if err := m.AddService(svc, avail[svc]); err != nil {
+			return nil, err
+		}
+	}
+	diagrams, err := Diagrams(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, fn := range []string{FnHome, FnBrowse, FnSearch, FnBook, FnPay} {
+		if err := m.AddFunction(diagrams[fn]); err != nil {
+			return nil, err
+		}
+	}
+	scenarios, err := Scenarios(class)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SetScenarios(scenarios); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Evaluate builds and evaluates the TA model for one user class.
+func Evaluate(p Params, class UserClass) (*hierarchy.Report, error) {
+	m, err := Build(p, class)
+	if err != nil {
+		return nil, err
+	}
+	return m.Evaluate()
+}
+
+// CategoryUnavailability computes the Figure 13 decomposition: the
+// contribution of each scenario category to the user-perceived
+// unavailability, Σ_{i ∈ SC} π_i·(1 − A_i).
+func CategoryUnavailability(rep *hierarchy.Report) (map[Category]float64, error) {
+	out := make(map[Category]float64, 4)
+	for _, sc := range rep.Scenarios {
+		cat, err := ScenarioCategory(sc.Name)
+		if err != nil {
+			return nil, err
+		}
+		out[cat] += sc.Probability * (1 - sc.Availability)
+	}
+	return out, nil
+}

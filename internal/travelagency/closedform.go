@@ -1,0 +1,63 @@
+package travelagency
+
+import (
+	"math"
+)
+
+// ClosedFormUserAvailability evaluates the paper's equation (10) literally:
+//
+//	A(user) = A_net·A_LAN·A(WS)·[ π₁
+//	          + (π₂+π₃)·{q23 + A(AS)(q24·q45 + q24·q47·A(DS))}
+//	          + A(AS)A(DS)A(Flight)A(Hotel)A(Car)·{(π₄+…+π₉) + (π₁₀+π₁₁+π₁₂)·A(PS)} ]
+//
+// It is an independently-coded cross-check of the generic hierarchy
+// evaluation; both must agree to floating-point accuracy on the TA model.
+func ClosedFormUserAvailability(p Params, class UserClass) (float64, error) {
+	avail, err := ServiceAvailabilities(p)
+	if err != nil {
+		return 0, err
+	}
+	scenarios, err := Scenarios(class)
+	if err != nil {
+		return 0, err
+	}
+	pi := make([]float64, len(scenarios))
+	for i, sc := range scenarios {
+		pi[i] = sc.Probability
+	}
+
+	var (
+		aWS  = avail[SvcWeb]
+		aAS  = avail[SvcApp]
+		aDS  = avail[SvcDB]
+		aFl  = avail[SvcFlight]
+		aHo  = avail[SvcHotel]
+		aCar = avail[SvcCar]
+		aPS  = avail[SvcPayment]
+	)
+	browseBracket := p.Q23 + aAS*(p.Q24*p.Q45+p.Q24*p.Q47*aDS)
+	searchProduct := aAS * aDS * aFl * aHo * aCar
+
+	inner := pi[0] +
+		(pi[1]+pi[2])*browseBracket +
+		searchProduct*((pi[3]+pi[4]+pi[5]+pi[6]+pi[7]+pi[8])+(pi[9]+pi[10]+pi[11])*aPS)
+	a := p.NetAvailability * p.LANAvailability * aWS * inner
+	return math.Min(1, math.Max(0, a)), nil
+}
+
+// ClosedFormFunctionAvailabilities evaluates Table 6 literally.
+func ClosedFormFunctionAvailabilities(p Params) (map[string]float64, error) {
+	avail, err := ServiceAvailabilities(p)
+	if err != nil {
+		return nil, err
+	}
+	shared := avail[SvcInternet] * avail[SvcLAN] * avail[SvcWeb]
+	searchTail := avail[SvcApp] * avail[SvcDB] * avail[SvcFlight] * avail[SvcHotel] * avail[SvcCar]
+	return map[string]float64{
+		FnHome:   shared,
+		FnBrowse: shared * (p.Q23 + avail[SvcApp]*(p.Q24*p.Q45+p.Q24*p.Q47*avail[SvcDB])),
+		FnSearch: shared * searchTail,
+		FnBook:   shared * searchTail,
+		FnPay:    shared * avail[SvcApp] * avail[SvcDB] * avail[SvcPayment],
+	}, nil
+}

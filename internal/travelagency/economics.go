@@ -1,0 +1,64 @@
+package travelagency
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/hierarchy"
+)
+
+// HoursPerYear converts steady-state unavailability into yearly downtime,
+// the unit used throughout §5 of the paper.
+const HoursPerYear = 365 * 24
+
+// secondsPerYear matches the paper's revenue arithmetic (Figure 13 text).
+const secondsPerYear = HoursPerYear * 3600
+
+// ErrEconomics is returned for invalid business parameters.
+var ErrEconomics = errors.New("travelagency: invalid economics parameters")
+
+// DowntimeHoursPerYear converts an unavailability to hours of downtime per
+// year.
+func DowntimeHoursPerYear(unavailability float64) float64 {
+	return unavailability * HoursPerYear
+}
+
+// RevenueImpact quantifies the business cost of the unavailability seen by
+// payment scenarios, as in the paper's Figure 13 discussion: with a
+// transaction rate of 100/s and 100 $ of revenue per transaction, class A's
+// 16 h/year of SC4 downtime cost 5.7 M transactions and 570 M$.
+type RevenueImpact struct {
+	// PaymentUnavailability is the SC4 contribution Σ π_i(1−A_i).
+	PaymentUnavailability float64
+	// DowntimeHours is the yearly downtime attributed to payment scenarios.
+	DowntimeHours float64
+	// LostTransactions per year.
+	LostTransactions float64
+	// LostRevenue per year, in the currency of revenuePerTransaction.
+	LostRevenue float64
+}
+
+// EstimateRevenueImpact computes the yearly loss caused by unavailability in
+// the payment scenarios (category SC4) for the given transaction arrival
+// rate (transactions/second) and mean revenue per transaction.
+func EstimateRevenueImpact(rep *hierarchy.Report, txPerSecond, revenuePerTransaction float64) (RevenueImpact, error) {
+	if txPerSecond <= 0 || math.IsNaN(txPerSecond) || math.IsInf(txPerSecond, 0) {
+		return RevenueImpact{}, fmt.Errorf("%w: transaction rate %v", ErrEconomics, txPerSecond)
+	}
+	if revenuePerTransaction < 0 || math.IsNaN(revenuePerTransaction) || math.IsInf(revenuePerTransaction, 0) {
+		return RevenueImpact{}, fmt.Errorf("%w: revenue per transaction %v", ErrEconomics, revenuePerTransaction)
+	}
+	cats, err := CategoryUnavailability(rep)
+	if err != nil {
+		return RevenueImpact{}, err
+	}
+	ua := cats[SC4]
+	lostTx := txPerSecond * secondsPerYear * ua
+	return RevenueImpact{
+		PaymentUnavailability: ua,
+		DowntimeHours:         DowntimeHoursPerYear(ua),
+		LostTransactions:      lostTx,
+		LostRevenue:           lostTx * revenuePerTransaction,
+	}, nil
+}

@@ -1,0 +1,88 @@
+package travelagency
+
+import (
+	"fmt"
+
+	"repro/internal/faulttree"
+)
+
+// FunctionFailureTree builds the fault tree of one TA function: the dual of
+// its availability expression. The top event "function fails" is an OR over
+// the connectivity, internal-service and external-service failure modes;
+// each external reservation service fails only when ALL of its N systems
+// fail (an AND gate), which is where the minimal cut sets of order N come
+// from.
+//
+// For branch-free functions (Home, Search, Book, Pay) the tree's top-event
+// probability equals 1 − A(function) from Table 6 exactly; this identity is
+// asserted in tests and demonstrated by the taeval "cutsets" experiment.
+// Browse has internal branches (its availability is not a pure product), so
+// the fault-tree dual would need success branches; it is not provided.
+func FunctionFailureTree(p Params, function string) (faulttree.Node, error) {
+	avail, err := ServiceAvailabilities(p)
+	if err != nil {
+		return nil, err
+	}
+	unavail := func(svc string) float64 { return 1 - avail[svc] }
+
+	basic := func(svc string) (faulttree.Node, error) {
+		return faulttree.NewBasicEvent(svc+"-fail", unavail(svc))
+	}
+	replicatedAND := func(label string, n int, systemAvail float64) (faulttree.Node, error) {
+		events := make([]faulttree.Node, n)
+		for i := range events {
+			e, err := faulttree.NewBasicEvent(fmt.Sprintf("%s-%d-fail", label, i+1), 1-systemAvail)
+			if err != nil {
+				return nil, err
+			}
+			events[i] = e
+		}
+		return faulttree.AND(label+"-all-fail", events...), nil
+	}
+
+	common := []string{SvcInternet, SvcLAN, SvcWeb}
+	var children []faulttree.Node
+	addBasics := func(svcs ...string) error {
+		for _, svc := range svcs {
+			e, err := basic(svc)
+			if err != nil {
+				return err
+			}
+			children = append(children, e)
+		}
+		return nil
+	}
+
+	switch function {
+	case FnHome:
+		if err := addBasics(common...); err != nil {
+			return nil, err
+		}
+	case FnSearch, FnBook:
+		if err := addBasics(append(common, SvcApp, SvcDB)...); err != nil {
+			return nil, err
+		}
+		for _, ext := range []struct {
+			label string
+			n     int
+			a     float64
+		}{
+			{SvcFlight, p.FlightSystems, p.FlightSystemAvailability},
+			{SvcHotel, p.HotelSystems, p.HotelSystemAvailability},
+			{SvcCar, p.CarSystems, p.CarSystemAvailability},
+		} {
+			gate, err := replicatedAND(ext.label, ext.n, ext.a)
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, gate)
+		}
+	case FnPay:
+		if err := addBasics(append(common, SvcApp, SvcDB, SvcPayment)...); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: no failure tree for function %q", ErrParams, function)
+	}
+	return faulttree.OR(function+"-fails", children...), nil
+}

@@ -1,0 +1,145 @@
+package travelagency
+
+import (
+	"fmt"
+
+	"repro/internal/gspn"
+)
+
+// WebFarmNet expresses the paper's Figure 10 web-farm repair model as a
+// generalized stochastic Petri net — a fourth formalism (after the closed
+// forms, the CTMC, and the stochastic simulation) that must agree on the
+// web-service availability.
+//
+// Places:
+//
+//	up      — operational web servers (starts at N_W)
+//	down    — failed servers awaiting the shared repair facility
+//	choice  — a just-failed server whose coverage is being resolved
+//	reconf  — 1 while a manual reconfiguration (uncovered failure) runs
+//
+// Transitions:
+//
+//	fail (timed, rate #up·λ, inhibited by reconf) : up → choice
+//	covered (immediate, weight c)                 : choice → down
+//	uncovered (immediate, weight 1−c)             : choice → reconf
+//	reconfigure (timed, rate β)                   : reconf → down
+//	repair (timed, rate µ, inhibited by reconf)   : down → up
+//
+// The coverage branch uses immediate transitions with weights c and 1−c,
+// exercising vanishing-marking elimination on the paper's own model. Rate
+// functions are evaluated in the enabling marking, so "fail" uses
+// infinite-server semantics directly.
+func WebFarmNet(p Params) (*gspn.Net, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Coverage >= 1 {
+		return nil, fmt.Errorf("%w: the GSPN encoding models imperfect coverage (c < 1)", ErrParams)
+	}
+	n := gspn.New()
+	for _, place := range []struct {
+		name   string
+		tokens int
+	}{
+		{"up", p.WebServers}, {"down", 0}, {"choice", 0}, {"reconf", 0},
+	} {
+		if err := n.AddPlace(place.name, place.tokens); err != nil {
+			return nil, err
+		}
+	}
+
+	lambda := p.WebFailureRate
+	if err := n.AddTimedTransitionFunc("fail", func(m gspn.Marking) float64 {
+		return float64(m["up"]) * lambda
+	}); err != nil {
+		return nil, err
+	}
+	if err := n.AddInputArc("up", "fail", 1); err != nil {
+		return nil, err
+	}
+	if err := n.AddOutputArc("fail", "choice", 1); err != nil {
+		return nil, err
+	}
+	if err := n.AddInhibitorArc("reconf", "fail", 1); err != nil {
+		return nil, err
+	}
+
+	if err := n.AddImmediateTransition("covered", p.Coverage); err != nil {
+		return nil, err
+	}
+	if err := n.AddInputArc("choice", "covered", 1); err != nil {
+		return nil, err
+	}
+	if err := n.AddOutputArc("covered", "down", 1); err != nil {
+		return nil, err
+	}
+	if err := n.AddImmediateTransition("uncovered", 1-p.Coverage); err != nil {
+		return nil, err
+	}
+	if err := n.AddInputArc("choice", "uncovered", 1); err != nil {
+		return nil, err
+	}
+	if err := n.AddOutputArc("uncovered", "reconf", 1); err != nil {
+		return nil, err
+	}
+
+	if err := n.AddTimedTransition("reconfigure", p.ReconfigRate); err != nil {
+		return nil, err
+	}
+	if err := n.AddInputArc("reconf", "reconfigure", 1); err != nil {
+		return nil, err
+	}
+	if err := n.AddOutputArc("reconfigure", "down", 1); err != nil {
+		return nil, err
+	}
+
+	if err := n.AddTimedTransition("repair", p.WebRepairRate); err != nil {
+		return nil, err
+	}
+	if err := n.AddInputArc("down", "repair", 1); err != nil {
+		return nil, err
+	}
+	if err := n.AddOutputArc("repair", "up", 1); err != nil {
+		return nil, err
+	}
+	if err := n.AddInhibitorArc("reconf", "repair", 1); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// WebServiceAvailabilityViaGSPN recomputes A(WS) by solving the GSPN
+// encoding and composing the resulting state probabilities with the
+// M/M/i/K loss probabilities — an end-to-end cross-check of the entire
+// Table 5 pipeline through a different formalism.
+func WebServiceAvailabilityViaGSPN(p Params) (float64, error) {
+	net, err := WebFarmNet(p)
+	if err != nil {
+		return 0, err
+	}
+	analysis, err := net.Analyze(0)
+	if err != nil {
+		return 0, err
+	}
+	operational := make([]float64, p.WebServers+1)
+	reconfig := make([]float64, p.WebServers+1)
+	for i := 0; i <= p.WebServers; i++ {
+		i := i
+		operational[i] = analysis.Probability(func(m gspn.Marking) bool {
+			return m["up"] == i && m["reconf"] == 0
+		})
+		if i >= 1 {
+			// y_i is entered from operational state i: up = i−1, reconf = 1.
+			reconfig[i] = analysis.Probability(func(m gspn.Marking) bool {
+				return m["up"] == i-1 && m["reconf"] == 1
+			})
+		}
+	}
+	farm := WebFarm(p)
+	model, err := farm.ComposeStates(operational, reconfig)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - model.Unavailability(), nil
+}

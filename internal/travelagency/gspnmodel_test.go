@@ -1,0 +1,56 @@
+package travelagency
+
+import (
+	"math"
+	"testing"
+)
+
+// The GSPN path must reproduce the paper's printed A(WS) — four formalisms
+// agreeing on the Table 7 anchor: closed forms, CTMC, simulation, and GSPN.
+func TestWebServiceAvailabilityViaGSPN(t *testing.T) {
+	p := DefaultParams()
+	viaGSPN, err := WebServiceAvailabilityViaGSPN(p)
+	if err != nil {
+		t.Fatalf("WebServiceAvailabilityViaGSPN: %v", err)
+	}
+	if math.Abs(viaGSPN-0.999995587) > 5e-10 {
+		t.Errorf("A(WS) via GSPN = %.10f, want 0.999995587", viaGSPN)
+	}
+	closed, err := WebFarm(p).Availability()
+	if err != nil {
+		t.Fatalf("Availability: %v", err)
+	}
+	if math.Abs(viaGSPN-closed) > 1e-12 {
+		t.Errorf("GSPN %v vs closed form %v", viaGSPN, closed)
+	}
+}
+
+func TestWebFarmNetValidation(t *testing.T) {
+	p := DefaultParams()
+	p.Coverage = 1
+	if _, err := WebFarmNet(p); err == nil {
+		t.Error("perfect coverage accepted by the GSPN encoding")
+	}
+	bad := DefaultParams()
+	bad.WebServers = 0
+	if _, err := WebFarmNet(bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// The net's tangible state space has exactly 2·N_W + 1 markings: N_W+1
+// operational levels plus N_W reconfiguration states.
+func TestWebFarmNetStateSpace(t *testing.T) {
+	p := DefaultParams()
+	net, err := WebFarmNet(p)
+	if err != nil {
+		t.Fatalf("WebFarmNet: %v", err)
+	}
+	analysis, err := net.Analyze(0)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if got, want := analysis.NumMarkings(), 2*p.WebServers+1; got != want {
+		t.Errorf("tangible markings = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,181 @@
+// Package travelagency instantiates the paper's running example: the
+// web-based Travel Agency (TA). It provides the five function interaction
+// diagrams (Figures 3–6 plus the trivial Home), the Table 2 function→service
+// mapping, the Table 1 user classes, the Table 7 parameters, the basic and
+// redundant architectures (Figures 7–8), assembly into the hierarchy
+// framework, and the closed-form user availability of equation (10) as an
+// independent cross-check.
+package travelagency
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Service names used throughout the TA model.
+const (
+	SvcInternet = "Net"    // TA connectivity to the Internet (A_net)
+	SvcLAN      = "LAN"    // internal LAN between servers (A_LAN)
+	SvcWeb      = "WS"     // web service
+	SvcApp      = "AS"     // application service
+	SvcDB       = "DS"     // database service
+	SvcFlight   = "Flight" // external flight reservation service (1-of-N_F)
+	SvcHotel    = "Hotel"  // external hotel reservation service (1-of-N_H)
+	SvcCar      = "Car"    // external car rental service (1-of-N_C)
+	SvcPayment  = "PS"     // external payment service
+)
+
+// Function names.
+const (
+	FnHome   = "Home"
+	FnBrowse = "Browse"
+	FnSearch = "Search"
+	FnBook   = "Book"
+	FnPay    = "Pay"
+)
+
+// Architecture selects the internal-resource organization (Figures 7–8).
+type Architecture int
+
+const (
+	// Basic: one dedicated host per server, no redundancy (Figure 7).
+	Basic Architecture = iota + 1
+	// Redundant: N_W web servers, 2 application servers, 2 database servers
+	// with mirrored disks (Figure 8).
+	Redundant
+)
+
+// String implements fmt.Stringer.
+func (a Architecture) String() string {
+	switch a {
+	case Basic:
+		return "basic"
+	case Redundant:
+		return "redundant"
+	default:
+		return fmt.Sprintf("Architecture(%d)", int(a))
+	}
+}
+
+// ErrParams is returned for invalid TA parameters.
+var ErrParams = errors.New("travelagency: invalid parameters")
+
+// Params collects every model parameter. DefaultParams returns the paper's
+// Table 7 values.
+type Params struct {
+	Architecture Architecture
+
+	// External connectivity and internal communication.
+	NetAvailability float64 // A_net
+	LANAvailability float64 // A_LAN
+
+	// Hosts and disks (Table 7).
+	AppHostAvailability float64 // A(C_AS)
+	DBHostAvailability  float64 // A(C_DS)
+	DiskAvailability    float64 // A(Disk)
+
+	// External suppliers: per-system availabilities and replica counts.
+	FlightSystemAvailability float64 // A_Fi
+	HotelSystemAvailability  float64 // A_Hi
+	CarSystemAvailability    float64 // A_Ci
+	PaymentAvailability      float64 // A_PS
+	FlightSystems            int     // N_F
+	HotelSystems             int     // N_H
+	CarSystems               int     // N_C
+
+	// Browse interaction-diagram branch probabilities (Figure 3).
+	Q23, Q24, Q45, Q47 float64
+
+	// Web service (Table 7 / Figures 11–12).
+	WebServers     int     // N_W (forced to 1 by the basic architecture)
+	ArrivalRate    float64 // α, requests/second
+	ServiceRate    float64 // ν, requests/second per server
+	BufferSize     int     // K
+	WebFailureRate float64 // λ, per hour
+	WebRepairRate  float64 // µ, per hour
+	Coverage       float64 // c (1 = perfect coverage)
+	ReconfigRate   float64 // β, per hour
+}
+
+// DefaultParams returns the paper's Table 7 parameters with the redundant
+// architecture (N_W = 4, imperfect coverage c = 0.98, α = 100/s, λ = 1e-4/h).
+func DefaultParams() Params {
+	return Params{
+		Architecture:             Redundant,
+		NetAvailability:          0.9966,
+		LANAvailability:          0.9966,
+		AppHostAvailability:      0.996,
+		DBHostAvailability:       0.996,
+		DiskAvailability:         0.9,
+		FlightSystemAvailability: 0.9,
+		HotelSystemAvailability:  0.9,
+		CarSystemAvailability:    0.9,
+		PaymentAvailability:      0.9,
+		FlightSystems:            5,
+		HotelSystems:             5,
+		CarSystems:               5,
+		Q23:                      0.2,
+		Q24:                      0.8,
+		Q45:                      0.4,
+		Q47:                      0.6,
+		WebServers:               4,
+		ArrivalRate:              100,
+		ServiceRate:              100,
+		BufferSize:               10,
+		WebFailureRate:           1e-4,
+		WebRepairRate:            1,
+		Coverage:                 0.98,
+		ReconfigRate:             12,
+	}
+}
+
+// Validate checks the parameter set.
+func (p Params) Validate() error {
+	if p.Architecture != Basic && p.Architecture != Redundant {
+		return fmt.Errorf("%w: architecture %v", ErrParams, p.Architecture)
+	}
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"A_net", p.NetAvailability},
+		{"A_LAN", p.LANAvailability},
+		{"A(C_AS)", p.AppHostAvailability},
+		{"A(C_DS)", p.DBHostAvailability},
+		{"A(Disk)", p.DiskAvailability},
+		{"A_Fi", p.FlightSystemAvailability},
+		{"A_Hi", p.HotelSystemAvailability},
+		{"A_Ci", p.CarSystemAvailability},
+		{"A_PS", p.PaymentAvailability},
+		{"q23", p.Q23},
+		{"q24", p.Q24},
+		{"q45", p.Q45},
+		{"q47", p.Q47},
+	}
+	for _, pr := range probs {
+		if pr.v < 0 || pr.v > 1 || math.IsNaN(pr.v) {
+			return fmt.Errorf("%w: %s = %v", ErrParams, pr.name, pr.v)
+		}
+	}
+	if math.Abs(p.Q23+p.Q24-1) > 1e-9 {
+		return fmt.Errorf("%w: q23+q24 = %v, want 1", ErrParams, p.Q23+p.Q24)
+	}
+	if math.Abs(p.Q45+p.Q47-1) > 1e-9 {
+		return fmt.Errorf("%w: q45+q47 = %v, want 1", ErrParams, p.Q45+p.Q47)
+	}
+	if p.FlightSystems < 1 || p.HotelSystems < 1 || p.CarSystems < 1 {
+		return fmt.Errorf("%w: reservation system counts %d/%d/%d", ErrParams, p.FlightSystems, p.HotelSystems, p.CarSystems)
+	}
+	if p.Architecture == Basic && p.WebServers != 1 {
+		return fmt.Errorf("%w: basic architecture requires exactly 1 web server, have %d", ErrParams, p.WebServers)
+	}
+	if p.WebServers < 1 {
+		return fmt.Errorf("%w: web servers %d", ErrParams, p.WebServers)
+	}
+	// Rate validity is delegated to webfarm.Farm; check only the obvious.
+	if p.BufferSize < 1 {
+		return fmt.Errorf("%w: buffer size %d", ErrParams, p.BufferSize)
+	}
+	return nil
+}

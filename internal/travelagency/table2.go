@@ -1,0 +1,39 @@
+package travelagency
+
+import "sort"
+
+// FunctionServiceMapping returns Table 2 of the paper: for each function,
+// the internal and external services involved in its accomplishment. The
+// mapping is derived from the interaction diagrams rather than hard-coded,
+// so it stays consistent with the model. The Internet and LAN connectivity
+// services, which every function requires, are included.
+func FunctionServiceMapping(p Params) (map[string][]string, error) {
+	diagrams, err := Diagrams(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]string, len(diagrams))
+	for name, d := range diagrams {
+		svcs := d.Services()
+		sort.Strings(svcs)
+		out[name] = svcs
+	}
+	return out, nil
+}
+
+// InternalServices lists the services operated by the TA provider.
+func InternalServices() []string {
+	return []string{SvcWeb, SvcApp, SvcDB}
+}
+
+// ExternalServices lists the black-box services operated by external
+// suppliers.
+func ExternalServices() []string {
+	return []string{SvcFlight, SvcHotel, SvcCar, SvcPayment}
+}
+
+// ConnectivityServices lists the communication resources every function
+// depends on.
+func ConnectivityServices() []string {
+	return []string{SvcInternet, SvcLAN}
+}

@@ -1,0 +1,62 @@
+package webfarm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/perfavail"
+	"repro/internal/queueing"
+)
+
+// ComposeWithDeadline extends the user-perceived measure with the failure
+// mode the paper lists as future work: "failures that occur when the
+// response time exceeds an acceptable threshold". A request now succeeds
+// only if it is admitted (buffer not full, service up) AND its sojourn time
+// is at most deadline (seconds).
+//
+// The per-state response-time tail is taken from the M/M/i queue (infinite
+// buffer): with the buffer bounding the backlog at K, the true M/M/i/K
+// sojourn tail is no heavier, so the measure is conservative. States whose
+// service capacity cannot keep up with the arrival rate (α ≥ i·ν, where the
+// infinite-buffer tail is undefined) are treated as never meeting the
+// deadline — also conservative.
+func (f Farm) ComposeWithDeadline(deadline float64) (*perfavail.Model, error) {
+	if deadline <= 0 || math.IsNaN(deadline) || math.IsInf(deadline, 0) {
+		return nil, fmt.Errorf("%w: deadline %v", ErrParam, deadline)
+	}
+	base, err := f.Compose()
+	if err != nil {
+		return nil, err
+	}
+	states := base.States()
+	for idx, st := range states {
+		if st.Success == 0 {
+			continue
+		}
+		var servers int
+		if n, err := fmt.Sscanf(st.Name, "%d-servers", &servers); n != 1 || err != nil {
+			return nil, fmt.Errorf("webfarm: unexpected state name %q", st.Name)
+		}
+		mmc := queueing.MMc{Arrival: f.ArrivalRate, Service: f.ServiceRate, Servers: servers}
+		if mmc.Utilization() >= 1 {
+			states[idx].Success = 0
+			continue
+		}
+		tail, err := mmc.ResponseTimeTail(deadline)
+		if err != nil {
+			return nil, err
+		}
+		states[idx].Success = st.Success * (1 - tail)
+	}
+	return perfavail.New(states)
+}
+
+// AvailabilityWithDeadline returns the deadline-extended user-perceived
+// availability.
+func (f Farm) AvailabilityWithDeadline(deadline float64) (float64, error) {
+	m, err := f.ComposeWithDeadline(deadline)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - m.Unavailability(), nil
+}

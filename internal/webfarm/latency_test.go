@@ -1,0 +1,90 @@
+package webfarm
+
+import (
+	"math"
+	"testing"
+)
+
+// latencyFarm has enough capacity that every state with ≥ 1 server is
+// stable (α < ν), so the M/M/i tails are defined everywhere.
+func latencyFarm() Farm {
+	return Farm{
+		Servers:      4,
+		ArrivalRate:  50,
+		ServiceRate:  100,
+		BufferSize:   10,
+		FailureRate:  1e-3,
+		RepairRate:   1,
+		Coverage:     0.98,
+		ReconfigRate: 12,
+	}
+}
+
+func TestDeadlineValidation(t *testing.T) {
+	f := latencyFarm()
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := f.AvailabilityWithDeadline(bad); err == nil {
+			t.Errorf("deadline %v accepted", bad)
+		}
+	}
+}
+
+// The deadline-extended availability is below the plain availability and
+// approaches it as the deadline grows.
+func TestDeadlineBoundsAndConvergence(t *testing.T) {
+	f := latencyFarm()
+	plain, err := f.Availability()
+	if err != nil {
+		t.Fatalf("Availability: %v", err)
+	}
+	prev := 0.0
+	for _, d := range []float64{0.001, 0.01, 0.1, 1, 10} {
+		a, err := f.AvailabilityWithDeadline(d)
+		if err != nil {
+			t.Fatalf("AvailabilityWithDeadline(%v): %v", d, err)
+		}
+		if a > plain+1e-12 {
+			t.Errorf("deadline %v: %v exceeds plain availability %v", d, a, plain)
+		}
+		if a < prev-1e-12 {
+			t.Errorf("availability not monotone in deadline at %v", d)
+		}
+		prev = a
+	}
+	long, err := f.AvailabilityWithDeadline(100)
+	if err != nil {
+		t.Fatalf("AvailabilityWithDeadline: %v", err)
+	}
+	if math.Abs(long-plain) > 1e-9 {
+		t.Errorf("long deadline %v should approach plain %v", long, plain)
+	}
+}
+
+// A tight deadline on a loaded system must hurt: at α = 50, ν = 100 the mean
+// service time is 10 ms, so a 1 ms deadline fails most requests.
+func TestTightDeadlineDominates(t *testing.T) {
+	f := latencyFarm()
+	tight, err := f.AvailabilityWithDeadline(0.001)
+	if err != nil {
+		t.Fatalf("AvailabilityWithDeadline: %v", err)
+	}
+	if tight > 0.2 {
+		t.Errorf("1 ms deadline availability %v unexpectedly high", tight)
+	}
+}
+
+// States with α ≥ i·ν are conservatively counted as missing the deadline:
+// with ν = α the single-server state can never meet it.
+func TestUnstableStatesConservative(t *testing.T) {
+	f := latencyFarm()
+	f.ArrivalRate = 100 // state 1-servers now has ρ = 1
+	m, err := f.ComposeWithDeadline(1)
+	if err != nil {
+		t.Fatalf("ComposeWithDeadline: %v", err)
+	}
+	for _, st := range m.States() {
+		if st.Name == "1-servers" && st.Success != 0 {
+			t.Errorf("unstable state success = %v, want 0", st.Success)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package webfarm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/repairmodel"
+)
+
+func TestMeanTimeToOutageSingleServer(t *testing.T) {
+	f := Farm{
+		Servers: 1, ArrivalRate: 100, ServiceRate: 100, BufferSize: 10,
+		FailureRate: 1e-4, RepairRate: 1, Coverage: 1,
+	}
+	mttf, err := f.MeanTimeToOutage()
+	if err != nil {
+		t.Fatalf("MeanTimeToOutage: %v", err)
+	}
+	// One server, perfect coverage: MTTF = 1/λ = 10⁴ hours.
+	if math.Abs(mttf-1e4) > 1e-6 {
+		t.Errorf("MTTF = %v, want 1e4", mttf)
+	}
+}
+
+func TestMeanTimeToOutageRedundancyHelps(t *testing.T) {
+	mttf := func(servers int, coverage float64) float64 {
+		f := Farm{
+			Servers: servers, ArrivalRate: 100, ServiceRate: 100, BufferSize: 10,
+			FailureRate: 1e-3, RepairRate: 1, Coverage: coverage, ReconfigRate: 12,
+		}
+		v, err := f.MeanTimeToOutage()
+		if err != nil {
+			t.Fatalf("MeanTimeToOutage: %v", err)
+		}
+		return v
+	}
+	// With perfect coverage, redundancy extends the horizon enormously.
+	if !(mttf(2, 1) > 100*mttf(1, 1)) {
+		t.Errorf("MTTF(2)=%v should dwarf MTTF(1)=%v", mttf(2, 1), mttf(1, 1))
+	}
+	// Imperfect coverage caps the benefit: any uncovered failure is an
+	// outage, so the horizon is bounded near 1/(N·(1−c)·λ).
+	withCoverage := mttf(4, 0.98)
+	perfect := mttf(4, 1)
+	if !(withCoverage < perfect/100) {
+		t.Errorf("imperfect-coverage MTTF %v should be far below perfect %v", withCoverage, perfect)
+	}
+	// Order-of-magnitude check against the uncovered-failure bound: from
+	// full strength the first uncovered failure arrives at rate N(1−c)λ.
+	// (approximate: covered failures briefly lower the uncovered hazard, so
+	// the true value sits slightly above the full-strength bound).
+	bound := 1 / (4 * 0.02 * 1e-3)
+	if withCoverage > 1.5*bound || withCoverage < bound/3 {
+		t.Errorf("MTTF %v not within the expected band around %v", withCoverage, bound)
+	}
+}
+
+func TestComposeStatesValidation(t *testing.T) {
+	f := paperFarm()
+	if _, err := f.ComposeStates([]float64{1}, nil); err == nil {
+		t.Error("wrong operational length accepted")
+	}
+	if _, err := f.ComposeStates(make([]float64, f.Servers+1), []float64{1}); err == nil {
+		t.Error("wrong reconfiguration length accepted")
+	}
+}
+
+// Composing with externally supplied Figure 10 probabilities must equal the
+// built-in composition.
+func TestComposeStatesMatchesCompose(t *testing.T) {
+	f := paperFarm()
+	builtin, err := f.Unavailability()
+	if err != nil {
+		t.Fatalf("Unavailability: %v", err)
+	}
+	// Recreate the state probabilities externally.
+	probs := externalImperfectProbabilities(t, f)
+	m, err := f.ComposeStates(probs.operational, probs.reconfig)
+	if err != nil {
+		t.Fatalf("ComposeStates: %v", err)
+	}
+	if math.Abs(m.Unavailability()-builtin) > 1e-15 {
+		t.Errorf("external composition %v vs builtin %v", m.Unavailability(), builtin)
+	}
+}
+
+// externalImperfectProbabilities recomputes the Figure 10 probabilities via
+// package repairmodel, as an external caller would.
+func externalImperfectProbabilities(t *testing.T, f Farm) struct {
+	operational, reconfig []float64
+} {
+	t.Helper()
+	m := repairmodel.ImperfectCoverage{
+		Servers: f.Servers, FailureRate: f.FailureRate, RepairRate: f.RepairRate,
+		Coverage: f.Coverage, ReconfigRate: f.ReconfigRate,
+	}
+	probs, err := m.StateProbabilities()
+	if err != nil {
+		t.Fatalf("StateProbabilities: %v", err)
+	}
+	return struct{ operational, reconfig []float64 }{probs.Operational, probs.Reconfig}
+}

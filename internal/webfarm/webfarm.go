@@ -1,0 +1,221 @@
+// Package webfarm assembles the travel agency's web-service availability
+// model (Table 5 of the paper) from its two ingredients:
+//
+//   - the Markov repair models of package repairmodel (how many web servers
+//     are operational, Figures 9–10), and
+//   - the M/M/i/K loss probabilities of package queueing (the chance an
+//     arriving request finds the input buffer full, equations 1 and 3),
+//
+// combined with the composite approach of package perfavail:
+//
+//	A(Web service) = 1 − [ Σ_{i=1}^{N} π_i·p_K(i) + Σ_y π_y + π_0 ]   (eq. 5/9)
+//
+// With Servers = 1 this reduces to the basic architecture's equation (2),
+// A = (1 − p_K)·A(CWS).
+package webfarm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/perfavail"
+	"repro/internal/queueing"
+	"repro/internal/repairmodel"
+)
+
+// ErrParam is returned for invalid farm parameters.
+var ErrParam = errors.New("webfarm: invalid parameter")
+
+// Farm describes a web-server farm. Rates follow the paper's units: request
+// arrival/service rates per second, failure/repair/reconfiguration rates per
+// hour. The two time scales never mix — they interact only through
+// probabilities — so the unit asymmetry is deliberate and harmless.
+type Farm struct {
+	Servers     int     // N_W ≥ 1 (1 = the basic architecture)
+	ArrivalRate float64 // α, requests/second
+	ServiceRate float64 // ν, requests/second per server
+	BufferSize  int     // K, web-server input buffer capacity
+
+	FailureRate  float64 // λ, per hour per server
+	RepairRate   float64 // µ, per hour (shared repair facility)
+	Coverage     float64 // c ∈ (0, 1]; 1 means the perfect-coverage model
+	ReconfigRate float64 // β, per hour; required only when Coverage < 1
+}
+
+func (f Farm) check() error {
+	if f.Servers < 1 {
+		return fmt.Errorf("%w: servers %d", ErrParam, f.Servers)
+	}
+	if f.BufferSize < 1 {
+		return fmt.Errorf("%w: buffer size %d", ErrParam, f.BufferSize)
+	}
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"arrival rate", f.ArrivalRate},
+		{"service rate", f.ServiceRate},
+		{"failure rate", f.FailureRate},
+		{"repair rate", f.RepairRate},
+	} {
+		if v.val <= 0 || math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+			return fmt.Errorf("%w: %s %v", ErrParam, v.name, v.val)
+		}
+	}
+	if f.Coverage <= 0 || f.Coverage > 1 || math.IsNaN(f.Coverage) {
+		return fmt.Errorf("%w: coverage %v", ErrParam, f.Coverage)
+	}
+	if f.Coverage < 1 && (f.ReconfigRate <= 0 || math.IsNaN(f.ReconfigRate) || math.IsInf(f.ReconfigRate, 0)) {
+		return fmt.Errorf("%w: reconfiguration rate %v required when coverage < 1", ErrParam, f.ReconfigRate)
+	}
+	return nil
+}
+
+// lossProbability returns p_K(i): the request-loss probability with i
+// operational servers (equation 3, or equation 1 when i == 1).
+func (f Farm) lossProbability(operational int) (float64, error) {
+	q := queueing.MMcK{
+		Arrival:  f.ArrivalRate,
+		Service:  f.ServiceRate,
+		Servers:  operational,
+		Capacity: f.BufferSize,
+	}
+	return q.LossProbability()
+}
+
+// Compose builds the composite performance–availability model of the farm.
+// Most callers want Availability or Unavailability directly; Compose exposes
+// the intermediate model for reporting and for the ablation experiments.
+func (f Farm) Compose() (*perfavail.Model, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	var (
+		operational []float64
+		reconfig    []float64
+	)
+	if f.Coverage == 1 {
+		pc := repairmodel.PerfectCoverage{
+			Servers:     f.Servers,
+			FailureRate: f.FailureRate,
+			RepairRate:  f.RepairRate,
+		}
+		probs, err := pc.StateProbabilities()
+		if err != nil {
+			return nil, err
+		}
+		operational = probs
+		reconfig = make([]float64, f.Servers+1)
+	} else {
+		ic := repairmodel.ImperfectCoverage{
+			Servers:      f.Servers,
+			FailureRate:  f.FailureRate,
+			RepairRate:   f.RepairRate,
+			Coverage:     f.Coverage,
+			ReconfigRate: f.ReconfigRate,
+		}
+		probs, err := ic.StateProbabilities()
+		if err != nil {
+			return nil, err
+		}
+		operational = probs.Operational
+		reconfig = probs.Reconfig
+	}
+
+	return f.ComposeStates(operational, reconfig)
+}
+
+// ComposeStates builds the composite model from externally supplied
+// structural-state probabilities: operational[i] is the probability of i
+// servers serving requests (i = 0..Servers) and reconfig[i] (optional, may
+// be nil) the probability of the down state y_i. This is the hook for
+// composing the queueing model with alternative repair policies — e.g. the
+// dedicated-repair and deferred-maintenance models of package repairmodel.
+func (f Farm) ComposeStates(operational, reconfig []float64) (*perfavail.Model, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	if len(operational) != f.Servers+1 {
+		return nil, fmt.Errorf("%w: %d operational-state probabilities for %d servers", ErrParam, len(operational), f.Servers)
+	}
+	if reconfig == nil {
+		reconfig = make([]float64, f.Servers+1)
+	}
+	if len(reconfig) != f.Servers+1 {
+		return nil, fmt.Errorf("%w: %d reconfiguration-state probabilities for %d servers", ErrParam, len(reconfig), f.Servers)
+	}
+	states := make([]perfavail.State, 0, 2*f.Servers+1)
+	states = append(states, perfavail.State{
+		Name:        "0-servers",
+		Probability: operational[0],
+		Success:     0,
+	})
+	for i := 1; i <= f.Servers; i++ {
+		pk, err := f.lossProbability(i)
+		if err != nil {
+			return nil, err
+		}
+		states = append(states, perfavail.State{
+			Name:        fmt.Sprintf("%d-servers", i),
+			Probability: operational[i],
+			Success:     1 - pk,
+		})
+		if reconfig[i] > 0 {
+			states = append(states, perfavail.State{
+				Name:        fmt.Sprintf("reconfig-y%d", i),
+				Probability: reconfig[i],
+				Success:     0,
+			})
+		}
+	}
+	return perfavail.New(states)
+}
+
+// Availability returns the user-perceived web-service availability.
+func (f Farm) Availability() (float64, error) {
+	m, err := f.Compose()
+	if err != nil {
+		return 0, err
+	}
+	return 1 - m.Unavailability(), nil
+}
+
+// Unavailability returns 1 − A computed without cancellation.
+func (f Farm) Unavailability() (float64, error) {
+	m, err := f.Compose()
+	if err != nil {
+		return 0, err
+	}
+	return m.Unavailability(), nil
+}
+
+// Breakdown returns the structural-vs-performance unavailability split: the
+// quantity behind the paper's observation that below a server-count
+// threshold the buffer losses dominate, above it the hardware/software
+// failures do.
+func (f Farm) Breakdown() (perfavail.Breakdown, error) {
+	m, err := f.Compose()
+	if err != nil {
+		return perfavail.Breakdown{}, err
+	}
+	return m.UnavailabilityBreakdown(), nil
+}
+
+// BasicAvailability computes the basic architecture's equation (2) directly:
+// A = (1 − p_K)·A(CWS) with A(CWS) = µ/(λ+µ). It requires Servers == 1 and
+// exists as an independently-coded cross-check of the composite path.
+func (f Farm) BasicAvailability() (float64, error) {
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	if f.Servers != 1 {
+		return 0, fmt.Errorf("%w: BasicAvailability requires exactly 1 server, have %d", ErrParam, f.Servers)
+	}
+	pk, err := f.lossProbability(1)
+	if err != nil {
+		return 0, err
+	}
+	aCWS := f.RepairRate / (f.FailureRate + f.RepairRate)
+	return (1 - pk) * aCWS, nil
+}

@@ -1,0 +1,275 @@
+package webfarm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperFarm is the Table 7 operating point: N_W = 4, c = 0.98, α = 100/s,
+// ν = 100/s, λ = 1e-4/h, µ = 1/h, β = 12/h, K = 10.
+func paperFarm() Farm {
+	return Farm{
+		Servers:      4,
+		ArrivalRate:  100,
+		ServiceRate:  100,
+		BufferSize:   10,
+		FailureRate:  1e-4,
+		RepairRate:   1,
+		Coverage:     0.98,
+		ReconfigRate: 12,
+	}
+}
+
+// The paper prints A(WS) = 0.999995587 for the Table 7 configuration. This
+// is the strongest end-to-end anchor of the reproduction: it exercises
+// equation (3) (M/M/i/K loss), equations (6)–(8) (imperfect-coverage Markov
+// model) and equation (9) (composite availability) together.
+func TestPaperAnchorAWS(t *testing.T) {
+	a, err := paperFarm().Availability()
+	if err != nil {
+		t.Fatalf("Availability: %v", err)
+	}
+	if math.Abs(a-0.999995587) > 5e-10 {
+		t.Errorf("A(WS) = %.9f, want 0.999995587", a)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	base := paperFarm()
+	mutations := []func(*Farm){
+		func(f *Farm) { f.Servers = 0 },
+		func(f *Farm) { f.BufferSize = 0 },
+		func(f *Farm) { f.ArrivalRate = 0 },
+		func(f *Farm) { f.ServiceRate = -1 },
+		func(f *Farm) { f.FailureRate = math.NaN() },
+		func(f *Farm) { f.RepairRate = 0 },
+		func(f *Farm) { f.Coverage = 0 },
+		func(f *Farm) { f.Coverage = 1.2 },
+		func(f *Farm) { f.Coverage = 0.9; f.ReconfigRate = 0 },
+	}
+	for i, mutate := range mutations {
+		f := base
+		mutate(&f)
+		if _, err := f.Availability(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, f)
+		}
+	}
+}
+
+func TestReconfigRateOptionalWithPerfectCoverage(t *testing.T) {
+	f := paperFarm()
+	f.Coverage = 1
+	f.ReconfigRate = 0 // must be acceptable when coverage is perfect
+	if _, err := f.Availability(); err != nil {
+		t.Errorf("Availability with c=1, β=0: %v", err)
+	}
+}
+
+// Basic architecture (equation 2): the composite model with one server and
+// perfect coverage must equal (1 − p_K)·µ/(λ+µ).
+func TestBasicArchitectureEquation2(t *testing.T) {
+	f := Farm{
+		Servers:     1,
+		ArrivalRate: 100,
+		ServiceRate: 100,
+		BufferSize:  10,
+		FailureRate: 1e-3,
+		RepairRate:  1,
+		Coverage:    1,
+	}
+	composite, err := f.Availability()
+	if err != nil {
+		t.Fatalf("Availability: %v", err)
+	}
+	direct, err := f.BasicAvailability()
+	if err != nil {
+		t.Fatalf("BasicAvailability: %v", err)
+	}
+	if math.Abs(composite-direct) > 1e-12 {
+		t.Errorf("composite %v vs direct equation (2) %v", composite, direct)
+	}
+	// Hand value: p_K = 1/11 at ρ=1, A(CWS) = 1/1.001.
+	want := (1 - 1.0/11.0) / 1.001
+	if math.Abs(direct-want) > 1e-12 {
+		t.Errorf("A = %v, want %v", direct, want)
+	}
+}
+
+func TestBasicAvailabilityRequiresOneServer(t *testing.T) {
+	f := paperFarm()
+	if _, err := f.BasicAvailability(); err == nil {
+		t.Error("BasicAvailability accepted 4 servers")
+	}
+}
+
+func TestAvailabilityPlusUnavailabilityIsOne(t *testing.T) {
+	f := paperFarm()
+	a, err := f.Availability()
+	if err != nil {
+		t.Fatalf("Availability: %v", err)
+	}
+	u, err := f.Unavailability()
+	if err != nil {
+		t.Fatalf("Unavailability: %v", err)
+	}
+	if math.Abs(a+u-1) > 1e-12 {
+		t.Errorf("A + U = %v", a+u)
+	}
+}
+
+// Figure 12's headline phenomenon: with imperfect coverage the unavailability
+// first drops as servers are added (buffer losses shrink), reaches a
+// minimum, then *rises* again because each extra server adds uncovered
+// failures requiring manual reconfiguration.
+func TestImperfectCoverageReversesTrend(t *testing.T) {
+	// Use the λ = 1e-2/h curve of Figure 12, where the reversal is sharp:
+	// beyond the minimum, every extra server adds uncovered-failure mass
+	// ∝ N(1−c)λ/β while buffer losses are already negligible.
+	ua := make([]float64, 11)
+	for n := 1; n <= 10; n++ {
+		f := paperFarm()
+		f.Servers = n
+		f.FailureRate = 1e-2
+		u, err := f.Unavailability()
+		if err != nil {
+			t.Fatalf("Unavailability(N=%d): %v", n, err)
+		}
+		ua[n] = u
+	}
+	if !(ua[2] < ua[1]) {
+		t.Errorf("UA(2)=%v should improve on UA(1)=%v", ua[2], ua[1])
+	}
+	// The paper reports the trend reversing for N_W above ≈ 4.
+	if !(ua[10] > ua[4]) {
+		t.Errorf("UA(10)=%v should exceed UA(4)=%v under imperfect coverage", ua[10], ua[4])
+	}
+	// And the tail should be increasing.
+	for n := 6; n < 10; n++ {
+		if !(ua[n+1] > ua[n]) {
+			t.Errorf("UA not increasing past the minimum: UA(%d)=%v, UA(%d)=%v", n, ua[n], n+1, ua[n+1])
+		}
+	}
+}
+
+// With perfect coverage the unavailability decreases monotonically in the
+// number of servers (Figure 11).
+func TestPerfectCoverageMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for n := 1; n <= 10; n++ {
+		f := paperFarm()
+		f.Servers = n
+		f.Coverage = 1
+		u, err := f.Unavailability()
+		if err != nil {
+			t.Fatalf("Unavailability(N=%d): %v", n, err)
+		}
+		if u > prev+1e-18 {
+			t.Errorf("UA(%d)=%v > UA(%d)=%v", n, u, n-1, prev)
+		}
+		prev = u
+	}
+}
+
+// §5.1 design decision: imperfect coverage, λ = 1e-3/h. The paper states
+// unavailability < 1e-5 (5 min/year) needs N_W ≥ 2 at α = 50/s and N_W ≥ 4
+// at α = 100/s, and cannot be met at λ = 1e-2/h.
+func TestDesignDecisionServerCounts(t *testing.T) {
+	minServers := func(alpha, lambda float64) int {
+		for n := 1; n <= 10; n++ {
+			f := paperFarm()
+			f.Servers = n
+			f.ArrivalRate = alpha
+			f.FailureRate = lambda
+			u, err := f.Unavailability()
+			if err != nil {
+				t.Fatalf("Unavailability: %v", err)
+			}
+			if u < 1e-5 {
+				return n
+			}
+		}
+		return -1
+	}
+	if got := minServers(50, 1e-3); got != 2 {
+		t.Errorf("min servers at α=50, λ=1e-3 = %d, want 2", got)
+	}
+	// At α=100, λ=1e-3 the exact model gives UA(4) ≈ 1.04e-5 — a hair over
+	// the 1e-5 requirement the paper reads off its figure as "N_W = 4" — so
+	// the exact answer is 4 or 5 depending on rounding; assert the band.
+	if got := minServers(100, 1e-3); got != 4 && got != 5 {
+		t.Errorf("min servers at α=100, λ=1e-3 = %d, want 4–5", got)
+	}
+	// At λ=1e-4 the same requirement is met with exactly 4 servers.
+	if got := minServers(100, 1e-4); got != 4 {
+		t.Errorf("min servers at α=100, λ=1e-4 = %d, want 4", got)
+	}
+	if got := minServers(100, 1e-2); got != -1 {
+		t.Errorf("min servers at α=100, λ=1e-2 = %d, want unreachable", got)
+	}
+}
+
+// The breakdown explains the threshold: below it performance (buffer) losses
+// dominate; above it structural failures dominate.
+func TestBreakdownCrossover(t *testing.T) {
+	small := paperFarm()
+	small.Servers = 1
+	b1, err := small.Breakdown()
+	if err != nil {
+		t.Fatalf("Breakdown: %v", err)
+	}
+	if b1.Performance < b1.Structural {
+		t.Errorf("N=1: performance %v should dominate structural %v", b1.Performance, b1.Structural)
+	}
+	big := paperFarm()
+	big.Servers = 8
+	b8, err := big.Breakdown()
+	if err != nil {
+		t.Fatalf("Breakdown: %v", err)
+	}
+	if b8.Structural < b8.Performance {
+		t.Errorf("N=8: structural %v should dominate performance %v", b8.Structural, b8.Performance)
+	}
+}
+
+// Property: availability lies in (0, 1) and improves (or stays equal) when
+// the failure rate decreases, for random operating points.
+func TestFailureRateMonotonicityProperty(t *testing.T) {
+	f := func(rawN, rawAlpha uint8) bool {
+		n := 1 + int(rawN%6)
+		alpha := 25 + float64(rawAlpha%150)
+		mk := func(lambda float64) (float64, error) {
+			farm := Farm{
+				Servers: n, ArrivalRate: alpha, ServiceRate: 100, BufferSize: 10,
+				FailureRate: lambda, RepairRate: 1, Coverage: 0.98, ReconfigRate: 12,
+			}
+			return farm.Availability()
+		}
+		aHigh, err := mk(1e-2)
+		if err != nil {
+			return false
+		}
+		aLow, err := mk(1e-4)
+		if err != nil {
+			return false
+		}
+		if aHigh <= 0 || aHigh >= 1 || aLow <= 0 || aLow >= 1 {
+			return false
+		}
+		return aLow >= aHigh-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposeStateCount(t *testing.T) {
+	m, err := paperFarm().Compose()
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	// 5 operational states (0..4) + 4 reconfiguration states.
+	if got := len(m.States()); got != 9 {
+		t.Errorf("state count = %d, want 9", got)
+	}
+}
