@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBothClasses(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-visits", "400", "-seed", "3", "-class", "both"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Resilience-policy sweep, class A",
+		"Resilience-policy sweep, class B",
+		"paper analytic (no recovery)",
+		"no policy (paper semantics)",
+		"retry x3 exp backoff",
+		"retry + degraded Browse",
+		"single supplier, no failover",
+		"single supplier + failover",
+		"full: retry+failover+degraded+breaker",
+		"Scripted latency spike on WS",
+		"timeout 10s + retry x3",
+		"Analytic counterparts",
+		"failover bracket 1-of-5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleClass(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-visits", "300", "-class", "b"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Resilience-policy sweep, class B") {
+		t.Error("class B table missing")
+	}
+	if strings.Contains(out, "Resilience-policy sweep, class A") {
+		t.Error("class A table present in single-class run")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-class", "C"},
+		{"-mttr", "0"},
+		{"-mttr", "-5"},
+		{"-visits", "0"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

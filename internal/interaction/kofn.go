@@ -1,0 +1,60 @@
+package interaction
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBracket is returned for invalid k-of-n bracket parameters.
+var ErrBracket = errors.New("interaction: invalid bracket")
+
+// KofNAvailability returns the probability that at least k of the independent
+// blocks with the given availabilities are operational (the Poisson-binomial
+// upper tail, computed by exact dynamic programming).
+//
+// It is the analytic counterpart of a failover policy across interchangeable
+// providers: a step that fails over among n suppliers succeeds exactly when
+// at least one of them is up (the k = 1 case), which is also the paper's
+// 1-of-N reservation-system bracket of Table 3. Larger k model quorum steps
+// (e.g. a booking that must reach k of n regional inventories).
+func KofNAvailability(k int, avail []float64) (float64, error) {
+	n := len(avail)
+	if n == 0 {
+		return 0, fmt.Errorf("%w: no blocks", ErrBracket)
+	}
+	if k < 0 || k > n {
+		return 0, fmt.Errorf("%w: k = %d with %d blocks", ErrBracket, k, n)
+	}
+	for i, a := range avail {
+		if a < 0 || a > 1 || math.IsNaN(a) {
+			return 0, fmt.Errorf("%w: availability %v at index %d", ErrBracket, a, i)
+		}
+	}
+	// dp[j] = P(exactly j of the blocks considered so far are up).
+	dp := make([]float64, n+1)
+	dp[0] = 1
+	for i, a := range avail {
+		for j := i + 1; j >= 1; j-- {
+			dp[j] = dp[j]*(1-a) + dp[j-1]*a
+		}
+		dp[0] *= 1 - a
+	}
+	var p float64
+	for j := k; j <= n; j++ {
+		p += dp[j]
+	}
+	if p > 1 {
+		p = 1 // guard rounding noise
+	}
+	return p, nil
+}
+
+// FailoverAvailability is the 1-of-n case of KofNAvailability: the
+// probability that sequential failover across the given providers finds at
+// least one of them up. Because the providers are independent and each is
+// checked at a stationary instant, the sequential (time-shifted) checks of a
+// failover policy have exactly this success probability.
+func FailoverAvailability(avail []float64) (float64, error) {
+	return KofNAvailability(1, avail)
+}

@@ -1,0 +1,63 @@
+package interaction
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKofNAvailability(t *testing.T) {
+	cases := []struct {
+		name  string
+		k     int
+		avail []float64
+		want  float64
+	}{
+		{"1-of-1", 1, []float64{0.9}, 0.9},
+		{"0-of-2 is certain", 0, []float64{0.5, 0.5}, 1},
+		{"1-of-3 identical", 1, []float64{0.9, 0.9, 0.9}, 1 - math.Pow(0.1, 3)},
+		{"3-of-3 identical", 3, []float64{0.9, 0.9, 0.9}, math.Pow(0.9, 3)},
+		{"2-of-3 identical", 2, []float64{0.9, 0.9, 0.9}, 3*0.9*0.9*0.1 + math.Pow(0.9, 3)},
+		{"1-of-2 mixed", 1, []float64{0.8, 0.5}, 1 - 0.2*0.5},
+		{"paper 1-of-5 suppliers", 1, []float64{0.9, 0.9, 0.9, 0.9, 0.9}, 1 - 1e-5},
+	}
+	for _, tc := range cases {
+		got, err := KofNAvailability(tc.k, tc.avail)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestKofNAvailabilityErrors(t *testing.T) {
+	if _, err := KofNAvailability(1, nil); err == nil {
+		t.Error("empty block list accepted")
+	}
+	if _, err := KofNAvailability(-1, []float64{0.5}); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := KofNAvailability(2, []float64{0.5}); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := KofNAvailability(1, []float64{math.NaN()}); err == nil {
+		t.Error("NaN availability accepted")
+	}
+	if _, err := KofNAvailability(1, []float64{1.5}); err == nil {
+		t.Error("availability > 1 accepted")
+	}
+}
+
+func TestFailoverAvailabilityMatchesComplement(t *testing.T) {
+	avail := []float64{0.7, 0.85, 0.6}
+	got, err := FailoverAvailability(avail)
+	if err != nil {
+		t.Fatalf("FailoverAvailability: %v", err)
+	}
+	want := 1 - 0.3*0.15*0.4
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}

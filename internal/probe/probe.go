@@ -48,6 +48,47 @@ func (s Service) TrueAvailability() float64 {
 	return s.RepairRate / (s.FailureRate + s.RepairRate)
 }
 
+// Segment is one constant-state interval [Start, End) of a sampled service
+// trajectory.
+type Segment struct {
+	Start, End float64
+	Up         bool
+}
+
+// Trajectory samples the alternating-renewal ground truth over [0, horizon):
+// the initial state is drawn from the stationary distribution, up and down
+// segment lengths are exponential with means 1/FailureRate and 1/RepairRate,
+// and the final segment is truncated at the horizon. The same process backs
+// both the probing campaigns of this package and the fault-injection engine
+// of package resilience, so measured parameters and injected faults share one
+// ground truth.
+func (s Service) Trajectory(horizon float64, rng *rand.Rand) ([]Segment, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
+		return nil, fmt.Errorf("%w: horizon %v", ErrParam, horizon)
+	}
+	up := rng.Float64() < s.TrueAvailability()
+	var out []Segment
+	var t float64
+	for t < horizon {
+		rate := s.FailureRate
+		if !up {
+			rate = s.RepairRate
+		}
+		d := rng.ExpFloat64() / rate
+		end := t + d
+		if end > horizon {
+			end = horizon
+		}
+		out = append(out, Segment{Start: t, End: end, Up: up})
+		t += d
+		up = !up
+	}
+	return out, nil
+}
+
 // Campaign describes a periodic probing plan.
 type Campaign struct {
 	// Interval between consecutive probes.
@@ -97,17 +138,13 @@ func Run(svc Service, c Campaign, seed int64) (Estimate, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 
-	// Start in steady state.
-	up := rng.Float64() < svc.TrueAvailability()
-	// nextChange is the absolute time of the next state flip.
-	var now, nextChange float64
-	rate := func(isUp bool) float64 {
-		if isUp {
-			return svc.FailureRate
-		}
-		return svc.RepairRate
+	// Sample the ground-truth trajectory covering every probe instant; the
+	// state at the final probe is the (truncated) last segment's state.
+	horizon := float64(c.Probes-1) * c.Interval
+	traj, err := svc.Trajectory(horizon, rng)
+	if err != nil {
+		return Estimate{}, err
 	}
-	nextChange = rng.ExpFloat64() / rate(up)
 
 	var (
 		prop        stats.Proportion
@@ -129,12 +166,13 @@ func Run(svc Service, c Campaign, seed int64) (Estimate, error) {
 		}
 		runLen = 0
 	}
+	seg := 0
 	for i := 0; i < c.Probes; i++ {
-		now = float64(i) * c.Interval
-		for nextChange <= now {
-			up = !up
-			nextChange += rng.ExpFloat64() / rate(up)
+		now := float64(i) * c.Interval
+		for seg+1 < len(traj) && traj[seg].End <= now {
+			seg++
 		}
+		up := traj[seg].Up
 		prop.Add(up)
 		if havePrev && up != prevUp {
 			transitions++

@@ -2,6 +2,7 @@ package probe
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -101,6 +102,54 @@ func TestNoDownObservations(t *testing.T) {
 	}
 	if !math.IsNaN(est.MTTFEstimate) || !math.IsNaN(est.MTTREstimate) {
 		t.Error("expected NaN MTTF/MTTR without down observations")
+	}
+}
+
+// Trajectory must tile [0, horizon) exactly with alternating states, and its
+// time-weighted up fraction must converge to the stationary availability.
+func TestTrajectory(t *testing.T) {
+	svc := Service{FailureRate: 0.1, RepairRate: 0.9} // A = 0.9
+	rng := rand.New(rand.NewSource(21))
+	const horizon = 200000.0
+	segs, err := svc.Trajectory(horizon, rng)
+	if err != nil {
+		t.Fatalf("Trajectory: %v", err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("empty trajectory")
+	}
+	if segs[0].Start != 0 || segs[len(segs)-1].End != horizon {
+		t.Errorf("trajectory spans [%v, %v), want [0, %v)", segs[0].Start, segs[len(segs)-1].End, horizon)
+	}
+	var upTime float64
+	for i, s := range segs {
+		if s.End <= s.Start {
+			t.Fatalf("segment %d has non-positive length: %+v", i, s)
+		}
+		if i > 0 {
+			if segs[i-1].End != s.Start {
+				t.Fatalf("gap between segments %d and %d", i-1, i)
+			}
+			if segs[i-1].Up == s.Up {
+				t.Fatalf("segments %d and %d do not alternate", i-1, i)
+			}
+		}
+		if s.Up {
+			upTime += s.End - s.Start
+		}
+	}
+	if got := upTime / horizon; math.Abs(got-0.9) > 0.02 {
+		t.Errorf("up fraction %v, want ≈ 0.9", got)
+	}
+
+	if _, err := svc.Trajectory(0, rng); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := svc.Trajectory(math.NaN(), rng); err == nil {
+		t.Error("NaN horizon accepted")
+	}
+	if _, err := (Service{FailureRate: -1, RepairRate: 1}).Trajectory(10, rng); err == nil {
+		t.Error("invalid service accepted")
 	}
 }
 

@@ -73,6 +73,12 @@ func TestFloatFormats(t *testing.T) {
 	if got := Scientific(12345.0, 2); got != "1.23e+04" {
 		t.Errorf("Scientific = %q", got)
 	}
+	if got := Percent(0.12345, 1); got != "12.3%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(1, 0); got != "100%" {
+		t.Errorf("Percent = %q", got)
+	}
 }
 
 func TestRenderSeries(t *testing.T) {

@@ -1,0 +1,96 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/interaction"
+	"repro/internal/probe"
+)
+
+// ErrAnalytic is returned for invalid analytic-model parameters.
+var ErrAnalytic = errors.New("resilience: invalid analytic parameter")
+
+// IndependentRetryAvailability is the textbook retry bracket 1 − (1−a)^n:
+// the success probability of n attempts whose outcomes are independent. It
+// is the limit of the duration-aware model when attempts are spaced far
+// apart relative to the service's up/down dynamics; for tightly spaced
+// retries it is an (often wildly) optimistic upper bound, because a retry
+// fired into the same outage is not an independent draw.
+func IndependentRetryAvailability(a float64, attempts int) (float64, error) {
+	if a < 0 || a > 1 || math.IsNaN(a) {
+		return 0, fmt.Errorf("%w: availability %v", ErrAnalytic, a)
+	}
+	if attempts < 1 {
+		return 0, fmt.Errorf("%w: attempts %d", ErrAnalytic, attempts)
+	}
+	return 1 - math.Pow(1-a, float64(attempts)), nil
+}
+
+// RescueProbability is the duration-aware rescue probability for exponential
+// down periods: the probability that an outage in progress ends within the
+// given total wait. By memorylessness the residual down time is exponential
+// with the full repair rate, so P(rescue) = 1 − e^(−repairRate·wait),
+// regardless of how long the outage has already lasted. It ignores the
+// possibility of a fresh failure during the wait — exact as the failure rate
+// tends to zero, and an upper bound otherwise (see RetrySuccessProbability
+// for the exact form).
+func RescueProbability(repairRate, wait float64) (float64, error) {
+	if repairRate <= 0 || math.IsNaN(repairRate) || math.IsInf(repairRate, 0) {
+		return 0, fmt.Errorf("%w: repair rate %v", ErrAnalytic, repairRate)
+	}
+	if wait < 0 || math.IsNaN(wait) || math.IsInf(wait, 0) {
+		return 0, fmt.Errorf("%w: wait %v", ErrAnalytic, wait)
+	}
+	return 1 - math.Exp(-repairRate*wait), nil
+}
+
+// RetrySuccessProbability is the exact success probability of a retried step
+// against an alternating-renewal service with exponential up/down periods,
+// observed at stationarity. The first attempt happens at an arbitrary
+// stationary instant; attempt k+1 starts spacings[k] after attempt k. Because
+// the two-state process is Markov, the chain of attempt outcomes has the
+// closed form
+//
+//	P(all n attempts fail) = (1−A) · Π_k [(1−A) + A·e^(−(λ+µ)·Δ_k)]
+//
+// with A = µ/(λ+µ): each factor is the probability the service is still (or
+// again) down Δ_k after a failed attempt. This is the analytic counterpart
+// the timed visit simulation is validated against; it degenerates to
+// IndependentRetryAvailability as the spacings grow.
+func RetrySuccessProbability(svc probe.Service, spacings []float64) (float64, error) {
+	if svc.FailureRate <= 0 || math.IsNaN(svc.FailureRate) || math.IsInf(svc.FailureRate, 0) {
+		return 0, fmt.Errorf("%w: failure rate %v", ErrAnalytic, svc.FailureRate)
+	}
+	if svc.RepairRate <= 0 || math.IsNaN(svc.RepairRate) || math.IsInf(svc.RepairRate, 0) {
+		return 0, fmt.Errorf("%w: repair rate %v", ErrAnalytic, svc.RepairRate)
+	}
+	a := svc.TrueAvailability()
+	rate := svc.FailureRate + svc.RepairRate
+	pAllFail := 1 - a
+	for _, d := range spacings {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return 0, fmt.Errorf("%w: spacing %v", ErrAnalytic, d)
+		}
+		pAllFail *= (1 - a) + a*math.Exp(-rate*d)
+	}
+	return 1 - pAllFail, nil
+}
+
+// DegradedAvailability is the analytic counterpart of a degraded-mode rule:
+// the function's availability when the listed optional services can no
+// longer fail it (their factor in every scenario bracket is forced to one).
+// For example, Browse degraded on the database service completes its
+// database-backed scenario as a reduced-content page whenever only the
+// database is down.
+func DegradedAvailability(d *interaction.Diagram, avail map[string]float64, optional []string) (float64, error) {
+	patched := make(map[string]float64, len(avail))
+	for svc, a := range avail {
+		patched[svc] = a
+	}
+	for _, svc := range optional {
+		patched[svc] = 1
+	}
+	return d.Availability(patched)
+}

@@ -1,0 +1,258 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/probe"
+)
+
+// ErrCampaign is returned for invalid fault-injection campaigns.
+var ErrCampaign = errors.New("resilience: invalid campaign")
+
+// Window is a half-open time interval [Start, End).
+type Window struct {
+	Start, End float64
+}
+
+func (w Window) check() error {
+	if math.IsNaN(w.Start) || math.IsNaN(w.End) || math.IsInf(w.Start, 0) || math.IsInf(w.End, 0) {
+		return fmt.Errorf("%w: window [%v, %v)", ErrCampaign, w.Start, w.End)
+	}
+	if w.Start < 0 || w.End <= w.Start {
+		return fmt.Errorf("%w: window [%v, %v)", ErrCampaign, w.Start, w.End)
+	}
+	return nil
+}
+
+// Contains reports whether the instant lies inside the window.
+func (w Window) Contains(at float64) bool { return at >= w.Start && at < w.End }
+
+// LatencySpike adds Extra latency to every step touching the service during
+// the window — long enough spikes trip a policy's timeout.
+type LatencySpike struct {
+	Window
+	Extra float64
+}
+
+// FaultSpec describes the faults injected into one service. All parts
+// compose: renewal outages, scripted outages and correlated outages are
+// unioned into the service's down time.
+type FaultSpec struct {
+	// Renewal samples alternating-renewal outages from the same ground-truth
+	// process package probe measures (exponential up and down periods); nil
+	// injects no renewal faults.
+	Renewal *probe.Service
+	// Outages are deterministic scripted outage windows.
+	Outages []Window
+	// Latency are scripted latency-spike windows.
+	Latency []LatencySpike
+}
+
+// CorrelatedOutage takes several services down over the same window —
+// modeling shared-infrastructure failures the paper's independence
+// assumption cannot express.
+type CorrelatedOutage struct {
+	Window
+	Services []string
+}
+
+// Campaign is a fault-injection plan over [0, Horizon). Services absent from
+// the map are permanently up.
+type Campaign struct {
+	Horizon    float64
+	Services   map[string]FaultSpec
+	Correlated []CorrelatedOutage
+}
+
+// Validate checks the campaign structure. Renewal processes are validated at
+// Generate time by probe.Service itself.
+func (c Campaign) Validate() error {
+	if c.Horizon <= 0 || math.IsNaN(c.Horizon) || math.IsInf(c.Horizon, 0) {
+		return fmt.Errorf("%w: horizon %v", ErrCampaign, c.Horizon)
+	}
+	for svc, spec := range c.Services {
+		for _, w := range spec.Outages {
+			if err := w.check(); err != nil {
+				return fmt.Errorf("service %q: %w", svc, err)
+			}
+		}
+		for _, l := range spec.Latency {
+			if err := l.Window.check(); err != nil {
+				return fmt.Errorf("service %q: %w", svc, err)
+			}
+			if l.Extra <= 0 || math.IsNaN(l.Extra) || math.IsInf(l.Extra, 0) {
+				return fmt.Errorf("%w: service %q latency spike %v", ErrCampaign, svc, l.Extra)
+			}
+		}
+	}
+	for i, co := range c.Correlated {
+		if err := co.Window.check(); err != nil {
+			return fmt.Errorf("correlated outage %d: %w", i, err)
+		}
+		if len(co.Services) == 0 {
+			return fmt.Errorf("%w: correlated outage %d names no services", ErrCampaign, i)
+		}
+	}
+	return nil
+}
+
+// Timeline is one sampled realization of a campaign: per-service merged down
+// windows and latency spikes. Instants beyond the horizon (and services
+// never mentioned) count as up with no extra latency, so the campaign
+// horizon must comfortably cover the longest simulated visit.
+type Timeline struct {
+	horizon float64
+	down    map[string][]Window
+	latency map[string][]LatencySpike
+}
+
+// Generate samples the campaign into a concrete timeline. Renewal faults
+// consume randomness from rng in sorted service order, so a seeded source
+// yields reproducible timelines.
+func (c Campaign) Generate(rng *rand.Rand) (*Timeline, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	tl := &Timeline{
+		horizon: c.Horizon,
+		down:    make(map[string][]Window, len(c.Services)),
+		latency: make(map[string][]LatencySpike),
+	}
+	names := make([]string, 0, len(c.Services))
+	for name := range c.Services {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		spec := c.Services[name]
+		var wins []Window
+		if spec.Renewal != nil {
+			segs, err := spec.Renewal.Trajectory(c.Horizon, rng)
+			if err != nil {
+				return nil, fmt.Errorf("resilience: service %q: %w", name, err)
+			}
+			for _, seg := range segs {
+				if !seg.Up {
+					wins = append(wins, Window{Start: seg.Start, End: seg.End})
+				}
+			}
+		}
+		wins = append(wins, clampWindows(spec.Outages, c.Horizon)...)
+		tl.down[name] = mergeWindows(wins)
+		if len(spec.Latency) > 0 {
+			spikes := make([]LatencySpike, 0, len(spec.Latency))
+			for _, l := range spec.Latency {
+				if l.Start < c.Horizon {
+					spikes = append(spikes, l)
+				}
+			}
+			tl.latency[name] = spikes
+		}
+	}
+	for _, co := range c.Correlated {
+		for _, svc := range co.Services {
+			wins := append(tl.down[svc], clampWindows([]Window{co.Window}, c.Horizon)...)
+			tl.down[svc] = mergeWindows(wins)
+		}
+	}
+	return tl, nil
+}
+
+// clampWindows truncates windows to [0, horizon) and drops empty ones.
+func clampWindows(wins []Window, horizon float64) []Window {
+	out := make([]Window, 0, len(wins))
+	for _, w := range wins {
+		if w.Start >= horizon {
+			continue
+		}
+		if w.End > horizon {
+			w.End = horizon
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// mergeWindows sorts and merges overlapping or touching windows.
+func mergeWindows(wins []Window) []Window {
+	if len(wins) == 0 {
+		return nil
+	}
+	sort.Slice(wins, func(i, j int) bool { return wins[i].Start < wins[j].Start })
+	out := wins[:1]
+	for _, w := range wins[1:] {
+		last := &out[len(out)-1]
+		if w.Start <= last.End {
+			if w.End > last.End {
+				last.End = w.End
+			}
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Up reports whether the service is operational at the given instant.
+func (t *Timeline) Up(svc string, at float64) bool {
+	wins := t.down[svc]
+	i := sort.Search(len(wins), func(i int) bool { return wins[i].End > at })
+	return i >= len(wins) || !wins[i].Contains(at)
+}
+
+// NextUp returns the first instant ≥ at when the service is up (at itself if
+// the service is already up).
+func (t *Timeline) NextUp(svc string, at float64) float64 {
+	wins := t.down[svc]
+	i := sort.Search(len(wins), func(i int) bool { return wins[i].End > at })
+	if i < len(wins) && wins[i].Contains(at) {
+		return wins[i].End
+	}
+	return at
+}
+
+// ExtraLatency returns the injected extra latency for a step touching the
+// service at the given instant (the largest overlapping spike).
+func (t *Timeline) ExtraLatency(svc string, at float64) float64 {
+	var extra float64
+	for _, l := range t.latency[svc] {
+		if l.Contains(at) && l.Extra > extra {
+			extra = l.Extra
+		}
+	}
+	return extra
+}
+
+// DownFraction returns the fraction of the horizon during which the service
+// is down — the timeline's empirical unavailability.
+func (t *Timeline) DownFraction(svc string) float64 {
+	var down float64
+	for _, w := range t.down[svc] {
+		down += w.End - w.Start
+	}
+	return down / t.horizon
+}
+
+// RenewalFromAvailability builds the alternating-renewal ground truth with
+// the given steady-state availability and mean outage duration (MTTR):
+// µ = 1/MTTR and λ = µ·(1−A)/A, so µ/(λ+µ) = A. It is the bridge from the
+// paper's per-service availabilities (Tables 3–5) to duration-aware fault
+// injection: the same availability can be realized by many short outages or
+// few long ones, and recovery policies distinguish the two.
+func RenewalFromAvailability(availability, mttr float64) (probe.Service, error) {
+	if availability <= 0 || availability >= 1 || math.IsNaN(availability) {
+		return probe.Service{}, fmt.Errorf("%w: availability %v (need 0 < A < 1)", ErrCampaign, availability)
+	}
+	if mttr <= 0 || math.IsNaN(mttr) || math.IsInf(mttr, 0) {
+		return probe.Service{}, fmt.Errorf("%w: mttr %v", ErrCampaign, mttr)
+	}
+	mu := 1 / mttr
+	return probe.Service{
+		FailureRate: mu * (1 - availability) / availability,
+		RepairRate:  mu,
+	}, nil
+}

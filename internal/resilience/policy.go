@@ -1,0 +1,212 @@
+// Package resilience adds a recovery layer on top of the paper's
+// user-perceived availability model. The paper (DSN 2003) treats any service
+// outage encountered during a visit as a lost visit: there is no
+// request-level recovery, and availability depends only on the steady-state
+// probability of each service being up. This package makes recovery policies
+// first-class:
+//
+//   - Policy bundles retry (capped exponential backoff with jitter), a
+//     per-step timeout, failover across alternate providers, a circuit
+//     breaker, and degraded-mode rules that let a function complete with a
+//     reduced service set.
+//   - Campaign is a fault-injection plan: per-service alternating-renewal
+//     outages (reusing the ground-truth process of package probe), scripted
+//     outage windows, correlated multi-service outages, and latency spikes
+//     that trip timeouts. Generate samples it into a concrete Timeline.
+//   - analytic.go provides closed-form counterparts (independent-retry
+//     availability, duration-aware rescue probabilities for exponential down
+//     periods, degraded-mode brackets) against which the timed simulation of
+//     package sim is validated.
+//
+// The key modeling upgrade over the paper: under a policy, availability
+// depends on outage *durations*, not just steady-state probabilities — a
+// retry that outlives a short outage rescues the visit, while the same retry
+// inside a long outage does not.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrPolicy is returned for invalid policy parameters.
+var ErrPolicy = errors.New("resilience: invalid policy")
+
+// RetryPolicy retries a failed interaction-diagram step with capped
+// exponential backoff and optional jitter.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first (≥ 1).
+	MaxAttempts int
+	// BaseDelay is the wait before the second attempt.
+	BaseDelay float64
+	// Multiplier scales the delay after every failed attempt (≥ 1).
+	Multiplier float64
+	// MaxDelay caps the grown delay; 0 means uncapped.
+	MaxDelay float64
+	// Jitter in [0, 1) spreads each delay uniformly over
+	// [delay·(1−Jitter), delay·(1+Jitter)]. Zero keeps delays deterministic,
+	// which is what the analytic counterparts assume.
+	Jitter float64
+}
+
+// Validate checks the retry parameters.
+func (r RetryPolicy) Validate() error {
+	if r.MaxAttempts < 1 {
+		return fmt.Errorf("%w: max attempts %d", ErrPolicy, r.MaxAttempts)
+	}
+	if r.BaseDelay < 0 || math.IsNaN(r.BaseDelay) || math.IsInf(r.BaseDelay, 0) {
+		return fmt.Errorf("%w: base delay %v", ErrPolicy, r.BaseDelay)
+	}
+	if r.MaxAttempts > 1 && r.Multiplier < 1 {
+		return fmt.Errorf("%w: multiplier %v", ErrPolicy, r.Multiplier)
+	}
+	if r.MaxDelay < 0 || math.IsNaN(r.MaxDelay) || math.IsInf(r.MaxDelay, 0) {
+		return fmt.Errorf("%w: max delay %v", ErrPolicy, r.MaxDelay)
+	}
+	if r.Jitter < 0 || r.Jitter >= 1 || math.IsNaN(r.Jitter) {
+		return fmt.Errorf("%w: jitter %v", ErrPolicy, r.Jitter)
+	}
+	return nil
+}
+
+// baseDelay returns the deterministic (jitter-free) delay after the given
+// failed attempt (1-based).
+func (r RetryPolicy) baseDelay(attempt int) float64 {
+	d := r.BaseDelay * math.Pow(r.Multiplier, float64(attempt-1))
+	if r.MaxDelay > 0 && d > r.MaxDelay {
+		d = r.MaxDelay
+	}
+	return d
+}
+
+// Delay returns the backoff delay after the given failed attempt (1-based),
+// with jitter applied from the supplied source.
+func (r RetryPolicy) Delay(attempt int, rng *rand.Rand) float64 {
+	d := r.baseDelay(attempt)
+	if r.Jitter > 0 {
+		d *= 1 + r.Jitter*(2*rng.Float64()-1)
+	}
+	return d
+}
+
+// Spacings returns the deterministic times between the starts of consecutive
+// attempts, assuming each failed attempt consumes stepLatency before the
+// backoff delay begins. These are the Δ_k that the closed-form
+// RetrySuccessProbability takes; they match the timed simulation exactly
+// when Jitter is zero.
+func (r RetryPolicy) Spacings(stepLatency float64) []float64 {
+	out := make([]float64, 0, r.MaxAttempts-1)
+	for k := 1; k < r.MaxAttempts; k++ {
+		out = append(out, stepLatency+r.baseDelay(k))
+	}
+	return out
+}
+
+// BreakerPolicy is a per-provider circuit breaker: after FailureThreshold
+// consecutive failed checks the provider is considered open and further
+// checks fail fast (costing no latency) until OpenDuration has elapsed, after
+// which the next check goes through (half-open probe).
+type BreakerPolicy struct {
+	FailureThreshold int
+	OpenDuration     float64
+}
+
+// Validate checks the breaker parameters.
+func (b BreakerPolicy) Validate() error {
+	if b.FailureThreshold < 1 {
+		return fmt.Errorf("%w: failure threshold %d", ErrPolicy, b.FailureThreshold)
+	}
+	if b.OpenDuration <= 0 || math.IsNaN(b.OpenDuration) || math.IsInf(b.OpenDuration, 0) {
+		return fmt.Errorf("%w: open duration %v", ErrPolicy, b.OpenDuration)
+	}
+	return nil
+}
+
+// Policy bundles every recovery mechanism. The zero value is the paper's
+// semantics: no retries, no timeout, no failover, no degraded mode — any
+// touched-while-down service fails the visit.
+type Policy struct {
+	// Retry retries failed steps; nil disables retries.
+	Retry *RetryPolicy
+	// Timeout is the per-step execution budget: a step whose latency
+	// (base step latency plus injected spikes plus failover tries) exceeds it
+	// counts as failed. Zero disables the timeout.
+	Timeout float64
+	// Failover maps a service to ordered alternate providers tried when the
+	// primary is down. Each failover try costs one extra step latency.
+	Failover map[string][]string
+	// Breaker adds a circuit breaker in front of every provider; nil
+	// disables it.
+	Breaker *BreakerPolicy
+	// Degraded maps a function name to the services it may complete without:
+	// if every service still failing after retry and failover is listed
+	// here, the step completes in degraded mode instead of failing the
+	// visit.
+	Degraded map[string][]string
+}
+
+// Validate checks the whole policy.
+func (p Policy) Validate() error {
+	if p.Retry != nil {
+		if err := p.Retry.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.Timeout < 0 || math.IsNaN(p.Timeout) || math.IsInf(p.Timeout, 0) {
+		return fmt.Errorf("%w: timeout %v", ErrPolicy, p.Timeout)
+	}
+	for svc, alts := range p.Failover {
+		if len(alts) == 0 {
+			return fmt.Errorf("%w: empty failover list for service %q", ErrPolicy, svc)
+		}
+		for _, alt := range alts {
+			if alt == svc {
+				return fmt.Errorf("%w: service %q fails over to itself", ErrPolicy, svc)
+			}
+		}
+	}
+	if p.Breaker != nil {
+		if err := p.Breaker.Validate(); err != nil {
+			return err
+		}
+	}
+	for fn, svcs := range p.Degraded {
+		if len(svcs) == 0 {
+			return fmt.Errorf("%w: empty degraded service list for function %q", ErrPolicy, fn)
+		}
+	}
+	return nil
+}
+
+// MaxAttempts returns the attempt budget per step (1 without a retry
+// policy).
+func (p Policy) MaxAttempts() int {
+	if p.Retry == nil {
+		return 1
+	}
+	return p.Retry.MaxAttempts
+}
+
+// DegradedAllows reports whether the function may complete although exactly
+// the given services failed.
+func (p Policy) DegradedAllows(fn string, failed []string) bool {
+	if len(failed) == 0 {
+		return false
+	}
+	optional := p.Degraded[fn]
+	if len(optional) == 0 {
+		return false
+	}
+	allowed := make(map[string]bool, len(optional))
+	for _, svc := range optional {
+		allowed[svc] = true
+	}
+	for _, svc := range failed {
+		if !allowed[svc] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,370 @@
+package resilience
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/interaction"
+	"repro/internal/probe"
+)
+
+func TestRetryPolicyValidation(t *testing.T) {
+	good := RetryPolicy{MaxAttempts: 3, BaseDelay: 1, Multiplier: 2, MaxDelay: 10, Jitter: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+	bad := []RetryPolicy{
+		{MaxAttempts: 0, BaseDelay: 1, Multiplier: 2},
+		{MaxAttempts: 3, BaseDelay: -1, Multiplier: 2},
+		{MaxAttempts: 3, BaseDelay: 1, Multiplier: 0.5},
+		{MaxAttempts: 3, BaseDelay: 1, Multiplier: 2, MaxDelay: math.NaN()},
+		{MaxAttempts: 3, BaseDelay: 1, Multiplier: 2, Jitter: 1},
+		{MaxAttempts: 3, BaseDelay: math.Inf(1), Multiplier: 2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted", i)
+		} else if !errors.Is(err, ErrPolicy) {
+			t.Errorf("bad policy %d: error %v does not wrap ErrPolicy", i, err)
+		}
+	}
+}
+
+func TestRetrySpacingsAndDelay(t *testing.T) {
+	r := RetryPolicy{MaxAttempts: 4, BaseDelay: 1, Multiplier: 2, MaxDelay: 3}
+	got := r.Spacings(0.5)
+	want := []float64{1.5, 2.5, 3.5} // 0.5 + min(1·2^k, 3)
+	if len(got) != len(want) {
+		t.Fatalf("spacings %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("spacings %v, want %v", got, want)
+		}
+	}
+	// Jitter-free Delay matches the deterministic schedule.
+	rng := rand.New(rand.NewSource(1))
+	for k := 1; k < r.MaxAttempts; k++ {
+		if d := r.Delay(k, rng); math.Abs(d-(got[k-1]-0.5)) > 1e-12 {
+			t.Errorf("Delay(%d) = %v", k, d)
+		}
+	}
+	// Jittered delays stay inside the jitter band.
+	j := RetryPolicy{MaxAttempts: 2, BaseDelay: 2, Multiplier: 1, Jitter: 0.25}
+	for i := 0; i < 100; i++ {
+		d := j.Delay(1, rng)
+		if d < 1.5 || d > 2.5 {
+			t.Fatalf("jittered delay %v outside [1.5, 2.5]", d)
+		}
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	good := Policy{
+		Retry:    &RetryPolicy{MaxAttempts: 2, BaseDelay: 1, Multiplier: 2},
+		Timeout:  5,
+		Failover: map[string][]string{"Flight": {"Flight#2"}},
+		Breaker:  &BreakerPolicy{FailureThreshold: 3, OpenDuration: 10},
+		Degraded: map[string][]string{"Browse": {"DS"}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+	if err := (Policy{}).Validate(); err != nil {
+		t.Fatalf("zero policy rejected: %v", err)
+	}
+	bad := []Policy{
+		{Timeout: -1},
+		{Timeout: math.NaN()},
+		{Failover: map[string][]string{"X": {}}},
+		{Failover: map[string][]string{"X": {"X"}}},
+		{Breaker: &BreakerPolicy{FailureThreshold: 0, OpenDuration: 1}},
+		{Breaker: &BreakerPolicy{FailureThreshold: 1, OpenDuration: 0}},
+		{Degraded: map[string][]string{"F": {}}},
+		{Retry: &RetryPolicy{MaxAttempts: 0}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted", i)
+		}
+	}
+}
+
+func TestDegradedAllows(t *testing.T) {
+	p := Policy{Degraded: map[string][]string{"Browse": {"DS", "Cache"}}}
+	if !p.DegradedAllows("Browse", []string{"DS"}) {
+		t.Error("single optional service rejected")
+	}
+	if !p.DegradedAllows("Browse", []string{"Cache", "DS"}) {
+		t.Error("all-optional set rejected")
+	}
+	if p.DegradedAllows("Browse", []string{"DS", "WS"}) {
+		t.Error("non-optional service allowed")
+	}
+	if p.DegradedAllows("Search", []string{"DS"}) {
+		t.Error("unlisted function allowed")
+	}
+	if p.DegradedAllows("Browse", nil) {
+		t.Error("empty failure set allowed")
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	good := Campaign{
+		Horizon: 100,
+		Services: map[string]FaultSpec{
+			"WS": {
+				Renewal: &probe.Service{FailureRate: 0.01, RepairRate: 0.1},
+				Outages: []Window{{Start: 5, End: 10}},
+				Latency: []LatencySpike{{Window: Window{Start: 20, End: 30}, Extra: 2}},
+			},
+		},
+		Correlated: []CorrelatedOutage{{Window: Window{Start: 40, End: 41}, Services: []string{"WS", "DS"}}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid campaign rejected: %v", err)
+	}
+	bad := []Campaign{
+		{Horizon: 0},
+		{Horizon: math.Inf(1)},
+		{Horizon: 10, Services: map[string]FaultSpec{"X": {Outages: []Window{{Start: 5, End: 5}}}}},
+		{Horizon: 10, Services: map[string]FaultSpec{"X": {Outages: []Window{{Start: -1, End: 5}}}}},
+		{Horizon: 10, Services: map[string]FaultSpec{"X": {Latency: []LatencySpike{{Window: Window{Start: 1, End: 2}, Extra: 0}}}}},
+		{Horizon: 10, Correlated: []CorrelatedOutage{{Window: Window{Start: 1, End: 2}}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad campaign %d accepted", i)
+		} else if !errors.Is(err, ErrCampaign) {
+			t.Errorf("bad campaign %d: error %v does not wrap ErrCampaign", i, err)
+		}
+	}
+}
+
+func TestTimelineScriptedWindows(t *testing.T) {
+	c := Campaign{
+		Horizon: 100,
+		Services: map[string]FaultSpec{
+			"WS": {
+				Outages: []Window{{Start: 10, End: 20}, {Start: 15, End: 25}, {Start: 90, End: 200}},
+				Latency: []LatencySpike{{Window: Window{Start: 30, End: 40}, Extra: 3}},
+			},
+		},
+		Correlated: []CorrelatedOutage{{Window: Window{Start: 50, End: 60}, Services: []string{"WS", "DS"}}},
+	}
+	tl, err := c.Generate(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	cases := []struct {
+		svc  string
+		at   float64
+		want bool
+	}{
+		{"WS", 5, true},
+		{"WS", 10, false},
+		{"WS", 22, false}, // merged overlap
+		{"WS", 25, true},  // half-open end
+		{"WS", 55, false}, // correlated
+		{"WS", 95, false}, // clamped at horizon
+		{"DS", 55, false}, // correlated service with no own spec
+		{"DS", 5, true},
+		{"Unknown", 55, true}, // unmentioned services never fail
+	}
+	for _, tc := range cases {
+		if got := tl.Up(tc.svc, tc.at); got != tc.want {
+			t.Errorf("Up(%s, %v) = %v, want %v", tc.svc, tc.at, got, tc.want)
+		}
+	}
+	if got := tl.NextUp("WS", 12); got != 25 {
+		t.Errorf("NextUp from inside merged outage = %v, want 25", got)
+	}
+	if got := tl.NextUp("WS", 5); got != 5 {
+		t.Errorf("NextUp while up = %v, want 5", got)
+	}
+	if got := tl.ExtraLatency("WS", 35); got != 3 {
+		t.Errorf("ExtraLatency in spike = %v, want 3", got)
+	}
+	if got := tl.ExtraLatency("WS", 45); got != 0 {
+		t.Errorf("ExtraLatency outside spike = %v, want 0", got)
+	}
+	// Down windows: [10,25) + [50,60) + [90,100) = 35 of 100.
+	if got := tl.DownFraction("WS"); math.Abs(got-0.35) > 1e-12 {
+		t.Errorf("DownFraction = %v, want 0.35", got)
+	}
+}
+
+// Renewal faults must reproduce the requested stationary unavailability.
+func TestTimelineRenewalDownFraction(t *testing.T) {
+	svc, err := RenewalFromAvailability(0.9, 5)
+	if err != nil {
+		t.Fatalf("RenewalFromAvailability: %v", err)
+	}
+	if math.Abs(svc.TrueAvailability()-0.9) > 1e-12 {
+		t.Fatalf("renewal availability %v, want 0.9", svc.TrueAvailability())
+	}
+	if math.Abs(1/svc.RepairRate-5) > 1e-12 {
+		t.Fatalf("MTTR %v, want 5", 1/svc.RepairRate)
+	}
+	c := Campaign{Horizon: 300000, Services: map[string]FaultSpec{"S": {Renewal: &svc}}}
+	tl, err := c.Generate(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if got := tl.DownFraction("S"); math.Abs(got-0.1) > 0.01 {
+		t.Errorf("renewal down fraction %v, want ≈ 0.1", got)
+	}
+
+	if _, err := RenewalFromAvailability(1, 5); err == nil {
+		t.Error("availability 1 accepted (no renewal process exists)")
+	}
+	if _, err := RenewalFromAvailability(0.5, 0); err == nil {
+		t.Error("zero MTTR accepted")
+	}
+}
+
+// Timeline generation must be reproducible per seed regardless of map
+// iteration order.
+func TestGenerateDeterministic(t *testing.T) {
+	svcA, _ := RenewalFromAvailability(0.9, 2)
+	svcB, _ := RenewalFromAvailability(0.8, 3)
+	c := Campaign{Horizon: 1000, Services: map[string]FaultSpec{
+		"A": {Renewal: &svcA},
+		"B": {Renewal: &svcB},
+	}}
+	for trial := 0; trial < 5; trial++ {
+		t1, err := c.Generate(rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		t2, err := c.Generate(rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		for _, svc := range []string{"A", "B"} {
+			if t1.DownFraction(svc) != t2.DownFraction(svc) {
+				t.Fatalf("trial %d: service %s: same seed produced different timelines", trial, svc)
+			}
+		}
+	}
+}
+
+func TestIndependentRetryAvailability(t *testing.T) {
+	got, err := IndependentRetryAvailability(0.9, 3)
+	if err != nil {
+		t.Fatalf("IndependentRetryAvailability: %v", err)
+	}
+	if want := 1 - 1e-3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if _, err := IndependentRetryAvailability(1.5, 3); err == nil {
+		t.Error("availability > 1 accepted")
+	}
+	if _, err := IndependentRetryAvailability(0.9, 0); err == nil {
+		t.Error("zero attempts accepted")
+	}
+}
+
+func TestRescueProbability(t *testing.T) {
+	got, err := RescueProbability(0.5, 2) // 1 - e^-1
+	if err != nil {
+		t.Fatalf("RescueProbability: %v", err)
+	}
+	if want := 1 - math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if got, _ := RescueProbability(0.5, 0); got != 0 {
+		t.Errorf("zero wait rescue %v, want 0", got)
+	}
+	if _, err := RescueProbability(0, 1); err == nil {
+		t.Error("zero repair rate accepted")
+	}
+	if _, err := RescueProbability(1, math.Inf(1)); err == nil {
+		t.Error("infinite wait accepted")
+	}
+}
+
+func TestRetrySuccessProbability(t *testing.T) {
+	svc := probe.Service{FailureRate: 0.1, RepairRate: 0.9} // A = 0.9
+	// No retries: success probability is the stationary availability.
+	got, err := RetrySuccessProbability(svc, nil)
+	if err != nil {
+		t.Fatalf("RetrySuccessProbability: %v", err)
+	}
+	if math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("no-retry success %v, want 0.9", got)
+	}
+	// Widely spaced retries converge to the independent-attempt bracket.
+	wide, err := RetrySuccessProbability(svc, []float64{1e6, 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep, _ := IndependentRetryAvailability(0.9, 3)
+	if math.Abs(wide-indep) > 1e-9 {
+		t.Errorf("wide spacing %v, want independent limit %v", wide, indep)
+	}
+	// Zero spacing adds nothing: the same instant re-observes the outage.
+	zero, err := RetrySuccessProbability(svc, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(zero-0.9) > 1e-12 {
+		t.Errorf("zero spacing %v, want 0.9", zero)
+	}
+	// Monotone in the spacing.
+	short, _ := RetrySuccessProbability(svc, []float64{1})
+	long, _ := RetrySuccessProbability(svc, []float64{10})
+	if !(0.9 < short && short < long && long < indep) {
+		t.Errorf("ordering violated: A=0.9, short=%v, long=%v, independent=%v", short, long, indep)
+	}
+	if _, err := RetrySuccessProbability(probe.Service{FailureRate: -1, RepairRate: 1}, nil); err == nil {
+		t.Error("invalid service accepted")
+	}
+	if _, err := RetrySuccessProbability(svc, []float64{-1}); err == nil {
+		t.Error("negative spacing accepted")
+	}
+}
+
+func TestDegradedAvailability(t *testing.T) {
+	d := interaction.New("Browse")
+	if err := d.AddStep("ws", "WS"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddStep("ds", "DS"); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range []struct {
+		from, to string
+		q        float64
+	}{
+		{interaction.Begin, "ws", 1},
+		{"ws", "ds", 0.5},
+		{"ws", interaction.End, 0.5},
+		{"ds", interaction.End, 1},
+	} {
+		if err := d.AddTransition(tr.from, tr.to, tr.q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avail := map[string]float64{"WS": 0.95, "DS": 0.8}
+	full, err := d.Availability(avail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := DegradedAvailability(d, avail, []string{"DS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.95; math.Abs(degraded-want) > 1e-12 {
+		t.Errorf("degraded availability %v, want %v", degraded, want)
+	}
+	if degraded <= full {
+		t.Errorf("degraded %v must beat full %v", degraded, full)
+	}
+	// The input map must not be mutated.
+	if avail["DS"] != 0.8 {
+		t.Error("DegradedAvailability mutated its input")
+	}
+}

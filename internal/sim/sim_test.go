@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"repro/internal/hierarchy"
 	"repro/internal/interaction"
 	"repro/internal/opprofile"
+	"repro/internal/repairmodel"
 	"repro/internal/webfarm"
 )
 
@@ -112,6 +114,75 @@ func TestFarmSimulatorMatchesAnalytic(t *testing.T) {
 	}
 	if res.UpTimeFraction <= res.Availability-0.05 || res.UpTimeFraction > 1 {
 		t.Errorf("up-time fraction %v inconsistent with availability %v", res.UpTimeFraction, res.Availability)
+	}
+}
+
+// The imperfect-coverage path — uncovered failures taking the whole farm
+// into manual reconfiguration — must reproduce the Figure 10 steady state.
+// The closed form is first cross-checked against the generic CTMC solver on
+// the same chain, then the simulation's structural up-time fraction is
+// checked against the closed form and its per-request availability against
+// the composite webfarm model.
+func TestFarmSimulatorImperfectCoverage(t *testing.T) {
+	farm := testFarm()
+	farm.Coverage = 0.6 // uncovered failures frequent enough to observe
+
+	ic := repairmodel.ImperfectCoverage{
+		Servers:      farm.Servers,
+		FailureRate:  farm.FailureRate,
+		RepairRate:   farm.RepairRate,
+		Coverage:     farm.Coverage,
+		ReconfigRate: farm.ReconfigRate,
+	}
+	probs, err := ic.StateProbabilities()
+	if err != nil {
+		t.Fatalf("StateProbabilities: %v", err)
+	}
+	structural := 1 - probs.DownProbability()
+
+	chain, err := ic.ToCTMC()
+	if err != nil {
+		t.Fatalf("ToCTMC: %v", err)
+	}
+	dist, err := chain.SteadyState()
+	if err != nil {
+		t.Fatalf("SteadyState: %v", err)
+	}
+	var ctmcUp float64
+	for i := 1; i <= farm.Servers; i++ {
+		ctmcUp += dist[fmt.Sprintf("%d", i)]
+	}
+	if math.Abs(ctmcUp-structural) > 1e-9 {
+		t.Errorf("closed form up-probability %v vs CTMC solver %v", structural, ctmcUp)
+	}
+
+	want, err := farm.Availability()
+	if err != nil {
+		t.Fatalf("composite availability: %v", err)
+	}
+
+	s := FarmSimulator{
+		Servers:      farm.Servers,
+		ArrivalRate:  farm.ArrivalRate,
+		ServiceRate:  farm.ServiceRate,
+		BufferSize:   farm.BufferSize,
+		FailureRate:  farm.FailureRate,
+		RepairRate:   farm.RepairRate,
+		Coverage:     farm.Coverage,
+		ReconfigRate: farm.ReconfigRate,
+	}
+	res, err := s.Run(800000, 11)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The structural down probability is ≈ 0.005 here, so a 0.002 tolerance
+	// genuinely exercises the reconfiguration states.
+	if math.Abs(res.UpTimeFraction-structural) > 0.002 {
+		t.Errorf("simulated up-time fraction %v vs Figure 10 closed form %v", res.UpTimeFraction, structural)
+	}
+	tol := 3*res.CI95.HalfWidth + 0.01
+	if math.Abs(res.Availability-want) > tol {
+		t.Errorf("simulated %v vs composite model %v (tol %v)", res.Availability, want, tol)
 	}
 }
 

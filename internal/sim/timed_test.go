@@ -1,0 +1,494 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/interaction"
+	"repro/internal/opprofile"
+	"repro/internal/resilience"
+)
+
+// singleStepModel builds the smallest timed model: one function invoked once
+// per visit, whose diagram is a single step requiring one service.
+func singleStepModel(t *testing.T, svc string) (*opprofile.Profile, map[string]*interaction.Diagram) {
+	t.Helper()
+	profile := opprofile.New()
+	if err := profile.AddTransition(opprofile.Start, "F", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := profile.AddTransition("F", opprofile.Exit, 1); err != nil {
+		t.Fatal(err)
+	}
+	d := interaction.New("F")
+	if err := d.AddStep("call", svc); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddTransition(interaction.Begin, "call", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddTransition("call", interaction.End, 1); err != nil {
+		t.Fatal(err)
+	}
+	return profile, map[string]*interaction.Diagram{"F": d}
+}
+
+// renewalCampaign injects alternating-renewal outages with the given
+// stationary availability and mean outage duration into one service.
+func renewalCampaign(t *testing.T, svc string, availability, mttr, horizon float64) resilience.Campaign {
+	t.Helper()
+	ren, err := resilience.RenewalFromAvailability(availability, mttr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resilience.Campaign{
+		Horizon:  horizon,
+		Services: map[string]resilience.FaultSpec{svc: {Renewal: &ren}},
+	}
+}
+
+func TestTimedVisitValidation(t *testing.T) {
+	profile, diagrams := singleStepModel(t, "S")
+	good := TimedVisitSimulator{
+		Profile:     profile,
+		Diagrams:    diagrams,
+		Campaign:    renewalCampaign(t, "S", 0.9, 2, 50),
+		StepLatency: 0.1,
+	}
+	if _, err := good.Run(10, 1); err != nil {
+		t.Fatalf("valid simulator rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*TimedVisitSimulator)
+	}{
+		{"nil profile", func(s *TimedVisitSimulator) { s.Profile = nil }},
+		{"missing diagram", func(s *TimedVisitSimulator) { s.Diagrams = nil }},
+		{"bad campaign", func(s *TimedVisitSimulator) { s.Campaign.Horizon = 0 }},
+		{"bad policy", func(s *TimedVisitSimulator) { s.Policy.Timeout = -1 }},
+		{"NaN step latency", func(s *TimedVisitSimulator) { s.StepLatency = math.NaN() }},
+		{"negative step latency", func(s *TimedVisitSimulator) { s.StepLatency = -1 }},
+	}
+	for _, tc := range cases {
+		s := good
+		tc.mutate(&s)
+		if _, err := s.Run(10, 1); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	if _, err := good.Run(0, 1); err == nil {
+		t.Error("0 visits accepted")
+	}
+}
+
+// Without a policy the timed simulation must reproduce the stationary
+// availability: checking a stationary alternating-renewal process at any
+// instant succeeds with probability A.
+func TestTimedBaselineMatchesStationary(t *testing.T) {
+	profile, diagrams := singleStepModel(t, "S")
+	s := TimedVisitSimulator{
+		Profile:     profile,
+		Diagrams:    diagrams,
+		Campaign:    renewalCampaign(t, "S", 0.9, 2, 50),
+		StepLatency: 0.5,
+	}
+	res, err := s.Run(120000, 4)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(res.Availability-0.9) > 3*res.CI95.HalfWidth {
+		t.Errorf("baseline %v vs stationary 0.9 (±%v)", res.Availability, res.CI95.HalfWidth)
+	}
+	if res.RescuedVisits != 0 || res.DegradedVisits != 0 || res.TimeoutSteps != 0 {
+		t.Errorf("no-policy run reported recovery: %+v", res)
+	}
+	// One step per visit, no retries: every visit lasts exactly StepLatency.
+	if math.Abs(res.MeanVisitDuration-0.5) > 1e-9 {
+		t.Errorf("mean visit duration %v, want 0.5", res.MeanVisitDuration)
+	}
+}
+
+// Acceptance criterion: the timed simulation under a retry policy must match
+// the exact closed-form success probability for exponential down periods
+// within the simulation's 95% confidence interval.
+func TestTimedRetryMatchesClosedForm(t *testing.T) {
+	const (
+		avail       = 0.9
+		mttr        = 2.0
+		stepLatency = 0.5
+	)
+	retry := resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: 1, Multiplier: 2}
+	ren, err := resilience.RenewalFromAvailability(avail, mttr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := resilience.RetrySuccessProbability(ren, retry.Spacings(stepLatency))
+	if err != nil {
+		t.Fatalf("RetrySuccessProbability: %v", err)
+	}
+	profile, diagrams := singleStepModel(t, "S")
+	s := TimedVisitSimulator{
+		Profile:     profile,
+		Diagrams:    diagrams,
+		Campaign:    renewalCampaign(t, "S", avail, mttr, 50),
+		Policy:      resilience.Policy{Retry: &retry},
+		StepLatency: stepLatency,
+	}
+	res, err := s.Run(200000, 2)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.CI95.Contains(analytic) {
+		t.Errorf("closed form %v outside simulated 95%% CI %v ± %v",
+			analytic, res.Availability, res.CI95.HalfWidth)
+	}
+	// The policy must actually rescue visits the paper's model loses.
+	if res.RescuedVisits == 0 {
+		t.Error("retry policy rescued no visits")
+	}
+	if res.Availability <= avail {
+		t.Errorf("retry availability %v did not beat baseline %v", res.Availability, avail)
+	}
+}
+
+// The same steady-state availability realized by shorter outages must be
+// easier to rescue: availability under retry depends on outage durations,
+// which the paper's steady-state model cannot express.
+func TestTimedRetryDependsOnOutageDuration(t *testing.T) {
+	retry := resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: 1, Multiplier: 2}
+	profile, diagrams := singleStepModel(t, "S")
+	run := func(mttr float64) TimedResult {
+		t.Helper()
+		s := TimedVisitSimulator{
+			Profile:     profile,
+			Diagrams:    diagrams,
+			Campaign:    renewalCampaign(t, "S", 0.9, mttr, 400),
+			Policy:      resilience.Policy{Retry: &retry},
+			StepLatency: 0.5,
+		}
+		res, err := s.Run(60000, 9)
+		if err != nil {
+			t.Fatalf("Run(mttr=%v): %v", mttr, err)
+		}
+		return res
+	}
+	short := run(1)  // outages shorter than the retry window: mostly rescued
+	long := run(100) // outages much longer than the retry window: mostly lost
+	if short.Availability <= long.Availability+0.02 {
+		t.Errorf("short-outage availability %v should clearly beat long-outage %v",
+			short.Availability, long.Availability)
+	}
+	// Both closed forms agree with their respective simulations.
+	for _, tc := range []struct {
+		mttr float64
+		res  TimedResult
+	}{{1, short}, {100, long}} {
+		ren, _ := resilience.RenewalFromAvailability(0.9, tc.mttr)
+		want, err := resilience.RetrySuccessProbability(ren, retry.Spacings(0.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tc.res.Availability-want) > 3*tc.res.CI95.HalfWidth {
+			t.Errorf("mttr %v: simulated %v vs closed form %v (±%v)",
+				tc.mttr, tc.res.Availability, want, tc.res.CI95.HalfWidth)
+		}
+	}
+}
+
+// Failover across independent alternates must match the 1-of-n bracket.
+func TestTimedFailoverMatchesBracket(t *testing.T) {
+	profile, diagrams := singleStepModel(t, "Flight")
+	providers := []string{"Flight", "Flight#2", "Flight#3"}
+	specs := make(map[string]resilience.FaultSpec, len(providers))
+	avails := make([]float64, 0, len(providers))
+	for _, p := range providers {
+		ren, err := resilience.RenewalFromAvailability(0.8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[p] = resilience.FaultSpec{Renewal: &ren}
+		avails = append(avails, 0.8)
+	}
+	want, err := interaction.FailoverAvailability(avails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := TimedVisitSimulator{
+		Profile:  profile,
+		Diagrams: diagrams,
+		Campaign: resilience.Campaign{Horizon: 50, Services: specs},
+		Policy: resilience.Policy{
+			Failover: map[string][]string{"Flight": {"Flight#2", "Flight#3"}},
+		},
+		StepLatency: 0.5,
+	}
+	res, err := s.Run(150000, 6)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(res.Availability-want) > 3*res.CI95.HalfWidth {
+		t.Errorf("failover %v vs 1-of-3 bracket %v (±%v)", res.Availability, want, res.CI95.HalfWidth)
+	}
+	if res.RescuedVisits == 0 {
+		t.Error("failover policy rescued no visits")
+	}
+}
+
+// A degraded-mode rule must keep visits alive when only the optional service
+// is down, and its availability gain must match the degraded bracket.
+func TestTimedDegradedMode(t *testing.T) {
+	profile := opprofile.New()
+	if err := profile.AddTransition(opprofile.Start, "Browse", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := profile.AddTransition("Browse", opprofile.Exit, 1); err != nil {
+		t.Fatal(err)
+	}
+	d := interaction.New("Browse")
+	if err := d.AddStep("ws", "WS"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddStep("ds", "DS"); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range []struct {
+		from, to string
+		q        float64
+	}{
+		{interaction.Begin, "ws", 1},
+		{"ws", "ds", 0.5},
+		{"ws", interaction.End, 0.5},
+		{"ds", interaction.End, 1},
+	} {
+		if err := d.AddTransition(tr.from, tr.to, tr.q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	diagrams := map[string]*interaction.Diagram{"Browse": d}
+	// Database down for the whole horizon; web service always up.
+	campaign := resilience.Campaign{
+		Horizon: 100,
+		Services: map[string]resilience.FaultSpec{
+			"DS": {Outages: []resilience.Window{{Start: 0, End: 100}}},
+		},
+	}
+	base := TimedVisitSimulator{
+		Profile:     profile,
+		Diagrams:    diagrams,
+		Campaign:    campaign,
+		StepLatency: 0.1,
+	}
+	noPolicy, err := base.Run(50000, 8)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Without degraded mode only the cache branch (probability 0.5) survives.
+	if math.Abs(noPolicy.Availability-0.5) > 3*noPolicy.CI95.HalfWidth {
+		t.Errorf("no-policy availability %v, want ≈ 0.5", noPolicy.Availability)
+	}
+	degraded := base
+	degraded.Policy = resilience.Policy{Degraded: map[string][]string{"Browse": {"DS"}}}
+	res, err := degraded.Run(50000, 8)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Availability != 1 {
+		t.Errorf("degraded availability %v, want 1 (only the optional service fails)", res.Availability)
+	}
+	if res.DegradedVisits == 0 {
+		t.Error("no degraded visits recorded")
+	}
+	// Analytic counterpart: forcing DS up in the bracket gives 1 here.
+	want, err := resilience.DegradedAvailability(d, map[string]float64{"WS": 1, "DS": 0}, []string{"DS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != 1 {
+		t.Errorf("degraded bracket %v, want 1", want)
+	}
+}
+
+// A latency spike longer than the timeout must fail the step even though
+// every service is up, and retrying inside the spike must not help.
+func TestTimedTimeout(t *testing.T) {
+	profile, diagrams := singleStepModel(t, "S")
+	spiked := resilience.Campaign{
+		Horizon: 100,
+		Services: map[string]resilience.FaultSpec{
+			"S": {Latency: []resilience.LatencySpike{{Window: resilience.Window{Start: 0, End: 100}, Extra: 10}}},
+		},
+	}
+	s := TimedVisitSimulator{
+		Profile:     profile,
+		Diagrams:    diagrams,
+		Campaign:    spiked,
+		Policy:      resilience.Policy{Timeout: 5, Retry: &resilience.RetryPolicy{MaxAttempts: 2, BaseDelay: 1, Multiplier: 1}},
+		StepLatency: 0.5,
+	}
+	res, err := s.Run(2000, 3)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Availability != 0 {
+		t.Errorf("availability %v under a permanent over-timeout spike, want 0", res.Availability)
+	}
+	if res.TimeoutSteps != 2*res.Visits {
+		t.Errorf("timeout steps %d, want both attempts of all %d visits", res.TimeoutSteps, res.Visits)
+	}
+	// Remove the spike: the same policy passes everything and the timeout
+	// never fires.
+	calm := s
+	calm.Campaign = resilience.Campaign{Horizon: 100, Services: map[string]resilience.FaultSpec{}}
+	res, err = calm.Run(2000, 3)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Availability != 1 || res.TimeoutSteps != 0 {
+		t.Errorf("calm run: availability %v, timeouts %d", res.Availability, res.TimeoutSteps)
+	}
+}
+
+// An open circuit breaker must fail fast: same outcome, less time burned on
+// failover tries against a dead provider.
+func TestTimedBreakerFailsFast(t *testing.T) {
+	profile := opprofile.New()
+	if err := profile.AddTransition(opprofile.Start, "F", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := profile.AddTransition("F", opprofile.Exit, 1); err != nil {
+		t.Fatal(err)
+	}
+	d := interaction.New("F")
+	prev := interaction.Begin
+	for _, step := range []string{"s1", "s2", "s3"} {
+		if err := d.AddStep(step, "S"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AddTransition(prev, step, 1); err != nil {
+			t.Fatal(err)
+		}
+		prev = step
+	}
+	if err := d.AddTransition(prev, interaction.End, 1); err != nil {
+		t.Fatal(err)
+	}
+	diagrams := map[string]*interaction.Diagram{"F": d}
+	deadCampaign := resilience.Campaign{
+		Horizon: 100,
+		Services: map[string]resilience.FaultSpec{
+			"S":   {Outages: []resilience.Window{{Start: 0, End: 100}}},
+			"S#2": {Outages: []resilience.Window{{Start: 0, End: 100}}},
+		},
+	}
+	base := TimedVisitSimulator{
+		Profile:     profile,
+		Diagrams:    diagrams,
+		Campaign:    deadCampaign,
+		Policy:      resilience.Policy{Failover: map[string][]string{"S": {"S#2"}}},
+		StepLatency: 0.5,
+	}
+	slow, err := base.Run(2000, 5)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	fast := base
+	fast.Policy.Breaker = &resilience.BreakerPolicy{FailureThreshold: 1, OpenDuration: 1000}
+	quick, err := fast.Run(2000, 5)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if slow.Availability != 0 || quick.Availability != 0 {
+		t.Errorf("availabilities %v/%v against dead providers, want 0", slow.Availability, quick.Availability)
+	}
+	// Without the breaker every step pays the failover try (2·latency);
+	// with it, steps after the first fail fast (1·latency).
+	if quick.MeanVisitDuration >= slow.MeanVisitDuration {
+		t.Errorf("breaker mean duration %v not faster than %v", quick.MeanVisitDuration, slow.MeanVisitDuration)
+	}
+}
+
+// Satellite regression: simulator runs must be reproducible for a fixed seed
+// across all policies — guards future refactors of the RNG plumbing.
+func TestTimedDeterministicAcrossPolicies(t *testing.T) {
+	profile, diagrams := singleStepModel(t, "S")
+	retry := resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: 1, Multiplier: 2, Jitter: 0.2}
+	policies := map[string]resilience.Policy{
+		"none":     {},
+		"retry":    {Retry: &retry},
+		"failover": {Failover: map[string][]string{"S": {"S#2"}}},
+		"degraded": {Degraded: map[string][]string{"F": {"S"}}},
+		"breaker":  {Breaker: &resilience.BreakerPolicy{FailureThreshold: 2, OpenDuration: 10}},
+		"full": {
+			Retry:    &retry,
+			Timeout:  30,
+			Failover: map[string][]string{"S": {"S#2"}},
+			Breaker:  &resilience.BreakerPolicy{FailureThreshold: 2, OpenDuration: 10},
+			Degraded: map[string][]string{"F": {"S"}},
+		},
+	}
+	ren, err := resilience.RenewalFromAvailability(0.85, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ren2, err := resilience.RenewalFromAvailability(0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign := resilience.Campaign{
+		Horizon: 60,
+		Services: map[string]resilience.FaultSpec{
+			"S":   {Renewal: &ren},
+			"S#2": {Renewal: &ren2},
+		},
+	}
+	for name, pol := range policies {
+		s := TimedVisitSimulator{
+			Profile:     profile,
+			Diagrams:    diagrams,
+			Campaign:    campaign,
+			Policy:      pol,
+			StepLatency: 0.5,
+		}
+		a, err := s.Run(5000, 42)
+		if err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		b, err := s.Run(5000, 42)
+		if err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		if a.Availability != b.Availability ||
+			a.RescuedVisits != b.RescuedVisits ||
+			a.DegradedVisits != b.DegradedVisits ||
+			a.TimeoutSteps != b.TimeoutSteps ||
+			a.MeanVisitDuration != b.MeanVisitDuration {
+			t.Errorf("%s: same seed produced different results:\n%+v\n%+v", name, a, b)
+		}
+		c, err := s.Run(5000, 43)
+		if err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		if a.Availability == c.Availability && a.MeanVisitDuration == c.MeanVisitDuration {
+			t.Errorf("%s: different seeds produced identical trajectories", name)
+		}
+	}
+}
+
+// The VisitSimulator NaN/Inf guard (satellite): garbage availabilities must
+// be rejected with ErrSim, not silently sampled.
+func TestVisitSimulatorRejectsNonFiniteAvailability(t *testing.T) {
+	simulator, _ := buildVisitModel(t)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.1, 1.1} {
+		s := simulator
+		s.ServiceAvailability = map[string]float64{"WS": bad, "DB": 0.9}
+		_, err := s.Run(10, 1)
+		if err == nil {
+			t.Errorf("availability %v accepted", bad)
+			continue
+		}
+		if !errors.Is(err, ErrSim) {
+			t.Errorf("availability %v: error %v does not wrap ErrSim", bad, err)
+		}
+	}
+}

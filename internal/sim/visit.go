@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -81,7 +82,7 @@ func (v VisitSimulator) check() error {
 			if !ok {
 				return fmt.Errorf("%w: no availability for service %q", ErrSim, svc)
 			}
-			if a < 0 || a > 1 {
+			if math.IsNaN(a) || math.IsInf(a, 0) || a < 0 || a > 1 {
 				return fmt.Errorf("%w: availability %v for service %q", ErrSim, a, svc)
 			}
 		}
