@@ -7,6 +7,7 @@ package repro
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/ctmc"
@@ -14,7 +15,10 @@ import (
 	"repro/internal/optimize"
 	"repro/internal/queueing"
 	"repro/internal/repairmodel"
+	"repro/internal/resilience"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/testbed"
 	"repro/internal/travelagency"
 	"repro/internal/webfarm"
 )
@@ -279,5 +283,124 @@ func BenchmarkWebFarmCompose(b *testing.B) {
 			b.Fatal(err)
 		}
 		sink += m.Unavailability()
+	}
+}
+
+// BenchmarkResilienceCampaignGenerate samples one fault-injection timeline
+// over the full TA service set (renewal outages for every service plus one
+// correlated outage), the per-visit setup cost of every resilience study.
+func BenchmarkResilienceCampaignGenerate(b *testing.B) {
+	services := map[string]resilience.FaultSpec{}
+	for _, svc := range []string{
+		travelagency.SvcInternet, travelagency.SvcLAN, travelagency.SvcWeb,
+		travelagency.SvcApp, travelagency.SvcDB, travelagency.SvcFlight,
+		travelagency.SvcHotel, travelagency.SvcCar, travelagency.SvcPayment,
+	} {
+		ren, err := resilience.RenewalFromAvailability(0.99, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renewal := ren
+		services[svc] = resilience.FaultSpec{Renewal: &renewal}
+	}
+	campaign := resilience.Campaign{
+		Horizon:  14400,
+		Services: services,
+		Correlated: []resilience.CorrelatedOutage{{
+			Window:   resilience.Window{Start: 7000, End: 7300},
+			Services: []string{travelagency.SvcApp, travelagency.SvcDB},
+		}},
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl, err := campaign.Generate(rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += tl.DownFraction(travelagency.SvcApp)
+	}
+}
+
+// BenchmarkTimedVisitSimulator measures the duration-aware visit simulation
+// (100 visits per iteration) over the TA diagrams with a hand-built
+// operational profile and a retry policy.
+func BenchmarkTimedVisitSimulator(b *testing.B) {
+	profile := opprofile.New()
+	for _, tr := range []struct {
+		from, to string
+		p        float64
+	}{
+		{opprofile.Start, travelagency.FnHome, 0.6},
+		{opprofile.Start, travelagency.FnBrowse, 0.4},
+		{travelagency.FnHome, travelagency.FnBrowse, 0.3},
+		{travelagency.FnHome, travelagency.FnSearch, 0.4},
+		{travelagency.FnHome, opprofile.Exit, 0.3},
+		{travelagency.FnBrowse, travelagency.FnHome, 0.2},
+		{travelagency.FnBrowse, travelagency.FnSearch, 0.4},
+		{travelagency.FnBrowse, opprofile.Exit, 0.4},
+		{travelagency.FnSearch, travelagency.FnBook, 0.3},
+		{travelagency.FnSearch, opprofile.Exit, 0.7},
+		{travelagency.FnBook, travelagency.FnSearch, 0.2},
+		{travelagency.FnBook, travelagency.FnPay, 0.5},
+		{travelagency.FnBook, opprofile.Exit, 0.3},
+		{travelagency.FnPay, opprofile.Exit, 1},
+	} {
+		if err := profile.AddTransition(tr.from, tr.to, tr.p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	diagrams, err := travelagency.Diagrams(travelagency.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ren, err := resilience.RenewalFromAvailability(0.98, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sim.TimedVisitSimulator{
+		Profile:  profile,
+		Diagrams: diagrams,
+		Campaign: resilience.Campaign{
+			Horizon:  14400,
+			Services: map[string]resilience.FaultSpec{travelagency.SvcApp: {Renewal: &ren}},
+		},
+		Policy:      resilience.Policy{Retry: &resilience.RetryPolicy{MaxAttempts: 2, BaseDelay: 1, Multiplier: 1}},
+		StepLatency: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Run(100, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += res.Availability
+	}
+}
+
+// BenchmarkTestbedVisitLoop measures the live-testbed visit loop (100 visits
+// per iteration, direct transport, unpaced, steady-state fault plane) — the
+// unit of work behind cmd/loadtest's closed-loop validation runs.
+func BenchmarkTestbedVisitLoop(b *testing.B) {
+	cluster, err := testbed.New(travelagency.DefaultParams(), testbed.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := telemetry.NewCollector(0)
+		g := testbed.LoadGen{
+			Cluster: cluster, Class: travelagency.ClassA,
+			Visits: 100, Workers: 4, Seed: int64(i + 1),
+		}
+		if err := g.Run(col); err != nil {
+			b.Fatal(err)
+		}
+		s, err := col.Summary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += s.Availability
 	}
 }

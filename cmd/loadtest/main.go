@@ -1,0 +1,355 @@
+// Command loadtest drives the live travel-agency testbed and closes the loop
+// against the paper's analytic models: it deploys the Figure 7/8
+// architecture as concurrent components (internal/testbed), replays visits
+// sampled from the Table 1 operational profiles through a load-generator
+// pool, measures the user-perceived availability with confidence intervals
+// (internal/telemetry), and prints it next to the equation (10) prediction of
+// internal/travelagency.
+//
+// Usage:
+//
+//	loadtest                          # steady-state closed-loop run, both classes
+//	loadtest -visits 50000 -class a   # bigger run, class A only
+//	loadtest -mode campaign -mttr 60  # campaign-driven fault injection
+//	loadtest -transport http          # dispatch visits over loopback HTTP
+//	loadtest -overload                # paced M/M/i/K buffer-loss sweep
+//	loadtest -smoke                   # CI gate: ≥100k visits, fail outside CI
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/queueing"
+	"repro/internal/report"
+	"repro/internal/resilience"
+	"repro/internal/telemetry"
+	"repro/internal/testbed"
+	"repro/internal/travelagency"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	visits    int64
+	class     string
+	workers   int
+	seed      int64
+	mode      string
+	transport string
+	scale     float64
+	rate      float64
+	mttr      float64
+	horizon   float64
+	overload  bool
+	smoke     bool
+	keepSteps bool
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
+	fs.SetOutput(w)
+	cfg := config{}
+	fs.Int64Var(&cfg.visits, "visits", 20000, "visits per user class")
+	fs.StringVar(&cfg.class, "class", "both", "user class: a, b or both")
+	fs.IntVar(&cfg.workers, "workers", 0, "load-generator workers (0 = auto)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "run seed (fixed seed ⇒ reproducible unpaced run)")
+	fs.StringVar(&cfg.mode, "mode", "steady", "fault plane: steady (closed-loop validation) or campaign")
+	fs.StringVar(&cfg.transport, "transport", "direct", "dispatch: direct or http")
+	fs.Float64Var(&cfg.scale, "scale", 0, "real seconds per model second (0 = unpaced)")
+	fs.Float64Var(&cfg.rate, "rate", 0, "paced visit arrival rate, visits per model second (0 = back to back)")
+	fs.Float64Var(&cfg.mttr, "mttr", 60, "campaign mode: mean outage duration, model seconds")
+	fs.Float64Var(&cfg.horizon, "horizon", 2000, "campaign mode: fault-injection horizon, model seconds")
+	fs.BoolVar(&cfg.overload, "overload", false, "run the paced web-tier overload sweep (Figure 11 knee)")
+	fs.BoolVar(&cfg.smoke, "smoke", false, "CI smoke: ≥100k visits across both classes, fail if analytic availability leaves the measured CI")
+	fs.BoolVar(&cfg.keepSteps, "steps", false, "retain per-step traces (latency quantile tables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := travelagency.DefaultParams()
+	if cfg.smoke {
+		return runSmoke(w, p, cfg)
+	}
+	if cfg.overload {
+		return runOverload(w, p, cfg)
+	}
+
+	classes, err := parseClasses(cfg.class)
+	if err != nil {
+		return err
+	}
+	opts := testbed.Options{Scale: cfg.scale}
+	switch cfg.transport {
+	case "direct":
+		opts.Transport = testbed.Direct
+	case "http":
+		opts.Transport = testbed.HTTP
+	default:
+		return fmt.Errorf("unknown transport %q (want direct or http)", cfg.transport)
+	}
+	var campaign resilience.Campaign
+	switch cfg.mode {
+	case "steady":
+	case "campaign":
+		campaign, err = testbed.DefaultCampaign(p, cfg.horizon, cfg.mttr)
+		if err != nil {
+			return err
+		}
+		opts.Campaign = &campaign
+	default:
+		return fmt.Errorf("unknown mode %q (want steady or campaign)", cfg.mode)
+	}
+
+	cluster, err := testbed.New(p, opts)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	for _, class := range classes {
+		if err := runClass(w, cluster, p, class, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseClasses(s string) ([]travelagency.UserClass, error) {
+	switch s {
+	case "a", "A":
+		return []travelagency.UserClass{travelagency.ClassA}, nil
+	case "b", "B":
+		return []travelagency.UserClass{travelagency.ClassB}, nil
+	case "both":
+		return []travelagency.UserClass{travelagency.ClassA, travelagency.ClassB}, nil
+	default:
+		return nil, fmt.Errorf("unknown class %q (want a, b or both)", s)
+	}
+}
+
+// runClass loads one user class and prints the measurement next to the
+// analytic prediction.
+func runClass(w io.Writer, cluster *testbed.Cluster, p travelagency.Params, class travelagency.UserClass, cfg config) error {
+	col := telemetry.NewCollector(32)
+	gen := testbed.LoadGen{
+		Cluster:   cluster,
+		Class:     class,
+		Visits:    cfg.visits,
+		Workers:   cfg.workers,
+		Seed:      cfg.seed,
+		Rate:      cfg.rate,
+		KeepSteps: cfg.keepSteps,
+	}
+	if err := gen.Run(col); err != nil {
+		return err
+	}
+	s, err := col.Summary()
+	if err != nil {
+		return err
+	}
+	analytic, err := travelagency.Evaluate(p, class)
+	if err != nil {
+		return err
+	}
+
+	mode := "steady state"
+	if cfg.mode == "campaign" {
+		mode = fmt.Sprintf("campaign (horizon %g s, MTTR %g s)", cfg.horizon, cfg.mttr)
+	}
+	t := report.NewTable(
+		fmt.Sprintf("User-perceived availability, %v — %s, %d visits", class, mode, s.Visits),
+		"measure", "value")
+	t.MustAddRow("measured availability", report.Fixed(s.Availability, 5))
+	t.MustAddRow("95% CI half-width", report.Fixed(s.CI95.HalfWidth, 5))
+	t.MustAddRow("analytic eq. (10)", report.Fixed(analytic.UserAvailability, 5))
+	if cfg.mode == "steady" {
+		verdict := "within 95% CI"
+		if !s.CI95.Contains(analytic.UserAvailability) {
+			verdict = "OUTSIDE 95% CI"
+		}
+		t.MustAddRow("closed-loop verdict", verdict)
+	} else {
+		t.MustAddRow("closed-loop verdict", "n/a (campaign faults need not match steady state)")
+	}
+	t.MustAddRow("mean visit duration", fmt.Sprintf("%s s", report.Fixed(s.MeanVisitDuration, 4)))
+	if err := t.Render(w); err != nil {
+		return err
+	}
+
+	ft := report.NewTable(
+		fmt.Sprintf("Function availability, %v — measured vs Table 6", class),
+		"function", "invocations", "measured", "analytic", "delta")
+	for _, fn := range []string{
+		travelagency.FnHome, travelagency.FnBrowse, travelagency.FnSearch,
+		travelagency.FnBook, travelagency.FnPay,
+	} {
+		fs, ok := s.Functions[fn]
+		if !ok {
+			continue
+		}
+		ft.MustAddRow(fn,
+			fmt.Sprintf("%d", fs.Invocations),
+			report.Fixed(fs.Availability, 5),
+			report.Fixed(analytic.Functions[fn], 5),
+			report.Scientific(fs.Availability-analytic.Functions[fn], 2))
+	}
+	if err := ft.Render(w); err != nil {
+		return err
+	}
+
+	if len(s.Causes) > 0 {
+		ct := report.NewTable(
+			fmt.Sprintf("Failed visits by cause, %v", class), "cause", "visits")
+		if n := s.Causes[telemetry.CauseResourceDown]; n > 0 {
+			ct.MustAddRow("resource down", fmt.Sprintf("%d", n))
+		}
+		if n := s.Causes[telemetry.CauseBufferOverflow]; n > 0 {
+			ct.MustAddRow("web buffer overflow", fmt.Sprintf("%d", n))
+		}
+		for _, svc := range []string{
+			travelagency.SvcInternet, travelagency.SvcLAN, travelagency.SvcWeb,
+			travelagency.SvcApp, travelagency.SvcDB, travelagency.SvcFlight,
+			travelagency.SvcHotel, travelagency.SvcCar, travelagency.SvcPayment,
+		} {
+			if n := s.DownByService[svc]; n > 0 {
+				ct.MustAddRow("  └ "+svc+" down", fmt.Sprintf("%d", n))
+			}
+		}
+		if err := ct.Render(w); err != nil {
+			return err
+		}
+	}
+
+	if cfg.keepSteps {
+		lt := report.NewTable(
+			fmt.Sprintf("Step latency quantiles, %v (model seconds)", class),
+			"function", "p50", "p95", "p99", "max")
+		for _, fn := range []string{
+			travelagency.FnHome, travelagency.FnBrowse, travelagency.FnSearch,
+			travelagency.FnBook, travelagency.FnPay,
+		} {
+			qs, err := col.LatencyQuantiles(fn, 0.5, 0.95, 0.99)
+			if err != nil {
+				continue
+			}
+			lt.MustAddRow(fn,
+				report.Scientific(qs[0], 2), report.Scientific(qs[1], 2),
+				report.Scientific(qs[2], 2), report.Scientific(col.StepLatency().Max(), 2))
+		}
+		if lt.NumRows() > 0 {
+			if err := lt.Render(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runOverload paces the cluster and sweeps the web tier past the M/M/i/K
+// knee, comparing measured buffer-loss fractions against equation (3).
+func runOverload(w io.Writer, p travelagency.Params, cfg config) error {
+	scale := cfg.scale
+	if scale <= 0 {
+		scale = 0.1
+	}
+	cluster, err := testbed.New(p, testbed.Options{Scale: scale})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	t := report.NewTable(
+		fmt.Sprintf("Web-tier overload sweep — measured vs M/M/%d/%d loss (scale %g)",
+			p.WebServers, p.BufferSize, scale),
+		"arrival rate α", "requests", "measured loss", "analytic p_K")
+	for _, alpha := range []float64{100, 200, 400, 600, 800} {
+		requests := cfg.visits / 10
+		if requests < 400 {
+			requests = 400
+		}
+		loss, err := cluster.WebLoad(requests, alpha, cfg.seed)
+		if err != nil {
+			return err
+		}
+		pk, err := (queueing.MMcK{
+			Arrival: alpha, Service: p.ServiceRate,
+			Servers: p.WebServers, Capacity: p.BufferSize,
+		}).LossProbability()
+		if err != nil {
+			return err
+		}
+		t.MustAddRow(
+			fmt.Sprintf("%g/s", alpha),
+			fmt.Sprintf("%d", requests),
+			report.Fixed(loss, 4),
+			report.Fixed(pk, 4))
+	}
+	return t.Render(w)
+}
+
+// runSmoke is the CI gate: a deterministic unpaced run of ≥100k visits
+// across both classes whose measured availability must bracket the analytic
+// prediction.
+func runSmoke(w io.Writer, p travelagency.Params, cfg config) error {
+	const visitsPerClass = 55000
+	cluster, err := testbed.New(p, testbed.Options{})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	t := report.NewTable(
+		fmt.Sprintf("Smoke run — %d visits per class, seed %d", int64(visitsPerClass), cfg.seed),
+		"class", "measured", "± CI95", "analytic", "|z|", "verdict")
+	var failed bool
+	var total int64
+	for _, class := range []travelagency.UserClass{travelagency.ClassA, travelagency.ClassB} {
+		analytic, err := travelagency.Evaluate(p, class)
+		if err != nil {
+			return err
+		}
+		col := telemetry.NewCollector(0)
+		gen := testbed.LoadGen{
+			Cluster: cluster, Class: class,
+			Visits: visitsPerClass, Workers: cfg.workers, Seed: cfg.seed,
+		}
+		if err := gen.Run(col); err != nil {
+			return err
+		}
+		s, err := col.Summary()
+		if err != nil {
+			return err
+		}
+		total += s.Visits
+		z := math.Abs(s.Availability-analytic.UserAvailability) /
+			(s.CI95.HalfWidth / 1.959963984540054)
+		verdict := "within CI"
+		if !s.CI95.Contains(analytic.UserAvailability) {
+			verdict = "OUTSIDE CI"
+			failed = true
+		}
+		t.MustAddRow(class.String(),
+			report.Fixed(s.Availability, 5),
+			report.Fixed(s.CI95.HalfWidth, 5),
+			report.Fixed(analytic.UserAvailability, 5),
+			report.Fixed(z, 2),
+			verdict)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%d visits total\n", total)
+	if failed {
+		return fmt.Errorf("closed-loop smoke failed: analytic availability outside the measured 95%% CI")
+	}
+	return nil
+}

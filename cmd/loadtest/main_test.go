@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestRunValidation(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad flag":      {"-bogus"},
+		"bad class":     {"-class", "c"},
+		"bad mode":      {"-mode", "chaos"},
+		"bad transport": {"-transport", "carrier-pigeon"},
+		"bad visits":    {"-visits", "0"},
+		"NaN scale":     {"-scale", "NaN"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("%s: run(%v) succeeded", name, args)
+		}
+	}
+}
+
+func TestSteadyRun(t *testing.T) {
+	out := runCapture(t, "-visits", "3000", "-class", "a")
+	for _, want := range []string{
+		"class A", "steady state, 3000 visits",
+		"analytic eq. (10)", "within 95% CI",
+		"measured vs Table 6", "Browse", "Pay",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("steady output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "class B") {
+		t.Error("-class a printed class B results")
+	}
+}
+
+func TestBothClasses(t *testing.T) {
+	out := runCapture(t, "-visits", "1500")
+	if !strings.Contains(out, "class A") || !strings.Contains(out, "class B") {
+		t.Errorf("default run missing a class:\n%s", out)
+	}
+}
+
+func TestCampaignRun(t *testing.T) {
+	out := runCapture(t,
+		"-visits", "1500", "-class", "b", "-mode", "campaign",
+		"-mttr", "45", "-horizon", "1000", "-steps")
+	for _, want := range []string{
+		"campaign (horizon 1000 s, MTTR 45 s)",
+		"n/a (campaign faults need not match steady state)",
+		"Step latency quantiles",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campaign output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTTPTransportRun(t *testing.T) {
+	out := runCapture(t, "-visits", "500", "-class", "a", "-transport", "http")
+	if !strings.Contains(out, "steady state, 500 visits") {
+		t.Errorf("http output:\n%s", out)
+	}
+}
+
+func TestOverloadRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paced overload sweep in -short mode")
+	}
+	out := runCapture(t, "-overload", "-visits", "6000")
+	for _, want := range []string{"overload sweep", "M/M/4/10", "800/s", "analytic p_K"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("overload output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full smoke run in -short mode")
+	}
+	out := runCapture(t, "-smoke")
+	for _, want := range []string{"110000 visits total", "within CI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("smoke output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "OUTSIDE CI") {
+		t.Errorf("smoke verdict OUTSIDE CI:\n%s", out)
+	}
+}

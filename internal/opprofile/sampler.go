@@ -1,0 +1,69 @@
+package opprofile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Sampler draws indices from a fixed discrete distribution given as a weight
+// vector. It is the sampling side of the operational profile: the load
+// generator of the live testbed uses one Sampler over the Table 1 scenario
+// probabilities to decide which visit each simulated user performs, and
+// further Samplers for any categorical choice that must stay reproducible
+// under a seeded source.
+//
+// Construction validates and normalizes the weights once; Sample is then a
+// binary search over the cumulative distribution and never returns an index
+// whose weight was zero.
+type Sampler struct {
+	cum []float64
+}
+
+// NewSampler builds a sampler from non-negative weights. The weights need not
+// sum to one — they are normalized — but they must be finite, non-negative,
+// and have a positive, finite sum.
+func NewSampler(weights []float64) (*Sampler, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("%w: no weights", ErrProfile)
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: weight[%d] = %v", ErrProfile, i, w)
+		}
+		sum += w
+	}
+	if sum <= 0 || math.IsInf(sum, 0) {
+		return nil, fmt.Errorf("%w: weight sum %v", ErrProfile, sum)
+	}
+	cum := make([]float64, len(weights))
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc / sum
+	}
+	cum[len(cum)-1] = 1
+	return &Sampler{cum: cum}, nil
+}
+
+// Len returns the number of categories.
+func (s *Sampler) Len() int { return len(s.cum) }
+
+// Probability returns the normalized probability of category i.
+func (s *Sampler) Probability(i int) float64 {
+	if i == 0 {
+		return s.cum[0]
+	}
+	return s.cum[i] - s.cum[i-1]
+}
+
+// Sample draws one category index. Categories with zero weight are never
+// returned: the search looks for the first cumulative value strictly above
+// the uniform draw, and a zero-weight category shares its cumulative value
+// with its predecessor, so the predecessor always wins the search.
+func (s *Sampler) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.Search(len(s.cum), func(i int) bool { return s.cum[i] > u })
+}

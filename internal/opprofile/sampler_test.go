@@ -1,0 +1,123 @@
+package opprofile
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSamplerRejectsBadWeights(t *testing.T) {
+	for _, weights := range [][]float64{
+		nil,
+		{},
+		{-1, 2},
+		{math.NaN()},
+		{math.Inf(1)},
+		{0, 0, 0},
+		{math.MaxFloat64, math.MaxFloat64}, // sum overflows to +Inf
+	} {
+		if _, err := NewSampler(weights); err == nil {
+			t.Errorf("NewSampler(%v) accepted", weights)
+		}
+	}
+}
+
+func TestSamplerMatchesWeights(t *testing.T) {
+	weights := []float64{1, 0, 3, 6}
+	s, err := NewSampler(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Probability(2); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("Probability(2) = %v, want 0.3", got)
+	}
+	rng := rand.New(rand.NewSource(42))
+	counts := make([]int, len(weights))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		idx := s.Sample(rng)
+		if idx < 0 || idx >= len(weights) {
+			t.Fatalf("index %d out of range", idx)
+		}
+		if weights[idx] == 0 {
+			t.Fatalf("sampled zero-weight index %d", idx)
+		}
+		counts[idx]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d frequency %v, want ≈ %v", i, got, want)
+		}
+	}
+}
+
+func TestSamplerSingleCategory(t *testing.T) {
+	s, err := NewSampler([]float64{2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if got := s.Sample(rng); got != 0 {
+			t.Fatalf("Sample = %d, want 0", got)
+		}
+	}
+}
+
+// FuzzSampler feeds arbitrary probability vectors to the sampler: every
+// vector must either normalize cleanly (probabilities in [0, 1] summing to
+// one, samples always landing on positive-weight categories) or be rejected
+// with an error — never panic, never emit an invalid category.
+func FuzzSampler(f *testing.F) {
+	seed := func(ws ...float64) []byte {
+		buf := make([]byte, 8*len(ws))
+		for i, w := range ws {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(w))
+		}
+		return buf
+	}
+	f.Add(seed(0.1, 0.267, 0.113, 0.184))
+	f.Add(seed(1, 0, 3, 6))
+	f.Add(seed(math.NaN(), 1))
+	f.Add(seed(-1, 2))
+	f.Add(seed(math.MaxFloat64, math.MaxFloat64))
+	f.Add(seed(5e-324, 1e308))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		weights := make([]float64, 0, len(data)/8)
+		for i := 0; i+8 <= len(data); i += 8 {
+			weights = append(weights, math.Float64frombits(binary.LittleEndian.Uint64(data[i:])))
+		}
+		s, err := NewSampler(weights)
+		if err != nil {
+			return
+		}
+		var sum float64
+		for i := range weights {
+			p := s.Probability(i)
+			if math.IsNaN(p) || p < -1e-12 || p > 1+1e-12 {
+				t.Fatalf("Probability(%d) = %v for weights %v", i, p, weights)
+			}
+			if weights[i] == 0 && p != 0 {
+				t.Fatalf("zero weight %d has probability %v", i, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v for weights %v", sum, weights)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for j := 0; j < 64; j++ {
+			idx := s.Sample(rng)
+			if idx < 0 || idx >= len(weights) {
+				t.Fatalf("sample index %d out of range [0, %d)", idx, len(weights))
+			}
+			if weights[idx] == 0 {
+				t.Fatalf("sampled zero-weight category %d of %v", idx, weights)
+			}
+		}
+	})
+}

@@ -21,7 +21,7 @@ type MMcK struct {
 	Arrival  float64 // α
 	Service  float64 // ν, per server
 	Servers  int     // c (the paper's i: number of operational web servers)
-	Capacity int     // K ≥ c is not required: K is the total system size
+	Capacity int     // K ≥ c: the total system size, in service plus waiting
 }
 
 func (q MMcK) check() error {
@@ -33,6 +33,12 @@ func (q MMcK) check() error {
 	}
 	if q.Capacity < 1 {
 		return fmt.Errorf("%w: capacity %d", ErrParam, q.Capacity)
+	}
+	if q.Capacity < q.Servers {
+		// K < c leaves servers that can never be busy; the closed form of
+		// equation (3) is undefined there. Model that system as M/M/K/K
+		// explicitly instead.
+		return fmt.Errorf("%w: capacity %d below server count %d", ErrParam, q.Capacity, q.Servers)
 	}
 	return nil
 }

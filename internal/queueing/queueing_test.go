@@ -1,6 +1,7 @@
 package queueing
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -216,11 +217,19 @@ func TestMM1KThroughputAndResponse(t *testing.T) {
 }
 
 func TestMM1KValidation(t *testing.T) {
-	if _, err := (MM1K{Arrival: 1, Service: 1, Capacity: 0}).LossProbability(); err == nil {
-		t.Error("capacity 0 accepted")
-	}
-	if _, err := (MM1K{Arrival: 0, Service: 1, Capacity: 2}).LossProbability(); err == nil {
-		t.Error("zero arrival accepted")
+	for name, q := range map[string]MM1K{
+		"capacity 0":       {Arrival: 1, Service: 1, Capacity: 0},
+		"zero arrival":     {Arrival: 0, Service: 1, Capacity: 2},
+		"negative arrival": {Arrival: -1, Service: 1, Capacity: 5},
+		"NaN arrival":      {Arrival: math.NaN(), Service: 1, Capacity: 5},
+		"Inf service":      {Arrival: 1, Service: math.Inf(1), Capacity: 5},
+		"NaN service":      {Arrival: 1, Service: math.NaN(), Capacity: 5},
+	} {
+		if _, err := q.LossProbability(); err == nil {
+			t.Errorf("%s accepted: %+v", name, q)
+		} else if !errors.Is(err, ErrParam) {
+			t.Errorf("%s: error %v is not ErrParam", name, err)
+		}
 	}
 }
 
@@ -277,7 +286,7 @@ func TestMMcKLossMonotonicityProperty(t *testing.T) {
 		alpha := 10 + float64(rawAlpha%200)
 		k := 2 + int(rawK%20)
 		prev := math.Inf(1)
-		for c := 1; c <= 8; c++ {
+		for c := 1; c <= 8 && c <= k; c++ {
 			q := MMcK{Arrival: alpha, Service: 100, Servers: c, Capacity: k}
 			p, err := q.LossProbability()
 			if err != nil {
@@ -304,11 +313,27 @@ func TestMMcKLossMonotonicityProperty(t *testing.T) {
 }
 
 func TestMMcKValidation(t *testing.T) {
-	if _, err := (MMcK{Arrival: 1, Service: 1, Servers: 0, Capacity: 5}).LossProbability(); err == nil {
-		t.Error("0 servers accepted")
+	for name, q := range map[string]MMcK{
+		"0 servers":          {Arrival: 1, Service: 1, Servers: 0, Capacity: 5},
+		"capacity 0":         {Arrival: 1, Service: 1, Servers: 1, Capacity: 0},
+		"capacity < servers": {Arrival: 1, Service: 1, Servers: 4, Capacity: 3},
+		"negative arrival":   {Arrival: -1, Service: 1, Servers: 1, Capacity: 5},
+		"zero arrival":       {Arrival: 0, Service: 1, Servers: 1, Capacity: 5},
+		"NaN arrival":        {Arrival: math.NaN(), Service: 1, Servers: 1, Capacity: 5},
+		"Inf arrival":        {Arrival: math.Inf(1), Service: 1, Servers: 1, Capacity: 5},
+		"negative service":   {Arrival: 1, Service: -1, Servers: 1, Capacity: 5},
+		"NaN service":        {Arrival: 1, Service: math.NaN(), Servers: 1, Capacity: 5},
+		"Inf service":        {Arrival: 1, Service: math.Inf(1), Servers: 1, Capacity: 5},
+	} {
+		if _, err := q.LossProbability(); err == nil {
+			t.Errorf("%s accepted: %+v", name, q)
+		} else if !errors.Is(err, ErrParam) {
+			t.Errorf("%s: error %v is not ErrParam", name, err)
+		}
 	}
-	if _, err := (MMcK{Arrival: 1, Service: 1, Servers: 1, Capacity: 0}).LossProbability(); err == nil {
-		t.Error("capacity 0 accepted")
+	// The boundary K = c remains valid (a pure loss system, M/M/K/K).
+	if _, err := (MMcK{Arrival: 1, Service: 1, Servers: 3, Capacity: 3}).LossProbability(); err != nil {
+		t.Errorf("K = c rejected: %v", err)
 	}
 }
 

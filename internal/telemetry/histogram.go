@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-layout geometric histogram for non-negative latency
+// observations. Bucket 0 holds values below Base; bucket i (1 ≤ i < n−1)
+// holds values in [Base·Factor^(i−1), Base·Factor^i); the last bucket is a
+// catch-all for everything larger. Observe is cheap and allocation-free, so
+// the collector can afford one observation per executed diagram step.
+type Histogram struct {
+	base    float64
+	factor  float64
+	counts  []int64
+	total   int64
+	sum     float64
+	max     float64
+	logBase float64
+	logFac  float64
+}
+
+// NewHistogram creates a histogram with the given smallest bucket bound,
+// geometric growth factor, and bucket count.
+func NewHistogram(base, factor float64, buckets int) (*Histogram, error) {
+	if !(base > 0) || math.IsInf(base, 0) {
+		return nil, fmt.Errorf("telemetry: histogram base %v", base)
+	}
+	if !(factor > 1) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("telemetry: histogram factor %v", factor)
+	}
+	if buckets < 3 {
+		return nil, fmt.Errorf("telemetry: %d buckets (need ≥ 3)", buckets)
+	}
+	return &Histogram{
+		base:    base,
+		factor:  factor,
+		counts:  make([]int64, buckets),
+		logBase: math.Log(base),
+		logFac:  math.Log(factor),
+	}, nil
+}
+
+// defaultLatencyHistogram covers 1 ms to ~17 minutes of model time with
+// 2× buckets — wide enough for base step latencies and injected spikes.
+func defaultLatencyHistogram() *Histogram {
+	h, err := NewHistogram(1e-3, 2, 22)
+	if err != nil {
+		panic(err) // static parameters; unreachable
+	}
+	return h
+}
+
+// Observe records one value. Negative, NaN and infinite values are clamped
+// into the extreme buckets so telemetry never drops an observation.
+func (h *Histogram) Observe(v float64) {
+	idx := 0
+	switch {
+	case math.IsNaN(v) || v < h.base:
+		idx = 0
+	default:
+		idx = 1 + int((math.Log(v)-h.logBase)/h.logFac)
+		if idx < 1 {
+			idx = 1
+		}
+		if idx >= len(h.counts) {
+			idx = len(h.counts) - 1
+		}
+	}
+	h.counts[idx]++
+	h.total++
+	if !math.IsNaN(v) {
+		h.sum += v
+		if v > h.max {
+			h.max = v
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the exact sample mean (tracked outside the buckets).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() float64 { return h.max }
+
+// upperBound returns the representative upper bound of bucket i.
+func (h *Histogram) upperBound(i int) float64 {
+	if i == 0 {
+		return h.base
+	}
+	if i == len(h.counts)-1 {
+		if h.max > 0 {
+			return h.max
+		}
+	}
+	return h.base * math.Pow(h.factor, float64(i))
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0, 1]) from the
+// bucket layout. With no observations it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return h.upperBound(i)
+		}
+	}
+	return h.upperBound(len(h.counts) - 1)
+}
+
+// merge folds another histogram with the identical layout into h.
+func (h *Histogram) merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}

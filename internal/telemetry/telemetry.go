@@ -1,0 +1,274 @@
+// Package telemetry records what the live travel-agency testbed actually did:
+// per-visit traces (which functions and steps ran, at which virtual instants,
+// how long each took, and why failures happened), per-function step-latency
+// histograms, and failure-cause counters that separate performance losses
+// (admission-buffer overflow) from structural losses (a required resource
+// down). The collector rolls everything up into an empirical user-perceived
+// availability with a 95% confidence interval — the measured side of the
+// model-vs-measurement comparison that cmd/loadtest prints against the
+// analytic predictions of internal/travelagency.
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// ErrNoData is returned when a summary is requested before any visit was
+// recorded.
+var ErrNoData = errors.New("telemetry: no visits recorded")
+
+// Cause classifies why a call, step or visit failed.
+type Cause string
+
+const (
+	// CauseNone marks success.
+	CauseNone Cause = ""
+	// CauseResourceDown marks a structural failure: every replica a required
+	// service depends on was down when the request arrived.
+	CauseResourceDown Cause = "resource-down"
+	// CauseBufferOverflow marks a performance failure: the web tier's
+	// admission buffer held K requests, so the arrival was rejected
+	// (the M/M/i/K loss of the paper's equations (1) and (3)).
+	CauseBufferOverflow Cause = "buffer-overflow"
+)
+
+// StepTrace records one executed interaction-diagram step.
+type StepTrace struct {
+	Function string
+	Step     string
+	Services []string
+	// At is the visit-virtual instant at which the step started.
+	At float64
+	// Latency is the step's duration in model seconds (max over the step's
+	// parallel service calls, including injected latency spikes).
+	Latency float64
+	OK      bool
+	Cause   Cause
+	// FailedService names the first service whose call failed.
+	FailedService string
+}
+
+// FunctionTrace records one function invocation within a visit.
+type FunctionTrace struct {
+	Function      string
+	OK            bool
+	Cause         Cause
+	FailedService string
+	// Duration is the function's total execution time in model seconds.
+	Duration float64
+	// Steps holds the executed steps when step tracing is enabled.
+	Steps []StepTrace
+}
+
+// VisitTrace records one complete user visit.
+type VisitTrace struct {
+	ID       uint64
+	Class    string
+	Scenario string
+	// Start is the visit's start instant on the fault-plane clock.
+	Start float64
+	// Duration is the visit's virtual wall-clock length in model seconds.
+	Duration      float64
+	OK            bool
+	Cause         Cause
+	FailedService string
+	Functions     []FunctionTrace
+}
+
+// FunctionSummary aggregates one function's invocations.
+type FunctionSummary struct {
+	Invocations int64
+	Failures    int64
+	// Availability is the measured per-invocation success fraction.
+	Availability float64
+}
+
+// Summary is the rolled-up result of a load-generation run.
+type Summary struct {
+	Visits    int64
+	Successes int64
+	// Availability is the measured user-perceived availability: the fraction
+	// of visits in which every invoked function succeeded.
+	Availability float64
+	// CI95 is the Wald 95% confidence interval of Availability (honest
+	// because visits are independent by construction).
+	CI95 stats.Interval
+	// MeanVisitDuration is in model seconds.
+	MeanVisitDuration float64
+	// Functions maps function name to its per-invocation summary.
+	Functions map[string]FunctionSummary
+	// Causes counts failed visits by first cause.
+	Causes map[Cause]int64
+	// DownByService counts structural visit failures by the service whose
+	// resources were down.
+	DownByService map[string]int64
+}
+
+// Collector accumulates traces from concurrent load-generation workers. All
+// methods are safe for concurrent use. A Collector is created with
+// NewCollector and must not be copied.
+type Collector struct {
+	mu         sync.Mutex
+	keepTraces int
+	traces     []VisitTrace
+	nextTrace  int
+	wrapped    bool
+
+	visits    stats.Proportion
+	durations stats.Welford
+	functions map[string]*functionAgg
+	causes    map[Cause]int64
+	downBySvc map[string]int64
+}
+
+type functionAgg struct {
+	invocations int64
+	failures    int64
+	latency     *Histogram
+}
+
+// NewCollector creates a collector that retains the last keepTraces visit
+// traces in a ring buffer (0 disables trace retention; aggregates are always
+// kept).
+func NewCollector(keepTraces int) *Collector {
+	if keepTraces < 0 {
+		keepTraces = 0
+	}
+	return &Collector{
+		keepTraces: keepTraces,
+		traces:     make([]VisitTrace, 0, keepTraces),
+		functions:  make(map[string]*functionAgg),
+		causes:     make(map[Cause]int64),
+		downBySvc:  make(map[string]int64),
+	}
+}
+
+// RecordVisit folds one finished visit into the aggregates and the trace
+// ring.
+func (c *Collector) RecordVisit(tr VisitTrace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.visits.Add(tr.OK)
+	c.durations.Add(tr.Duration)
+	if !tr.OK {
+		c.causes[tr.Cause]++
+		if tr.Cause == CauseResourceDown && tr.FailedService != "" {
+			c.downBySvc[tr.FailedService]++
+		}
+	}
+	for _, fn := range tr.Functions {
+		agg := c.functions[fn.Function]
+		if agg == nil {
+			agg = &functionAgg{latency: defaultLatencyHistogram()}
+			c.functions[fn.Function] = agg
+		}
+		agg.invocations++
+		if !fn.OK {
+			agg.failures++
+		}
+		for _, st := range fn.Steps {
+			agg.latency.Observe(st.Latency)
+		}
+		if len(fn.Steps) == 0 {
+			// Step tracing disabled: fall back to one observation per
+			// function so latency telemetry is never empty.
+			agg.latency.Observe(fn.Duration)
+		}
+	}
+	if c.keepTraces > 0 {
+		if len(c.traces) < c.keepTraces {
+			c.traces = append(c.traces, tr)
+		} else {
+			c.traces[c.nextTrace] = tr
+			c.wrapped = true
+		}
+		c.nextTrace = (c.nextTrace + 1) % c.keepTraces
+	}
+}
+
+// Summary rolls up everything recorded so far.
+func (c *Collector) Summary() (Summary, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.visits.Trials() == 0 {
+		return Summary{}, ErrNoData
+	}
+	avail, err := c.visits.Estimate()
+	if err != nil {
+		return Summary{}, err
+	}
+	ci, err := c.visits.ConfidenceInterval(0.95)
+	if err != nil {
+		return Summary{}, err
+	}
+	s := Summary{
+		Visits:            c.visits.Trials(),
+		Availability:      avail,
+		CI95:              ci,
+		MeanVisitDuration: c.durations.Mean(),
+		Functions:         make(map[string]FunctionSummary, len(c.functions)),
+		Causes:            make(map[Cause]int64, len(c.causes)),
+		DownByService:     make(map[string]int64, len(c.downBySvc)),
+	}
+	s.Successes = int64(avail*float64(s.Visits) + 0.5)
+	for name, agg := range c.functions {
+		fs := FunctionSummary{Invocations: agg.invocations, Failures: agg.failures}
+		if agg.invocations > 0 {
+			fs.Availability = 1 - float64(agg.failures)/float64(agg.invocations)
+		}
+		s.Functions[name] = fs
+	}
+	for cause, n := range c.causes {
+		s.Causes[cause] = n
+	}
+	for svc, n := range c.downBySvc {
+		s.DownByService[svc] = n
+	}
+	return s, nil
+}
+
+// LatencyQuantiles returns upper bounds on the given step-latency quantiles
+// for one function (model seconds).
+func (c *Collector) LatencyQuantiles(function string, qs ...float64) ([]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	agg := c.functions[function]
+	if agg == nil || agg.latency.Count() == 0 {
+		return nil, fmt.Errorf("%w: function %q", ErrNoData, function)
+	}
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = agg.latency.Quantile(q)
+	}
+	return out, nil
+}
+
+// StepLatency returns a merged copy of every function's step-latency
+// histogram.
+func (c *Collector) StepLatency() *Histogram {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	merged := defaultLatencyHistogram()
+	for _, agg := range c.functions {
+		merged.merge(agg.latency)
+	}
+	return merged
+}
+
+// Traces returns the retained visit traces, oldest first.
+func (c *Collector) Traces() []VisitTrace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]VisitTrace, 0, len(c.traces))
+	if c.wrapped {
+		out = append(out, c.traces[c.nextTrace:]...)
+		out = append(out, c.traces[:c.nextTrace]...)
+	} else {
+		out = append(out, c.traces...)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func visit(id uint64, ok bool, cause Cause, svc string) VisitTrace {
+	fn := FunctionTrace{Function: "Home", OK: ok, Cause: cause, FailedService: svc, Duration: 0.02}
+	return VisitTrace{
+		ID: id, Class: "class A", Scenario: "1: St-Ho-Ex",
+		Duration: 0.02, OK: ok, Cause: cause, FailedService: svc,
+		Functions: []FunctionTrace{fn},
+	}
+}
+
+func TestCollectorSummary(t *testing.T) {
+	c := NewCollector(4)
+	for i := 0; i < 70; i++ {
+		c.RecordVisit(visit(uint64(i), true, CauseNone, ""))
+	}
+	for i := 70; i < 90; i++ {
+		c.RecordVisit(visit(uint64(i), false, CauseResourceDown, "DS"))
+	}
+	for i := 90; i < 100; i++ {
+		c.RecordVisit(visit(uint64(i), false, CauseBufferOverflow, ""))
+	}
+	s, err := c.Summary()
+	if err != nil {
+		t.Fatalf("Summary: %v", err)
+	}
+	if s.Visits != 100 || s.Successes != 70 {
+		t.Errorf("visits/successes = %d/%d, want 100/70", s.Visits, s.Successes)
+	}
+	if math.Abs(s.Availability-0.7) > 1e-12 {
+		t.Errorf("availability = %v, want 0.7", s.Availability)
+	}
+	if !s.CI95.Contains(0.7) {
+		t.Errorf("CI %v does not contain the point estimate", s.CI95)
+	}
+	if s.Causes[CauseResourceDown] != 20 || s.Causes[CauseBufferOverflow] != 10 {
+		t.Errorf("causes = %v", s.Causes)
+	}
+	if s.DownByService["DS"] != 20 {
+		t.Errorf("down by service = %v", s.DownByService)
+	}
+	fn := s.Functions["Home"]
+	if fn.Invocations != 100 || fn.Failures != 30 || math.Abs(fn.Availability-0.7) > 1e-12 {
+		t.Errorf("function summary = %+v", fn)
+	}
+	if math.Abs(s.MeanVisitDuration-0.02) > 1e-12 {
+		t.Errorf("mean duration = %v", s.MeanVisitDuration)
+	}
+}
+
+func TestCollectorNoData(t *testing.T) {
+	c := NewCollector(0)
+	if _, err := c.Summary(); err == nil {
+		t.Error("empty Summary succeeded")
+	}
+	if _, err := c.LatencyQuantiles("Home", 0.5); err == nil {
+		t.Error("empty LatencyQuantiles succeeded")
+	}
+}
+
+func TestCollectorTraceRing(t *testing.T) {
+	c := NewCollector(3)
+	for i := 0; i < 5; i++ {
+		c.RecordVisit(visit(uint64(i), true, CauseNone, ""))
+	}
+	got := c.Traces()
+	if len(got) != 3 {
+		t.Fatalf("kept %d traces, want 3", len(got))
+	}
+	for i, tr := range got {
+		if want := uint64(2 + i); tr.ID != want {
+			t.Errorf("trace[%d].ID = %d, want %d (oldest first)", i, tr.ID, want)
+		}
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 500; i++ {
+				c.RecordVisit(visit(base*500+i, i%2 == 0, CauseNone, ""))
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	s, err := c.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Visits != 4000 {
+		t.Errorf("visits = %d, want 4000", s.Visits)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h, err := NewHistogram(1e-3, 2, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(0.01)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if m := h.Mean(); math.Abs(m-(90*0.01+10*10)/100) > 1e-12 {
+		t.Errorf("mean = %v", m)
+	}
+	if h.Max() != 10 {
+		t.Errorf("max = %v", h.Max())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.01 || p50 > 0.02 {
+		t.Errorf("p50 = %v, want bucket bound near 0.01", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 10 {
+		t.Errorf("p99 = %v, want ≥ 10", p99)
+	}
+}
+
+func TestHistogramRejectsBadLayout(t *testing.T) {
+	for _, tc := range []struct {
+		base, factor float64
+		buckets      int
+	}{
+		{0, 2, 10},
+		{math.NaN(), 2, 10},
+		{1e-3, 1, 10},
+		{1e-3, math.Inf(1), 10},
+		{1e-3, 2, 2},
+	} {
+		if _, err := NewHistogram(tc.base, tc.factor, tc.buckets); err == nil {
+			t.Errorf("NewHistogram(%v, %v, %d) accepted", tc.base, tc.factor, tc.buckets)
+		}
+	}
+}
+
+func TestHistogramExtremeObservations(t *testing.T) {
+	h, err := NewHistogram(1e-3, 2, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(math.NaN())
+	h.Observe(-5)
+	h.Observe(0)
+	h.Observe(math.Inf(1))
+	h.Observe(1e300)
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5 (no observation dropped)", h.Count())
+	}
+	if q := h.Quantile(0.1); math.IsNaN(q) {
+		t.Errorf("quantile NaN")
+	}
+}

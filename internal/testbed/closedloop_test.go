@@ -1,0 +1,113 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/queueing"
+	"repro/internal/telemetry"
+	"repro/internal/travelagency"
+)
+
+// TestClosedLoopSteadyState is the testbed's reason to exist: the measured
+// user-perceived availability of visits replayed against the live deployment
+// must agree with the analytic prediction of equation (10) at the Table 7
+// parameters, for both user classes, within the measurement's 95% confidence
+// interval. The run is deterministic (fixed seed, unpaced), so this is a
+// reproducible end-to-end consistency check between the executable system
+// and the paper's hierarchy of models.
+func TestClosedLoopSteadyState(t *testing.T) {
+	p := travelagency.DefaultParams()
+	c, err := New(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const visits = 25000
+	for _, class := range []travelagency.UserClass{travelagency.ClassA, travelagency.ClassB} {
+		analytic, err := travelagency.Evaluate(p, class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := telemetry.NewCollector(0)
+		g := LoadGen{Cluster: c, Class: class, Visits: visits, Workers: 8, Seed: 20030623}
+		if err := g.Run(col); err != nil {
+			t.Fatal(err)
+		}
+		s, err := col.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Visits != visits {
+			t.Fatalf("%v: recorded %d visits", class, s.Visits)
+		}
+		if !s.CI95.Contains(analytic.UserAvailability) {
+			t.Errorf("%v: analytic availability %.6f outside measured 95%% CI %.6f ± %.6f",
+				class, analytic.UserAvailability, s.CI95.Mean, s.CI95.HalfWidth)
+		}
+		// Function-level agreement: measured per-invocation availabilities
+		// must track the Table 6 analytic values.
+		for fn, want := range analytic.Functions {
+			got, ok := s.Functions[fn]
+			if !ok || got.Invocations == 0 {
+				t.Errorf("%v: function %s never invoked", class, fn)
+				continue
+			}
+			if math.Abs(got.Availability-want) > 0.02 {
+				t.Errorf("%v: function %s measured %.4f vs analytic %.4f",
+					class, fn, got.Availability, want)
+			}
+		}
+		t.Logf("%v: measured %.5f ± %.5f vs analytic %.5f (%d visits)",
+			class, s.CI95.Mean, s.CI95.HalfWidth, analytic.UserAvailability, s.Visits)
+	}
+}
+
+// TestOverloadBufferLossTrend paces the cluster to real time and pushes the
+// web tier's bounded admission queue past the M/M/i/K knee: the measured
+// loss fraction must reproduce the qualitative Figure 9/11 trend — near zero
+// at the Table 7 operating point (α = 100/s), then climbing steeply once the
+// offered load exceeds the farm's capacity (N_W·ν = 400/s).
+func TestOverloadBufferLossTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paced overload run in -short mode")
+	}
+	p := travelagency.DefaultParams()
+	c, err := New(p, Options{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	losses := make(map[float64]float64)
+	for _, alpha := range []float64{100, 400, 800} {
+		requests := int64(800)
+		if alpha >= 400 {
+			requests = 1500
+		}
+		loss, err := c.WebLoad(requests, alpha, 42)
+		if err != nil {
+			t.Fatalf("WebLoad(α=%v): %v", alpha, err)
+		}
+		predicted, err := (queueing.MMcK{
+			Arrival: alpha, Service: p.ServiceRate,
+			Servers: p.WebServers, Capacity: p.BufferSize,
+		}).LossProbability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses[alpha] = loss
+		t.Logf("α=%3.0f/s: measured loss %.4f, M/M/%d/%d predicts %.4f",
+			alpha, loss, p.WebServers, p.BufferSize, predicted)
+	}
+	if losses[100] > 0.05 {
+		t.Errorf("loss at the Table 7 operating point = %.4f, want ≈ 0", losses[100])
+	}
+	if losses[800] < 0.25 {
+		t.Errorf("loss at 2× capacity = %.4f, want ≫ 0 (analytic 0.50)", losses[800])
+	}
+	if !(losses[100] < losses[400] && losses[400] < losses[800]+0.05) {
+		t.Errorf("loss not increasing with offered load: %v", losses)
+	}
+}

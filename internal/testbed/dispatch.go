@@ -1,0 +1,234 @@
+package testbed
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/travelagency"
+)
+
+// Request and response headers of the tier protocol. Service calls carry
+// their model-level context in headers so tier handlers stay stateless.
+const (
+	headerVisit   = "X-TB-Visit"   // visit ID (decimal)
+	headerService = "X-TB-Service" // model service name (e.g. "WS")
+	headerAt      = "X-TB-At"      // model instant of the call
+	headerDemand  = "X-TB-Demand"  // sampled service demand, model seconds
+	headerEntry   = "X-TB-Entry"   // "1" marks the user-facing page request
+	headerLatency = "X-TB-Latency" // response: call latency, model seconds
+)
+
+// call is one service invocation within a visit.
+type call struct {
+	visit   uint64
+	service string
+	at      float64
+	demand  float64
+	entry   bool
+}
+
+// callResult is the outcome of one service invocation.
+type callResult struct {
+	ok      bool
+	cause   telemetry.Cause
+	latency float64
+}
+
+// callTier executes one service call against the live deployment: check the
+// fault plane for a structurally up replica in every bank, push the
+// user-facing web request through the bounded admission queue, and pace the
+// service demand in real time when the cluster runs scaled. It is the single
+// source of truth for call semantics; the HTTP transport is a transparent
+// wrapper around it.
+func (c *Cluster) callTier(cl call, state VisitState) callResult {
+	g, ok := c.groups[cl.service]
+	if !ok {
+		return callResult{ok: false, cause: telemetry.CauseResourceDown}
+	}
+	var extra float64
+	for _, bank := range g.banks {
+		serving := ""
+		for _, r := range bank {
+			if state.Up(r, cl.at) {
+				serving = r
+				break
+			}
+		}
+		if serving == "" {
+			return callResult{ok: false, cause: telemetry.CauseResourceDown}
+		}
+		// Injected latency is observed on the replica actually serving the
+		// call; it is accounted in model time, not slept.
+		if e := state.ExtraLatency(serving, cl.at); e > extra {
+			extra = e
+		}
+	}
+	if cl.entry && g.tier == TierWeb {
+		start := time.Now()
+		if err := c.web.serve(cl.demand); err != nil {
+			return callResult{ok: false, cause: telemetry.CauseBufferOverflow}
+		}
+		lat := cl.demand + extra
+		if c.opts.Scale > 0 {
+			// Paced: the measured latency includes real queueing delay,
+			// mapped back to model seconds.
+			lat = time.Since(start).Seconds()/c.opts.Scale + extra
+		}
+		return callResult{ok: true, latency: lat}
+	}
+	sleepModel(cl.demand, c.opts.Scale)
+	return callResult{ok: true, latency: cl.demand + extra}
+}
+
+// dispatcher routes a call to the component that owns the service.
+type dispatcher interface {
+	dispatch(cl call, state VisitState) (callResult, error)
+	close()
+}
+
+// directDispatcher invokes callTier in-process — the fast path for large
+// closed-loop validation runs.
+type directDispatcher struct{ c *Cluster }
+
+func (d *directDispatcher) dispatch(cl call, state VisitState) (callResult, error) {
+	return d.c.callTier(cl, state), nil
+}
+
+func (d *directDispatcher) close() {}
+
+// httpDispatcher sends every call over loopback HTTP to one httptest server
+// per tier, exercising real listeners, connection reuse and header routing.
+type httpDispatcher struct {
+	c       *Cluster
+	servers map[string]*httptest.Server
+	client  *http.Client
+}
+
+func newHTTPDispatcher(c *Cluster) *httpDispatcher {
+	d := &httpDispatcher{
+		c:       c,
+		servers: make(map[string]*httptest.Server, len(Tiers())),
+	}
+	for _, tier := range Tiers() {
+		d.servers[tier] = httptest.NewServer(c.tierHandler(tier))
+	}
+	transport := &http.Transport{MaxIdleConnsPerHost: 64}
+	d.client = &http.Client{Transport: transport}
+	return d
+}
+
+func (d *httpDispatcher) dispatch(cl call, state VisitState) (callResult, error) {
+	g, ok := d.c.groups[cl.service]
+	if !ok {
+		return callResult{ok: false, cause: telemetry.CauseResourceDown}, nil
+	}
+	srv, ok := d.servers[g.tier]
+	if !ok {
+		return callResult{}, fmt.Errorf("testbed: no server for tier %q", g.tier)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/call", nil)
+	if err != nil {
+		return callResult{}, err
+	}
+	req.Header.Set(headerVisit, strconv.FormatUint(cl.visit, 10))
+	req.Header.Set(headerService, cl.service)
+	req.Header.Set(headerAt, strconv.FormatFloat(cl.at, 'g', -1, 64))
+	req.Header.Set(headerDemand, strconv.FormatFloat(cl.demand, 'g', -1, 64))
+	if cl.entry {
+		req.Header.Set(headerEntry, "1")
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return callResult{}, fmt.Errorf("testbed: tier %s: %w", g.tier, err)
+	}
+	resp.Body.Close()
+	res := callResult{}
+	res.latency, _ = strconv.ParseFloat(resp.Header.Get(headerLatency), 64)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		res.ok = true
+	case http.StatusTooManyRequests:
+		res.cause = telemetry.CauseBufferOverflow
+	case http.StatusServiceUnavailable:
+		res.cause = telemetry.CauseResourceDown
+	default:
+		return callResult{}, fmt.Errorf("testbed: tier %s: unexpected status %d", g.tier, resp.StatusCode)
+	}
+	return res, nil
+}
+
+func (d *httpDispatcher) close() {
+	for _, srv := range d.servers {
+		srv.Close()
+	}
+	d.client.CloseIdleConnections()
+}
+
+// tierHandler serves one tier's component endpoint. The handler resolves the
+// visit's frozen fault-plane state from the cluster registry, verifies the
+// requested service is actually hosted by this tier, and maps the call
+// outcome onto HTTP status codes: 200 success, 429 admission-buffer
+// overflow, 503 resources down.
+func (c *Cluster) tierHandler(tier string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		svc := r.Header.Get(headerService)
+		g, ok := c.groups[svc]
+		if !ok || g.tier != tier {
+			http.Error(w, fmt.Sprintf("service %q not hosted by tier %q", svc, tier), http.StatusNotFound)
+			return
+		}
+		visit, err := strconv.ParseUint(r.Header.Get(headerVisit), 10, 64)
+		if err != nil {
+			http.Error(w, "bad visit id", http.StatusBadRequest)
+			return
+		}
+		stateVal, ok := c.visitStates.Load(visit)
+		if !ok {
+			http.Error(w, "unknown visit", http.StatusBadRequest)
+			return
+		}
+		at, err := strconv.ParseFloat(r.Header.Get(headerAt), 64)
+		if err != nil {
+			http.Error(w, "bad instant", http.StatusBadRequest)
+			return
+		}
+		demand, err := strconv.ParseFloat(r.Header.Get(headerDemand), 64)
+		if err != nil {
+			http.Error(w, "bad demand", http.StatusBadRequest)
+			return
+		}
+		cl := call{
+			visit:   visit,
+			service: svc,
+			at:      at,
+			demand:  demand,
+			entry:   r.Header.Get(headerEntry) == "1",
+		}
+		res := c.callTier(cl, stateVal.(VisitState))
+		w.Header().Set(headerLatency, strconv.FormatFloat(res.latency, 'g', -1, 64))
+		switch {
+		case res.ok:
+			w.WriteHeader(http.StatusOK)
+		case res.cause == telemetry.CauseBufferOverflow:
+			w.WriteHeader(http.StatusTooManyRequests)
+		default:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	})
+}
+
+// entryStep reports whether a step's service set marks it as the user-facing
+// page request: every function's first step traverses the Internet
+// connection, and only that request competes for the web admission buffer.
+func entryStep(services []string) bool {
+	for _, svc := range services {
+		if svc == travelagency.SvcInternet {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/travelagency"
+)
+
+// Tier names: one concurrent component per tier, each exposed as an
+// http.Handler.
+const (
+	TierNet    = "net"
+	TierLAN    = "lan"
+	TierWeb    = "web"
+	TierApp    = "app"
+	TierDB     = "db"
+	TierFlight = "flight"
+	TierHotel  = "hotel"
+	TierCar    = "car"
+	TierPay    = "pay"
+)
+
+// Resource is one replica-level unit of the deployment (a host, a disk, an
+// external reservation system, a connectivity link). Fault injection operates
+// at this granularity, so redundancy is earned structurally by the testbed
+// instead of being folded into a service availability up front.
+type Resource struct {
+	Name string
+	Tier string
+	// Availability is the resource's steady-state availability, used by the
+	// Bernoulli fault plane directly and by DefaultCampaign to derive
+	// alternating-renewal failure/repair rates.
+	Availability float64
+}
+
+// serviceGroup maps one model service to the resources that implement it:
+// the service is up iff every bank has at least one up resource (banks are
+// ANDed, resources within a bank are 1-of-N).
+type serviceGroup struct {
+	service string
+	tier    string
+	banks   [][]string
+}
+
+// inventory builds the resource list and service→group mapping of the
+// Figure 7/8 architecture described by the parameters.
+func inventory(p travelagency.Params) ([]Resource, map[string]serviceGroup) {
+	var resources []Resource
+	add := func(tier string, avail float64, names ...string) []string {
+		for _, n := range names {
+			resources = append(resources, Resource{Name: n, Tier: tier, Availability: avail})
+		}
+		return names
+	}
+	numbered := func(prefix string, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("%s-%d", prefix, i+1)
+		}
+		return out
+	}
+
+	internal := 2 // redundant architecture: paired app/db hosts and disks
+	if p.Architecture == travelagency.Basic {
+		internal = 1
+	}
+	webAvail := p.WebRepairRate / (p.WebFailureRate + p.WebRepairRate)
+
+	net := add(TierNet, p.NetAvailability, "net")
+	lan := add(TierLAN, p.LANAvailability, "lan")
+	web := add(TierWeb, webAvail, numbered("web", p.WebServers)...)
+	app := add(TierApp, p.AppHostAvailability, numbered("app", internal)...)
+	dbHosts := add(TierDB, p.DBHostAvailability, numbered("dbhost", internal)...)
+	disks := add(TierDB, p.DiskAvailability, numbered("disk", internal)...)
+	flights := add(TierFlight, p.FlightSystemAvailability, numbered("flight", p.FlightSystems)...)
+	hotels := add(TierHotel, p.HotelSystemAvailability, numbered("hotel", p.HotelSystems)...)
+	cars := add(TierCar, p.CarSystemAvailability, numbered("car", p.CarSystems)...)
+	pay := add(TierPay, p.PaymentAvailability, "pay")
+
+	groups := map[string]serviceGroup{
+		travelagency.SvcInternet: {service: travelagency.SvcInternet, tier: TierNet, banks: [][]string{net}},
+		travelagency.SvcLAN:      {service: travelagency.SvcLAN, tier: TierLAN, banks: [][]string{lan}},
+		travelagency.SvcWeb:      {service: travelagency.SvcWeb, tier: TierWeb, banks: [][]string{web}},
+		travelagency.SvcApp:      {service: travelagency.SvcApp, tier: TierApp, banks: [][]string{app}},
+		travelagency.SvcDB:       {service: travelagency.SvcDB, tier: TierDB, banks: [][]string{dbHosts, disks}},
+		travelagency.SvcFlight:   {service: travelagency.SvcFlight, tier: TierFlight, banks: [][]string{flights}},
+		travelagency.SvcHotel:    {service: travelagency.SvcHotel, tier: TierHotel, banks: [][]string{hotels}},
+		travelagency.SvcCar:      {service: travelagency.SvcCar, tier: TierCar, banks: [][]string{cars}},
+		travelagency.SvcPayment:  {service: travelagency.SvcPayment, tier: TierPay, banks: [][]string{pay}},
+	}
+	return resources, groups
+}
+
+// Tiers returns the component tier names in deterministic order.
+func Tiers() []string {
+	return []string{TierNet, TierLAN, TierWeb, TierApp, TierDB, TierFlight, TierHotel, TierCar, TierPay}
+}

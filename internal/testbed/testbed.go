@@ -1,0 +1,170 @@
+// Package testbed is a live, executable deployment of the paper's travel
+// agency (Figures 7–8): every tier of the architecture — Internet access,
+// LAN, the N_W-server web farm with its bounded admission buffer, the
+// application and database servers, and the external flight/hotel/car/payment
+// suppliers — runs as a concurrent component behind net/http, and user visits
+// execute as real request chains walking the interaction diagrams of
+// Figures 3–6.
+//
+// The point of the testbed is closed-loop model validation: the same
+// parameter set (Table 7) that feeds the analytic hierarchy of
+// internal/travelagency also configures the deployment, a load generator
+// replays visits sampled from the Table 1 operational profiles, and
+// internal/telemetry measures the empirical user-perceived availability with
+// confidence intervals that cmd/loadtest compares against equation (10).
+//
+// Two fault planes drive the deployment:
+//
+//   - SteadyStatePlane freezes per-resource Bernoulli states per visit and
+//     draws the web farm's structural state from the Figure 10 Markov model's
+//     stationary distribution — the measured availability is an unbiased
+//     estimator of the analytic prediction.
+//   - CampaignPlane drives resources from a resilience fault-injection
+//     campaign (renewal outages, scripted windows, correlated failures,
+//     latency spikes), exploring behavior the independence assumptions of
+//     the paper cannot express.
+//
+// Pacing: Options.Scale maps model seconds to real seconds. Scale > 0 makes
+// service demands take real time, so the web admission queue genuinely
+// overflows under overload and reproduces the M/M/i/K buffer-loss knee
+// (Figure 9 trend); Scale = 0 runs unpaced for fast statistical runs, where
+// buffer losses (~4e-6 at Table 7 load) are far below measurement resolution
+// and the admission gate is bypassed.
+package testbed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/interaction"
+	"repro/internal/resilience"
+	"repro/internal/travelagency"
+)
+
+// ErrTestbed is returned for invalid testbed configurations.
+var ErrTestbed = errors.New("testbed: invalid configuration")
+
+// Transport selects how visit steps reach the tier components.
+type Transport int
+
+const (
+	// Direct dispatches calls in-process — the fast path for large runs.
+	Direct Transport = iota
+	// HTTP sends every call over loopback HTTP to one listener per tier.
+	HTTP
+)
+
+// String implements fmt.Stringer.
+func (t Transport) String() string {
+	switch t {
+	case Direct:
+		return "direct"
+	case HTTP:
+		return "http"
+	default:
+		return fmt.Sprintf("Transport(%d)", int(t))
+	}
+}
+
+// Options configures a cluster.
+type Options struct {
+	// Transport selects in-process or loopback-HTTP dispatch.
+	Transport Transport
+	// Scale maps model seconds to real seconds (e.g. 0.05 runs the cluster at
+	// 20× model speed). 0 disables pacing.
+	Scale float64
+	// Campaign, when non-nil, replaces the steady-state fault plane with
+	// campaign-driven fault injection. Campaign services must be keyed by
+	// resource names (see Cluster.Resources and DefaultCampaign).
+	Campaign *resilience.Campaign
+	// KeepTraces bounds the telemetry trace ring kept by load generators that
+	// use the cluster's default collector sizing.
+	KeepTraces int
+}
+
+// Cluster is a running deployment of the travel agency.
+type Cluster struct {
+	params    travelagency.Params
+	opts      Options
+	resources []Resource
+	groups    map[string]serviceGroup
+	plane     FaultPlane
+	web       *webQueue
+	diagrams  map[string]*interaction.Diagram
+	disp      dispatcher
+
+	// visitStates resolves visit IDs to frozen fault-plane states for the
+	// HTTP transport's stateless tier handlers.
+	visitStates sync.Map
+
+	closeOnce sync.Once
+}
+
+// New starts a cluster for the given parameters. Close must be called when
+// done.
+func New(p travelagency.Params, opts Options) (*Cluster, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(opts.Scale) || math.IsInf(opts.Scale, 0) || opts.Scale < 0 {
+		return nil, fmt.Errorf("%w: scale %v", ErrTestbed, opts.Scale)
+	}
+	if opts.Transport != Direct && opts.Transport != HTTP {
+		return nil, fmt.Errorf("%w: transport %v", ErrTestbed, opts.Transport)
+	}
+	diagrams, err := travelagency.Diagrams(p)
+	if err != nil {
+		return nil, err
+	}
+	resources, groups := inventory(p)
+	c := &Cluster{
+		params:    p,
+		opts:      opts,
+		resources: resources,
+		groups:    groups,
+		diagrams:  diagrams,
+	}
+	if opts.Campaign != nil {
+		if err := opts.Campaign.Validate(); err != nil {
+			return nil, err
+		}
+		c.plane = &CampaignPlane{Campaign: *opts.Campaign}
+	} else {
+		plane, err := NewSteadyStatePlane(p)
+		if err != nil {
+			return nil, err
+		}
+		c.plane = plane
+	}
+	c.web = newWebQueue(p.WebServers, p.BufferSize, opts.Scale)
+	switch opts.Transport {
+	case Direct:
+		c.disp = &directDispatcher{c: c}
+	case HTTP:
+		c.disp = newHTTPDispatcher(c)
+	}
+	return c, nil
+}
+
+// Params returns the parameter set the cluster was built from.
+func (c *Cluster) Params() travelagency.Params { return c.params }
+
+// Options returns the cluster options.
+func (c *Cluster) Options() Options { return c.opts }
+
+// Resources lists the deployment's resources — the unit of fault injection.
+func (c *Cluster) Resources() []Resource {
+	out := make([]Resource, len(c.resources))
+	copy(out, c.resources)
+	return out
+}
+
+// Close shuts down the tier components and listeners.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		c.disp.close()
+		c.web.close()
+	})
+}

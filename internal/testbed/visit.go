@@ -1,0 +1,161 @@
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hierarchy"
+	"repro/internal/interaction"
+	"repro/internal/telemetry"
+)
+
+// maxWalkSteps bounds one function's diagram walk; the TA diagrams are
+// acyclic, so hitting the bound means a malformed custom diagram.
+const maxWalkSteps = 10000
+
+// RunVisit executes one complete user visit against the live deployment: it
+// snapshots a frozen fault-plane state, then invokes the scenario's functions
+// in order, each function walking its interaction diagram step by step with
+// every step dispatched to the owning tier component.
+//
+// Randomness is consumed in a fixed order (fault-plane snapshot, then per
+// function: successor choices and per-service demands in step order), so a
+// per-visit seeded rng makes the visit's outcome reproducible regardless of
+// how load-generator workers are scheduled.
+func (c *Cluster) RunVisit(id uint64, scenario hierarchy.UserScenario, rng *rand.Rand, keepSteps bool) (telemetry.VisitTrace, error) {
+	state, err := c.plane.Snapshot(rng)
+	if err != nil {
+		return telemetry.VisitTrace{}, err
+	}
+	if c.opts.Transport == HTTP {
+		c.visitStates.Store(id, state)
+		defer c.visitStates.Delete(id)
+	}
+	tr := telemetry.VisitTrace{
+		ID:       id,
+		Scenario: scenario.Name,
+		Start:    state.Start(),
+		OK:       true,
+	}
+	at := state.Start()
+	for _, fn := range scenario.Functions {
+		ftr, err := c.runFunction(id, fn, at, state, rng, keepSteps)
+		if err != nil {
+			return telemetry.VisitTrace{}, err
+		}
+		at += ftr.Duration
+		tr.Duration += ftr.Duration
+		tr.Functions = append(tr.Functions, ftr)
+		if !ftr.OK && tr.OK {
+			tr.OK = false
+			tr.Cause = ftr.Cause
+			tr.FailedService = ftr.FailedService
+		}
+	}
+	return tr, nil
+}
+
+// runFunction walks one function's interaction diagram from Begin to End,
+// executing each step against the deployment. The function fails as soon as
+// a step fails (the user sees the error page and the visit's remaining
+// functions still execute, mirroring the paper's per-function availability
+// semantics under frozen service states).
+func (c *Cluster) runFunction(id uint64, fn string, at float64, state VisitState, rng *rand.Rand, keepSteps bool) (telemetry.FunctionTrace, error) {
+	d, ok := c.diagrams[fn]
+	if !ok {
+		return telemetry.FunctionTrace{}, fmt.Errorf("%w: unknown function %q", ErrTestbed, fn)
+	}
+	ftr := telemetry.FunctionTrace{Function: fn, OK: true}
+	node := interaction.Begin
+	for walked := 0; ; walked++ {
+		if walked >= maxWalkSteps {
+			return telemetry.FunctionTrace{}, fmt.Errorf("%w: function %q walk exceeded %d steps", ErrTestbed, fn, maxWalkSteps)
+		}
+		next, err := sampleSuccessor(d.Successors(node), rng)
+		if err != nil {
+			return telemetry.FunctionTrace{}, fmt.Errorf("testbed: function %q at %q: %w", fn, node, err)
+		}
+		if next == interaction.End {
+			return ftr, nil
+		}
+		services, ok := d.StepServices(next)
+		if !ok {
+			return telemetry.FunctionTrace{}, fmt.Errorf("%w: function %q step %q undeclared", ErrTestbed, fn, next)
+		}
+		st, err := c.runStep(id, fn, next, services, at+ftr.Duration, state, rng)
+		if err != nil {
+			return telemetry.FunctionTrace{}, err
+		}
+		ftr.Duration += st.Latency
+		if keepSteps {
+			ftr.Steps = append(ftr.Steps, st)
+		}
+		if !st.OK {
+			ftr.OK = false
+			ftr.Cause = st.Cause
+			ftr.FailedService = st.FailedService
+			return ftr, nil
+		}
+		node = next
+	}
+}
+
+// runStep executes one diagram step: every required service is called (the
+// AND fan-out of Figure 4 runs them against their tiers), the step succeeds
+// only if all calls succeed, and its latency is the maximum call latency
+// since fan-out calls proceed in parallel in the modeled system.
+func (c *Cluster) runStep(id uint64, fn, step string, services []string, at float64, state VisitState, rng *rand.Rand) (telemetry.StepTrace, error) {
+	st := telemetry.StepTrace{
+		Function: fn,
+		Step:     step,
+		Services: services,
+		At:       at,
+		OK:       true,
+	}
+	entry := entryStep(services)
+	for _, svc := range services {
+		cl := call{
+			visit:   id,
+			service: svc,
+			at:      at,
+			demand:  rng.ExpFloat64() / c.params.ServiceRate,
+			entry:   entry,
+		}
+		res, err := c.disp.dispatch(cl, state)
+		if err != nil {
+			return telemetry.StepTrace{}, err
+		}
+		if res.latency > st.Latency {
+			st.Latency = res.latency
+		}
+		if !res.ok && st.OK {
+			st.OK = false
+			st.Cause = res.cause
+			st.FailedService = svc
+		}
+	}
+	return st, nil
+}
+
+// sampleSuccessor draws the next node from a transition row. Keys are walked
+// in sorted order so the draw is reproducible for a given rng state.
+func sampleSuccessor(succ map[string]float64, rng *rand.Rand) (string, error) {
+	if len(succ) == 0 {
+		return "", fmt.Errorf("%w: node has no outgoing transitions", ErrTestbed)
+	}
+	keys := make([]string, 0, len(succ))
+	for k := range succ {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	u := rng.Float64()
+	var acc float64
+	for _, k := range keys {
+		acc += succ[k]
+		if u < acc {
+			return k, nil
+		}
+	}
+	return keys[len(keys)-1], nil
+}

@@ -1,0 +1,102 @@
+package testbed
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// errOverflow is the admission rejection of a full web buffer — the live
+// counterpart of the M/M/i/K loss of the paper's equations (1) and (3).
+var errOverflow = errors.New("testbed: web admission buffer full")
+
+// webJob is one admitted page request awaiting service.
+type webJob struct {
+	demand float64
+	done   chan struct{}
+}
+
+// webQueue is the web tier's bounded admission queue: at most capacity
+// requests may be in the system (queued plus in service), and servers
+// goroutines drain it, each serving one request at a time for its sampled
+// service demand scaled to real time. With scale ≤ 0 the cluster is unpaced —
+// handlers return instantly and the admission gate is bypassed, because
+// without real service times queue occupancy would be an artifact of worker
+// scheduling rather than of the arrival and service processes.
+type webQueue struct {
+	capacity int64
+	scale    float64
+	inSystem atomic.Int64
+	queue    chan *webJob
+	quit     chan struct{}
+	wg       sync.WaitGroup
+}
+
+func newWebQueue(servers, capacity int, scale float64) *webQueue {
+	q := &webQueue{
+		capacity: int64(capacity),
+		scale:    scale,
+		queue:    make(chan *webJob, capacity),
+		quit:     make(chan struct{}),
+	}
+	if scale > 0 {
+		for i := 0; i < servers; i++ {
+			q.wg.Add(1)
+			go q.server()
+		}
+	}
+	return q
+}
+
+func (q *webQueue) server() {
+	defer q.wg.Done()
+	for {
+		select {
+		case <-q.quit:
+			return
+		case job := <-q.queue:
+			sleepModel(job.demand, q.scale)
+			q.inSystem.Add(-1)
+			close(job.done)
+		}
+	}
+}
+
+// serve admits and serves one page request, blocking until service completes
+// or returning errOverflow if the system already holds capacity requests.
+func (q *webQueue) serve(demand float64) error {
+	if q.scale <= 0 {
+		return nil
+	}
+	for {
+		n := q.inSystem.Load()
+		if n >= q.capacity {
+			return errOverflow
+		}
+		if q.inSystem.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	// The send cannot block: inSystem ≤ capacity bounds queued + in-service
+	// jobs, and the channel holds only the queued ones.
+	job := &webJob{demand: demand, done: make(chan struct{})}
+	q.queue <- job
+	<-job.done
+	return nil
+}
+
+// close stops the server goroutines. Callers must not invoke serve after
+// close.
+func (q *webQueue) close() {
+	close(q.quit)
+	q.wg.Wait()
+}
+
+// sleepModel sleeps for the given model-seconds duration scaled to real time.
+func sleepModel(modelSeconds, scale float64) {
+	if modelSeconds <= 0 || scale <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(modelSeconds * scale * float64(time.Second)))
+}

@@ -73,8 +73,14 @@ func (f Farm) check() error {
 }
 
 // lossProbability returns p_K(i): the request-loss probability with i
-// operational servers (equation 3, or equation 1 when i == 1).
+// operational servers (equation 3, or equation 1 when i == 1). When the
+// buffer is smaller than the operational server count, servers beyond K can
+// never hold a request, so the system is exactly M/M/K/K: the server count
+// is clamped to keep the small-buffer ablation sweeps well defined.
 func (f Farm) lossProbability(operational int) (float64, error) {
+	if operational > f.BufferSize {
+		operational = f.BufferSize
+	}
 	q := queueing.MMcK{
 		Arrival:  f.ArrivalRate,
 		Service:  f.ServiceRate,

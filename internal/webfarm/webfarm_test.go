@@ -4,6 +4,9 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/queueing"
+	"repro/internal/repairmodel"
 )
 
 // paperFarm is the Table 7 operating point: N_W = 4, c = 0.98, α = 100/s,
@@ -271,5 +274,53 @@ func TestComposeStateCount(t *testing.T) {
 	// 5 operational states (0..4) + 4 reconfiguration states.
 	if got := len(m.States()); got != 9 {
 		t.Errorf("state count = %d, want 9", got)
+	}
+}
+
+// A buffer smaller than the farm keeps the composite model well defined:
+// servers beyond K can never hold a request, so the queueing submodel
+// degenerates to M/M/K/K. This is the regime swept by the buffer-size
+// ablation (K = 1, 2 with N_W = 4).
+func TestSmallBufferClampsToPureLoss(t *testing.T) {
+	small := paperFarm()
+	small.BufferSize = 2
+	a, err := small.Availability()
+	if err != nil {
+		t.Fatalf("Availability(K=2): %v", err)
+	}
+	if a <= 0 || a >= 1 {
+		t.Fatalf("Availability(K=2) = %v, want in (0, 1)", a)
+	}
+	// Cross-check against an explicit M/M/2/2 farm with the same repair
+	// model: both describe 2 usable servers and 2 system slots, with the
+	// structural states of the 4-server farm.
+	probs, err := repairmodel.ImperfectCoverage{
+		Servers: 4, FailureRate: 1e-4, RepairRate: 1, Coverage: 0.98, ReconfigRate: 12,
+	}.StateProbabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64 // 1 − Σ π_i·p_K(min(i,K)) − π_0 − Σ π_y
+	for i := 1; i <= 4; i++ {
+		servers := i
+		if servers > 2 {
+			servers = 2
+		}
+		pk, err := (queueing.MMcK{Arrival: 100, Service: 100, Servers: servers, Capacity: 2}).LossProbability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += probs.Operational[i] * (1 - pk)
+	}
+	if math.Abs(a-want) > 1e-12 {
+		t.Errorf("Availability(K=2) = %.15g, want %.15g", a, want)
+	}
+	// Larger buffers must not lose more requests.
+	big, err := paperFarm().Availability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big < a {
+		t.Errorf("Availability(K=10) = %v < Availability(K=2) = %v", big, a)
 	}
 }
