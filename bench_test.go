@@ -17,6 +17,7 @@ import (
 	"repro/internal/repairmodel"
 	"repro/internal/resilience"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/telemetry"
 	"repro/internal/testbed"
 	"repro/internal/travelagency"
@@ -78,14 +79,21 @@ func BenchmarkTable6Functions(b *testing.B) {
 }
 
 // BenchmarkTable8Row evaluates one full Table 8 cell (both user classes at
-// one reservation-system count) through the whole hierarchy.
+// one reservation-system count) through the whole hierarchy. The parameter
+// sets are built outside the timed loop so the benchmark measures the
+// evaluation, not DefaultParams allocation.
 func BenchmarkTable8Row(b *testing.B) {
-	for i := 0; i < b.N; i++ {
+	ps := make([]travelagency.Params, 10)
+	for n := 1; n <= 10; n++ {
 		p := travelagency.DefaultParams()
-		n := 1 + i%10
 		p.FlightSystems, p.HotelSystems, p.CarSystems = n, n, n
-		for _, class := range []travelagency.UserClass{travelagency.ClassA, travelagency.ClassB} {
-			rep, err := travelagency.Evaluate(p, class)
+		ps[n-1] = p
+	}
+	classes := []travelagency.UserClass{travelagency.ClassA, travelagency.ClassB}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, class := range classes {
+			rep, err := travelagency.Evaluate(ps[i%10], class)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -161,6 +169,53 @@ func BenchmarkFigure11Grid(b *testing.B) { benchmarkWebServiceFigure(b, 1) }
 
 // BenchmarkFigure12Grid regenerates the imperfect-coverage figure.
 func BenchmarkFigure12Grid(b *testing.B) { benchmarkWebServiceFigure(b, 0.98) }
+
+// benchmarkWebServiceFigureSweep is the same 90-cell grid evaluated the way
+// cmd/taeval now does it: through the sweep worker pool with a memoizing
+// composer. A fresh composer is built every iteration so the measurement
+// includes the 30 repair-model and 30 queueing sub-solves (no cross-iteration
+// cache hits) — this is the number to compare against the serial
+// BenchmarkFigure11Grid/BenchmarkFigure12Grid above.
+func benchmarkWebServiceFigureSweep(b *testing.B, coverage float64) {
+	b.Helper()
+	base := travelagency.WebFarm(travelagency.DefaultParams())
+	type cell struct {
+		lambda, alpha float64
+		n             int
+	}
+	var cells []cell
+	for _, lambda := range []float64{1e-2, 1e-3, 1e-4} {
+		for _, alpha := range []float64{50, 100, 150} {
+			for n := 1; n <= 10; n++ {
+				cells = append(cells, cell{lambda, alpha, n})
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		composer := webfarm.NewComposer()
+		us, err := sweep.Run(cells, func(c cell) (float64, error) {
+			farm := base
+			farm.Servers = c.n
+			farm.ArrivalRate = c.alpha
+			farm.FailureRate = c.lambda
+			farm.Coverage = coverage
+			return composer.Unavailability(farm)
+		}, sweep.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += us[0]
+	}
+}
+
+// BenchmarkFigure11GridSweep is the perfect-coverage figure on the parallel
+// memoized path.
+func BenchmarkFigure11GridSweep(b *testing.B) { benchmarkWebServiceFigureSweep(b, 1) }
+
+// BenchmarkFigure12GridSweep is the imperfect-coverage figure on the parallel
+// memoized path.
+func BenchmarkFigure12GridSweep(b *testing.B) { benchmarkWebServiceFigureSweep(b, 0.98) }
 
 // BenchmarkFigure13Categories regenerates the per-category unavailability
 // decomposition for both classes.

@@ -1,0 +1,173 @@
+// Command benchjson runs `go test -bench` and records the results as a
+// machine-readable JSON document, so benchmark baselines can be committed
+// and compared across commits (see BENCH_baseline.json at the repo root).
+//
+// Usage:
+//
+//	benchjson -bench 'Figure1[12]Grid' -benchtime 100ms -packages . -out BENCH_baseline.json
+//
+// The tool shells out to the local go toolchain, parses the standard
+// benchmark output lines (name, iterations, ns/op and the -benchmem
+// columns when present), and attaches the goos/goarch/cpu metadata that
+// `go test` prints, plus the benchtime used — enough context to judge
+// whether a later run on the same class of machine regressed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the emitted JSON baseline.
+type Document struct {
+	GeneratedAt string   `json:"generated_at"`
+	Goos        string   `json:"goos"`
+	Goarch      string   `json:"goarch"`
+	CPU         string   `json:"cpu,omitempty"`
+	Benchtime   string   `json:"benchtime"`
+	Packages    []string `json:"packages"`
+	Results     []Result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		bench     = fs.String("bench", ".", "benchmark regexp passed to go test -bench")
+		benchtime = fs.String("benchtime", "100ms", "value passed to go test -benchtime")
+		packages  = fs.String("packages", ".", "comma-separated package patterns to benchmark")
+		out       = fs.String("out", "-", "output file (- for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pkgs := strings.Split(*packages, ",")
+	cmdArgs := append([]string{
+		"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-benchmem",
+	}, pkgs...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go test: %w", err)
+	}
+	doc, err := Parse(strings.NewReader(string(raw)))
+	if err != nil {
+		return err
+	}
+	doc.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	doc.Benchtime = *benchtime
+	doc.Packages = pkgs
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+// Parse reads `go test -bench` output and collects benchmark lines and the
+// goos/goarch/cpu headers. Non-benchmark lines (PASS, ok, package banners)
+// are ignored.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				doc.Results = append(doc.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark results in input")
+	}
+	return doc, nil
+}
+
+// parseBenchLine parses one line of the form
+//
+//	BenchmarkName-8   123   4567 ns/op   89 B/op   10 allocs/op
+//
+// The memory columns are optional. Lines that start with "Benchmark" but do
+// not follow the format (e.g. a benchmark that printed its own output) are
+// skipped rather than treated as errors.
+func parseBenchLine(line string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Result{}, false, nil
+	}
+	name := fields[0]
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil && p > 0 {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	nsOp, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Result{}, false, fmt.Errorf("bad ns/op in %q: %w", line, err)
+	}
+	res := Result{Name: name, Procs: procs, Iterations: iters, NsPerOp: nsOp}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	return res, true, nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable8Row-8         	     100	   2717941 ns/op	  211256 B/op	    3037 allocs/op
+BenchmarkFigure11Grid-8      	      50	    678530 ns/op	  253696 B/op	    3019 allocs/op
+BenchmarkGTHSteadyState      	    1000	    212767 ns/op
+BenchmarkOddOutput some benchmark chatter that is not a result line
+PASS
+ok  	repro	1.234s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", doc.Goos, doc.Goarch)
+	}
+	if !strings.Contains(doc.CPU, "Xeon") {
+		t.Errorf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(doc.Results), doc.Results)
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkTable8Row" || r.Procs != 8 || r.Iterations != 100 {
+		t.Errorf("result 0 = %+v", r)
+	}
+	if r.NsPerOp != 2717941 || r.BytesPerOp != 211256 || r.AllocsPerOp != 3037 {
+		t.Errorf("result 0 metrics = %+v", r)
+	}
+	// No -benchmem columns and no -procs suffix.
+	r = doc.Results[2]
+	if r.Name != "BenchmarkGTHSteadyState" || r.Procs != 1 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Errorf("result 2 = %+v", r)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok repro 0.1s\n")); err == nil {
+		t.Fatal("empty benchmark output accepted")
+	}
+}
+
+func TestParseBenchLineMalformed(t *testing.T) {
+	// A line starting with Benchmark but without ns/op is chatter, not an error.
+	if _, ok, err := parseBenchLine("BenchmarkFoo printed something"); ok || err != nil {
+		t.Fatalf("chatter line: ok=%v err=%v", ok, err)
+	}
+	// A malformed iteration count is a real error.
+	if _, _, err := parseBenchLine("BenchmarkFoo-4 xyz 123 ns/op"); err == nil {
+		t.Fatal("bad iteration count accepted")
+	}
+}

@@ -16,9 +16,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 )
+
+// workerCount is the parallelism used by the grid-shaped experiments
+// (Figure 11/12 sweeps, Table 8 rows). Set by the -workers flag; the
+// default uses every available core. Results are ordered deterministically
+// by the sweep engine, so the rendered output is byte-identical for any
+// worker count.
+var workerCount = runtime.GOMAXPROCS(0)
 
 // experiment is one reproducible artifact.
 type experiment struct {
@@ -75,14 +83,16 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("taeval", flag.ContinueOnError)
 	var (
-		name = fs.String("experiment", "all", "experiment to run (see -list)")
-		list = fs.Bool("list", false, "list experiments and exit")
-		csv  = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		name    = fs.String("experiment", "all", "experiment to run (see -list)")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for grid experiments (≤0 = all cores)")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	workerCount = *workers
 	exps := experiments()
 	if *list {
 		sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })

@@ -252,27 +252,34 @@ var paperTable8 = map[int][2]float64{
 }
 
 // runTable8 prints the user-perceived availability vs the number of
-// reservation systems, alongside the paper's printed values.
+// reservation systems, alongside the paper's printed values. The rows are
+// independent hierarchy evaluations, so both classes run through the batch
+// evaluator's worker pool; results come back in row order.
 func runTable8(w io.Writer, csv bool) error {
 	tbl := report.NewTable("Table 8 — user availability vs N_F = N_H = N_C",
 		"N", "A(class A)", "paper A", "A(class B)", "paper B")
-	for _, n := range []int{1, 2, 3, 4, 5, 10} {
+	rows := []int{1, 2, 3, 4, 5, 10}
+	ps := make([]travelagency.Params, len(rows))
+	for i, n := range rows {
 		p := travelagency.DefaultParams()
 		p.FlightSystems, p.HotelSystems, p.CarSystems = n, n, n
-		repA, err := travelagency.Evaluate(p, travelagency.ClassA)
-		if err != nil {
-			return err
-		}
-		repB, err := travelagency.Evaluate(p, travelagency.ClassB)
-		if err != nil {
-			return err
-		}
+		ps[i] = p
+	}
+	repsA, err := travelagency.EvaluateMany(ps, travelagency.ClassA, workerCount)
+	if err != nil {
+		return err
+	}
+	repsB, err := travelagency.EvaluateMany(ps, travelagency.ClassB, workerCount)
+	if err != nil {
+		return err
+	}
+	for i, n := range rows {
 		paper := paperTable8[n]
 		if err := tbl.AddRow(
 			fmt.Sprintf("%d", n),
-			report.Fixed(repA.UserAvailability, 5),
+			report.Fixed(repsA[i].UserAvailability, 5),
 			report.Fixed(paper[0], 5),
-			report.Fixed(repB.UserAvailability, 5),
+			report.Fixed(repsB[i].UserAvailability, 5),
 			report.Fixed(paper[1], 5),
 		); err != nil {
 			return err

@@ -55,3 +55,72 @@ func BenchmarkTransient50(b *testing.B) {
 		benchSink += d.Probability("s49")
 	}
 }
+
+// BenchmarkCompiledSteadyStateGTH100 is the compiled-kernel counterpart of
+// BenchmarkSteadyStateGTH100: same chain, flat CSR + pooled workspace.
+func BenchmarkCompiledSteadyStateGTH100(b *testing.B) {
+	cc, err := benchChain(100).Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pi []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pi, err = cc.SteadyStateInto(pi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += pi[0]
+	}
+}
+
+// BenchmarkCompiledSteadyStateLU100 measures the reusable-buffer LU kernel.
+func BenchmarkCompiledSteadyStateLU100(b *testing.B) {
+	cc, err := benchChain(100).Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pi []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pi, err = cc.steadyStateLUInto(pi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += pi[0]
+	}
+}
+
+// BenchmarkCompiledTransient50 measures allocation-free uniformization with
+// cached Poisson terms (same solve as BenchmarkTransient50).
+func BenchmarkCompiledTransient50(b *testing.B) {
+	cc, err := benchChain(50).Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p0 := make([]float64, cc.NumStates())
+	p0[0] = 1
+	var out []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err = cc.TransientInto(p0, 3, 1e-10, out)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += out[len(out)-1]
+	}
+}
+
+// BenchmarkCompile measures the one-time compilation cost amortized by the
+// kernels above.
+func BenchmarkCompile(b *testing.B) {
+	c := benchChain(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc, err := c.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += float64(cc.NumStates())
+	}
+}

@@ -1,0 +1,474 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/linalg"
+)
+
+// Compiled is a frozen, solver-ready snapshot of a Chain: integer states, a
+// flat CSR (compressed sparse row) generator with deterministically sorted
+// successors, precomputed exit rates, and a pool of reusable solver
+// workspaces (GTH/LU elimination scratch, uniformization ping-pong vectors,
+// cached Poisson terms).
+//
+// A Compiled value is immutable and safe for concurrent use: every solve
+// borrows a workspace from an internal pool, so parallel parameter sweeps
+// share one compiled chain without locking or per-solve allocation of the
+// large buffers. Compiling takes a snapshot — later mutations of the source
+// Chain do not affect the compiled form.
+//
+// The numeric kernels replicate the generic solvers' arithmetic order, so
+// compiled results match the map-based paths to well below 1e-12 (and are
+// bit-identical for the steady-state GTH path, whose dense elimination is
+// order-independent of the sparse representation).
+type Compiled struct {
+	names       []string
+	index       map[string]int
+	rowPtr      []int     // len n+1; row i occupies rowPtr[i]..rowPtr[i+1]
+	col         []int     // successor state indices, sorted within each row
+	rate        []float64 // transition rates aligned with col
+	exit        []float64 // total exit rate per state
+	maxExit     float64
+	irreducible bool
+	pool        sync.Pool // of *compiledWorkspace
+}
+
+// compiledWorkspace holds the per-solve scratch buffers. One workspace
+// serves one solve at a time; the pool hands them out to concurrent callers.
+type compiledWorkspace struct {
+	dense []float64 // n×n GTH elimination scratch
+	luA   *linalg.Matrix
+	lu    *linalg.LU
+	b     []float64
+	vec   [2][]float64 // uniformization ping-pong vectors
+	// Cached Poisson terms: weights[0..terms-1] for rate·t = lt at tolerance
+	// tol, with their running sum. Reused when a chain is probed repeatedly
+	// at the same time point (interval-availability sweeps).
+	weights []float64
+	wsum    float64
+	lt      float64
+	tol     float64
+}
+
+// Compile freezes the chain into its solver-ready form. It returns ErrEmpty
+// for a chain with no states. Irreducibility is analyzed once here, so the
+// per-solve cost of the steady-state kernels is the elimination alone.
+func (c *Chain) Compile() (*Compiled, error) {
+	n := len(c.names)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	cc := &Compiled{
+		names:  append([]string(nil), c.names...),
+		index:  make(map[string]int, n),
+		rowPtr: make([]int, n+1),
+		exit:   make([]float64, n),
+	}
+	for i, name := range cc.names {
+		cc.index[name] = i
+	}
+	var nnz int
+	for _, row := range c.rates {
+		nnz += len(row)
+	}
+	cc.col = make([]int, 0, nnz)
+	cc.rate = make([]float64, 0, nnz)
+	for i := 0; i < n; i++ {
+		cc.rowPtr[i] = len(cc.col)
+		var exit float64
+		for _, j := range c.successors(i) {
+			r := c.rates[i][j]
+			cc.col = append(cc.col, j)
+			cc.rate = append(cc.rate, r)
+			exit += r
+		}
+		cc.exit[i] = exit
+		if exit > cc.maxExit {
+			cc.maxExit = exit
+		}
+	}
+	cc.rowPtr[n] = len(cc.col)
+	cc.irreducible = cc.checkIrreducible()
+	cc.pool.New = func() any { return &compiledWorkspace{} }
+	return cc, nil
+}
+
+// checkIrreducible reports strong connectivity of the transition graph using
+// forward and backward reachability over the CSR structure.
+func (cc *Compiled) checkIrreducible() bool {
+	n := len(cc.names)
+	if n == 1 {
+		return true
+	}
+	// Forward reachability from state 0.
+	if cc.reachCount(cc.rowPtr, cc.col) != n {
+		return false
+	}
+	// Backward: build the transpose adjacency once.
+	counts := make([]int, n+1)
+	for _, j := range cc.col {
+		counts[j+1]++
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	radj := make([]int, len(cc.col))
+	fill := append([]int(nil), counts[:n]...)
+	for i := 0; i < n; i++ {
+		for idx := cc.rowPtr[i]; idx < cc.rowPtr[i+1]; idx++ {
+			j := cc.col[idx]
+			radj[fill[j]] = i
+			fill[j]++
+		}
+	}
+	return cc.reachCount(counts, radj) == n
+}
+
+func (cc *Compiled) reachCount(rowPtr, col []int) int {
+	n := len(cc.names)
+	seen := make([]bool, n)
+	stack := make([]int, 1, n)
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for idx := rowPtr[v]; idx < rowPtr[v+1]; idx++ {
+			if w := col[idx]; !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count
+}
+
+// NumStates returns the number of states.
+func (cc *Compiled) NumStates() int { return len(cc.names) }
+
+// StateNames returns the state names in declaration order (a copy).
+func (cc *Compiled) StateNames() []string {
+	out := make([]string, len(cc.names))
+	copy(out, cc.names)
+	return out
+}
+
+// StateIndex returns the index of the named state.
+func (cc *Compiled) StateIndex(name string) (int, error) {
+	i, ok := cc.index[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownState, name)
+	}
+	return i, nil
+}
+
+// Distribution converts a probability vector (indexed by state) into the
+// name-keyed Distribution used by the generic API.
+func (cc *Compiled) Distribution(pi []float64) Distribution {
+	d := make(Distribution, len(pi))
+	for i, p := range pi {
+		d[cc.names[i]] = p
+	}
+	return d
+}
+
+// resize returns dst with length n, reusing its backing array if possible.
+func resize(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float64, n)
+}
+
+// SteadyState computes the stationary distribution with the compiled GTH
+// kernel and returns it in the generic Distribution form.
+func (cc *Compiled) SteadyState() (Distribution, error) {
+	pi, err := cc.SteadyStateInto(nil)
+	if err != nil {
+		return nil, err
+	}
+	return cc.Distribution(pi), nil
+}
+
+// SteadyStateInto computes the stationary distribution by GTH elimination
+// into dst (reused when its capacity suffices; pass nil to allocate). Apart
+// from the result vector, the solve is allocation-free in steady state: the
+// dense elimination scratch lives in a pooled workspace.
+func (cc *Compiled) SteadyStateInto(dst []float64) ([]float64, error) {
+	n := len(cc.names)
+	if n == 1 {
+		dst = resize(dst, 1)
+		dst[0] = 1
+		return dst, nil
+	}
+	if !cc.irreducible {
+		return nil, ErrNotIrreducible
+	}
+	ws := cc.pool.Get().(*compiledWorkspace)
+	defer cc.pool.Put(ws)
+
+	// Dense copy of the off-diagonal rates, zeroed then scattered from CSR.
+	a := resize(ws.dense, n*n)
+	ws.dense = a
+	for i := range a {
+		a[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		row := a[i*n : (i+1)*n]
+		for idx := cc.rowPtr[i]; idx < cc.rowPtr[i+1]; idx++ {
+			row[cc.col[idx]] = cc.rate[idx]
+		}
+	}
+
+	// GTH elimination, mirroring Chain.steadyStateVector's arithmetic: for
+	// k = n-1 down to 1, redistribute state k's probability flow over states
+	// 0..k-1 using only additions, multiplications and positive divisions.
+	for k := n - 1; k >= 1; k-- {
+		rowK := a[k*n : k*n+k]
+		var total float64
+		for _, v := range rowK {
+			total += v
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("%w: state %q has no transitions to lower-numbered states during GTH elimination", ErrNotIrreducible, cc.names[k])
+		}
+		for i := 0; i < k; i++ {
+			rateIK := a[i*n+k]
+			if rateIK == 0 {
+				continue
+			}
+			f := rateIK / total
+			rowI := a[i*n : i*n+k]
+			for j, v := range rowK {
+				if v != 0 {
+					rowI[j] += f * v
+				}
+			}
+		}
+	}
+
+	// Back substitution: π₀ unnormalized = 1; πₖ = Σ_{i<k} πᵢ·a(i,k)/total(k).
+	pi := resize(dst, n)
+	pi[0] = 1
+	for k := 1; k < n; k++ {
+		var total float64
+		for j := 0; j < k; j++ {
+			total += a[k*n+j]
+		}
+		var num float64
+		for i := 0; i < k; i++ {
+			num += pi[i] * a[i*n+k]
+		}
+		pi[k] = num / total
+	}
+	if _, err := linalg.Normalize(pi); err != nil {
+		return nil, fmt.Errorf("ctmc: normalize steady state: %w", err)
+	}
+	if !linalg.AllFinite(pi) {
+		return nil, fmt.Errorf("ctmc: steady state contains non-finite probabilities")
+	}
+	return pi, nil
+}
+
+// SteadyStateLU computes the stationary distribution by solving πQ = 0 with
+// the normalization Σπ = 1 through the reusable-buffer LU path. It exists as
+// the compiled counterpart of Chain.SteadyStateLU: an independent numeric
+// cross-check of the GTH kernel that also exercises linalg's workspace reuse.
+func (cc *Compiled) SteadyStateLU() (Distribution, error) {
+	pi, err := cc.steadyStateLUInto(nil)
+	if err != nil {
+		return nil, err
+	}
+	return cc.Distribution(pi), nil
+}
+
+func (cc *Compiled) steadyStateLUInto(dst []float64) ([]float64, error) {
+	n := len(cc.names)
+	if !cc.irreducible {
+		return nil, ErrNotIrreducible
+	}
+	ws := cc.pool.Get().(*compiledWorkspace)
+	defer cc.pool.Put(ws)
+	if ws.luA == nil || ws.luA.Rows() != n {
+		ws.luA = linalg.NewMatrix(n, n)
+		ws.lu = linalg.NewLU(n)
+		ws.b = make([]float64, n)
+	}
+	// Build Qᵀ with the last equation replaced by Σπ = 1.
+	a := ws.luA
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, 0)
+		}
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, -cc.exit[i])
+		for idx := cc.rowPtr[i]; idx < cc.rowPtr[i+1]; idx++ {
+			a.Set(cc.col[idx], i, cc.rate[idx])
+		}
+	}
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	for i := range ws.b {
+		ws.b[i] = 0
+	}
+	ws.b[n-1] = 1
+	if err := ws.lu.Refactor(a); err != nil {
+		return nil, fmt.Errorf("ctmc: steady-state solve: %w", err)
+	}
+	pi := resize(dst, n)
+	if err := ws.lu.SolveInto(pi, ws.b); err != nil {
+		return nil, fmt.Errorf("ctmc: steady-state solve: %w", err)
+	}
+	// Clamp tiny negative round-off.
+	for i, p := range pi {
+		if p < 0 {
+			if p < -1e-9 {
+				return nil, fmt.Errorf("ctmc: steady-state probability %v for state %q is negative beyond round-off", p, cc.names[i])
+			}
+			pi[i] = 0
+		}
+	}
+	if _, err := linalg.Normalize(pi); err != nil {
+		return nil, err
+	}
+	return pi, nil
+}
+
+// poissonTerms fills the workspace's weight cache with the Poisson pmf terms
+// of the uniformization series for rate·time product lt, truncated exactly
+// as the generic Transient path truncates (mass tolerance tol past the
+// mean, hard cap at mean + 12·√mean + 40). Cached terms are reused when the
+// same (lt, tol) recurs.
+func (ws *compiledWorkspace) poissonTerms(lt, tol float64) ([]float64, float64) {
+	if ws.lt == lt && ws.tol == tol && len(ws.weights) > 0 {
+		return ws.weights, ws.wsum
+	}
+	kMax := int(lt + 12*math.Sqrt(lt) + 40)
+	ws.weights = ws.weights[:0]
+	logW := -lt
+	sumW := 0.0
+	for k := 0; ; k++ {
+		w := math.Exp(logW)
+		ws.weights = append(ws.weights, w)
+		sumW += w
+		if 1-sumW < tol && float64(k) >= lt {
+			break
+		}
+		if k >= kMax {
+			break
+		}
+		logW += math.Log(lt) - math.Log(float64(k+1))
+	}
+	ws.lt, ws.tol, ws.wsum = lt, tol, sumW
+	return ws.weights, sumW
+}
+
+// Transient computes the state distribution at time t from the given initial
+// distribution, like Chain.Transient but through the compiled kernel.
+func (cc *Compiled) Transient(initial Distribution, t, tol float64) (Distribution, error) {
+	p0 := make([]float64, len(cc.names))
+	var total float64
+	for name, pr := range initial {
+		i, ok := cc.index[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownState, name)
+		}
+		if pr < 0 {
+			return nil, fmt.Errorf("ctmc: negative initial probability %v for %q", pr, name)
+		}
+		p0[i] = pr
+		total += pr
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return nil, fmt.Errorf("ctmc: initial distribution sums to %v, want 1", total)
+	}
+	out, err := cc.TransientInto(p0, t, tol, nil)
+	if err != nil {
+		return nil, err
+	}
+	return cc.Distribution(out), nil
+}
+
+// TransientInto runs allocation-free uniformization: p0 is the initial
+// probability vector (indexed by state, assumed validated and summing to 1),
+// and the result is written into dst (reused when capacity suffices). The
+// ping-pong iteration vectors and the Poisson terms come from a pooled
+// workspace; Poisson terms are cached across calls that share rate·t and
+// tolerance.
+func (cc *Compiled) TransientInto(p0 []float64, t, tol float64, dst []float64) ([]float64, error) {
+	n := len(cc.names)
+	if len(p0) != n {
+		return nil, fmt.Errorf("ctmc: initial vector length %d, want %d", len(p0), n)
+	}
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("ctmc: invalid time %v", t)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	acc := resize(dst, n)
+	if t == 0 || cc.maxExit == 0 {
+		copy(acc, p0)
+		return acc, nil
+	}
+	lambda := cc.maxExit * 1.02
+
+	ws := cc.pool.Get().(*compiledWorkspace)
+	defer cc.pool.Put(ws)
+	ws.vec[0] = resize(ws.vec[0], n)
+	ws.vec[1] = resize(ws.vec[1], n)
+
+	weights, sumW := ws.poissonTerms(lambda*t, tol)
+
+	// Accumulate Σ_k w_k · (p0·P^k) with P = I + Q/λ applied sparsely.
+	v := ws.vec[0]
+	copy(v, p0)
+	next := ws.vec[1]
+	for i := range acc {
+		acc[i] = 0
+	}
+	for k, w := range weights {
+		for i, vi := range v {
+			acc[i] += w * vi
+		}
+		if k == len(weights)-1 {
+			break
+		}
+		for i := range next {
+			next[i] = 0
+		}
+		for i, vi := range v {
+			if vi == 0 {
+				continue
+			}
+			next[i] += vi * (1 - cc.exit[i]/lambda)
+			for idx := cc.rowPtr[i]; idx < cc.rowPtr[i+1]; idx++ {
+				next[cc.col[idx]] += vi * cc.rate[idx] / lambda
+			}
+		}
+		v, next = next, v
+	}
+	// Renormalize the truncation defect.
+	if sumW > 0 {
+		for i := range acc {
+			acc[i] /= sumW
+		}
+	}
+	return acc, nil
+}
+
+// PointAvailability computes the probability of being in any of the `up`
+// states at time t, the compiled counterpart of Chain.PointAvailability.
+func (cc *Compiled) PointAvailability(initial Distribution, t float64, up func(name string) bool) (float64, error) {
+	d, err := cc.Transient(initial, t, 1e-12)
+	if err != nil {
+		return 0, err
+	}
+	return d.SumOver(up), nil
+}

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/sweep"
 )
 
 // ErrParam is returned for invalid study specifications.
@@ -23,20 +25,26 @@ type Point struct {
 	Result float64
 }
 
-// Sweep1D evaluates the model at each value of one parameter.
+// Sweep1D evaluates the model at each value of one parameter, sequentially.
 func Sweep1D(name string, values []float64, eval func(float64) (float64, error)) ([]Point, error) {
+	return Sweep1DParallel(name, values, eval, 1)
+}
+
+// Sweep1DParallel is Sweep1D evaluated by the sweep engine's worker pool
+// (workers ≤ 0 selects GOMAXPROCS). The evaluator must be safe for
+// concurrent use when workers ≠ 1; results are returned in value order
+// either way and are identical to the sequential sweep.
+func Sweep1DParallel(name string, values []float64, eval func(float64) (float64, error), workers int) ([]Point, error) {
 	if name == "" || len(values) == 0 || eval == nil {
 		return nil, fmt.Errorf("%w: sweep needs a name, values and an evaluator", ErrParam)
 	}
-	out := make([]Point, 0, len(values))
-	for _, v := range values {
+	return sweep.Run(values, func(v float64) (Point, error) {
 		r, err := eval(v)
 		if err != nil {
-			return nil, fmt.Errorf("sensitivity: %s = %v: %w", name, v, err)
+			return Point{}, fmt.Errorf("sensitivity: %s = %v: %w", name, v, err)
 		}
-		out = append(out, Point{Values: map[string]float64{name: v}, Result: r})
-	}
-	return out, nil
+		return Point{Values: map[string]float64{name: v}, Result: r}, nil
+	}, sweep.Options{Workers: workers})
 }
 
 // Param is one axis of a grid study.
@@ -46,8 +54,16 @@ type Param struct {
 }
 
 // Grid evaluates the model over the Cartesian product of the parameter
-// axes, in row-major order (last axis fastest).
+// axes, sequentially, in row-major order (last axis fastest).
 func Grid(params []Param, eval func(map[string]float64) (float64, error)) ([]Point, error) {
+	return GridParallel(params, eval, 1)
+}
+
+// GridParallel is Grid evaluated by the sweep engine's worker pool
+// (workers ≤ 0 selects GOMAXPROCS). The evaluator must be safe for
+// concurrent use when workers ≠ 1; results keep row-major order (last axis
+// fastest) and are identical to the sequential grid.
+func GridParallel(params []Param, eval func(map[string]float64) (float64, error), workers int) ([]Point, error) {
 	if len(params) == 0 || eval == nil {
 		return nil, fmt.Errorf("%w: grid needs parameters and an evaluator", ErrParam)
 	}
@@ -61,19 +77,16 @@ func Grid(params []Param, eval func(map[string]float64) (float64, error)) ([]Poi
 			return nil, fmt.Errorf("%w: grid larger than 1e6 points", ErrParam)
 		}
 	}
-	out := make([]Point, 0, total)
+	// Materialize the grid points with a mixed-radix counter, then hand the
+	// evaluation to the worker pool.
+	points := make([]map[string]float64, 0, total)
 	idx := make([]int, len(params))
 	for {
 		vals := make(map[string]float64, len(params))
 		for i, p := range params {
 			vals[p.Name] = p.Values[idx[i]]
 		}
-		r, err := eval(vals)
-		if err != nil {
-			return nil, fmt.Errorf("sensitivity: %v: %w", vals, err)
-		}
-		out = append(out, Point{Values: vals, Result: r})
-		// Increment the mixed-radix counter.
+		points = append(points, vals)
 		i := len(params) - 1
 		for ; i >= 0; i-- {
 			idx[i]++
@@ -83,9 +96,16 @@ func Grid(params []Param, eval func(map[string]float64) (float64, error)) ([]Poi
 			idx[i] = 0
 		}
 		if i < 0 {
-			return out, nil
+			break
 		}
 	}
+	return sweep.Run(points, func(vals map[string]float64) (Point, error) {
+		r, err := eval(vals)
+		if err != nil {
+			return Point{}, fmt.Errorf("sensitivity: %v: %w", vals, err)
+		}
+		return Point{Values: vals, Result: r}, nil
+	}, sweep.Options{Workers: workers})
 }
 
 // Elasticity estimates the relative sensitivity (∂R/∂p)·(p/R) by central

@@ -46,6 +46,73 @@ func TestGrid(t *testing.T) {
 	}
 }
 
+// TestSweep1DParallelEquivalence requires the parallel sweep to return
+// bit-identical points in identical order to the sequential one.
+func TestSweep1DParallelEquivalence(t *testing.T) {
+	values := make([]float64, 50)
+	for i := range values {
+		values[i] = 0.5 + float64(i)*0.1
+	}
+	eval := func(x float64) (float64, error) { return math.Exp(-x) * math.Sin(x), nil }
+	serial, err := Sweep1D("x", values, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		par, err := Sweep1DParallel("x", values, eval, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			if par[i].Result != serial[i].Result || par[i].Values["x"] != serial[i].Values["x"] {
+				t.Fatalf("workers=%d: point %d = %+v, want %+v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestGridParallelEquivalence does the same for the Cartesian grid,
+// checking row-major order survives the worker pool.
+func TestGridParallelEquivalence(t *testing.T) {
+	params := []Param{
+		{Name: "a", Values: []float64{1, 2, 3, 4}},
+		{Name: "b", Values: []float64{10, 20, 30}},
+		{Name: "c", Values: []float64{0.1, 0.2}},
+	}
+	eval := func(v map[string]float64) (float64, error) {
+		return v["a"]*100 + v["b"] + v["c"], nil
+	}
+	serial, err := Grid(params, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := GridParallel(params, eval, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("%d points, want %d", len(par), len(serial))
+	}
+	for i := range serial {
+		if par[i].Result != serial[i].Result {
+			t.Fatalf("point %d: %v != %v", i, par[i].Result, serial[i].Result)
+		}
+		for k, v := range serial[i].Values {
+			if par[i].Values[k] != v {
+				t.Fatalf("point %d: %s = %v, want %v", i, k, par[i].Values[k], v)
+			}
+		}
+	}
+	// Errors propagate through the pool.
+	boom := errors.New("boom")
+	if _, err := GridParallel(params, func(map[string]float64) (float64, error) { return 0, boom }, 4); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
 func TestElasticityPowerLaw(t *testing.T) {
 	// R = p³ has elasticity exactly 3 everywhere.
 	e, err := Elasticity(func(p float64) (float64, error) { return p * p * p, nil }, 0.7, 0)

@@ -1,0 +1,65 @@
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Memo is a concurrency-safe, single-flight memoization cache keyed by any
+// comparable type. Concurrent Do calls for the same key block until the
+// first computation finishes and then share its result, so an expensive
+// solve (a repair-model CTMC, a queueing loss curve) runs exactly once per
+// key even when a sweep's workers race to it.
+//
+// The zero value is ready to use. Errors are cached alongside values: a
+// failed computation is not retried, mirroring the deterministic evaluators
+// this package serves (a model that fails once fails always).
+type Memo[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*memoEntry[V]
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Do returns the cached result for key, computing it with compute on the
+// first call. compute must not call Do on the same Memo with the same key
+// (self-deadlock).
+func (m *Memo[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if m.entries == nil {
+		m.entries = make(map[K]*memoEntry[V])
+	}
+	e, ok := m.entries[key]
+	if !ok {
+		e = new(memoEntry[V])
+		m.entries[key] = e
+	}
+	m.mu.Unlock()
+	if ok {
+		m.hits.Add(1)
+	} else {
+		m.misses.Add(1)
+	}
+	e.once.Do(func() { e.val, e.err = compute() })
+	return e.val, e.err
+}
+
+// Len returns the number of cached keys.
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Stats returns the hit and miss counters. A "hit" counts a Do call that
+// found an existing entry, even if it then blocked on the in-flight
+// computation.
+func (m *Memo[K, V]) Stats() (hits, misses int64) {
+	return m.hits.Load(), m.misses.Load()
+}

@@ -1,0 +1,123 @@
+// Package sweep is the parallel grid-evaluation engine behind the paper's
+// parameter studies (Figures 11–13, Table 8, the ablation sweeps): a bounded
+// worker pool that maps an evaluation function over a slice of points and
+// returns the results in input order, regardless of completion order.
+//
+// The engine is deliberately generic: a point can be a parameter struct, a
+// full travelagency.Params value, or a bare float64; a result can be a
+// scalar, a report, or any composite. Evaluators run concurrently and must
+// therefore be safe for concurrent use — the package's Memo cache and the
+// RunScratch per-worker scratch values are the two sanctioned ways to share
+// or reuse state across evaluations.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNilEval is returned when no evaluation function is supplied.
+var ErrNilEval = errors.New("sweep: nil evaluation function")
+
+// Options configure a sweep run.
+type Options struct {
+	// Workers is the maximum number of concurrent evaluations. Values ≤ 0
+	// select GOMAXPROCS. The worker count is additionally capped at the
+	// number of points.
+	Workers int
+}
+
+func (o Options) workerCount(points int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > points {
+		w = points
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run evaluates eval over every point with bounded concurrency and returns
+// the results in the order of the input points. The first error (by point
+// index, among the points evaluated before cancellation took effect) aborts
+// the sweep. With Workers: 1 the evaluation order is exactly the input
+// order, which makes a single-worker run the reference semantics for the
+// parallel path.
+func Run[P, R any](points []P, eval func(P) (R, error), opts Options) ([]R, error) {
+	if eval == nil {
+		return nil, ErrNilEval
+	}
+	return RunScratch(points,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, p P) (R, error) { return eval(p) },
+		opts)
+}
+
+// RunScratch is Run with a per-worker scratch value: newScratch is called
+// once per worker, and the scratch is passed to every evaluation that worker
+// performs. This is the hook for reusable solver workspaces (factorization
+// buffers, uniformization vectors) that are cheap to reuse but unsafe to
+// share between goroutines.
+func RunScratch[P, R, S any](points []P, newScratch func() S, eval func(S, P) (R, error), opts Options) ([]R, error) {
+	if eval == nil || newScratch == nil {
+		return nil, ErrNilEval
+	}
+	n := len(points)
+	if n == 0 {
+		return nil, nil
+	}
+	results := make([]R, n)
+	workers := opts.workerCount(n)
+	if workers == 1 {
+		scratch := newScratch()
+		for i, p := range points {
+			r, err := eval(scratch, p)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: point %d: %w", i, err)
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	errs := make([]error, n)
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := newScratch()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := eval(scratch, points[i])
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: point %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,206 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunOrdering checks that results come back in input order for every
+// worker count, including counts above the point count.
+func TestRunOrdering(t *testing.T) {
+	points := make([]int, 100)
+	for i := range points {
+		points[i] = i
+	}
+	for _, workers := range []int{1, 2, 3, 8, 200} {
+		got, err := Run(points, func(p int) (int, error) { return p * p, nil }, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(points) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(points))
+		}
+		for i, r := range got {
+			if r != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+// TestRunSerialParallelEquivalence evaluates the same floating-point grid
+// with one worker and with many and requires bit-identical results: each
+// point's evaluation is independent, so parallelism must not change a single
+// bit of any result.
+func TestRunSerialParallelEquivalence(t *testing.T) {
+	type cell struct{ lambda, alpha float64 }
+	var grid []cell
+	for _, lambda := range []float64{1e-2, 1e-3, 1e-4} {
+		for alpha := 1.0; alpha <= 30; alpha++ {
+			grid = append(grid, cell{lambda, alpha})
+		}
+	}
+	eval := func(c cell) (float64, error) {
+		// A mildly expensive, fully deterministic computation.
+		v := 0.0
+		for k := 1; k <= 50; k++ {
+			v += math.Exp(-c.lambda*float64(k)) / (c.alpha + float64(k))
+		}
+		return v, nil
+	}
+	serial, err := Run(grid, eval, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		parallel, err := Run(grid, eval, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("workers=%d: result[%d] = %v, serial %v (must be bit-identical)",
+					workers, i, parallel[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestRunEmptyAndNil(t *testing.T) {
+	if got, err := Run(nil, func(int) (int, error) { return 0, nil }, Options{}); err != nil || got != nil {
+		t.Fatalf("empty sweep: %v, %v", got, err)
+	}
+	if _, err := Run([]int{1}, (func(int) (int, error))(nil), Options{}); !errors.Is(err, ErrNilEval) {
+		t.Fatalf("nil eval: %v", err)
+	}
+	if _, err := RunScratch([]int{1}, nil, func(int, int) (int, error) { return 0, nil }, Options{}); !errors.Is(err, ErrNilEval) {
+		t.Fatalf("nil scratch: %v", err)
+	}
+}
+
+func TestRunErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	points := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 4} {
+		_, err := Run(points, func(p int) (int, error) {
+			if p == 5 {
+				return 0, boom
+			}
+			return p, nil
+		}, Options{Workers: workers})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+	}
+	// Serial semantics pin the failing point index in the message.
+	_, err := Run(points, func(p int) (int, error) {
+		if p >= 3 {
+			return 0, boom
+		}
+		return p, nil
+	}, Options{Workers: 1})
+	if err == nil || err.Error() != fmt.Sprintf("sweep: point 3: %v", boom) {
+		t.Fatalf("serial error = %v", err)
+	}
+}
+
+// TestRunScratchPerWorker verifies that scratch values are created once per
+// worker and never shared between workers.
+func TestRunScratchPerWorker(t *testing.T) {
+	var created atomic.Int64
+	type scratch struct{ uses int }
+	points := make([]int, 64)
+	got, err := RunScratch(points,
+		func() *scratch { created.Add(1); return &scratch{} },
+		func(s *scratch, _ int) (int, error) {
+			s.uses++ // would race if shared between workers
+			return s.uses, nil
+		},
+		Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := created.Load(); c < 1 || c > 4 {
+		t.Fatalf("created %d scratches, want 1..4", c)
+	}
+	var total int
+	maxUse := 0
+	for _, u := range got {
+		if u > maxUse {
+			maxUse = u
+		}
+	}
+	// Each worker's scratch counts its own evaluations; the per-worker maxima
+	// must cover all 64 points.
+	_ = total
+	if maxUse < len(points)/4 {
+		t.Fatalf("max scratch uses %d implausibly low", maxUse)
+	}
+}
+
+func TestOptionsWorkerCount(t *testing.T) {
+	if w := (Options{Workers: 0}).workerCount(1000); w < 1 {
+		t.Fatalf("default workers %d", w)
+	}
+	if w := (Options{Workers: 8}).workerCount(3); w != 3 {
+		t.Fatalf("capped workers = %d, want 3", w)
+	}
+	if w := (Options{Workers: -2}).workerCount(2); w < 1 || w > 2 {
+		t.Fatalf("negative workers resolved to %d", w)
+	}
+}
+
+// TestMemoSingleFlight checks each key computes exactly once under
+// concurrent access (run with -race to exercise the locking).
+func TestMemoSingleFlight(t *testing.T) {
+	var m Memo[int, float64]
+	var computed atomic.Int64
+	const keys = 7
+	points := make([]int, 300)
+	for i := range points {
+		points[i] = i % keys
+	}
+	got, err := Run(points, func(k int) (float64, error) {
+		return m.Do(k, func() (float64, error) {
+			computed.Add(1)
+			return float64(k) * 1.5, nil
+		})
+	}, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := computed.Load(); c != keys {
+		t.Fatalf("computed %d times, want %d", c, keys)
+	}
+	if m.Len() != keys {
+		t.Fatalf("memo holds %d keys, want %d", m.Len(), keys)
+	}
+	for i, v := range got {
+		if want := float64(i%keys) * 1.5; v != want {
+			t.Fatalf("result[%d] = %v, want %v", i, v, want)
+		}
+	}
+	hits, misses := m.Stats()
+	if misses != keys || hits != int64(len(points))-keys {
+		t.Fatalf("stats hits=%d misses=%d, want %d/%d", hits, misses, len(points)-keys, keys)
+	}
+}
+
+// TestMemoErrorCached verifies a failing computation is cached, not retried.
+func TestMemoErrorCached(t *testing.T) {
+	var m Memo[string, int]
+	boom := errors.New("boom")
+	var calls int
+	for i := 0; i < 3; i++ {
+		_, err := m.Do("k", func() (int, error) { calls++; return 0, boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute called %d times, want 1", calls)
+	}
+}

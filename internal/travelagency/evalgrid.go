@@ -1,0 +1,18 @@
+package travelagency
+
+import (
+	"repro/internal/hierarchy"
+	"repro/internal/sweep"
+)
+
+// EvaluateMany evaluates the full four-level hierarchy for every parameter
+// set concurrently through the sweep engine (workers ≤ 0 selects
+// GOMAXPROCS), returning the reports in input order. Each evaluation is
+// independent and deterministic, so the reports are identical to serial
+// Evaluate calls regardless of the worker count. This is the batch path
+// behind the Table 8 rows and the what-if parameter studies.
+func EvaluateMany(ps []Params, class UserClass, workers int) ([]*hierarchy.Report, error) {
+	return sweep.Run(ps, func(p Params) (*hierarchy.Report, error) {
+		return Evaluate(p, class)
+	}, sweep.Options{Workers: workers})
+}

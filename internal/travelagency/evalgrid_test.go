@@ -1,0 +1,51 @@
+package travelagency
+
+import (
+	"testing"
+)
+
+// TestEvaluateManyMatchesSerial locks the batch path to the serial one: the
+// Table 8 parameter sets evaluated with many workers must reproduce the
+// serial user availabilities bit for bit.
+func TestEvaluateManyMatchesSerial(t *testing.T) {
+	var ps []Params
+	for _, n := range []int{1, 2, 3, 4, 5, 10} {
+		p := DefaultParams()
+		p.FlightSystems, p.HotelSystems, p.CarSystems = n, n, n
+		ps = append(ps, p)
+	}
+	for _, class := range []UserClass{ClassA, ClassB} {
+		want := make([]float64, len(ps))
+		for i, p := range ps {
+			rep, err := Evaluate(p, class)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = rep.UserAvailability
+		}
+		for _, workers := range []int{1, 4} {
+			reps, err := EvaluateMany(ps, class, workers)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if len(reps) != len(ps) {
+				t.Fatalf("workers=%d: %d reports, want %d", workers, len(reps), len(ps))
+			}
+			for i, rep := range reps {
+				if rep.UserAvailability != want[i] {
+					t.Fatalf("class %v workers=%d: report %d availability %v, want %v",
+						class, workers, i, rep.UserAvailability, want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluateManyError propagates validation failures.
+func TestEvaluateManyError(t *testing.T) {
+	bad := DefaultParams()
+	bad.WebServers = -1
+	if _, err := EvaluateMany([]Params{DefaultParams(), bad}, ClassA, 2); err == nil {
+		t.Fatal("invalid parameter set accepted")
+	}
+}

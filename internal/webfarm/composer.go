@@ -1,0 +1,136 @@
+package webfarm
+
+import (
+	"repro/internal/perfavail"
+	"repro/internal/queueing"
+	"repro/internal/sweep"
+)
+
+// repairKey identifies one structural (repair-model) configuration: the
+// parameters the Figure 9/10 chains depend on. Two farm cells that differ
+// only in arrival rate or buffer size share the same repair solution.
+type repairKey struct {
+	servers                             int
+	failure, repair, coverage, reconfig float64
+}
+
+// repairSolution holds memoized structural-state probabilities. The slices
+// are shared between all cells with the same key and must be treated as
+// immutable.
+type repairSolution struct {
+	operational, reconfig []float64
+}
+
+// lossKey identifies one M/M/i/K queueing configuration after the
+// small-buffer server clamp. Cells that differ only in failure/repair
+// parameters share every loss probability.
+type lossKey struct {
+	arrival, service float64
+	servers, buffer  int
+}
+
+// Composer assembles composite farm models like Farm.Compose but memoizes
+// the two expensive, reusable ingredients across calls:
+//
+//   - the repair-model solution, keyed by (Servers, FailureRate, RepairRate,
+//     Coverage, ReconfigRate) — reused across all (ArrivalRate, BufferSize)
+//     cells of a sweep, and
+//   - the M/M/i/K loss probabilities p_K(i), keyed by (ArrivalRate,
+//     ServiceRate, clamped server count, BufferSize) — reused across all
+//     failure-parameter cells.
+//
+// On the paper's Figure 11/12 grid (3 failure rates × 3 arrival rates × 10
+// farm sizes) this cuts 90 repair solves to 30 and 495 queueing solves to
+// 30 per coverage setting, with results bit-identical to the uncached path
+// (the same computations run, just once).
+//
+// A Composer is safe for concurrent use by the workers of a parallel sweep;
+// each distinct key is computed exactly once even under contention. The
+// zero value is ready to use.
+type Composer struct {
+	repairs sweep.Memo[repairKey, repairSolution]
+	losses  sweep.Memo[lossKey, float64]
+}
+
+// NewComposer returns an empty Composer.
+func NewComposer() *Composer { return &Composer{} }
+
+// structural returns the memoized repair-model solution for the farm.
+func (c *Composer) structural(f Farm) (repairSolution, error) {
+	key := repairKey{f.Servers, f.FailureRate, f.RepairRate, f.Coverage, f.ReconfigRate}
+	return c.repairs.Do(key, func() (repairSolution, error) {
+		operational, reconfig, err := f.structuralStates()
+		if err != nil {
+			return repairSolution{}, err
+		}
+		return repairSolution{operational: operational, reconfig: reconfig}, nil
+	})
+}
+
+// lossProbability returns the memoized p_K(i), applying the same
+// small-buffer clamp as Farm.lossProbability so equivalent queues share one
+// cache entry.
+func (c *Composer) lossProbability(f Farm, operational int) (float64, error) {
+	if operational > f.BufferSize {
+		operational = f.BufferSize
+	}
+	key := lossKey{f.ArrivalRate, f.ServiceRate, operational, f.BufferSize}
+	servers := operational
+	return c.losses.Do(key, func() (float64, error) {
+		q := queueing.MMcK{
+			Arrival:  f.ArrivalRate,
+			Service:  f.ServiceRate,
+			Servers:  servers,
+			Capacity: f.BufferSize,
+		}
+		return q.LossProbability()
+	})
+}
+
+// Compose builds the composite model of the farm, reusing memoized repair
+// and queueing solutions. It is numerically identical to Farm.Compose.
+func (c *Composer) Compose(f Farm) (*perfavail.Model, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	sol, err := c.structural(f)
+	if err != nil {
+		return nil, err
+	}
+	return f.composeStatesWith(sol.operational, sol.reconfig, func(i int) (float64, error) {
+		return c.lossProbability(f, i)
+	})
+}
+
+// Availability returns the user-perceived web-service availability.
+func (c *Composer) Availability(f Farm) (float64, error) {
+	m, err := c.Compose(f)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - m.Unavailability(), nil
+}
+
+// Unavailability returns 1 − A computed without cancellation.
+func (c *Composer) Unavailability(f Farm) (float64, error) {
+	m, err := c.Compose(f)
+	if err != nil {
+		return 0, err
+	}
+	return m.Unavailability(), nil
+}
+
+// Breakdown returns the structural-vs-performance unavailability split.
+func (c *Composer) Breakdown(f Farm) (perfavail.Breakdown, error) {
+	m, err := c.Compose(f)
+	if err != nil {
+		return perfavail.Breakdown{}, err
+	}
+	return m.UnavailabilityBreakdown(), nil
+}
+
+// CacheSizes reports the number of memoized repair solutions and loss
+// probabilities, for diagnostics and tests.
+func (c *Composer) CacheSizes() (repairs, losses int) {
+	return c.repairs.Len(), c.losses.Len()
+}

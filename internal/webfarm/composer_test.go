@@ -1,0 +1,184 @@
+package webfarm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// figureGridFarms enumerates the Figure 11/12-shaped grid used by the
+// composer tests: failure rates × arrival rates × farm sizes at one
+// coverage setting.
+func figureGridFarms(coverage float64) []Farm {
+	var farms []Farm
+	for _, lambda := range []float64{1e-2, 1e-3, 1e-4} {
+		for _, alpha := range []float64{50, 100, 150} {
+			for n := 1; n <= 10; n++ {
+				farms = append(farms, Farm{
+					Servers: n, ArrivalRate: alpha, ServiceRate: 100, BufferSize: 10,
+					FailureRate: lambda, RepairRate: 1, Coverage: coverage, ReconfigRate: 12,
+				})
+			}
+		}
+	}
+	return farms
+}
+
+// TestComposerMatchesFarmCompose requires the memoized path to be
+// bit-identical to the direct path over the full figure grid, for both
+// coverage regimes.
+func TestComposerMatchesFarmCompose(t *testing.T) {
+	for _, coverage := range []float64{1, 0.98} {
+		c := NewComposer()
+		for _, f := range figureGridFarms(coverage) {
+			direct, err := f.Unavailability()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cached, err := c.Unavailability(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if direct != cached {
+				t.Fatalf("farm %+v: composer %v != direct %v (must be bit-identical)", f, cached, direct)
+			}
+			// Second pass must serve from cache with the same value.
+			again, err := c.Unavailability(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != direct {
+				t.Fatalf("farm %+v: cached re-read drifted", f)
+			}
+		}
+	}
+}
+
+// TestComposerMemoization checks the promised reuse counts on the Figure 12
+// grid: 30 structural keys (3 λ × 10 N_W) and 30 loss keys (3 α × 10
+// distinct operational-server counts; K=10 ≥ N_W so clamping never bites),
+// versus 90 repair solves and 495 loss solves on the uncached path.
+func TestComposerMemoization(t *testing.T) {
+	c := NewComposer()
+	for _, f := range figureGridFarms(0.98) {
+		if _, err := c.Unavailability(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	repairs, losses := c.CacheSizes()
+	if repairs != 30 {
+		t.Errorf("repair cache holds %d keys, want 30", repairs)
+	}
+	if losses != 30 {
+		t.Errorf("loss cache holds %d keys, want 30", losses)
+	}
+}
+
+// TestComposerClampSharesCache verifies that over-provisioned farms
+// (Servers > BufferSize) share loss entries with their clamped equivalents.
+func TestComposerClampSharesCache(t *testing.T) {
+	c := NewComposer()
+	base := Farm{
+		Servers: 3, ArrivalRate: 10, ServiceRate: 5, BufferSize: 2,
+		FailureRate: 1e-3, RepairRate: 1, Coverage: 1,
+	}
+	if _, err := c.Unavailability(base); err != nil {
+		t.Fatal(err)
+	}
+	_, losses := c.CacheSizes()
+	// i = 1, 2, 3 clamp to server counts 1, 2, 2 → two distinct loss keys.
+	if losses != 2 {
+		t.Errorf("loss cache holds %d keys, want 2 (clamped)", losses)
+	}
+	direct, err := base.Unavailability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := c.Unavailability(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != cached {
+		t.Fatalf("clamped farm: composer %v != direct %v", cached, direct)
+	}
+}
+
+// TestComposerBreakdownAndAvailability covers the remaining accessors.
+func TestComposerBreakdownAndAvailability(t *testing.T) {
+	c := NewComposer()
+	f := Farm{
+		Servers: 4, ArrivalRate: 100, ServiceRate: 100, BufferSize: 10,
+		FailureRate: 1e-4, RepairRate: 1, Coverage: 0.98, ReconfigRate: 12,
+	}
+	a, err := c.Availability(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, err := f.Availability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != wantA {
+		t.Fatalf("Availability %v != %v", a, wantA)
+	}
+	b, err := c.Breakdown(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := f.Breakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != wantB {
+		t.Fatalf("Breakdown %+v != %+v", b, wantB)
+	}
+}
+
+// TestComposerInvalidFarm checks parameter validation still fires through
+// the memoized path and is not cached as a spurious success.
+func TestComposerInvalidFarm(t *testing.T) {
+	c := NewComposer()
+	if _, err := c.Unavailability(Farm{Servers: 0}); !errors.Is(err, ErrParam) {
+		t.Fatalf("invalid farm: %v", err)
+	}
+	repairs, losses := c.CacheSizes()
+	if repairs != 0 || losses != 0 {
+		t.Fatalf("invalid farm polluted caches: %d/%d", repairs, losses)
+	}
+}
+
+// TestComposerConcurrent hammers one composer from many goroutines over the
+// shared grid; run with -race to exercise the memo locking.
+func TestComposerConcurrent(t *testing.T) {
+	c := NewComposer()
+	farms := figureGridFarms(0.98)
+	want := make([]float64, len(farms))
+	for i, f := range farms {
+		u, err := f.Unavailability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = u
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range farms {
+				// Stagger start points so workers collide on fresh keys.
+				idx := (i + g*11) % len(farms)
+				u, err := c.Unavailability(farms[idx])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if u != want[idx] {
+					t.Errorf("farm %d: concurrent %v != %v", idx, u, want[idx])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -97,10 +97,19 @@ func (f Farm) Compose() (*perfavail.Model, error) {
 	if err := f.check(); err != nil {
 		return nil, err
 	}
-	var (
-		operational []float64
-		reconfig    []float64
-	)
+	operational, reconfig, err := f.structuralStates()
+	if err != nil {
+		return nil, err
+	}
+	return f.ComposeStates(operational, reconfig)
+}
+
+// structuralStates solves the farm's repair model (Figure 9 or 10 depending
+// on coverage) and returns the structural-state probabilities consumed by
+// ComposeStates. This is the expensive, queueing-independent half of the
+// composition: it depends only on (Servers, FailureRate, RepairRate,
+// Coverage, ReconfigRate), which is what Composer memoizes.
+func (f Farm) structuralStates() (operational, reconfig []float64, err error) {
 	if f.Coverage == 1 {
 		pc := repairmodel.PerfectCoverage{
 			Servers:     f.Servers,
@@ -109,27 +118,22 @@ func (f Farm) Compose() (*perfavail.Model, error) {
 		}
 		probs, err := pc.StateProbabilities()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		operational = probs
-		reconfig = make([]float64, f.Servers+1)
-	} else {
-		ic := repairmodel.ImperfectCoverage{
-			Servers:      f.Servers,
-			FailureRate:  f.FailureRate,
-			RepairRate:   f.RepairRate,
-			Coverage:     f.Coverage,
-			ReconfigRate: f.ReconfigRate,
-		}
-		probs, err := ic.StateProbabilities()
-		if err != nil {
-			return nil, err
-		}
-		operational = probs.Operational
-		reconfig = probs.Reconfig
+		return probs, make([]float64, f.Servers+1), nil
 	}
-
-	return f.ComposeStates(operational, reconfig)
+	ic := repairmodel.ImperfectCoverage{
+		Servers:      f.Servers,
+		FailureRate:  f.FailureRate,
+		RepairRate:   f.RepairRate,
+		Coverage:     f.Coverage,
+		ReconfigRate: f.ReconfigRate,
+	}
+	probs, err := ic.StateProbabilities()
+	if err != nil {
+		return nil, nil, err
+	}
+	return probs.Operational, probs.Reconfig, nil
 }
 
 // ComposeStates builds the composite model from externally supplied
@@ -139,6 +143,13 @@ func (f Farm) Compose() (*perfavail.Model, error) {
 // composing the queueing model with alternative repair policies — e.g. the
 // dedicated-repair and deferred-maintenance models of package repairmodel.
 func (f Farm) ComposeStates(operational, reconfig []float64) (*perfavail.Model, error) {
+	return f.composeStatesWith(operational, reconfig, f.lossProbability)
+}
+
+// composeStatesWith is ComposeStates with an injectable loss-probability
+// function, the hook through which Composer substitutes its memoized
+// queueing solutions. loss(i) must return p_K(i) for i operational servers.
+func (f Farm) composeStatesWith(operational, reconfig []float64, loss func(int) (float64, error)) (*perfavail.Model, error) {
 	if err := f.check(); err != nil {
 		return nil, err
 	}
@@ -158,7 +169,7 @@ func (f Farm) ComposeStates(operational, reconfig []float64) (*perfavail.Model, 
 		Success:     0,
 	})
 	for i := 1; i <= f.Servers; i++ {
-		pk, err := f.lossProbability(i)
+		pk, err := loss(i)
 		if err != nil {
 			return nil, err
 		}
