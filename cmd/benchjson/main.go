@@ -5,6 +5,12 @@
 // Usage:
 //
 //	benchjson -bench 'Figure1[12]Grid' -benchtime 100ms -packages . -out BENCH_baseline.json
+//	benchjson -bench 'Figure1[12]Grid' -compare BENCH_baseline.json
+//
+// With -compare the freshly measured results are checked against a committed
+// baseline: benchmarks matched by name, and any whose ns/op grew by more than
+// -threshold (default 0.25 = 25%) fail the run with a non-zero exit — the CI
+// regression gate.
 //
 // The tool shells out to the local go toolchain, parses the standard
 // benchmark output lines (name, iterations, ns/op and the -benchmem
@@ -21,6 +27,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -61,6 +68,8 @@ func run(args []string, stdout io.Writer) error {
 		benchtime = fs.String("benchtime", "100ms", "value passed to go test -benchtime")
 		packages  = fs.String("packages", ".", "comma-separated package patterns to benchmark")
 		out       = fs.String("out", "-", "output file (- for stdout)")
+		compare   = fs.String("compare", "", "baseline JSON to compare against; regressions fail the run")
+		threshold = fs.Float64("threshold", 0.25, "with -compare: allowed fractional ns/op growth before failing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +91,17 @@ func run(args []string, stdout io.Writer) error {
 	doc.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	doc.Benchtime = *benchtime
 	doc.Packages = pkgs
+	if *compare != "" {
+		baseRaw, err := os.ReadFile(*compare)
+		if err != nil {
+			return err
+		}
+		var base Document
+		if err := json.Unmarshal(baseRaw, &base); err != nil {
+			return fmt.Errorf("baseline %s: %w", *compare, err)
+		}
+		return Compare(stdout, &base, doc, *threshold)
+	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -92,6 +112,57 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	return os.WriteFile(*out, enc, 0o644)
+}
+
+// Compare matches fresh results against a baseline by benchmark name and
+// reports per-benchmark ns/op deltas. It returns an error — failing the run —
+// when any matched benchmark slowed down by more than threshold (fractional:
+// 0.25 allows up to +25%). Benchmarks present on only one side are reported
+// but never fail the gate, so adding or retiring a benchmark doesn't require
+// a baseline refresh in the same change.
+func Compare(w io.Writer, base, fresh *Document, threshold float64) error {
+	if threshold < 0 {
+		return fmt.Errorf("negative threshold %v", threshold)
+	}
+	baseByName := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+	var regressed []string
+	matched := 0
+	for _, r := range fresh.Results {
+		b, ok := baseByName[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s new benchmark (%.0f ns/op), no baseline\n", r.Name, r.NsPerOp)
+			continue
+		}
+		matched++
+		delete(baseByName, r.Name)
+		ratio := r.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if ratio > 1+threshold {
+			verdict = "REGRESSED"
+			regressed = append(regressed, r.Name)
+		}
+		fmt.Fprintf(w, "%-40s %10.0f -> %10.0f ns/op  %+6.1f%%  %s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, (ratio-1)*100, verdict)
+	}
+	leftover := make([]string, 0, len(baseByName))
+	for name := range baseByName {
+		leftover = append(leftover, name)
+	}
+	sort.Strings(leftover)
+	for _, name := range leftover {
+		fmt.Fprintf(w, "%-40s present in baseline only\n", name)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmark matched the baseline")
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %s",
+			len(regressed), threshold*100, strings.Join(regressed, ", "))
+	}
+	return nil
 }
 
 // Parse reads `go test -bench` output and collects benchmark lines and the

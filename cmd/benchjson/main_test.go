@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
@@ -59,5 +60,61 @@ func TestParseBenchLineMalformed(t *testing.T) {
 	// A malformed iteration count is a real error.
 	if _, _, err := parseBenchLine("BenchmarkFoo-4 xyz 123 ns/op"); err == nil {
 		t.Fatal("bad iteration count accepted")
+	}
+}
+
+func compareDocs(names []string, ns ...float64) *Document {
+	d := &Document{}
+	for i, n := range names {
+		d.Results = append(d.Results, Result{Name: n, Procs: 8, Iterations: 100, NsPerOp: ns[i]})
+	}
+	return d
+}
+
+func TestCompare(t *testing.T) {
+	base := compareDocs([]string{"BenchmarkA", "BenchmarkB", "BenchmarkGone"}, 1000, 2000, 500)
+
+	// Within threshold: +20% on A, -10% on B, one new, one gone.
+	fresh := compareDocs([]string{"BenchmarkA", "BenchmarkB", "BenchmarkNew"}, 1200, 1800, 50)
+	var sb strings.Builder
+	if err := Compare(&sb, base, fresh, 0.25); err != nil {
+		t.Fatalf("Compare within threshold: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"BenchmarkA", "+20.0%", "ok",
+		"BenchmarkNew", "no baseline",
+		"BenchmarkGone", "present in baseline only",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "REGRESSED") {
+		t.Errorf("no regression expected:\n%s", out)
+	}
+
+	// Past threshold: +30% on A fails the gate and names the benchmark.
+	fresh = compareDocs([]string{"BenchmarkA", "BenchmarkB"}, 1300, 2000)
+	sb.Reset()
+	err := Compare(&sb, base, fresh, 0.25)
+	if err == nil {
+		t.Fatalf("Compare accepted a 30%% regression:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkA") {
+		t.Errorf("error does not name the regression: %v", err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("output missing REGRESSED:\n%s", sb.String())
+	}
+
+	// No overlap at all is an error, not a silent pass.
+	fresh = compareDocs([]string{"BenchmarkOther"}, 10)
+	if err := Compare(io.Discard, base, fresh, 0.25); err == nil {
+		t.Error("Compare passed with zero matched benchmarks")
+	}
+
+	if err := Compare(io.Discard, base, base, -1); err == nil {
+		t.Error("negative threshold accepted")
 	}
 }

@@ -14,6 +14,14 @@
 //	loadtest -transport http          # dispatch visits over loopback HTTP
 //	loadtest -overload                # paced M/M/i/K buffer-loss sweep
 //	loadtest -smoke                   # CI gate: ≥100k visits, fail outside CI
+//	loadtest -serve 127.0.0.1:9464    # expose /metrics, /traces, /healthz, pprof
+//	loadtest -serve :9464 -hold 10m   # keep serving after the run completes
+//
+// With -serve the run carries a full observability plane: the testbed
+// registers its admission, call and fault-plane metrics, every visit is
+// exported as a four-level span tree, and a per-class streaming drift
+// detector compares the rolling-window measured availability against the
+// equation (10) prediction while the run is still in flight.
 package main
 
 import (
@@ -22,7 +30,9 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/queueing"
 	"repro/internal/report"
 	"repro/internal/resilience"
@@ -52,6 +62,79 @@ type config struct {
 	overload  bool
 	smoke     bool
 	keepSteps bool
+	serve     string
+	hold      time.Duration
+}
+
+// obsStack bundles the observability plane of a -serve run.
+type obsStack struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	server *obs.Server
+}
+
+// onServeStarted is a test hook invoked with the bound listen address.
+var onServeStarted func(addr string)
+
+// startObs brings up the observability endpoint and prints where it listens.
+func startObs(w io.Writer, addr string) (*obsStack, error) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(512)
+	srv := obs.NewServer(reg, tracer)
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "observability plane on http://%s (/metrics /traces /healthz /debug/pprof/)\n", bound)
+	if onServeStarted != nil {
+		onServeStarted(bound)
+	}
+	return &obsStack{reg: reg, tracer: tracer, server: srv}, nil
+}
+
+// attachObs wires one class's collector into the plane: visit spans and
+// ta_* metrics via the bridge, plus a streaming drift detector validating the
+// run against the analytic prediction. Returns nil without -serve.
+func attachObs(w io.Writer, stack *obsStack, col *telemetry.Collector, class travelagency.UserClass, predicted float64) (*obs.DriftDetector, error) {
+	if stack == nil {
+		return nil, nil
+	}
+	drift, err := obs.NewDriftDetector(obs.DriftConfig{
+		Predicted: predicted,
+		OnEvent:   func(ev obs.DriftEvent) { fmt.Fprintf(w, "[%v] %s\n", class, ev) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := drift.Register(stack.reg, "ta_drift", obs.Label{Key: "class", Value: class.String()}); err != nil {
+		return nil, err
+	}
+	bridge := obs.NewBridge(stack.reg, stack.tracer, drift)
+	col.SetOnRecord(bridge.OnVisit)
+	return drift, nil
+}
+
+// driftVerdict summarizes a detector for the closed-loop tables.
+func driftVerdict(drift *obs.DriftDetector) string {
+	st := drift.Status()
+	if st.WindowFill == 0 {
+		return "no observations"
+	}
+	state := "in band"
+	if st.Drifting {
+		state = "DRIFTING"
+	}
+	return fmt.Sprintf("%s — window %.5f ± %.5f, %d event(s)", state, st.Measured, st.HalfWidth, st.Events)
+}
+
+// holdServe keeps the observability endpoint alive after the run so scrapers
+// (CI, a browsing human) can read the final state.
+func holdServe(w io.Writer, stack *obsStack, hold time.Duration) {
+	if stack == nil || hold <= 0 {
+		return
+	}
+	fmt.Fprintf(w, "holding observability endpoint for %v\n", hold)
+	time.Sleep(hold)
 }
 
 func run(args []string, w io.Writer) error {
@@ -71,16 +154,28 @@ func run(args []string, w io.Writer) error {
 	fs.BoolVar(&cfg.overload, "overload", false, "run the paced web-tier overload sweep (Figure 11 knee)")
 	fs.BoolVar(&cfg.smoke, "smoke", false, "CI smoke: ≥100k visits across both classes, fail if analytic availability leaves the measured CI")
 	fs.BoolVar(&cfg.keepSteps, "steps", false, "retain per-step traces (latency quantile tables)")
+	fs.StringVar(&cfg.serve, "serve", "", "expose /metrics, /traces, /healthz and pprof on this address (empty = off)")
+	fs.DurationVar(&cfg.hold, "hold", 0, "with -serve: keep the endpoint alive this long after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var stack *obsStack
+	if cfg.serve != "" {
+		var err error
+		stack, err = startObs(w, cfg.serve)
+		if err != nil {
+			return err
+		}
+		defer stack.server.Close()
+	}
+
 	p := travelagency.DefaultParams()
 	if cfg.smoke {
-		return runSmoke(w, p, cfg)
+		return runSmoke(w, p, cfg, stack)
 	}
 	if cfg.overload {
-		return runOverload(w, p, cfg)
+		return runOverload(w, p, cfg, stack)
 	}
 
 	classes, err := parseClasses(cfg.class)
@@ -88,6 +183,9 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	opts := testbed.Options{Scale: cfg.scale}
+	if stack != nil {
+		opts.Metrics = stack.reg
+	}
 	switch cfg.transport {
 	case "direct":
 		opts.Transport = testbed.Direct
@@ -116,10 +214,11 @@ func run(args []string, w io.Writer) error {
 	defer cluster.Close()
 
 	for _, class := range classes {
-		if err := runClass(w, cluster, p, class, cfg); err != nil {
+		if err := runClass(w, cluster, p, class, cfg, stack); err != nil {
 			return err
 		}
 	}
+	holdServe(w, stack, cfg.hold)
 	return nil
 }
 
@@ -138,8 +237,16 @@ func parseClasses(s string) ([]travelagency.UserClass, error) {
 
 // runClass loads one user class and prints the measurement next to the
 // analytic prediction.
-func runClass(w io.Writer, cluster *testbed.Cluster, p travelagency.Params, class travelagency.UserClass, cfg config) error {
+func runClass(w io.Writer, cluster *testbed.Cluster, p travelagency.Params, class travelagency.UserClass, cfg config, stack *obsStack) error {
+	analytic, err := travelagency.Evaluate(p, class)
+	if err != nil {
+		return err
+	}
 	col := telemetry.NewCollector(32)
+	drift, err := attachObs(w, stack, col, class, analytic.UserAvailability)
+	if err != nil {
+		return err
+	}
 	gen := testbed.LoadGen{
 		Cluster:   cluster,
 		Class:     class,
@@ -153,10 +260,6 @@ func runClass(w io.Writer, cluster *testbed.Cluster, p travelagency.Params, clas
 		return err
 	}
 	s, err := col.Summary()
-	if err != nil {
-		return err
-	}
-	analytic, err := travelagency.Evaluate(p, class)
 	if err != nil {
 		return err
 	}
@@ -179,6 +282,9 @@ func runClass(w io.Writer, cluster *testbed.Cluster, p travelagency.Params, clas
 		t.MustAddRow("closed-loop verdict", verdict)
 	} else {
 		t.MustAddRow("closed-loop verdict", "n/a (campaign faults need not match steady state)")
+	}
+	if drift != nil {
+		t.MustAddRow("live drift detector", driftVerdict(drift))
 	}
 	t.MustAddRow("mean visit duration", fmt.Sprintf("%s s", report.Fixed(s.MeanVisitDuration, 4)))
 	if err := t.Render(w); err != nil {
@@ -256,12 +362,16 @@ func runClass(w io.Writer, cluster *testbed.Cluster, p travelagency.Params, clas
 
 // runOverload paces the cluster and sweeps the web tier past the M/M/i/K
 // knee, comparing measured buffer-loss fractions against equation (3).
-func runOverload(w io.Writer, p travelagency.Params, cfg config) error {
+func runOverload(w io.Writer, p travelagency.Params, cfg config, stack *obsStack) error {
 	scale := cfg.scale
 	if scale <= 0 {
 		scale = 0.1
 	}
-	cluster, err := testbed.New(p, testbed.Options{Scale: scale})
+	opts := testbed.Options{Scale: scale}
+	if stack != nil {
+		opts.Metrics = stack.reg
+	}
+	cluster, err := testbed.New(p, opts)
 	if err != nil {
 		return err
 	}
@@ -293,15 +403,23 @@ func runOverload(w io.Writer, p travelagency.Params, cfg config) error {
 			report.Fixed(loss, 4),
 			report.Fixed(pk, 4))
 	}
-	return t.Render(w)
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	holdServe(w, stack, cfg.hold)
+	return nil
 }
 
 // runSmoke is the CI gate: a deterministic unpaced run of ≥100k visits
 // across both classes whose measured availability must bracket the analytic
 // prediction.
-func runSmoke(w io.Writer, p travelagency.Params, cfg config) error {
+func runSmoke(w io.Writer, p travelagency.Params, cfg config, stack *obsStack) error {
 	const visitsPerClass = 55000
-	cluster, err := testbed.New(p, testbed.Options{})
+	opts := testbed.Options{}
+	if stack != nil {
+		opts.Metrics = stack.reg
+	}
+	cluster, err := testbed.New(p, opts)
 	if err != nil {
 		return err
 	}
@@ -318,6 +436,9 @@ func runSmoke(w io.Writer, p travelagency.Params, cfg config) error {
 			return err
 		}
 		col := telemetry.NewCollector(0)
+		if _, err := attachObs(w, stack, col, class, analytic.UserAvailability); err != nil {
+			return err
+		}
 		gen := testbed.LoadGen{
 			Cluster: cluster, Class: class,
 			Visits: visitsPerClass, Workers: cfg.workers, Seed: cfg.seed,
@@ -351,5 +472,6 @@ func runSmoke(w io.Writer, p travelagency.Params, cfg config) error {
 	if failed {
 		return fmt.Errorf("closed-loop smoke failed: analytic availability outside the measured 95%% CI")
 	}
+	holdServe(w, stack, cfg.hold)
 	return nil
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func runCapture(t *testing.T, args ...string) string {
@@ -99,5 +102,88 @@ func TestSmokeRun(t *testing.T) {
 	}
 	if strings.Contains(out, "OUTSIDE CI") {
 		t.Errorf("smoke verdict OUTSIDE CI:\n%s", out)
+	}
+}
+
+// TestServeRun brings up the observability endpoint with -serve, scrapes
+// /metrics and /traces while the run holds, and checks the drift verdict in
+// the printed report.
+func TestServeRun(t *testing.T) {
+	addrCh := make(chan string, 1)
+	onServeStarted = func(a string) { addrCh <- a }
+	defer func() { onServeStarted = nil }()
+
+	var sb strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-visits", "4000", "-class", "a",
+			"-serve", "127.0.0.1:0", "-hold", "4s",
+		}, &sb)
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run finished before serving: %v\noutput:\n%s", err, sb.String())
+	}
+
+	// Poll /metrics until the run's series appear (the hold keeps the
+	// endpoint alive after the visits finish).
+	deadline := time.Now().Add(10 * time.Second)
+	var metrics string
+	for {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil {
+				metrics = string(body)
+				if strings.Contains(metrics, `ta_visits_total{class="class A"} 4000`) {
+					break
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics never converged:\n%s", metrics)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, want := range []string{
+		"# TYPE ta_visit_duration_seconds histogram",
+		"testbed_fault_snapshots_total 4000",
+		`ta_drift_predicted_availability{class="class A"}`,
+		"obs_uptime_seconds",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	resp, err := http.Get("http://" + addr + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(traces), `"level":"visit"`) {
+		t.Errorf("/traces missing visit spans:\n%.500s", traces)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"observability plane on http://",
+		"live drift detector",
+		"in band",
+		"holding observability endpoint",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DRIFTING") {
+		t.Errorf("healthy baseline reported drift:\n%s", out)
 	}
 }

@@ -19,6 +19,10 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+
+	"repro/internal/ctmc"
+	"repro/internal/report"
+	"repro/internal/sweep"
 )
 
 // workerCount is the parallelism used by the grid-shaped experiments
@@ -27,6 +31,46 @@ import (
 // by the sweep engine, so the rendered output is byte-identical for any
 // worker count.
 var workerCount = runtime.GOMAXPROCS(0)
+
+// sweepStats collects pool progress and per-worker utilization for the
+// grid-shaped experiments when -metrics is set; nil keeps the zero-cost
+// default path.
+var sweepStats *sweep.RunStats
+
+// sweepOptions builds the options grid experiments hand to the sweep engine.
+func sweepOptions() sweep.Options {
+	return sweep.Options{Workers: workerCount, Stats: sweepStats}
+}
+
+// printMetrics dumps the compiled-kernel counters and the last sweep's pool
+// utilization. The values depend on scheduling and workspace reuse, so this
+// output is diagnostic only and deliberately kept out of the golden files.
+func printMetrics(w io.Writer) error {
+	ks := ctmc.ReadKernelStats()
+	t := report.NewTable("Solver-kernel counters (cumulative, scheduling-dependent)",
+		"counter", "value")
+	t.MustAddRow("ctmc steady-state solves (GTH)", fmt.Sprintf("%d", ks.SteadySolves))
+	t.MustAddRow("ctmc steady-state solves (LU)", fmt.Sprintf("%d", ks.LUSolves))
+	t.MustAddRow("ctmc transient solves", fmt.Sprintf("%d", ks.TransientSolves))
+	t.MustAddRow("uniformization steps", fmt.Sprintf("%d", ks.UniformizationSteps))
+	t.MustAddRow("poisson-weight cache hits", fmt.Sprintf("%d", ks.PoissonCacheHits))
+	t.MustAddRow("poisson-weight cache misses", fmt.Sprintf("%d", ks.PoissonCacheMisses))
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if sweepStats == nil || sweepStats.Total() == 0 {
+		return nil
+	}
+	st := report.NewTable("Sweep pool, last grid run", "metric", "value")
+	st.MustAddRow("points", fmt.Sprintf("%d", sweepStats.Total()))
+	st.MustAddRow("completed", fmt.Sprintf("%d", sweepStats.Completed()))
+	st.MustAddRow("workers", fmt.Sprintf("%d", sweepStats.Workers()))
+	st.MustAddRow("total busy", sweepStats.TotalBusy().String())
+	for i := 0; i < sweepStats.Workers(); i++ {
+		st.MustAddRow(fmt.Sprintf("  worker %d busy", i), sweepStats.BusyTime(i).String())
+	}
+	return st.Render(w)
+}
 
 // experiment is one reproducible artifact.
 type experiment struct {
@@ -87,12 +131,18 @@ func run(args []string, w io.Writer) error {
 		list    = fs.Bool("list", false, "list experiments and exit")
 		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for grid experiments (≤0 = all cores)")
+		metrics = fs.Bool("metrics", false, "print solver-kernel and sweep-pool counters after the run (diagnostic, nondeterministic)")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	workerCount = *workers
+	if *metrics {
+		sweepStats = &sweep.RunStats{}
+	} else {
+		sweepStats = nil
+	}
 	exps := experiments()
 	if *list {
 		sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
@@ -109,11 +159,20 @@ func run(args []string, w io.Writer) error {
 			}
 			fmt.Fprintln(w)
 		}
+		if *metrics {
+			return printMetrics(w)
+		}
 		return nil
 	}
 	for _, e := range exps {
 		if e.name == *name {
-			return e.run(w, *csv)
+			if err := e.run(w, *csv); err != nil {
+				return err
+			}
+			if *metrics {
+				return printMetrics(w)
+			}
+			return nil
 		}
 	}
 	known := make([]string, len(exps))

@@ -187,3 +187,33 @@ func TestThirdWaveExperiments(t *testing.T) {
 		}
 	}
 }
+
+// TestMetricsFlag checks the -metrics diagnostic dump: kernel counters after
+// a CTMC-driven experiment, pool utilization after a grid experiment, and the
+// deterministic composer cache line in the figure output.
+func TestMetricsFlag(t *testing.T) {
+	out := runCapture(t, "-experiment", "figure12", "-workers", "2", "-metrics")
+	for _, want := range []string{
+		"composer caches over the 90-cell grid: repair 60 hits / 30 misses, loss 465 hits / 30 misses",
+		"Solver-kernel counters",
+		"Sweep pool, last grid run",
+		"points           90",
+		"workers          2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Kernel counters are cumulative across the process (other tests may have
+	// already run compiled solves), so only assert the counter is nonzero.
+	out = runCapture(t, "-experiment", "validate-ws", "-metrics")
+	if strings.Contains(out, "ctmc steady-state solves (GTH)  0\n") {
+		t.Errorf("validate-ws left the GTH counter at zero:\n%s", out)
+	}
+	// Without -metrics the diagnostic tables stay out of the output.
+	out = runCapture(t, "-experiment", "figure12", "-workers", "2")
+	if strings.Contains(out, "Solver-kernel counters") || strings.Contains(out, "Sweep pool") {
+		t.Errorf("metrics printed without -metrics:\n%s", out)
+	}
+}

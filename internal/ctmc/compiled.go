@@ -4,9 +4,55 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/linalg"
 )
+
+// kernelCounters aggregates solver activity across every Compiled chain in
+// the process: how many solves each kernel ran, how many matrix-vector
+// products uniformization performed, and how often the cached Poisson terms
+// were reused. The counters are atomic (one add per solve — negligible next
+// to the solve itself) and exported through ReadKernelStats for
+// `cmd/taeval -metrics` and the /metrics endpoint of internal/obs.
+var kernelCounters struct {
+	steadySolves    atomic.Int64
+	luSolves        atomic.Int64
+	transientSolves atomic.Int64
+	uniformSteps    atomic.Int64
+	poissonHits     atomic.Int64
+	poissonMisses   atomic.Int64
+}
+
+// KernelStats is a snapshot of the process-wide compiled-kernel counters.
+type KernelStats struct {
+	// SteadySolves counts GTH steady-state solves; LUSolves counts the
+	// reusable-buffer LU cross-check path; TransientSolves counts
+	// uniformization runs.
+	SteadySolves    int64
+	LUSolves        int64
+	TransientSolves int64
+	// UniformizationSteps counts sparse matrix-vector products across all
+	// transient solves (the series length summed over solves).
+	UniformizationSteps int64
+	// PoissonCacheHits/Misses count reuse of the cached Poisson terms for a
+	// repeated (rate·t, tolerance) pair. Hit rates depend on how workspaces
+	// are pooled across goroutines, so they are diagnostics, not invariants.
+	PoissonCacheHits   int64
+	PoissonCacheMisses int64
+}
+
+// ReadKernelStats returns the current process-wide kernel counters.
+func ReadKernelStats() KernelStats {
+	return KernelStats{
+		SteadySolves:        kernelCounters.steadySolves.Load(),
+		LUSolves:            kernelCounters.luSolves.Load(),
+		TransientSolves:     kernelCounters.transientSolves.Load(),
+		UniformizationSteps: kernelCounters.uniformSteps.Load(),
+		PoissonCacheHits:    kernelCounters.poissonHits.Load(),
+		PoissonCacheMisses:  kernelCounters.poissonMisses.Load(),
+	}
+}
 
 // Compiled is a frozen, solver-ready snapshot of a Chain: integer states, a
 // flat CSR (compressed sparse row) generator with deterministically sorted
@@ -199,6 +245,7 @@ func (cc *Compiled) SteadyState() (Distribution, error) {
 // from the result vector, the solve is allocation-free in steady state: the
 // dense elimination scratch lives in a pooled workspace.
 func (cc *Compiled) SteadyStateInto(dst []float64) ([]float64, error) {
+	kernelCounters.steadySolves.Add(1)
 	n := len(cc.names)
 	if n == 1 {
 		dst = resize(dst, 1)
@@ -287,6 +334,7 @@ func (cc *Compiled) SteadyStateLU() (Distribution, error) {
 }
 
 func (cc *Compiled) steadyStateLUInto(dst []float64) ([]float64, error) {
+	kernelCounters.luSolves.Add(1)
 	n := len(cc.names)
 	if !cc.irreducible {
 		return nil, ErrNotIrreducible
@@ -347,8 +395,10 @@ func (cc *Compiled) steadyStateLUInto(dst []float64) ([]float64, error) {
 // same (lt, tol) recurs.
 func (ws *compiledWorkspace) poissonTerms(lt, tol float64) ([]float64, float64) {
 	if ws.lt == lt && ws.tol == tol && len(ws.weights) > 0 {
+		kernelCounters.poissonHits.Add(1)
 		return ws.weights, ws.wsum
 	}
+	kernelCounters.poissonMisses.Add(1)
 	kMax := int(lt + 12*math.Sqrt(lt) + 40)
 	ws.weights = ws.weights[:0]
 	logW := -lt
@@ -412,6 +462,7 @@ func (cc *Compiled) TransientInto(p0 []float64, t, tol float64, dst []float64) (
 	if tol <= 0 {
 		tol = 1e-12
 	}
+	kernelCounters.transientSolves.Add(1)
 	acc := resize(dst, n)
 	if t == 0 || cc.maxExit == 0 {
 		copy(acc, p0)
@@ -425,6 +476,7 @@ func (cc *Compiled) TransientInto(p0 []float64, t, tol float64, dst []float64) (
 	ws.vec[1] = resize(ws.vec[1], n)
 
 	weights, sumW := ws.poissonTerms(lambda*t, tol)
+	kernelCounters.uniformSteps.Add(int64(len(weights) - 1))
 
 	// Accumulate Σ_k w_k · (p0·P^k) with P = I + Q/λ applied sparsely.
 	v := ws.vec[0]

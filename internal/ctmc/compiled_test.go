@@ -372,3 +372,48 @@ func TestCompiledBufferReuse(t *testing.T) {
 		t.Error("second solve did not reuse the buffer")
 	}
 }
+
+// TestKernelStats checks that the package-level solver counters advance when
+// compiled kernels run. Counters are cumulative across the process, so the
+// test asserts on deltas.
+func TestKernelStats(t *testing.T) {
+	chain := figure10Chain(t, 4, 1e-4, 1, 0.98, 12)
+	cc, err := chain.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ReadKernelStats()
+	if _, err := cc.SteadyState(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.SteadyStateLU(); err != nil {
+		t.Fatal(err)
+	}
+	init := Distribution{"4": 1}
+	if _, err := cc.Transient(init, 10, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// Same (lambda*t, tol): the Poisson weights are reused from the workspace.
+	if _, err := cc.Transient(init, 10, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	after := ReadKernelStats()
+	if d := after.SteadySolves - before.SteadySolves; d < 1 {
+		t.Errorf("steady solves advanced by %d, want >= 1", d)
+	}
+	if d := after.LUSolves - before.LUSolves; d < 1 {
+		t.Errorf("LU solves advanced by %d, want >= 1", d)
+	}
+	if d := after.TransientSolves - before.TransientSolves; d < 2 {
+		t.Errorf("transient solves advanced by %d, want >= 2", d)
+	}
+	if d := after.UniformizationSteps - before.UniformizationSteps; d < 1 {
+		t.Errorf("uniformization steps advanced by %d, want >= 1", d)
+	}
+	if d := after.PoissonCacheMisses - before.PoissonCacheMisses; d < 1 {
+		t.Errorf("poisson misses advanced by %d, want >= 1", d)
+	}
+	if d := after.PoissonCacheHits - before.PoissonCacheHits; d < 1 {
+		t.Errorf("poisson hits advanced by %d, want >= 1", d)
+	}
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"repro/internal/telemetry"
+)
+
+// Bridge fans one telemetry visit stream out to the observability plane:
+// metrics registry series, hierarchical spans and the drift detector. Install
+// it with telemetry.Collector.SetOnRecord(bridge.OnVisit); every component is
+// optional (nil skips that sink). OnVisit is safe for concurrent use.
+type Bridge struct {
+	reg    *Registry
+	tracer *Tracer
+	drift  *DriftDetector
+
+	visitDuration *Histogram
+}
+
+// NewBridge wires a bridge over the given sinks.
+func NewBridge(reg *Registry, tracer *Tracer, drift *DriftDetector) *Bridge {
+	b := &Bridge{reg: reg, tracer: tracer, drift: drift}
+	if reg != nil {
+		// 1 ms to ~17 model minutes, matching the collector's step layout.
+		b.visitDuration = reg.MustHistogram("ta_visit_duration_seconds",
+			"visit virtual wall-clock length, model seconds", 1e-3, 2, 22)
+	}
+	return b
+}
+
+// OnVisit folds one finished visit into every configured sink.
+func (b *Bridge) OnVisit(tr telemetry.VisitTrace) {
+	if b.reg != nil {
+		b.recordMetrics(tr)
+	}
+	if b.tracer != nil {
+		b.tracer.Record(VisitSpans(tr))
+	}
+	if b.drift != nil {
+		b.drift.Observe(tr.OK)
+	}
+}
+
+func (b *Bridge) recordMetrics(tr telemetry.VisitTrace) {
+	class := Label{Key: "class", Value: tr.Class}
+	b.reg.MustCounter("ta_visits_total", "completed user visits", class).Inc()
+	if !tr.OK {
+		b.reg.MustCounter("ta_visit_failures_total",
+			"failed visits by first cause", class,
+			Label{Key: "cause", Value: string(tr.Cause)}).Inc()
+		if tr.Cause == telemetry.CauseResourceDown && tr.FailedService != "" {
+			b.reg.MustCounter("ta_visit_resource_down_total",
+				"structural visit failures by failed service", class,
+				Label{Key: "service", Value: tr.FailedService}).Inc()
+		}
+	}
+	b.visitDuration.Observe(tr.Duration)
+	for _, fn := range tr.Functions {
+		fl := Label{Key: "function", Value: fn.Function}
+		b.reg.MustCounter("ta_function_invocations_total",
+			"function invocations across all visits", fl).Inc()
+		if !fn.OK {
+			b.reg.MustCounter("ta_function_failures_total",
+				"failed function invocations", fl).Inc()
+		}
+		h := b.reg.MustHistogram("ta_step_latency_seconds",
+			"executed diagram-step latency, model seconds", 1e-3, 2, 22, fl)
+		for _, st := range fn.Steps {
+			h.Observe(st.Latency)
+		}
+		if len(fn.Steps) == 0 {
+			// Step tracing disabled: one observation per function, mirroring
+			// the collector's fallback.
+			h.Observe(fn.Duration)
+		}
+	}
+}
+
+// VisitSpans converts one telemetry visit trace into the four-level span
+// hierarchy: a visit root span, one function span per invocation, one step
+// span per executed diagram step and one resource span per service call
+// within each step. When the load generator ran without per-step tracing, the
+// tree stops at the function level.
+func VisitSpans(tr telemetry.VisitTrace) Trace {
+	out := Trace{Spans: make([]Span, 0, 1+2*len(tr.Functions))}
+	id := 0
+	add := func(sp Span) int {
+		id++
+		sp.Trace = tr.ID
+		sp.ID = id
+		out.Spans = append(out.Spans, sp)
+		return id
+	}
+	root := add(Span{
+		Parent:   0,
+		Level:    LevelVisit,
+		Name:     tr.Scenario,
+		Start:    tr.Start,
+		Duration: tr.Duration,
+		OK:       tr.OK,
+		Cause:    string(tr.Cause),
+		Attrs:    visitAttrs(tr),
+	})
+	at := tr.Start
+	for _, fn := range tr.Functions {
+		fnID := add(Span{
+			Parent:   root,
+			Level:    LevelFunction,
+			Name:     fn.Function,
+			Start:    at,
+			Duration: fn.Duration,
+			OK:       fn.OK,
+			Cause:    string(fn.Cause),
+		})
+		at += fn.Duration
+		for _, st := range fn.Steps {
+			stID := add(Span{
+				Parent:   fnID,
+				Level:    LevelStep,
+				Name:     st.Step,
+				Start:    st.At,
+				Duration: st.Latency,
+				OK:       st.OK,
+				Cause:    string(st.Cause),
+			})
+			for _, svc := range st.Services {
+				ok := !(svc == st.FailedService && !st.OK)
+				sp := Span{
+					Parent: stID,
+					Level:  LevelResource,
+					Name:   svc,
+					Start:  st.At,
+					// Per-call latencies are not retained (the step records
+					// the max over its parallel fan-out), so every resource
+					// span inherits the step latency.
+					Duration: st.Latency,
+					OK:       ok,
+				}
+				if !ok {
+					sp.Cause = string(st.Cause)
+				}
+				add(sp)
+			}
+		}
+	}
+	return out
+}
+
+func visitAttrs(tr telemetry.VisitTrace) map[string]string {
+	attrs := map[string]string{}
+	if tr.Class != "" {
+		attrs["class"] = tr.Class
+	}
+	if tr.FailedService != "" {
+		attrs["failed_service"] = tr.FailedService
+	}
+	if len(attrs) == 0 {
+		return nil
+	}
+	return attrs
+}

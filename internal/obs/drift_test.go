@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// feedBernoulli streams n seeded Bernoulli(p) outcomes into the detector.
+func feedBernoulli(d *DriftDetector, p float64, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		d.Observe(rng.Float64() < p)
+	}
+}
+
+// TestDriftHealthyBaseline streams outcomes whose true availability equals
+// the prediction: the detector must stay quiet for the whole run.
+func TestDriftHealthyBaseline(t *testing.T) {
+	d, err := NewDriftDetector(DriftConfig{Predicted: 0.98, Window: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedBernoulli(d, 0.98, 120000, 7)
+	st := d.Status()
+	if st.Drifting || st.Events != 0 {
+		t.Errorf("healthy baseline drifted: %+v, events %v", st, d.Events())
+	}
+	if st.Observations != 120000 {
+		t.Errorf("observations = %d", st.Observations)
+	}
+	if !(st.Measured > 0.96 && st.Measured < 1.0) {
+		t.Errorf("measured = %v, want ≈0.98", st.Measured)
+	}
+}
+
+// TestDriftFiresOnGap injects a deliberate model-vs-measurement gap: the
+// stream runs at 0.98 but the model predicts 0.90, far outside any honest
+// confidence band. The detector must raise exactly one drift event.
+func TestDriftFiresOnGap(t *testing.T) {
+	var fired []DriftEvent
+	d, err := NewDriftDetector(DriftConfig{
+		Predicted: 0.90,
+		Window:    1000,
+		OnEvent:   func(e DriftEvent) { fired = append(fired, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedBernoulli(d, 0.98, 20000, 11)
+	st := d.Status()
+	if !st.Drifting {
+		t.Fatalf("gap not detected: %+v", st)
+	}
+	if len(fired) != 1 || !fired[0].Drifting {
+		t.Fatalf("OnEvent calls = %+v, want one raised event", fired)
+	}
+	ev := fired[0]
+	if ev.Predicted != 0.90 {
+		t.Errorf("event predicted = %v", ev.Predicted)
+	}
+	if ev.Measured-ev.HalfWidth <= ev.Predicted {
+		t.Errorf("event fired while CI still bracketed: %+v", ev)
+	}
+	if !strings.Contains(ev.String(), "drift raised") {
+		t.Errorf("event string = %q", ev.String())
+	}
+}
+
+// TestDriftRecovers drives the stream out of and back into agreement and
+// expects a raise followed by a clear.
+func TestDriftRecovers(t *testing.T) {
+	d, err := NewDriftDetector(DriftConfig{Predicted: 0.95, Window: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedBernoulli(d, 0.70, 5000, 3) // far below prediction: raise
+	if st := d.Status(); !st.Drifting {
+		t.Fatalf("no drift on 0.70 vs 0.95: %+v", st)
+	}
+	feedBernoulli(d, 0.95, 5000, 5) // back to the model: clear
+	st := d.Status()
+	if st.Drifting {
+		t.Fatalf("drift did not clear: %+v", st)
+	}
+	evs := d.Events()
+	if len(evs) != 2 || !evs[0].Drifting || evs[1].Drifting {
+		t.Errorf("events = %+v, want raise then clear", evs)
+	}
+}
+
+func TestDriftConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]DriftConfig{
+		"negative prediction": {Predicted: -0.1},
+		"prediction above 1":  {Predicted: 1.1},
+		"min above window":    {Predicted: 0.9, Window: 10, MinSamples: 20},
+		"negative z":          {Predicted: 0.9, Z: -1},
+	} {
+		if _, err := NewDriftDetector(cfg); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+	}
+}
+
+// TestDriftRegister exports the detector through a registry and checks the
+// rendered gauges.
+func TestDriftRegister(t *testing.T) {
+	d, err := NewDriftDetector(DriftConfig{Predicted: 0.9, Window: 100, MinSamples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	if err := d.Register(r, "ta_drift", Label{Key: "class", Value: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	feedBernoulli(d, 0.9, 200, 1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`ta_drift_predicted_availability{class="a"} 0.9`,
+		`ta_drift_state{class="a"} 0`,
+		`ta_drift_events_total{class="a"} 0`,
+		`ta_drift_measured_availability{class="a"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDriftConcurrent exercises Observe/Status under the race detector.
+func TestDriftConcurrent(t *testing.T) {
+	d, err := NewDriftDetector(DriftConfig{Predicted: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			feedBernoulli(d, 0.95, 2000, seed)
+		}(int64(w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			d.Status()
+		}
+	}()
+	wg.Wait()
+	if got := d.Status().Observations; got != 8000 {
+		t.Errorf("observations = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server exposes an observability plane over HTTP:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/traces        retained spans as JSON lines (one span per line)
+//	/healthz       liveness probe ("ok", 200)
+//	/debug/pprof/  the standard net/http/pprof profiling endpoints
+//
+// The tracer is optional; without one, /traces serves an empty body.
+type Server struct {
+	reg    *Registry
+	tracer *Tracer
+
+	mu    sync.Mutex
+	srv   *http.Server
+	ln    net.Listener
+	start time.Time
+}
+
+// NewServer builds a server over the given registry and (optional) tracer.
+func NewServer(reg *Registry, tracer *Tracer) *Server {
+	return &Server{reg: reg, tracer: tracer}
+}
+
+// Handler returns the server's route table, usable directly in tests via
+// httptest without opening a real listener.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.reg.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is abort the body.
+			return
+		}
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if s.tracer != nil {
+			_ = s.tracer.WriteJSONL(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr (e.g. "127.0.0.1:9464", or ":0" for an ephemeral
+// port) and serves in a background goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return "", fmt.Errorf("obs: server already started on %s", s.ln.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.start = time.Now()
+	s.srv = &http.Server{Handler: s.Handler()}
+	if err := s.reg.GaugeFunc("obs_uptime_seconds",
+		"seconds since the observability server started",
+		func() float64 { return time.Since(s.start).Seconds() }); err != nil {
+		ln.Close()
+		s.ln = nil
+		return "", err
+	}
+	if s.tracer != nil {
+		if err := s.reg.CounterFunc("obs_traces_recorded_total",
+			"span traces recorded into the ring (retained or evicted)",
+			s.tracer.Recorded); err != nil {
+			ln.Close()
+			s.ln = nil
+			return "", err
+		}
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener. Safe to call multiple times.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.srv == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	s.srv = nil
+	s.ln = nil
+	return err
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustCounter("demo_total", "a demo counter").Add(7)
+	tracer := NewTracer(4)
+	tracer.Record(spanTrace(9, "visit"))
+	srv := NewServer(reg, tracer)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+
+	code, body, ctype := get(t, base+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	_ = ctype
+
+	code, body, ctype = get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	for _, want := range []string{
+		"demo_total 7",
+		"# TYPE obs_uptime_seconds gauge",
+		"obs_traces_recorded_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body, ctype = get(t, base+"/traces")
+	if code != http.StatusOK || !strings.Contains(body, `"level":"visit"`) {
+		t.Errorf("/traces = %d %q", code, body)
+	}
+	if ctype != "application/x-ndjson" {
+		t.Errorf("/traces content type %q", ctype)
+	}
+
+	code, body, _ = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+
+	if _, err := srv.Start("127.0.0.1:0"); err == nil {
+		t.Error("second Start succeeded")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer(NewRegistry(), nil)
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close before Start: %v", err)
+	}
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("first Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Level places a span on the paper's four-level modeling hierarchy.
+type Level string
+
+const (
+	// LevelVisit is a complete user visit (the user level of equation (10)).
+	LevelVisit Level = "visit"
+	// LevelFunction is one function invocation (Home, Browse, Search, Book,
+	// Pay — the function level of Table 6).
+	LevelFunction Level = "function"
+	// LevelStep is one executed interaction-diagram step (the service level
+	// of Figures 3–6).
+	LevelStep Level = "step"
+	// LevelResource is one service call within a step, resolved against the
+	// tier resources that implement it (the resource level of Figures 7–8).
+	LevelResource Level = "resource"
+)
+
+// Span is one timed, hierarchical unit of work. Instants and durations are in
+// model seconds on the fault-plane clock, mirroring the virtual time base of
+// the telemetry traces.
+type Span struct {
+	// Trace groups all spans of one visit; for testbed visits it is the
+	// visit ID.
+	Trace uint64 `json:"trace"`
+	// ID is the span's identifier within its trace (1-based, breadth of the
+	// walk); Parent is 0 for the root span.
+	ID     int     `json:"id"`
+	Parent int     `json:"parent,omitempty"`
+	Level  Level   `json:"level"`
+	Name   string  `json:"name"`
+	Start  float64 `json:"start"`
+	// Duration is the span's length in model seconds.
+	Duration float64 `json:"duration"`
+	OK       bool    `json:"ok"`
+	Cause    string  `json:"cause,omitempty"`
+	// Attrs carries small string annotations (user class, scenario, failed
+	// service).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Trace is one visit's complete span tree, stored flat with parent links.
+type Trace struct {
+	Spans []Span
+}
+
+// Tracer retains the most recent traces in a bounded in-memory ring and
+// exports them as JSON lines (one span per line). All methods are safe for
+// concurrent use.
+type Tracer struct {
+	mu       sync.Mutex
+	capacity int
+	ring     []Trace
+	next     int
+	wrapped  bool
+	recorded int64
+}
+
+// NewTracer creates a tracer that keeps the last capacity traces (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{capacity: capacity, ring: make([]Trace, 0, capacity)}
+}
+
+// Record adds one trace, evicting the oldest when the ring is full. Empty
+// traces are ignored.
+func (t *Tracer) Record(tr Trace) {
+	if len(tr.Spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recorded++
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, tr)
+	} else {
+		t.ring[t.next] = tr
+		t.wrapped = true
+	}
+	t.next = (t.next + 1) % t.capacity
+}
+
+// Recorded returns the total number of traces ever recorded (retained or
+// evicted) — the counter exported as obs_traces_recorded_total.
+func (t *Tracer) Recorded() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.recorded
+}
+
+// Traces returns the retained traces, oldest first.
+func (t *Tracer) Traces() []Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Trace, 0, len(t.ring))
+	if t.wrapped {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// WriteJSONL writes every retained span as one JSON object per line, traces
+// oldest first, spans in tree order within each trace.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, tr := range t.Traces() {
+		for _, sp := range tr.Spans {
+			if err := enc.Encode(sp); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

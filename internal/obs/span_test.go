@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func spanTrace(id uint64, name string) Trace {
+	return Trace{Spans: []Span{{Trace: id, ID: 1, Level: LevelVisit, Name: name, OK: true}}}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(3)
+	for i := uint64(0); i < 5; i++ {
+		tr.Record(spanTrace(i, "v"))
+	}
+	tr.Record(Trace{}) // empty: ignored
+	got := tr.Traces()
+	if len(got) != 3 {
+		t.Fatalf("kept %d traces, want 3", len(got))
+	}
+	for i, g := range got {
+		if want := uint64(2 + i); g.Spans[0].Trace != want {
+			t.Errorf("trace[%d] = %d, want %d (oldest first)", i, g.Spans[0].Trace, want)
+		}
+	}
+	if tr.Recorded() != 5 {
+		t.Errorf("recorded = %d, want 5", tr.Recorded())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(spanTrace(1, "scenario-1"))
+	tr.Record(spanTrace(2, "scenario-2"))
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var lines int
+	for sc.Scan() {
+		var sp Span
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("line %d does not parse: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("wrote %d lines, want 2", lines)
+	}
+}
+
+// TestVisitSpans converts a two-function telemetry trace (one with steps) and
+// checks the four-level hierarchy, parent links and failure propagation.
+func TestVisitSpans(t *testing.T) {
+	vt := telemetry.VisitTrace{
+		ID: 42, Class: "class A", Scenario: "3: St-Se-Bo-Ex",
+		Start: 10, Duration: 0.5, OK: false,
+		Cause: telemetry.CauseResourceDown, FailedService: "DS",
+		Functions: []telemetry.FunctionTrace{
+			{Function: "Home", OK: true, Duration: 0.2},
+			{
+				Function: "Search", OK: false, Duration: 0.3,
+				Cause: telemetry.CauseResourceDown, FailedService: "DS",
+				Steps: []telemetry.StepTrace{{
+					Function: "Search", Step: "q2", Services: []string{"AS", "DS"},
+					At: 10.2, Latency: 0.3, OK: false,
+					Cause: telemetry.CauseResourceDown, FailedService: "DS",
+				}},
+			},
+		},
+	}
+	got := VisitSpans(vt)
+	// 1 visit + 2 functions + 1 step + 2 resources.
+	if len(got.Spans) != 6 {
+		t.Fatalf("spans = %d, want 6:\n%+v", len(got.Spans), got.Spans)
+	}
+	byLevel := map[Level][]Span{}
+	byID := map[int]Span{}
+	for _, sp := range got.Spans {
+		if sp.Trace != 42 {
+			t.Errorf("span %d carries trace %d", sp.ID, sp.Trace)
+		}
+		byLevel[sp.Level] = append(byLevel[sp.Level], sp)
+		byID[sp.ID] = sp
+	}
+	root := byLevel[LevelVisit][0]
+	if root.Parent != 0 || root.OK || root.Cause != string(telemetry.CauseResourceDown) {
+		t.Errorf("root span %+v", root)
+	}
+	if root.Attrs["class"] != "class A" || root.Attrs["failed_service"] != "DS" {
+		t.Errorf("root attrs %+v", root.Attrs)
+	}
+	if n := len(byLevel[LevelFunction]); n != 2 {
+		t.Fatalf("function spans = %d", n)
+	}
+	search := byLevel[LevelFunction][1]
+	if search.Start != 10.2 || search.Parent != root.ID {
+		t.Errorf("Search span start/parent: %+v", search)
+	}
+	step := byLevel[LevelStep][0]
+	if step.Parent != search.ID || step.Name != "q2" || step.Start != 10.2 {
+		t.Errorf("step span %+v", step)
+	}
+	if n := len(byLevel[LevelResource]); n != 2 {
+		t.Fatalf("resource spans = %d", n)
+	}
+	for _, rs := range byLevel[LevelResource] {
+		if rs.Parent != step.ID {
+			t.Errorf("resource span parented to %d, want %d", rs.Parent, step.ID)
+		}
+		wantOK := rs.Name != "DS"
+		if rs.OK != wantOK {
+			t.Errorf("resource %s OK = %v, want %v", rs.Name, rs.OK, wantOK)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrNilEval is returned when no evaluation function is supplied.
@@ -28,6 +29,103 @@ type Options struct {
 	// select GOMAXPROCS. The worker count is additionally capped at the
 	// number of points.
 	Workers int
+
+	// Stats, when non-nil, collects live progress and per-worker
+	// utilization for the run. The same RunStats may be polled
+	// concurrently (e.g. from an obs gauge) while the sweep executes.
+	// Timing is only measured when Stats is set, so the zero Options
+	// carries no overhead.
+	Stats *RunStats
+}
+
+// RunStats tracks a sweep run's progress: how many points exist, how many
+// evaluations have started and completed, and how long each worker has spent
+// inside the evaluation function. A RunStats is reset at the start of every
+// run it is attached to; all methods are safe for concurrent use.
+type RunStats struct {
+	total     atomic.Int64
+	started   atomic.Int64
+	completed atomic.Int64
+
+	mu   sync.Mutex
+	busy []atomic.Int64 // per-worker nanoseconds inside eval
+}
+
+func (s *RunStats) begin(total, workers int) {
+	if s == nil {
+		return
+	}
+	s.total.Store(int64(total))
+	s.started.Store(0)
+	s.completed.Store(0)
+	s.mu.Lock()
+	s.busy = make([]atomic.Int64, workers)
+	s.mu.Unlock()
+}
+
+func (s *RunStats) evalStart() {
+	if s != nil {
+		s.started.Add(1)
+	}
+}
+
+func (s *RunStats) evalDone(worker int, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.completed.Add(1)
+	s.mu.Lock()
+	if worker >= 0 && worker < len(s.busy) {
+		s.busy[worker].Add(int64(d))
+	}
+	s.mu.Unlock()
+}
+
+// Total reports the number of points in the current (or last) run.
+func (s *RunStats) Total() int64 { return s.total.Load() }
+
+// Started reports how many evaluations have begun.
+func (s *RunStats) Started() int64 { return s.started.Load() }
+
+// Completed reports how many evaluations have finished.
+func (s *RunStats) Completed() int64 { return s.completed.Load() }
+
+// Remaining reports how many points have not yet completed.
+func (s *RunStats) Remaining() int64 {
+	r := s.total.Load() - s.completed.Load()
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Workers reports the worker count of the current (or last) run.
+func (s *RunStats) Workers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.busy)
+}
+
+// BusyTime reports the cumulative time worker w has spent evaluating points.
+// Out-of-range workers report zero.
+func (s *RunStats) BusyTime(w int) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w < 0 || w >= len(s.busy) {
+		return 0
+	}
+	return time.Duration(s.busy[w].Load())
+}
+
+// TotalBusy reports the cumulative evaluation time across all workers.
+func (s *RunStats) TotalBusy() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum int64
+	for i := range s.busy {
+		sum += s.busy[i].Load()
+	}
+	return time.Duration(sum)
 }
 
 func (o Options) workerCount(points int) int {
@@ -75,10 +173,12 @@ func RunScratch[P, R, S any](points []P, newScratch func() S, eval func(S, P) (R
 	}
 	results := make([]R, n)
 	workers := opts.workerCount(n)
+	stats := opts.Stats
+	stats.begin(n, workers)
 	if workers == 1 {
 		scratch := newScratch()
 		for i, p := range points {
-			r, err := eval(scratch, p)
+			r, err := evalPoint(stats, 0, scratch, p, eval)
 			if err != nil {
 				return nil, fmt.Errorf("sweep: point %d: %w", i, err)
 			}
@@ -95,7 +195,7 @@ func RunScratch[P, R, S any](points []P, newScratch func() S, eval func(S, P) (R
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			scratch := newScratch()
 			for {
@@ -103,7 +203,7 @@ func RunScratch[P, R, S any](points []P, newScratch func() S, eval func(S, P) (R
 				if i >= n || failed.Load() {
 					return
 				}
-				r, err := eval(scratch, points[i])
+				r, err := evalPoint(stats, worker, scratch, points[i], eval)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -111,7 +211,7 @@ func RunScratch[P, R, S any](points []P, newScratch func() S, eval func(S, P) (R
 				}
 				results[i] = r
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for i, err := range errs {
@@ -120,4 +220,17 @@ func RunScratch[P, R, S any](points []P, newScratch func() S, eval func(S, P) (R
 		}
 	}
 	return results, nil
+}
+
+// evalPoint runs one evaluation, recording timing only when stats is set so
+// the instrumented path costs nothing by default.
+func evalPoint[P, R, S any](stats *RunStats, worker int, scratch S, p P, eval func(S, P) (R, error)) (R, error) {
+	if stats == nil {
+		return eval(scratch, p)
+	}
+	stats.evalStart()
+	start := time.Now()
+	r, err := eval(scratch, p)
+	stats.evalDone(worker, time.Since(start))
+	return r, err
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestRunOrdering checks that results come back in input order for every
@@ -202,5 +203,60 @@ func TestMemoErrorCached(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("compute called %d times, want 1", calls)
+	}
+}
+
+// TestRunStats checks progress counters and per-worker busy time for both the
+// single-worker and parallel paths.
+func TestRunStats(t *testing.T) {
+	points := make([]int, 40)
+	for i := range points {
+		points[i] = i
+	}
+	eval := func(p int) (int, error) {
+		time.Sleep(100 * time.Microsecond)
+		return p * p, nil
+	}
+	for _, workers := range []int{1, 4} {
+		stats := &RunStats{}
+		got, err := Run(points, eval, Options{Workers: workers, Stats: stats})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(points) {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		if stats.Total() != 40 || stats.Started() != 40 || stats.Completed() != 40 {
+			t.Errorf("workers=%d: total/started/completed = %d/%d/%d, want 40/40/40",
+				workers, stats.Total(), stats.Started(), stats.Completed())
+		}
+		if stats.Remaining() != 0 {
+			t.Errorf("workers=%d: remaining = %d", workers, stats.Remaining())
+		}
+		if stats.Workers() != workers {
+			t.Errorf("workers=%d: Workers() = %d", workers, stats.Workers())
+		}
+		if stats.TotalBusy() <= 0 {
+			t.Errorf("workers=%d: total busy = %v", workers, stats.TotalBusy())
+		}
+		var perWorker time.Duration
+		for w := 0; w < workers; w++ {
+			perWorker += stats.BusyTime(w)
+		}
+		if perWorker != stats.TotalBusy() {
+			t.Errorf("workers=%d: per-worker sum %v != total %v",
+				workers, perWorker, stats.TotalBusy())
+		}
+		if stats.BusyTime(-1) != 0 || stats.BusyTime(workers) != 0 {
+			t.Errorf("workers=%d: out-of-range BusyTime nonzero", workers)
+		}
+	}
+	// A RunStats is reset by the next run it is attached to.
+	stats := &RunStats{}
+	if _, err := Run(points[:5], eval, Options{Workers: 2, Stats: stats}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total() != 5 || stats.Completed() != 5 {
+		t.Errorf("reused stats total/completed = %d/%d, want 5/5", stats.Total(), stats.Completed())
 	}
 }

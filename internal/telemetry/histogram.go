@@ -81,6 +81,9 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.total }
 
+// Sum returns the exact sum of all non-NaN observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
 // Mean returns the exact sample mean (tracked outside the buckets).
 func (h *Histogram) Mean() float64 {
 	if h.total == 0 {
@@ -92,21 +95,33 @@ func (h *Histogram) Mean() float64 {
 // Max returns the largest observation.
 func (h *Histogram) Max() float64 { return h.max }
 
-// upperBound returns the representative upper bound of bucket i.
-func (h *Histogram) upperBound(i int) float64 {
-	if i == 0 {
-		return h.base
-	}
-	if i == len(h.counts)-1 {
-		if h.max > 0 {
-			return h.max
+// bucketBounds returns the value range [lo, hi) covered by bucket i. The
+// catch-all bucket's upper bound is the largest observation actually seen,
+// clamped so it never falls below the bucket's own lower boundary — without
+// the clamp an (impossible in practice, but cheap to guard) empty-max
+// catch-all would report a quantile smaller than the second-to-last bucket's.
+func (h *Histogram) bucketBounds(i int) (lo, hi float64) {
+	switch {
+	case i == 0:
+		return 0, h.base
+	case i == len(h.counts)-1:
+		lo = h.base * math.Pow(h.factor, float64(i-1))
+		hi = lo
+		if h.max > hi {
+			hi = h.max
 		}
+		return lo, hi
+	default:
+		hi = h.base * math.Pow(h.factor, float64(i))
+		return hi / h.factor, hi
 	}
-	return h.base * math.Pow(h.factor, float64(i))
 }
 
-// Quantile returns an upper bound on the q-quantile (q in [0, 1]) from the
-// bucket layout. With no observations it returns 0.
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// within the bucket that contains it; the estimate never leaves the bucket's
+// value range, so it is exact to one bucket width. In the catch-all bucket
+// interpolation runs between the last finite boundary and the maximum
+// observation. With no observations it returns 0.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.total == 0 {
 		return 0
@@ -123,16 +138,30 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	var cum int64
 	for i, c := range h.counts {
-		cum += c
-		if cum >= target {
-			return h.upperBound(i)
+		if c == 0 {
+			continue
 		}
+		if cum+c >= target {
+			lo, hi := h.bucketBounds(i)
+			return lo + (hi-lo)*float64(target-cum)/float64(c)
+		}
+		cum += c
 	}
-	return h.upperBound(len(h.counts) - 1)
+	_, hi := h.bucketBounds(len(h.counts) - 1)
+	return hi
 }
 
-// merge folds another histogram with the identical layout into h.
-func (h *Histogram) merge(other *Histogram) {
+// Merge folds another histogram into h. The two histograms must share the
+// identical bucket layout (base, factor and bucket count) — this is the
+// combination path for per-worker histograms aggregated after a parallel run.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if h.base != other.base || h.factor != other.factor || len(h.counts) != len(other.counts) {
+		return fmt.Errorf("telemetry: merge layout mismatch: (%v, %v, %d) vs (%v, %v, %d)",
+			h.base, h.factor, len(h.counts), other.base, other.factor, len(other.counts))
+	}
 	for i, c := range other.counts {
 		h.counts[i] += c
 	}
@@ -140,5 +169,30 @@ func (h *Histogram) merge(other *Histogram) {
 	h.sum += other.sum
 	if other.max > h.max {
 		h.max = other.max
+	}
+	return nil
+}
+
+// Snapshot is a point-in-time copy of a histogram's layout and counts, the
+// raw material for external renderers (e.g. the Prometheus exposition of
+// internal/obs). Counts are per-bucket, not cumulative.
+type HistogramSnapshot struct {
+	Base   float64
+	Factor float64
+	Counts []int64
+	Total  int64
+	Sum    float64
+	Max    float64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Base:   h.base,
+		Factor: h.factor,
+		Counts: append([]int64(nil), h.counts...),
+		Total:  h.total,
+		Sum:    h.sum,
+		Max:    h.max,
 	}
 }

@@ -123,6 +123,8 @@ type Collector struct {
 	functions map[string]*functionAgg
 	causes    map[Cause]int64
 	downBySvc map[string]int64
+
+	onRecord func(VisitTrace)
 }
 
 type functionAgg struct {
@@ -147,11 +149,21 @@ func NewCollector(keepTraces int) *Collector {
 	}
 }
 
+// SetOnRecord installs a callback invoked (outside the collector lock) after
+// every RecordVisit, with the visit trace just folded in. This is how a live
+// observability plane — a metrics registry, a span tracer, a drift detector —
+// taps the visit stream without the collector depending on it. The callback
+// must be safe for concurrent use; passing nil removes it.
+func (c *Collector) SetOnRecord(fn func(VisitTrace)) {
+	c.mu.Lock()
+	c.onRecord = fn
+	c.mu.Unlock()
+}
+
 // RecordVisit folds one finished visit into the aggregates and the trace
-// ring.
+// ring, then hands the trace to the OnRecord callback, if any.
 func (c *Collector) RecordVisit(tr VisitTrace) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.visits.Add(tr.OK)
 	c.durations.Add(tr.Duration)
 	if !tr.OK {
@@ -187,6 +199,11 @@ func (c *Collector) RecordVisit(tr VisitTrace) {
 			c.wrapped = true
 		}
 		c.nextTrace = (c.nextTrace + 1) % c.keepTraces
+	}
+	fn := c.onRecord
+	c.mu.Unlock()
+	if fn != nil {
+		fn(tr)
 	}
 }
 
@@ -254,7 +271,8 @@ func (c *Collector) StepLatency() *Histogram {
 	defer c.mu.Unlock()
 	merged := defaultLatencyHistogram()
 	for _, agg := range c.functions {
-		merged.merge(agg.latency)
+		// Identical layouts by construction, so Merge cannot fail.
+		_ = merged.Merge(agg.latency)
 	}
 	return merged
 }

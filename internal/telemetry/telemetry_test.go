@@ -149,6 +149,146 @@ func TestHistogramRejectsBadLayout(t *testing.T) {
 	}
 }
 
+func TestHistogramMerge(t *testing.T) {
+	newH := func() *Histogram {
+		h, err := NewHistogram(1e-3, 2, 22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	// Per-worker histograms, merged after the run: the combined histogram
+	// must agree with one histogram that saw every observation.
+	combined, reference := newH(), newH()
+	workers := []*Histogram{newH(), newH(), newH()}
+	vals := []float64{0.002, 0.01, 0.05, 0.3, 2, 9, 40, 0.004, 0.08, 1.5}
+	for i, v := range vals {
+		workers[i%len(workers)].Observe(v)
+		reference.Observe(v)
+	}
+	for _, w := range workers {
+		if err := combined.Merge(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sums accumulate in different orders, so compare to round-off.
+	if combined.Count() != reference.Count() ||
+		math.Abs(combined.Sum()-reference.Sum()) > 1e-12 ||
+		combined.Max() != reference.Max() {
+		t.Errorf("merged count/sum/max = %d/%v/%v, want %d/%v/%v",
+			combined.Count(), combined.Sum(), combined.Max(),
+			reference.Count(), reference.Sum(), reference.Max())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got, want := combined.Quantile(q), reference.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v after merge, want %v", q, got, want)
+		}
+	}
+	// Merging a nil histogram is a no-op.
+	if err := combined.Merge(nil); err != nil {
+		t.Errorf("Merge(nil): %v", err)
+	}
+	// Layout mismatches are rejected.
+	other, err := NewHistogram(1e-3, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := combined.Merge(other); err == nil {
+		t.Error("bucket-count mismatch accepted")
+	}
+	other, err = NewHistogram(1e-2, 2, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := combined.Merge(other); err == nil {
+		t.Error("base mismatch accepted")
+	}
+}
+
+// TestHistogramQuantileInterpolation pins the within-bucket interpolation:
+// the estimate must stay inside the containing bucket's value range.
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h, err := NewHistogram(1e-3, 2, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(0.01) // bucket [0.008, 0.016)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 0.008 || got > 0.016 {
+			t.Errorf("Quantile(%v) = %v, want within [0.008, 0.016]", q, got)
+		}
+	}
+	// Interpolation is monotone in q.
+	if h.Quantile(0.25) > h.Quantile(0.75) {
+		t.Error("quantile not monotone within a bucket")
+	}
+}
+
+// TestHistogramCatchAllBoundary pins the catch-all bucket's quantile range:
+// between the last finite boundary and the maximum observation, never below
+// the boundary even for observations landing exactly on it.
+func TestHistogramCatchAllBoundary(t *testing.T) {
+	h, err := NewHistogram(1, 2, 4) // buckets: <1, [1,2), [2,4), [4, ∞)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(4) // exactly the catch-all's lower boundary
+	h.Observe(100)
+	for _, tc := range []struct {
+		q        float64
+		min, max float64
+	}{
+		{0.5, 4, 100},
+		{1, 100, 100},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.min || got > tc.max {
+			t.Errorf("Quantile(%v) = %v, want in [%v, %v]", tc.q, got, tc.min, tc.max)
+		}
+	}
+
+	// A single boundary observation: the catch-all's degenerate range [4, 4].
+	h2, err := NewHistogram(1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.Observe(4)
+	if got := h2.Quantile(0.5); got != 4 {
+		t.Errorf("degenerate catch-all Quantile(0.5) = %v, want 4", got)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h, err := NewHistogram(1e-3, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(0.002)
+	h.Observe(0.5)
+	snap := h.Snapshot()
+	if snap.Base != 1e-3 || snap.Factor != 2 || len(snap.Counts) != 5 {
+		t.Errorf("snapshot layout %+v", snap)
+	}
+	if snap.Total != 2 || snap.Sum != 0.502 || snap.Max != 0.5 {
+		t.Errorf("snapshot aggregates %+v", snap)
+	}
+	var n int64
+	for _, c := range snap.Counts {
+		n += c
+	}
+	if n != 2 {
+		t.Errorf("snapshot bucket counts sum to %d", n)
+	}
+	// The snapshot is a copy: later observations do not leak into it.
+	h.Observe(1)
+	if snap.Total != 2 {
+		t.Error("snapshot aliased live counts")
+	}
+}
+
 func TestHistogramExtremeObservations(t *testing.T) {
 	h, err := NewHistogram(1e-3, 2, 22)
 	if err != nil {

@@ -45,9 +45,12 @@ type callResult struct {
 // source of truth for call semantics; the HTTP transport is a transparent
 // wrapper around it.
 func (c *Cluster) callTier(cl call, state VisitState) callResult {
+	if m := c.metrics; m != nil {
+		m.calls.Inc()
+	}
 	g, ok := c.groups[cl.service]
 	if !ok {
-		return callResult{ok: false, cause: telemetry.CauseResourceDown}
+		return c.failCall(telemetry.CauseResourceDown)
 	}
 	var extra float64
 	for _, bank := range g.banks {
@@ -59,7 +62,7 @@ func (c *Cluster) callTier(cl call, state VisitState) callResult {
 			}
 		}
 		if serving == "" {
-			return callResult{ok: false, cause: telemetry.CauseResourceDown}
+			return c.failCall(telemetry.CauseResourceDown)
 		}
 		// Injected latency is observed on the replica actually serving the
 		// call; it is accounted in model time, not slept.
@@ -70,7 +73,7 @@ func (c *Cluster) callTier(cl call, state VisitState) callResult {
 	if cl.entry && g.tier == TierWeb {
 		start := time.Now()
 		if err := c.web.serve(cl.demand); err != nil {
-			return callResult{ok: false, cause: telemetry.CauseBufferOverflow}
+			return c.failCall(telemetry.CauseBufferOverflow)
 		}
 		lat := cl.demand + extra
 		if c.opts.Scale > 0 {
@@ -82,6 +85,19 @@ func (c *Cluster) callTier(cl call, state VisitState) callResult {
 	}
 	sleepModel(cl.demand, c.opts.Scale)
 	return callResult{ok: true, latency: cl.demand + extra}
+}
+
+// failCall builds a failed call result and counts it when metered.
+func (c *Cluster) failCall(cause telemetry.Cause) callResult {
+	if m := c.metrics; m != nil {
+		switch cause {
+		case telemetry.CauseBufferOverflow:
+			m.callOverflow.Inc()
+		default:
+			m.callDown.Inc()
+		}
+	}
+	return callResult{ok: false, cause: cause}
 }
 
 // dispatcher routes a call to the component that owns the service.

@@ -1,0 +1,119 @@
+package testbed
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// clusterMetrics holds the hot-path instruments of a metered cluster. A nil
+// *clusterMetrics disables instrumentation entirely, so unmetered runs pay
+// only a nil check per service call.
+type clusterMetrics struct {
+	calls        *obs.Counter
+	callDown     *obs.Counter
+	callOverflow *obs.Counter
+}
+
+// registerMetrics wires the cluster's internals into an obs registry:
+// admission decisions and live queue depth of the web buffer, per-call
+// outcome counters, and (via meteredPlane, installed by New) fault-plane
+// snapshot and web-farm state-transition counters.
+//
+// The registry should be dedicated to one cluster: pull-style metrics close
+// over this cluster's components, and a second cluster registering the same
+// names would silently keep reading the first one's state.
+func (c *Cluster) registerMetrics(reg *obs.Registry) error {
+	if err := reg.CounterFunc("testbed_web_admitted_total",
+		"page requests admitted by the web tier's bounded buffer",
+		c.web.admitted.Load); err != nil {
+		return err
+	}
+	if err := reg.CounterFunc("testbed_web_rejected_total",
+		"page requests rejected with buffer overflow (the live M/M/i/K loss)",
+		c.web.rejected.Load); err != nil {
+		return err
+	}
+	if err := reg.GaugeFunc("testbed_web_queue_depth",
+		"page requests currently queued or in service at the web tier",
+		func() float64 { return float64(c.web.inSystem.Load()) }); err != nil {
+		return err
+	}
+	calls, err := reg.Counter("testbed_service_calls_total",
+		"service calls dispatched to tier components")
+	if err != nil {
+		return err
+	}
+	down, err := reg.Counter("testbed_service_call_failures_total",
+		"service calls failed by cause", obs.Label{Key: "cause", Value: "resource-down"})
+	if err != nil {
+		return err
+	}
+	overflow, err := reg.Counter("testbed_service_call_failures_total",
+		"service calls failed by cause", obs.Label{Key: "cause", Value: "buffer-overflow"})
+	if err != nil {
+		return err
+	}
+	c.metrics = &clusterMetrics{calls: calls, callDown: down, callOverflow: overflow}
+	return nil
+}
+
+// meteredPlane wraps a FaultPlane to count snapshots and observe the web
+// farm's structural state: a gauge of operational web servers as of the most
+// recent snapshot, and a transition counter that increments whenever two
+// consecutive snapshots disagree on that count — the live trace of movement
+// through the Figure 10 chain's states.
+type meteredPlane struct {
+	inner       FaultPlane
+	webNames    []string
+	snapshots   *obs.Counter
+	transitions *obs.Counter
+	webUp       *obs.Gauge
+	// last holds the previous snapshot's operational-server count, offset by
+	// one so the zero value means "no snapshot yet".
+	last atomic.Int64
+}
+
+// newMeteredPlane registers the fault-plane metrics and wraps the plane.
+func newMeteredPlane(inner FaultPlane, webNames []string, reg *obs.Registry) (*meteredPlane, error) {
+	snapshots, err := reg.Counter("testbed_fault_snapshots_total",
+		"fault-plane states frozen for visits")
+	if err != nil {
+		return nil, err
+	}
+	transitions, err := reg.Counter("testbed_web_state_transitions_total",
+		"changes in the operational web-server count between consecutive snapshots")
+	if err != nil {
+		return nil, err
+	}
+	webUp, err := reg.Gauge("testbed_web_operational_servers",
+		"operational web servers in the most recent fault-plane snapshot")
+	if err != nil {
+		return nil, err
+	}
+	return &meteredPlane{
+		inner: inner, webNames: webNames,
+		snapshots: snapshots, transitions: transitions, webUp: webUp,
+	}, nil
+}
+
+// Snapshot delegates to the wrapped plane and records the observation.
+func (p *meteredPlane) Snapshot(rng *rand.Rand) (VisitState, error) {
+	st, err := p.inner.Snapshot(rng)
+	if err != nil {
+		return nil, err
+	}
+	p.snapshots.Inc()
+	up := 0
+	for _, name := range p.webNames {
+		if st.Up(name, st.Start()) {
+			up++
+		}
+	}
+	p.webUp.Set(float64(up))
+	if prev := p.last.Swap(int64(up) + 1); prev != 0 && prev != int64(up)+1 {
+		p.transitions.Inc()
+	}
+	return st, nil
+}

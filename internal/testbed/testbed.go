@@ -39,6 +39,7 @@ import (
 	"sync"
 
 	"repro/internal/interaction"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/travelagency"
 )
@@ -82,6 +83,11 @@ type Options struct {
 	// KeepTraces bounds the telemetry trace ring kept by load generators that
 	// use the cluster's default collector sizing.
 	KeepTraces int
+	// Metrics, when non-nil, receives the cluster's live instrumentation:
+	// web-buffer admission decisions and queue depth, per-call outcome
+	// counters, and fault-plane snapshot/state-transition observations. The
+	// registry should be dedicated to one cluster (see Cluster metrics docs).
+	Metrics *obs.Registry
 }
 
 // Cluster is a running deployment of the travel agency.
@@ -94,6 +100,7 @@ type Cluster struct {
 	web       *webQueue
 	diagrams  map[string]*interaction.Diagram
 	disp      dispatcher
+	metrics   *clusterMetrics
 
 	// visitStates resolves visit IDs to frozen fault-plane states for the
 	// HTTP transport's stateless tier handlers.
@@ -139,6 +146,22 @@ func New(p travelagency.Params, opts Options) (*Cluster, error) {
 		c.plane = plane
 	}
 	c.web = newWebQueue(p.WebServers, p.BufferSize, opts.Scale)
+	if opts.Metrics != nil {
+		if err := c.registerMetrics(opts.Metrics); err != nil {
+			return nil, err
+		}
+		var webNames []string
+		for _, r := range resources {
+			if r.Tier == TierWeb {
+				webNames = append(webNames, r.Name)
+			}
+		}
+		metered, err := newMeteredPlane(c.plane, webNames, opts.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		c.plane = metered
+	}
 	switch opts.Transport {
 	case Direct:
 		c.disp = &directDispatcher{c: c}

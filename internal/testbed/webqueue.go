@@ -28,6 +28,8 @@ type webQueue struct {
 	capacity int64
 	scale    float64
 	inSystem atomic.Int64
+	admitted atomic.Int64
+	rejected atomic.Int64
 	queue    chan *webJob
 	quit     chan struct{}
 	wg       sync.WaitGroup
@@ -67,17 +69,20 @@ func (q *webQueue) server() {
 // or returning errOverflow if the system already holds capacity requests.
 func (q *webQueue) serve(demand float64) error {
 	if q.scale <= 0 {
+		q.admitted.Add(1)
 		return nil
 	}
 	for {
 		n := q.inSystem.Load()
 		if n >= q.capacity {
+			q.rejected.Add(1)
 			return errOverflow
 		}
 		if q.inSystem.CompareAndSwap(n, n+1) {
 			break
 		}
 	}
+	q.admitted.Add(1)
 	// The send cannot block: inSystem ≤ capacity bounds queued + in-service
 	// jobs, and the channel holds only the queued ones.
 	job := &webJob{demand: demand, done: make(chan struct{})}

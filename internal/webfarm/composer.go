@@ -134,3 +134,13 @@ func (c *Composer) Breakdown(f Farm) (perfavail.Breakdown, error) {
 func (c *Composer) CacheSizes() (repairs, losses int) {
 	return c.repairs.Len(), c.losses.Len()
 }
+
+// CacheStats reports hit/miss counters for the two memo caches. Because the
+// memos single-flight under a lock, misses equal the number of distinct keys
+// ever requested, which makes these counters deterministic for a given grid
+// regardless of how many sweep workers shared the composer.
+func (c *Composer) CacheStats() (repairHits, repairMisses, lossHits, lossMisses int64) {
+	repairHits, repairMisses = c.repairs.Stats()
+	lossHits, lossMisses = c.losses.Stats()
+	return repairHits, repairMisses, lossHits, lossMisses
+}

@@ -72,6 +72,16 @@ func TestComposerMemoization(t *testing.T) {
 	if losses != 30 {
 		t.Errorf("loss cache holds %d keys, want 30", losses)
 	}
+	// Misses equal distinct keys; hits are the avoided solves (90−30 repair,
+	// 495−30 loss). These exact values back the cache lines printed by
+	// cmd/taeval's figure output, so pin them.
+	rh, rm, lh, lm := c.CacheStats()
+	if rh != 60 || rm != 30 {
+		t.Errorf("repair cache hits/misses = %d/%d, want 60/30", rh, rm)
+	}
+	if lh != 465 || lm != 30 {
+		t.Errorf("loss cache hits/misses = %d/%d, want 465/30", lh, lm)
+	}
 }
 
 // TestComposerClampSharesCache verifies that over-provisioned farms
