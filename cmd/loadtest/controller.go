@@ -1,0 +1,336 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/autoscale"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/resilience"
+	"repro/internal/telemetry"
+	"repro/internal/testbed"
+	"repro/internal/travelagency"
+	"repro/internal/webfarm"
+)
+
+// The -controller demo runs a fixed four-phase schedule — nominal load, a
+// load ramp, a sustained zone outage under the ramp, and recovery — first
+// with the closed-loop controller actuating the cluster, then with each
+// static web-farm size in the comparison sweep. The point of the exercise is
+// the paper's §5 trade-off made dynamic: no single static size both holds
+// the SLO through the hostile phases and avoids over-provisioning the calm
+// ones, while the controller re-provisions its way through all four.
+const (
+	// demoTicksPerPhase × demoVisitsPerTick sizes each phase's observation
+	// windows: large enough for the measured availability to carry signal,
+	// small enough that the whole demo (controller run + static sweep) stays
+	// a sub-minute unpaced run.
+	demoTicksPerPhase  = 12
+	demoVisitsPerTick  = 400
+	demoServerCostHour = 8000
+	demoMaxServers     = 16
+)
+
+// demoStaticSizes are the fixed web-farm sizes the controller is compared
+// against: the calm-phase cost optimum, the paper's baseline, and the size
+// that survives the load ramp (but not the zone outage).
+var demoStaticSizes = []int{2, 4, 8}
+
+// demoPhase is one segment of the schedule: an offered page-request load and
+// a fault plane, held for a fixed number of controller ticks.
+type demoPhase struct {
+	name     string
+	offered  float64
+	campaign *resilience.Campaign // nil = steady-state plane
+	ticks    int
+}
+
+// demoPhases builds the four-phase schedule. The zone outage spans its whole
+// phase and is keyed up to maxServers so scale-out lands half the new
+// capacity in the dead zone too — the controller must over-provision, not
+// merely replace.
+func demoPhases(horizon float64, maxServers int) ([]demoPhase, error) {
+	zone, err := testbed.ZoneOutageCampaign(horizon, maxServers,
+		resilience.Window{Start: 0, End: horizon})
+	if err != nil {
+		return nil, err
+	}
+	return []demoPhase{
+		{name: "nominal", offered: 100, ticks: demoTicksPerPhase},
+		{name: "load ramp", offered: 450, ticks: demoTicksPerPhase},
+		{name: "zone outage", offered: 450, campaign: &zone, ticks: demoTicksPerPhase},
+		{name: "recovery", offered: 100, ticks: demoTicksPerPhase},
+	}, nil
+}
+
+// applyPhase switches the cluster's offered load and fault plane, keeping the
+// web-tier configuration (which belongs to the controller) untouched.
+func applyPhase(cluster *testbed.Cluster, ph demoPhase) error {
+	rc := testbed.Reconfig{OfferedLoad: &ph.offered}
+	if ph.campaign != nil {
+		rc.Campaign = ph.campaign
+	} else {
+		rc.Steady = true
+	}
+	return cluster.Reconfigure(rc)
+}
+
+// scenarioResult is one full schedule run rolled up.
+type scenarioResult struct {
+	col     *telemetry.Collector
+	actions map[autoscale.Action]int
+	servers int // web-farm size at the end of the run
+}
+
+// runSchedule drives the phase schedule against a cluster. When ctrl is
+// non-nil every tick's signals are fed to it and its decisions are logged to
+// w; when drift is non-nil the tick's visit outcomes are replayed into it in
+// visit-ID order, so the verdict stream is independent of worker scheduling.
+func runSchedule(w io.Writer, cluster *testbed.Cluster, class travelagency.UserClass,
+	phases []demoPhase, cfg config, ctrl *autoscale.Controller, drift *obs.DriftDetector) (*scenarioResult, error) {
+
+	res := &scenarioResult{
+		col:     telemetry.NewCollector(64),
+		actions: make(map[autoscale.Action]int),
+	}
+	var offset int64
+	tickNo := 0
+	for _, ph := range phases {
+		if err := applyPhase(cluster, ph); err != nil {
+			return nil, err
+		}
+		for i := 0; i < ph.ticks; i++ {
+			tickNo++
+			upBefore, nBefore := cluster.WebUpStats()
+			admBefore, rejBefore := cluster.AdmissionStats()
+			tickCol := telemetry.NewCollector(demoVisitsPerTick)
+			gen := testbed.LoadGen{
+				Cluster: cluster,
+				Class:   class,
+				Visits:  demoVisitsPerTick,
+				Workers: cfg.workers,
+				Seed:    cfg.seed,
+				Offset:  offset,
+			}
+			if err := gen.Run(tickCol); err != nil {
+				return nil, err
+			}
+			offset += demoVisitsPerTick
+			if err := res.col.Merge(tickCol); err != nil {
+				return nil, err
+			}
+			if drift != nil {
+				trs := tickCol.Traces()
+				sort.Slice(trs, func(a, b int) bool { return trs[a].ID < trs[b].ID })
+				for _, tr := range trs {
+					drift.Observe(tr.OK)
+				}
+			}
+			if ctrl == nil {
+				continue
+			}
+			s, err := tickCol.Summary()
+			if err != nil {
+				return nil, err
+			}
+			upAfter, nAfter := cluster.WebUpStats()
+			admAfter, rejAfter := cluster.AdmissionStats()
+			sig := autoscale.Signals{
+				Visits:            s.Visits,
+				Failures:          s.Visits - s.Successes,
+				WebUpServerVisits: upAfter - upBefore,
+				WebVisits:         nAfter - nBefore,
+				Admitted:          admAfter - admBefore,
+				Rejected:          rejAfter - rejBefore,
+				ArrivalRate:       ph.offered,
+			}
+			if drift != nil {
+				sig.Drifting = drift.Status().Drifting
+			}
+			d, err := ctrl.Tick(sig)
+			if err != nil {
+				return nil, err
+			}
+			res.actions[d.Action]++
+			if d.Action != autoscale.Hold {
+				fmt.Fprintf(w, "  tick %2d [%s] %-9s → NW=%-2d K=%-2d measured=%.4f predicted=%.4f — %s\n",
+					tickNo, ph.name, d.Action, d.Servers, d.Buffer, d.Measured, d.Predicted, d.Reason)
+			}
+		}
+	}
+	res.servers, _ = cluster.Config()
+	return res, nil
+}
+
+// clusterActuator adapts a testbed cluster to the controller's actuation
+// interface: Apply is a drain-and-swap reconfiguration that keeps the fault
+// plane and offered load in force.
+type clusterActuator struct {
+	cluster *testbed.Cluster
+}
+
+func (a clusterActuator) Current() (servers, buffer int) { return a.cluster.Config() }
+
+func (a clusterActuator) Apply(servers, buffer int) error {
+	return a.cluster.Reconfigure(testbed.Reconfig{WebServers: servers, BufferSize: buffer})
+}
+
+// runControllerDemo is the -controller entry point: one controller-driven run
+// of the schedule, then the static sweep, then the comparison table. With
+// -smoke it becomes a CI gate: the controller must hold the SLO (measured CI
+// above target) and actually scale, while every static size must violate it.
+func runControllerDemo(w io.Writer, p travelagency.Params, cfg config, stack *obsStack) error {
+	class := travelagency.ClassA
+	phases, err := demoPhases(cfg.horizon, demoMaxServers)
+	if err != nil {
+		return err
+	}
+
+	// One composer memoizes repair-chain and queueing solves across the
+	// controller's whole candidate grid and every tick.
+	comp := webfarm.NewComposer()
+	p0 := p
+	p0.ArrivalRate = phases[0].offered
+	analytic, err := travelagency.EvaluateWithComposer(p0, class, comp)
+	if err != nil {
+		return err
+	}
+	drift, err := obs.NewDriftDetector(obs.DriftConfig{
+		Predicted:  analytic.UserAvailability,
+		Window:     2 * demoVisitsPerTick,
+		MinSamples: demoVisitsPerTick,
+		Patience:   demoVisitsPerTick,
+		OnEvent:    func(ev obs.DriftEvent) { fmt.Fprintf(w, "  [drift] %s\n", ev) },
+	})
+	if err != nil {
+		return err
+	}
+	if stack != nil {
+		if err := drift.Register(stack.reg, "ta_drift",
+			obs.Label{Key: "class", Value: class.String()}); err != nil {
+			return err
+		}
+	}
+
+	opts := testbed.Options{OfferedLoad: phases[0].offered}
+	if stack != nil {
+		opts.Metrics = stack.reg
+	}
+	cluster, err := testbed.New(p, opts)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	ctrlCfg := autoscale.Config{
+		Params:            p,
+		Class:             class,
+		SLO:               cfg.slo,
+		MinServers:        1,
+		MaxServers:        demoMaxServers,
+		ServerCostPerHour: demoServerCostHour,
+		Composer:          comp,
+		Drift:             drift,
+	}
+	if stack != nil {
+		ctrlCfg.Metrics = stack.reg
+	}
+	ctrl, err := autoscale.New(ctrlCfg, clusterActuator{cluster})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "closed-loop controller run — %v, SLO %.3f, schedule %d×%d ticks × %d visits, seed %d\n",
+		class, cfg.slo, len(phases), demoTicksPerPhase, demoVisitsPerTick, cfg.seed)
+	ctrlRes, err := runSchedule(w, cluster, class, phases, cfg, ctrl, drift)
+	if err != nil {
+		return err
+	}
+	ctrlSum, err := ctrlRes.col.Summary()
+	if err != nil {
+		return err
+	}
+
+	// Static sweep: the identical schedule and seeds, fixed farm sizes, no
+	// controller. Each size gets its own cluster so cumulative counters and
+	// fault-plane state never leak between runs.
+	type staticRow struct {
+		servers int
+		sum     telemetry.Summary
+	}
+	var statics []staticRow
+	for _, servers := range demoStaticSizes {
+		sp := p
+		sp.WebServers = servers
+		c, err := testbed.New(sp, testbed.Options{OfferedLoad: phases[0].offered})
+		if err != nil {
+			return err
+		}
+		res, err := runSchedule(w, c, class, phases, cfg, nil, nil)
+		c.Close()
+		if err != nil {
+			return err
+		}
+		s, err := res.col.Summary()
+		if err != nil {
+			return err
+		}
+		statics = append(statics, staticRow{servers: servers, sum: s})
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Controller vs static provisioning — SLO %.3f over the full schedule", cfg.slo),
+		"configuration", "visits", "measured", "CI low", "verdict")
+	verdictFor := func(s telemetry.Summary) string {
+		if s.CI95.Low() >= cfg.slo {
+			return "SLO held"
+		}
+		if s.Availability >= cfg.slo {
+			return "inconclusive (CI spans SLO)"
+		}
+		return "SLO VIOLATED"
+	}
+	t.MustAddRow(
+		fmt.Sprintf("controller (final NW=%d)", ctrlRes.servers),
+		fmt.Sprintf("%d", ctrlSum.Visits),
+		report.Fixed(ctrlSum.Availability, 5),
+		report.Fixed(ctrlSum.CI95.Low(), 5),
+		verdictFor(ctrlSum))
+	for _, row := range statics {
+		t.MustAddRow(
+			fmt.Sprintf("static NW=%d", row.servers),
+			fmt.Sprintf("%d", row.sum.Visits),
+			report.Fixed(row.sum.Availability, 5),
+			report.Fixed(row.sum.CI95.Low(), 5),
+			verdictFor(row.sum))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "controller actions: %d hold, %d scale-out, %d scale-in, %d guardrail; drift verdict: %s\n",
+		ctrlRes.actions[autoscale.Hold], ctrlRes.actions[autoscale.ScaleOut],
+		ctrlRes.actions[autoscale.ScaleIn], ctrlRes.actions[autoscale.Guardrail],
+		driftVerdict(drift))
+
+	if cfg.smoke {
+		if ctrlSum.CI95.Low() < cfg.slo {
+			return fmt.Errorf("controller smoke failed: measured CI low %.5f < SLO %.3f",
+				ctrlSum.CI95.Low(), cfg.slo)
+		}
+		if ctrlRes.actions[autoscale.ScaleOut] < 1 || ctrlRes.actions[autoscale.ScaleIn] < 1 {
+			return fmt.Errorf("controller smoke failed: expected scale activity, got %d out / %d in",
+				ctrlRes.actions[autoscale.ScaleOut], ctrlRes.actions[autoscale.ScaleIn])
+		}
+		for _, row := range statics {
+			if row.sum.Availability >= cfg.slo {
+				return fmt.Errorf("controller smoke failed: static NW=%d held the SLO (%.5f ≥ %.3f) — schedule not hostile enough",
+					row.servers, row.sum.Availability, cfg.slo)
+			}
+		}
+		fmt.Fprintf(w, "controller smoke passed: SLO held under the schedule every static size failed\n")
+	}
+	holdServe(w, stack, cfg.hold)
+	return nil
+}

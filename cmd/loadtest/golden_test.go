@@ -1,0 +1,54 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/testbed"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the campaign-preset golden files")
+
+// TestCampaignPresetGoldens runs every -campaign preset single-worker (float
+// accumulation order, and therefore the rendered tables, are deterministic
+// only with one worker) and compares the full report byte-for-byte against
+// the checked-in golden output. Regenerate with: go test ./cmd/loadtest
+// -run TestCampaignPresetGoldens -update
+func TestCampaignPresetGoldens(t *testing.T) {
+	for _, preset := range testbed.CampaignPresets() {
+		t.Run(preset, func(t *testing.T) {
+			out := runCapture(t,
+				"-visits", "800", "-class", "a", "-workers", "1", "-seed", "7",
+				"-mode", "campaign", "-campaign", preset,
+				"-mttr", "45", "-horizon", "1000")
+			golden := filepath.Join("testdata", "campaign_"+preset+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if out != string(want) {
+				t.Errorf("output diverges from %s (regenerate with -update if intended):\ngot:\n%s\nwant:\n%s",
+					golden, out, want)
+			}
+		})
+	}
+}
+
+func TestCampaignPresetUnknown(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-mode", "campaign", "-campaign", "bogus"}, &sb)
+	if err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if !strings.Contains(err.Error(), "bogus") || !strings.Contains(err.Error(), "renewal") {
+		t.Errorf("error %q should name the bad preset and the available ones", err)
+	}
+}

@@ -11,11 +11,15 @@
 //	loadtest                          # steady-state closed-loop run, both classes
 //	loadtest -visits 50000 -class a   # bigger run, class A only
 //	loadtest -mode campaign -mttr 60  # campaign-driven fault injection
+//	loadtest -campaign correlated     # campaign preset: renewal, scripted, correlated
 //	loadtest -transport http          # dispatch visits over loopback HTTP
 //	loadtest -overload                # paced M/M/i/K buffer-loss sweep
 //	loadtest -smoke                   # CI gate: ≥100k visits, fail outside CI
+//	loadtest -controller              # closed-loop autoscaler vs static sweep
+//	loadtest -controller -smoke       # CI gate: SLO held where all statics fail
 //	loadtest -serve 127.0.0.1:9464    # expose /metrics, /traces, /healthz, pprof
 //	loadtest -serve :9464 -hold 10m   # keep serving after the run completes
+//	loadtest -serve :9464 -trace-out spans.jsonl  # flush span ring on exit/SIGINT
 //
 // With -serve the run carries a full observability plane: the testbed
 // registers its admission, call and fault-plane metrics, every visit is
@@ -25,11 +29,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/obs"
@@ -49,21 +56,25 @@ func main() {
 }
 
 type config struct {
-	visits    int64
-	class     string
-	workers   int
-	seed      int64
-	mode      string
-	transport string
-	scale     float64
-	rate      float64
-	mttr      float64
-	horizon   float64
-	overload  bool
-	smoke     bool
-	keepSteps bool
-	serve     string
-	hold      time.Duration
+	visits     int64
+	class      string
+	workers    int
+	seed       int64
+	mode       string
+	campaign   string
+	transport  string
+	scale      float64
+	rate       float64
+	mttr       float64
+	horizon    float64
+	overload   bool
+	smoke      bool
+	controller bool
+	slo        float64
+	keepSteps  bool
+	serve      string
+	traceOut   string
+	hold       time.Duration
 }
 
 // obsStack bundles the observability plane of a -serve run.
@@ -146,6 +157,7 @@ func run(args []string, w io.Writer) error {
 	fs.IntVar(&cfg.workers, "workers", 0, "load-generator workers (0 = auto)")
 	fs.Int64Var(&cfg.seed, "seed", 1, "run seed (fixed seed ⇒ reproducible unpaced run)")
 	fs.StringVar(&cfg.mode, "mode", "steady", "fault plane: steady (closed-loop validation) or campaign")
+	fs.StringVar(&cfg.campaign, "campaign", "renewal", "campaign mode preset: renewal, scripted or correlated")
 	fs.StringVar(&cfg.transport, "transport", "direct", "dispatch: direct or http")
 	fs.Float64Var(&cfg.scale, "scale", 0, "real seconds per model second (0 = unpaced)")
 	fs.Float64Var(&cfg.rate, "rate", 0, "paced visit arrival rate, visits per model second (0 = back to back)")
@@ -153,8 +165,11 @@ func run(args []string, w io.Writer) error {
 	fs.Float64Var(&cfg.horizon, "horizon", 2000, "campaign mode: fault-injection horizon, model seconds")
 	fs.BoolVar(&cfg.overload, "overload", false, "run the paced web-tier overload sweep (Figure 11 knee)")
 	fs.BoolVar(&cfg.smoke, "smoke", false, "CI smoke: ≥100k visits across both classes, fail if analytic availability leaves the measured CI")
+	fs.BoolVar(&cfg.controller, "controller", false, "closed-loop controller demo: autoscale through a load ramp and zone outage, then sweep static sizes (with -smoke: CI gate)")
+	fs.Float64Var(&cfg.slo, "slo", 0.94, "with -controller: user-perceived availability SLO the controller must hold")
 	fs.BoolVar(&cfg.keepSteps, "steps", false, "retain per-step traces (latency quantile tables)")
 	fs.StringVar(&cfg.serve, "serve", "", "expose /metrics, /traces, /healthz and pprof on this address (empty = off)")
+	fs.StringVar(&cfg.traceOut, "trace-out", "", "with -serve: flush the retained span traces to this JSONL file on exit or SIGINT")
 	fs.DurationVar(&cfg.hold, "hold", 0, "with -serve: keep the endpoint alive this long after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -167,10 +182,33 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		stack.server.SetFlushPath(cfg.traceOut)
+		// Close also flushes the trace ring, so a completed run persists its
+		// spans without needing the signal path.
 		defer stack.server.Close()
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+		go func() {
+			sig, ok := <-sigc
+			if !ok {
+				return
+			}
+			fmt.Fprintf(w, "\n%v: draining observability plane and flushing traces\n", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			_ = stack.server.Shutdown(ctx)
+			os.Exit(130)
+		}()
 	}
 
 	p := travelagency.DefaultParams()
+	if cfg.controller {
+		if cfg.slo <= 0 || cfg.slo >= 1 {
+			return fmt.Errorf("SLO %v outside (0, 1)", cfg.slo)
+		}
+		return runControllerDemo(w, p, cfg, stack)
+	}
 	if cfg.smoke {
 		return runSmoke(w, p, cfg, stack)
 	}
@@ -198,7 +236,7 @@ func run(args []string, w io.Writer) error {
 	switch cfg.mode {
 	case "steady":
 	case "campaign":
-		campaign, err = testbed.DefaultCampaign(p, cfg.horizon, cfg.mttr)
+		campaign, err = testbed.PresetCampaign(cfg.campaign, p, cfg.horizon, cfg.mttr)
 		if err != nil {
 			return err
 		}
@@ -266,7 +304,7 @@ func runClass(w io.Writer, cluster *testbed.Cluster, p travelagency.Params, clas
 
 	mode := "steady state"
 	if cfg.mode == "campaign" {
-		mode = fmt.Sprintf("campaign (horizon %g s, MTTR %g s)", cfg.horizon, cfg.mttr)
+		mode = fmt.Sprintf("campaign %q (horizon %g s, MTTR %g s)", cfg.campaign, cfg.horizon, cfg.mttr)
 	}
 	t := report.NewTable(
 		fmt.Sprintf("User-perceived availability, %v — %s, %d visits", class, mode, s.Visits),

@@ -61,7 +61,7 @@ func TestCampaignRun(t *testing.T) {
 		"-visits", "1500", "-class", "b", "-mode", "campaign",
 		"-mttr", "45", "-horizon", "1000", "-steps")
 	for _, want := range []string{
-		"campaign (horizon 1000 s, MTTR 45 s)",
+		"campaign \"renewal\" (horizon 1000 s, MTTR 45 s)",
 		"n/a (campaign faults need not match steady state)",
 		"Step latency quantiles",
 	} {
@@ -102,6 +102,45 @@ func TestSmokeRun(t *testing.T) {
 	}
 	if strings.Contains(out, "OUTSIDE CI") {
 		t.Errorf("smoke verdict OUTSIDE CI:\n%s", out)
+	}
+}
+
+// TestControllerSmoke runs the -controller CI gate: the closed-loop
+// controller must hold the SLO through the load ramp and zone outage
+// (measured CI above target) with real scale activity, while every static
+// size in the sweep violates it.
+func TestControllerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full controller schedule in -short mode")
+	}
+	out := runCapture(t, "-controller", "-smoke")
+	for _, want := range []string{
+		"closed-loop controller run",
+		"scale-out", "scale-in",
+		"SLO held",
+		"static NW=8", "SLO VIOLATED",
+		"controller smoke passed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("controller output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "guardrail: ") {
+		t.Errorf("controller hit the guardrail on a healthy run:\n%s", out)
+	}
+}
+
+// TestControllerDecisionsDeterministic runs the controller schedule twice
+// with the same seed and expects identical decision traces and tables —
+// the integer-count signal path makes decisions scheduling-independent.
+func TestControllerDecisionsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two controller schedules in -short mode")
+	}
+	a := runCapture(t, "-controller", "-seed", "3")
+	b := runCapture(t, "-controller", "-seed", "3")
+	if a != b {
+		t.Errorf("same-seed controller runs diverge:\nfirst:\n%s\nsecond:\n%s", a, b)
 	}
 }
 

@@ -1,0 +1,493 @@
+// Package autoscale closes the loop between the paper's analytic stack and a
+// running deployment: a Controller ingests live signals (visit outcomes,
+// fault-plane capacity observations, admission statistics, drift verdicts),
+// re-solves the compiled M/M/i/K + repair hierarchy online for a grid of
+// candidate (N_W, K) configurations, and actuates the cheapest one that holds
+// a user-perceived availability SLO — the paper's §5 economic trade-off
+// turned from an offline design-time sweep into an online control policy.
+//
+// The control loop is deliberately conservative:
+//
+//   - Violations act immediately: when the current configuration no longer
+//     holds the SLO (measured or predicted), the controller re-provisions on
+//     the same tick, ignoring the cooldown.
+//   - Savings act slowly: scaling in requires the candidate to hold the SLO
+//     with an extra hysteresis margin, and only after a cooldown of quiet
+//     ticks — so a brief lull never flaps the farm down and back up.
+//   - Guardrail: when the solver fails or the window carries no signal, the
+//     controller falls back to the last configuration that measurably held
+//     the SLO rather than acting on a stale or undefined model.
+//
+// Determinism: decisions are pure functions of the (integer-count) signals
+// and the configuration, so a seeded experiment reproduces its decision
+// trace bit-for-bit regardless of worker scheduling.
+package autoscale
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/hierarchy"
+	"repro/internal/obs"
+	"repro/internal/travelagency"
+	"repro/internal/webfarm"
+)
+
+// ErrAutoscale is returned for invalid controller configurations.
+var ErrAutoscale = errors.New("autoscale: invalid configuration")
+
+// Config configures a Controller.
+type Config struct {
+	// Params is the baseline parameter set; WebServers, BufferSize and
+	// ArrivalRate are overridden per candidate and per tick.
+	Params travelagency.Params
+	// Class selects the operational profile the SLO is judged against.
+	Class travelagency.UserClass
+	// SLO is the user-perceived availability target (equation (10) terms).
+	SLO float64
+	// MinServers and MaxServers bound the candidate web-farm sizes.
+	MinServers, MaxServers int
+	// Buffers are the candidate admission-buffer capacities (default: keep
+	// the baseline K only).
+	Buffers []int
+	// HysteresisMargin is the extra predicted headroom above the SLO a
+	// cheaper configuration must show before the controller scales in
+	// (default 0.005).
+	HysteresisMargin float64
+	// Cooldown is the number of ticks that must pass after any actuation
+	// before a cost-driven (non-urgent) change is allowed (default 3).
+	Cooldown int
+	// MinSavings is the minimum relative cost reduction a cost-driven change
+	// must produce (default 0.03). The capacity refit rounds the up fraction
+	// onto each candidate size, so neighboring sizes can trade sub-percent
+	// cost differences back and forth as the fraction is re-measured after a
+	// move; this threshold keeps such rounding noise from flapping the farm.
+	MinSavings float64
+	// ServerCostPerHour prices one provisioned web server; the controller
+	// minimizes server cost plus expected hourly SC4 revenue loss.
+	ServerCostPerHour float64
+	// TxPerSecond and RevenuePerTx parameterize the §5 revenue model
+	// (defaults 100/s and 100 per transaction, the paper's Figure 13 values).
+	TxPerSecond, RevenuePerTx float64
+	// Composer, when set, memoizes repair and queueing solves across ticks.
+	Composer *webfarm.Composer
+	// Metrics, when set, exports the controller's state and decision
+	// counters under the autoscale_* prefix.
+	Metrics *obs.Registry
+	// Drift, when set, is retargeted (SetPredicted) after every tick so the
+	// drift detector always judges the prediction for the live
+	// configuration.
+	Drift *obs.DriftDetector
+}
+
+// Signals is one observation window, expressed in integer counts so the
+// controller's decisions cannot depend on float summation order.
+type Signals struct {
+	// Visits and Failures are the window's visit outcome counts.
+	Visits, Failures int64
+	// WebUpServerVisits is the sum over the window's fault-plane snapshots
+	// of the operational web-server count; WebVisits is the number of
+	// snapshots. Their ratio over the provisioned size estimates the
+	// per-server up fraction (see testbed.Cluster.WebUpStats).
+	WebUpServerVisits, WebVisits int64
+	// Admitted and Rejected are the window's admission-gate counts.
+	Admitted, Rejected int64
+	// ArrivalRate is the offered page-request load the window ran at —
+	// from the load schedule or an arrival-rate estimator.
+	ArrivalRate float64
+	// Drifting carries the drift detector's verdict, when one is wired.
+	Drifting bool
+}
+
+// Action classifies a tick's outcome.
+type Action int
+
+const (
+	// Hold keeps the current configuration.
+	Hold Action = iota
+	// ScaleOut re-provisions because the SLO is (or is predicted to be)
+	// violated.
+	ScaleOut
+	// ScaleIn moves to a cheaper configuration that still holds the SLO
+	// with hysteresis headroom.
+	ScaleIn
+	// Guardrail falls back to the last known-safe configuration because
+	// signals or the solver were unavailable.
+	Guardrail
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case Hold:
+		return "hold"
+	case ScaleOut:
+		return "scale-out"
+	case ScaleIn:
+		return "scale-in"
+	case Guardrail:
+		return "guardrail"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Decision is the outcome of one controller tick.
+type Decision struct {
+	Action Action
+	// Servers and Buffer are the configuration in force after the tick.
+	Servers, Buffer int
+	// Predicted is the analytic availability of that configuration under
+	// the tick's capacity refit and arrival rate (0 when the guardrail
+	// fired without a solvable model).
+	Predicted float64
+	// Measured is the window's measured availability (NaN with no visits).
+	Measured float64
+	// UpFraction is the estimated per-server structural up fraction.
+	UpFraction float64
+	// CostPerHour is the chosen configuration's server cost plus expected
+	// hourly SC4 revenue loss.
+	CostPerHour float64
+	// Reason is a one-line human-readable justification.
+	Reason string
+}
+
+// Actuator applies configurations to the deployment. testbed.Cluster
+// satisfies it through a thin adapter (see cmd/loadtest).
+type Actuator interface {
+	// Current returns the configuration now in force.
+	Current() (servers, buffer int)
+	// Apply reconfigures the deployment to the given web-farm size and
+	// admission-buffer capacity.
+	Apply(servers, buffer int) error
+}
+
+// Controller holds the closed-loop state. Not safe for concurrent use; run
+// one Tick at a time.
+type Controller struct {
+	cfg Config
+	act Actuator
+
+	lastSafeServers int
+	lastSafeBuffer  int
+	sinceChange     int
+	ticks           int64
+
+	m *controllerMetrics
+}
+
+// New validates the configuration and builds a controller. The actuator's
+// current configuration seeds the last-known-safe fallback.
+func New(cfg Config, act Actuator) (*Controller, error) {
+	if act == nil {
+		return nil, fmt.Errorf("%w: nil actuator", ErrAutoscale)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SLO <= 0 || cfg.SLO >= 1 || math.IsNaN(cfg.SLO) {
+		return nil, fmt.Errorf("%w: SLO %v outside (0, 1)", ErrAutoscale, cfg.SLO)
+	}
+	if cfg.MinServers < 1 || cfg.MaxServers < cfg.MinServers {
+		return nil, fmt.Errorf("%w: server range [%d, %d]", ErrAutoscale, cfg.MinServers, cfg.MaxServers)
+	}
+	if len(cfg.Buffers) == 0 {
+		cfg.Buffers = []int{cfg.Params.BufferSize}
+	}
+	for _, k := range cfg.Buffers {
+		if k < 1 {
+			return nil, fmt.Errorf("%w: buffer candidate %d", ErrAutoscale, k)
+		}
+	}
+	if cfg.HysteresisMargin == 0 {
+		cfg.HysteresisMargin = 0.005
+	}
+	if cfg.HysteresisMargin < 0 || math.IsNaN(cfg.HysteresisMargin) {
+		return nil, fmt.Errorf("%w: hysteresis margin %v", ErrAutoscale, cfg.HysteresisMargin)
+	}
+	if cfg.Cooldown == 0 {
+		cfg.Cooldown = 3
+	}
+	if cfg.Cooldown < 0 {
+		return nil, fmt.Errorf("%w: cooldown %d", ErrAutoscale, cfg.Cooldown)
+	}
+	if cfg.MinSavings == 0 {
+		cfg.MinSavings = 0.03
+	}
+	if cfg.MinSavings < 0 || cfg.MinSavings >= 1 || math.IsNaN(cfg.MinSavings) {
+		return nil, fmt.Errorf("%w: min savings %v", ErrAutoscale, cfg.MinSavings)
+	}
+	if cfg.ServerCostPerHour < 0 || math.IsNaN(cfg.ServerCostPerHour) {
+		return nil, fmt.Errorf("%w: server cost %v", ErrAutoscale, cfg.ServerCostPerHour)
+	}
+	if cfg.TxPerSecond == 0 {
+		cfg.TxPerSecond = 100
+	}
+	if cfg.RevenuePerTx == 0 {
+		cfg.RevenuePerTx = 100
+	}
+	if cfg.Composer == nil {
+		cfg.Composer = webfarm.NewComposer()
+	}
+	// Startup counts as a change: a fresh controller observes for a full
+	// cooldown before its first cost-driven move.
+	c := &Controller{cfg: cfg, act: act}
+	c.lastSafeServers, c.lastSafeBuffer = act.Current()
+	if cfg.Metrics != nil {
+		m, err := registerMetrics(cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		c.m = m
+	}
+	return c, nil
+}
+
+// LastSafe returns the fallback configuration the guardrail would apply.
+func (c *Controller) LastSafe() (servers, buffer int) {
+	return c.lastSafeServers, c.lastSafeBuffer
+}
+
+// candidate is one evaluated (N_W, K) configuration.
+type candidate struct {
+	servers, buffer int
+	predicted       float64
+	cost            float64
+}
+
+// Tick runs one control cycle over an observation window: refit capacity
+// from the signals, evaluate the candidate grid, and actuate the cheapest
+// feasible configuration subject to hysteresis and cooldown. Errors from the
+// actuator are returned as-is; solver errors trigger the guardrail instead.
+func (c *Controller) Tick(sig Signals) (Decision, error) {
+	c.ticks++
+	c.sinceChange++
+	curServers, curBuffer := c.act.Current()
+
+	measured := math.NaN()
+	if sig.Visits > 0 {
+		measured = 1 - float64(sig.Failures)/float64(sig.Visits)
+	}
+
+	// Guardrail on missing signals: an empty window gives the model nothing
+	// to refit against.
+	if sig.Visits <= 0 || sig.WebVisits <= 0 || sig.ArrivalRate <= 0 ||
+		math.IsNaN(sig.ArrivalRate) || math.IsInf(sig.ArrivalRate, 0) {
+		return c.guardrail(curServers, curBuffer, measured, 0, "window carries no usable signal")
+	}
+
+	upFrac := float64(sig.WebUpServerVisits) / (float64(sig.WebVisits) * float64(curServers))
+	if upFrac > 1 {
+		upFrac = 1
+	}
+	if upFrac < 0 || math.IsNaN(upFrac) {
+		return c.guardrail(curServers, curBuffer, measured, 0, "capacity signal out of range")
+	}
+
+	// The SLO is judged on the measured window when it is large enough to
+	// mean anything, and on the model otherwise.
+	curPredicted, err := c.predict(curServers, curBuffer, upFrac, sig.ArrivalRate)
+	if err != nil {
+		return c.guardrail(curServers, curBuffer, measured, upFrac, fmt.Sprintf("solver failed on current config: %v", err))
+	}
+
+	best, bestOK, err := c.choose(upFrac, sig.ArrivalRate)
+	if err != nil {
+		return c.guardrail(curServers, curBuffer, measured, upFrac, fmt.Sprintf("solver failed on candidate grid: %v", err))
+	}
+
+	// The current configuration is safe when the window measurably held the
+	// SLO and the model agrees it still should.
+	if measured >= c.cfg.SLO && curPredicted >= c.cfg.SLO {
+		c.lastSafeServers, c.lastSafeBuffer = curServers, curBuffer
+	}
+
+	urgent := measured < c.cfg.SLO || curPredicted < c.cfg.SLO || sig.Drifting && curPredicted < c.cfg.SLO+c.cfg.HysteresisMargin
+
+	d := Decision{
+		Action:     Hold,
+		Servers:    curServers,
+		Buffer:     curBuffer,
+		Predicted:  curPredicted,
+		Measured:   measured,
+		UpFraction: upFrac,
+	}
+	if cost, err := c.costOf(curServers, curBuffer, upFrac, sig.ArrivalRate); err == nil {
+		d.CostPerHour = cost
+	}
+
+	switch {
+	case best.servers == curServers && best.buffer == curBuffer:
+		d.Reason = "current configuration is the cost optimum"
+		if !bestOK && curPredicted < c.cfg.SLO {
+			d.Reason = "SLO unattainable within bounds; already at best-effort optimum"
+		}
+	case urgent:
+		// A measured dip while the model still clears the SLO means the
+		// optimum lies below the current capacity; shedding servers on an
+		// urgent tick would act on noise, so leave that to the cost branch.
+		if curPredicted >= c.cfg.SLO && direction(curServers, curBuffer, best) == ScaleIn {
+			d.Reason = fmt.Sprintf("measured dip (%.4f) but model holds %.4f ≥ %.4f: not scaling in under stress",
+				measured, curPredicted, c.cfg.SLO)
+			break
+		}
+		// Violation: re-provision now, cooldown ignored.
+		if err := c.apply(best.servers, best.buffer); err != nil {
+			return Decision{}, err
+		}
+		d.Action = direction(curServers, curBuffer, best)
+		d.Servers, d.Buffer = best.servers, best.buffer
+		d.Predicted = best.predicted
+		d.CostPerHour = best.cost
+		if bestOK {
+			d.Reason = fmt.Sprintf("SLO violated (measured %.4f, predicted %.4f < %.4f): re-provisioning", measured, curPredicted, c.cfg.SLO)
+		} else {
+			d.Reason = fmt.Sprintf("SLO unattainable within bounds: best-effort re-provisioning to predicted %.4f", best.predicted)
+		}
+	case bestOK && best.cost < d.CostPerHour*(1-c.cfg.MinSavings) &&
+		best.predicted >= c.cfg.SLO+c.cfg.HysteresisMargin:
+		// Savings: only after the cooldown, only with hysteresis headroom.
+		if c.sinceChange <= c.cfg.Cooldown {
+			d.Reason = fmt.Sprintf("cheaper config (%d, %d) available but cooling down (%d/%d ticks)",
+				best.servers, best.buffer, c.sinceChange, c.cfg.Cooldown)
+			break
+		}
+		if err := c.apply(best.servers, best.buffer); err != nil {
+			return Decision{}, err
+		}
+		d.Action = direction(curServers, curBuffer, best)
+		d.Servers, d.Buffer = best.servers, best.buffer
+		d.Predicted = best.predicted
+		d.CostPerHour = best.cost
+		d.Reason = fmt.Sprintf("cheaper config holds SLO with margin (predicted %.4f ≥ %.4f)",
+			best.predicted, c.cfg.SLO+c.cfg.HysteresisMargin)
+	default:
+		d.Reason = "holding: no urgent violation and no qualifying savings"
+	}
+
+	c.observe(d)
+	return d, nil
+}
+
+// direction classifies a configuration change by which way capacity moves.
+func direction(curServers, curBuffer int, to candidate) Action {
+	if to.servers > curServers || to.servers == curServers && to.buffer > curBuffer {
+		return ScaleOut
+	}
+	return ScaleIn
+}
+
+// apply actuates a configuration change and resets the cooldown clock.
+func (c *Controller) apply(servers, buffer int) error {
+	if err := c.act.Apply(servers, buffer); err != nil {
+		return fmt.Errorf("autoscale: actuation failed: %w", err)
+	}
+	c.sinceChange = 0
+	return nil
+}
+
+// guardrail reverts to the last known-safe configuration (when the current
+// one differs) and reports the decision.
+func (c *Controller) guardrail(curServers, curBuffer int, measured, upFrac float64, why string) (Decision, error) {
+	d := Decision{
+		Action:     Guardrail,
+		Servers:    c.lastSafeServers,
+		Buffer:     c.lastSafeBuffer,
+		Measured:   measured,
+		UpFraction: upFrac,
+		Reason:     "guardrail: " + why,
+	}
+	if curServers != c.lastSafeServers || curBuffer != c.lastSafeBuffer {
+		if err := c.apply(c.lastSafeServers, c.lastSafeBuffer); err != nil {
+			return Decision{}, err
+		}
+	}
+	c.observe(d)
+	return d, nil
+}
+
+// predict evaluates the analytic user-perceived availability of a candidate
+// configuration under the capacity refit: of the servers provisioned
+// servers, only round(servers·upFrac) are structurally available this
+// window, and those fail and repair per the baseline rates. A refit that
+// rounds to zero servers predicts total web unavailability.
+func (c *Controller) predict(servers, buffer int, upFrac, arrival float64) (float64, error) {
+	eff := int(math.Round(float64(servers) * upFrac))
+	if eff < 1 {
+		return 0, nil
+	}
+	rep, err := c.report(eff, buffer, arrival)
+	if err != nil {
+		return 0, err
+	}
+	return rep.UserAvailability, nil
+}
+
+// costOf prices a configuration: provisioned server cost plus the expected
+// hourly SC4 revenue loss of its predicted availability.
+func (c *Controller) costOf(servers, buffer int, upFrac, arrival float64) (float64, error) {
+	eff := int(math.Round(float64(servers) * upFrac))
+	serverCost := float64(servers) * c.cfg.ServerCostPerHour
+	if eff < 1 {
+		// Total web outage: every SC4 transaction is lost.
+		return serverCost + c.cfg.TxPerSecond*3600*c.cfg.RevenuePerTx, nil
+	}
+	rep, err := c.report(eff, buffer, arrival)
+	if err != nil {
+		return 0, err
+	}
+	outage, err := travelagency.HourlyOutageCost(rep, c.cfg.TxPerSecond, c.cfg.RevenuePerTx)
+	if err != nil {
+		return 0, err
+	}
+	return serverCost + outage, nil
+}
+
+// report solves the hierarchy for an effective configuration.
+func (c *Controller) report(effServers, buffer int, arrival float64) (*hierarchy.Report, error) {
+	p := c.cfg.Params
+	p.WebServers = effServers
+	p.BufferSize = buffer
+	p.ArrivalRate = arrival
+	return travelagency.EvaluateWithComposer(p, c.cfg.Class, c.cfg.Composer)
+}
+
+// choose evaluates the candidate grid and returns the cheapest feasible
+// configuration, or — when nothing attains the SLO — the best-effort one
+// (highest predicted availability, then lowest cost). The grid is walked in
+// a fixed order so ties resolve deterministically toward fewer servers and
+// smaller buffers.
+func (c *Controller) choose(upFrac, arrival float64) (candidate, bool, error) {
+	var best, fallback candidate
+	haveBest, haveFallback := false, false
+	for servers := c.cfg.MinServers; servers <= c.cfg.MaxServers; servers++ {
+		for _, buffer := range c.cfg.Buffers {
+			cand := candidate{servers: servers, buffer: buffer}
+			var err error
+			cand.predicted, err = c.predict(servers, buffer, upFrac, arrival)
+			if err != nil {
+				return candidate{}, false, err
+			}
+			cand.cost, err = c.costOf(servers, buffer, upFrac, arrival)
+			if err != nil {
+				return candidate{}, false, err
+			}
+			if cand.predicted >= c.cfg.SLO {
+				if !haveBest || cand.cost < best.cost {
+					best = cand
+					haveBest = true
+				}
+			}
+			if !haveFallback || cand.predicted > fallback.predicted ||
+				(cand.predicted == fallback.predicted && cand.cost < fallback.cost) {
+				fallback = cand
+				haveFallback = true
+			}
+		}
+	}
+	if haveBest {
+		return best, true, nil
+	}
+	return fallback, false, nil
+}

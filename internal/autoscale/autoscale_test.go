@@ -1,0 +1,369 @@
+package autoscale
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/travelagency"
+)
+
+// fakeActuator records applied configurations without a deployment.
+type fakeActuator struct {
+	servers, buffer int
+	applies         [][2]int
+	fail            error
+}
+
+func (a *fakeActuator) Current() (int, int) { return a.servers, a.buffer }
+func (a *fakeActuator) Apply(servers, buffer int) error {
+	if a.fail != nil {
+		return a.fail
+	}
+	a.servers, a.buffer = servers, buffer
+	a.applies = append(a.applies, [2]int{servers, buffer})
+	return nil
+}
+
+// testConfig is the calibrated baseline used across the tests: Table 7
+// parameters, class A, SLO 0.94, bounded farm 1..16, pricey servers so the
+// cost optimum moves with load (nominal → N_W 2, ramp at α=450 → N_W 8).
+func testConfig() Config {
+	return Config{
+		Params:            travelagency.DefaultParams(),
+		Class:             travelagency.ClassA,
+		SLO:               0.94,
+		MinServers:        1,
+		MaxServers:        16,
+		ServerCostPerHour: 8000,
+	}
+}
+
+// nominalSignals is a healthy window at the Table 7 operating point.
+func nominalSignals(servers int) Signals {
+	return Signals{
+		Visits: 1000, Failures: 21, // measured 0.979
+		WebUpServerVisits: int64(servers) * 1000, WebVisits: 1000,
+		Admitted: 1500, ArrivalRate: 100,
+	}
+}
+
+func TestScaleOutOnViolation(t *testing.T) {
+	act := &fakeActuator{servers: 4, buffer: 10}
+	ctl, err := New(testConfig(), act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load ramp: α=450 at N_W=4 predicts ≈0.814, well below the SLO.
+	d, err := ctl.Tick(Signals{
+		Visits: 1000, Failures: 186,
+		WebUpServerVisits: 4000, WebVisits: 1000,
+		ArrivalRate: 450,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Action != ScaleOut {
+		t.Fatalf("action = %v (%s), want scale-out", d.Action, d.Reason)
+	}
+	if d.Servers != 8 {
+		t.Fatalf("scaled to %d servers, want 8 (cost optimum at α=450): %s", d.Servers, d.Reason)
+	}
+	if act.servers != 8 {
+		t.Fatalf("actuator at %d servers", act.servers)
+	}
+	if d.Predicted < 0.94 {
+		t.Fatalf("chosen config predicted %.4f < SLO", d.Predicted)
+	}
+	// The violation acted on tick 1 — cooldown must not delay urgency.
+	if len(act.applies) != 1 {
+		t.Fatalf("applies = %v", act.applies)
+	}
+}
+
+func TestScaleInWaitsForCooldown(t *testing.T) {
+	act := &fakeActuator{servers: 8, buffer: 10}
+	cfg := testConfig()
+	cfg.Cooldown = 3
+	ctl, err := New(cfg, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nominal load: N_W=2 is the cost optimum and holds the SLO with margin,
+	// but the controller must sit out the cooldown first.
+	for tick := 1; tick <= 3; tick++ {
+		d, err := ctl.Tick(nominalSignals(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Action != Hold {
+			t.Fatalf("tick %d: action = %v (%s), want hold", tick, d.Action, d.Reason)
+		}
+		if !strings.Contains(d.Reason, "cooling down") {
+			t.Fatalf("tick %d reason = %q", tick, d.Reason)
+		}
+	}
+	d, err := ctl.Tick(nominalSignals(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Action != ScaleIn || d.Servers != 2 {
+		t.Fatalf("tick 4: action = %v to %d servers (%s), want scale-in to 2", d.Action, d.Servers, d.Reason)
+	}
+	if act.servers != 2 {
+		t.Fatalf("actuator at %d servers", act.servers)
+	}
+}
+
+func TestHysteresisBlocksMarginalScaleIn(t *testing.T) {
+	act := &fakeActuator{servers: 4, buffer: 10}
+	cfg := testConfig()
+	// N_W=2 predicts ≈0.9782: above this SLO but inside the hysteresis band
+	// [0.977, 0.982), so the saving must not be taken.
+	cfg.SLO = 0.977
+	cfg.Cooldown = 1
+	ctl, err := New(cfg, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 1; tick <= 4; tick++ {
+		d, err := ctl.Tick(nominalSignals(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Action != Hold {
+			t.Fatalf("tick %d: action = %v to %d (%s), want hold", tick, d.Action, d.Servers, d.Reason)
+		}
+	}
+	if len(act.applies) != 0 {
+		t.Fatalf("applies = %v, want none", act.applies)
+	}
+}
+
+func TestNoUrgentScaleInOnMeasuredNoise(t *testing.T) {
+	// Over-provisioned farm (N_W=8, cost optimum N_W=2) with a measured dip
+	// below the SLO while the model still clears it: the urgent path must not
+	// shed capacity on noise — the move stays with the cost branch.
+	act := &fakeActuator{servers: 8, buffer: 10}
+	cfg := testConfig()
+	ctl, err := New(cfg, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := nominalSignals(8)
+	sig.Failures = 100 // measured 0.900 < SLO 0.94
+	d, err := ctl.Tick(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Action != Hold || d.Servers != 8 {
+		t.Fatalf("action = %v to %d (%s), want hold at 8", d.Action, d.Servers, d.Reason)
+	}
+	if !strings.Contains(d.Reason, "not scaling in under stress") {
+		t.Errorf("reason = %q", d.Reason)
+	}
+	if len(act.applies) != 0 {
+		t.Fatalf("applies = %v, want none", act.applies)
+	}
+}
+
+func TestGuardrailOnMissingSignals(t *testing.T) {
+	act := &fakeActuator{servers: 4, buffer: 10}
+	ctl, err := New(testConfig(), act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Establish (4, 10) as known-safe.
+	if _, err := ctl.Tick(nominalSignals(4)); err != nil {
+		t.Fatal(err)
+	}
+	// Someone moved the deployment outside the loop; the next window is
+	// empty, so the controller cannot judge the new config — revert.
+	act.servers, act.buffer = 12, 30
+	d, err := ctl.Tick(Signals{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Action != Guardrail {
+		t.Fatalf("action = %v (%s), want guardrail", d.Action, d.Reason)
+	}
+	if act.servers != 4 || act.buffer != 10 {
+		t.Fatalf("actuator at (%d, %d), want last-safe (4, 10)", act.servers, act.buffer)
+	}
+	if !math.IsNaN(d.Measured) {
+		t.Fatalf("measured = %v, want NaN for an empty window", d.Measured)
+	}
+}
+
+func TestGuardrailOnSolverFailure(t *testing.T) {
+	act := &fakeActuator{servers: 4, buffer: 10}
+	cfg := testConfig()
+	// Params.Validate delegates rate validity to the solver, so a negative
+	// service rate passes construction and fails at solve time.
+	cfg.Params.ServiceRate = -1
+	ctl, err := New(cfg, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ctl.Tick(nominalSignals(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Action != Guardrail || !strings.Contains(d.Reason, "solver failed") {
+		t.Fatalf("action = %v (%s), want solver guardrail", d.Action, d.Reason)
+	}
+	// Current config equals last-safe: the guardrail must not actuate.
+	if len(act.applies) != 0 {
+		t.Fatalf("applies = %v, want none", act.applies)
+	}
+}
+
+func TestActuatorErrorPropagates(t *testing.T) {
+	act := &fakeActuator{servers: 4, buffer: 10, fail: errors.New("boom")}
+	ctl, err := New(testConfig(), act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ctl.Tick(Signals{
+		Visits: 1000, Failures: 186,
+		WebUpServerVisits: 4000, WebVisits: 1000,
+		ArrivalRate: 450,
+	})
+	if err == nil || !strings.Contains(err.Error(), "actuation failed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecisionsDeterministic(t *testing.T) {
+	sequence := []Signals{
+		nominalSignals(4),
+		{Visits: 1000, Failures: 186, WebUpServerVisits: 4000, WebVisits: 1000, ArrivalRate: 450},
+		{Visits: 1000, Failures: 40, WebUpServerVisits: 4000, WebVisits: 1000, ArrivalRate: 450},
+		{Visits: 1000, Failures: 186, WebUpServerVisits: 2000, WebVisits: 1000, ArrivalRate: 450},
+		{},
+		nominalSignals(4),
+	}
+	trace := func() []string {
+		act := &fakeActuator{servers: 4, buffer: 10}
+		ctl, err := New(testConfig(), act)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for i, sig := range sequence {
+			if sig.WebVisits > 0 {
+				// Capacity signal follows the actuated size, as it would live.
+				sig.WebUpServerVisits = sig.WebUpServerVisits / 4 * int64(act.servers)
+			}
+			d, err := ctl.Tick(sig)
+			if err != nil {
+				t.Fatalf("tick %d: %v", i, err)
+			}
+			out = append(out, fmt.Sprintf("%v (%d,%d) %.6f %q", d.Action, d.Servers, d.Buffer, d.Predicted, d.Reason))
+		}
+		return out
+	}
+	a, b := trace(), trace()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tick %d diverged:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDriftRetargetAndMetrics(t *testing.T) {
+	act := &fakeActuator{servers: 4, buffer: 10}
+	reg := obs.NewRegistry()
+	det, err := obs.NewDriftDetector(obs.DriftConfig{Predicted: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Metrics = reg
+	cfg.Drift = det
+	ctl, err := New(cfg, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ctl.Tick(nominalSignals(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := det.Status().Predicted; got != d.Predicted {
+		t.Fatalf("drift target = %v, want %v", got, d.Predicted)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"autoscale_ticks_total 1",
+		"autoscale_web_servers",
+		"autoscale_predicted_availability",
+		"autoscale_measured_availability",
+		"autoscale_web_up_fraction",
+		"autoscale_cost_per_hour",
+		`autoscale_actions_total{action="hold"}`,
+		`autoscale_actions_total{action="scale-out"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	act := &fakeActuator{servers: 4, buffer: 10}
+	for name, mutate := range map[string]func(*Config){
+		"slo-high":    func(c *Config) { c.SLO = 1 },
+		"slo-zero":    func(c *Config) { c.SLO = 0 },
+		"bad-range":   func(c *Config) { c.MinServers = 5; c.MaxServers = 2 },
+		"bad-buffer":  func(c *Config) { c.Buffers = []int{0} },
+		"neg-cool":    func(c *Config) { c.Cooldown = -1 },
+		"neg-savings": func(c *Config) { c.MinSavings = -0.1 },
+		"neg-cost":    func(c *Config) { c.ServerCostPerHour = -1 },
+	} {
+		cfg := testConfig()
+		mutate(&cfg)
+		if _, err := New(cfg, act); !errors.Is(err, ErrAutoscale) {
+			t.Errorf("%s: err = %v, want ErrAutoscale", name, err)
+		}
+	}
+	if _, err := New(testConfig(), nil); !errors.Is(err, ErrAutoscale) {
+		t.Errorf("nil actuator: err = %v", err)
+	}
+}
+
+func TestLastSafeTracksMeasuredHealth(t *testing.T) {
+	act := &fakeActuator{servers: 4, buffer: 10}
+	cfg := testConfig()
+	cfg.Cooldown = 100 // no voluntary moves in this test
+	ctl, err := New(cfg, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, b := ctl.LastSafe(); s != 4 || b != 10 {
+		t.Fatalf("initial last-safe = (%d, %d)", s, b)
+	}
+	// A violating window must not update last-safe.
+	if _, err := ctl.Tick(Signals{
+		Visits: 1000, Failures: 300,
+		WebUpServerVisits: 4000, WebVisits: 1000, ArrivalRate: 450,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := ctl.LastSafe(); s != 4 {
+		t.Fatalf("last-safe moved on a violating window: %d", s)
+	}
+	// A healthy window at the new config adopts it.
+	if _, err := ctl.Tick(nominalSignals(act.servers)); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := ctl.LastSafe(); s != act.servers {
+		t.Fatalf("last-safe = %d, want %d", s, act.servers)
+	}
+}

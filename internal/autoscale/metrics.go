@@ -1,0 +1,88 @@
+package autoscale
+
+import (
+	"math"
+
+	"repro/internal/obs"
+)
+
+// controllerMetrics exports the controller's live state: the configuration
+// in force, the tick's predicted/measured availabilities and capacity
+// signal, and counters of decisions by action — the observable trace of the
+// control loop.
+type controllerMetrics struct {
+	ticks   *obs.Counter
+	actions map[Action]*obs.Counter
+
+	servers   *obs.Gauge
+	buffer    *obs.Gauge
+	predicted *obs.Gauge
+	measured  *obs.Gauge
+	upFrac    *obs.Gauge
+	cost      *obs.Gauge
+}
+
+func registerMetrics(reg *obs.Registry) (*controllerMetrics, error) {
+	m := &controllerMetrics{actions: make(map[Action]*obs.Counter, 4)}
+	var err error
+	if m.ticks, err = reg.Counter("autoscale_ticks_total",
+		"controller ticks executed"); err != nil {
+		return nil, err
+	}
+	for _, a := range []Action{Hold, ScaleOut, ScaleIn, Guardrail} {
+		if m.actions[a], err = reg.Counter("autoscale_actions_total",
+			"controller decisions by action",
+			obs.Label{Key: "action", Value: a.String()}); err != nil {
+			return nil, err
+		}
+	}
+	if m.servers, err = reg.Gauge("autoscale_web_servers",
+		"web servers the controller currently targets"); err != nil {
+		return nil, err
+	}
+	if m.buffer, err = reg.Gauge("autoscale_web_buffer_size",
+		"admission-buffer capacity the controller currently targets"); err != nil {
+		return nil, err
+	}
+	if m.predicted, err = reg.Gauge("autoscale_predicted_availability",
+		"analytic availability of the configuration in force"); err != nil {
+		return nil, err
+	}
+	if m.measured, err = reg.Gauge("autoscale_measured_availability",
+		"measured availability of the last observation window"); err != nil {
+		return nil, err
+	}
+	if m.upFrac, err = reg.Gauge("autoscale_web_up_fraction",
+		"estimated per-server structural up fraction"); err != nil {
+		return nil, err
+	}
+	if m.cost, err = reg.Gauge("autoscale_cost_per_hour",
+		"server cost plus expected hourly SC4 revenue loss of the configuration in force"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// observe records a tick's decision into the exported metrics and retargets
+// the drift detector at the new prediction.
+func (c *Controller) observe(d Decision) {
+	if c.cfg.Drift != nil && d.Predicted > 0 && d.Predicted <= 1 {
+		// A retarget failure is impossible for an in-range value.
+		_ = c.cfg.Drift.SetPredicted(d.Predicted)
+	}
+	if c.m == nil {
+		return
+	}
+	c.m.ticks.Inc()
+	c.m.actions[d.Action].Inc()
+	c.m.servers.Set(float64(d.Servers))
+	c.m.buffer.Set(float64(d.Buffer))
+	c.m.predicted.Set(d.Predicted)
+	if !math.IsNaN(d.Measured) {
+		c.m.measured.Set(d.Measured)
+	}
+	if !math.IsNaN(d.UpFraction) {
+		c.m.upFrac.Set(d.UpFraction)
+	}
+	c.m.cost.Set(d.CostPerHour)
+}

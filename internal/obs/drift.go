@@ -180,6 +180,22 @@ func (d *DriftDetector) interval() (center, halfWidth float64) {
 	return pTilde, z * math.Sqrt(pTilde*(1-pTilde)/nTilde)
 }
 
+// SetPredicted retargets the detector to a new analytic prediction — the
+// hook a controller uses after actuation changes the configuration the model
+// predicts for. The rolling window and the run counters keep their contents:
+// observations from before the change age out naturally, so a detector
+// retargeted mid-stream converges to judging the new prediction within one
+// window.
+func (d *DriftDetector) SetPredicted(v float64) error {
+	if math.IsNaN(v) || v < 0 || v > 1 {
+		return fmt.Errorf("obs: predicted availability %v outside [0, 1]", v)
+	}
+	d.mu.Lock()
+	d.cfg.Predicted = v
+	d.mu.Unlock()
+	return nil
+}
+
 // Status returns a point-in-time snapshot.
 func (d *DriftDetector) Status() DriftStatus {
 	d.mu.Lock()

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/resilience"
 )
 
 // feedBernoulli streams n seeded Bernoulli(p) outcomes into the detector.
@@ -156,5 +158,84 @@ func TestDriftConcurrent(t *testing.T) {
 	wg.Wait()
 	if got := d.Status().Observations; got != 8000 {
 		t.Errorf("observations = %d, want 8000", got)
+	}
+}
+
+// scriptedOutcomes walks a scripted fault-injection timeline at a fixed visit
+// cadence and returns each visit's success: the outcome stream a detector
+// would see from a campaign-driven testbed run, compressed to its essence.
+func scriptedOutcomes(t *testing.T, outage resilience.Window, horizon float64, visits int) []bool {
+	t.Helper()
+	c := resilience.Campaign{
+		Horizon: horizon,
+		Services: map[string]resilience.FaultSpec{
+			"web-1": {Outages: []resilience.Window{outage}},
+		},
+	}
+	tl, err := c.Generate(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]bool, visits)
+	step := horizon / float64(visits)
+	for i := range out {
+		out[i] = tl.Up("web-1", float64(i)*step)
+	}
+	return out
+}
+
+// patienceDetector builds the detector both scripted-campaign tests share:
+// the patience exceeds the time a brief dip can keep the rolling window out
+// of band (dip length plus window residence), so only sustained outages fire.
+func patienceDetector(t *testing.T) *DriftDetector {
+	t.Helper()
+	d, err := NewDriftDetector(DriftConfig{
+		Predicted:  0.99,
+		Window:     200,
+		MinSamples: 100,
+		Patience:   250,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDriftPatienceSuppressesSingleDip scripts one 10-model-second outage —
+// 20 consecutive failed visits, enough to push the rolling window's band off
+// the prediction until the failures age out (≈ dip + window ≈ 220 visits),
+// but shorter than the 250-visit patience: the detector must stay quiet.
+func TestDriftPatienceSuppressesSingleDip(t *testing.T) {
+	d := patienceDetector(t)
+	for _, ok := range scriptedOutcomes(t, resilience.Window{Start: 100, End: 110}, 1000, 2000) {
+		d.Observe(ok)
+	}
+	st := d.Status()
+	if st.Drifting || st.Events != 0 {
+		t.Fatalf("single scripted dip raised drift: %+v, events %v", st, d.Events())
+	}
+}
+
+// TestDriftFiresOnSustainedCampaign scripts a 300-model-second outage — 600
+// consecutive failed visits, far past the patience: the detector must raise
+// drift during the outage and clear it once the window refills with
+// successes afterward.
+func TestDriftFiresOnSustainedCampaign(t *testing.T) {
+	d := patienceDetector(t)
+	for _, ok := range scriptedOutcomes(t, resilience.Window{Start: 100, End: 400}, 1000, 2000) {
+		d.Observe(ok)
+	}
+	evs := d.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %v, want raise then clear", evs)
+	}
+	if !evs[0].Drifting || evs[0].Measured >= 0.99 {
+		t.Errorf("first event should raise drift below the prediction: %+v", evs[0])
+	}
+	if evs[1].Drifting || evs[1].Seq <= evs[0].Seq {
+		t.Errorf("second event should clear drift after recovery: %+v", evs[1])
+	}
+	if d.Status().Drifting {
+		t.Error("detector still drifting after recovery")
 	}
 }

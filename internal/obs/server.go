@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"sync"
 	"time"
 )
@@ -21,10 +23,12 @@ type Server struct {
 	reg    *Registry
 	tracer *Tracer
 
-	mu    sync.Mutex
-	srv   *http.Server
-	ln    net.Listener
-	start time.Time
+	mu        sync.Mutex
+	srv       *http.Server
+	ln        net.Listener
+	start     time.Time
+	flushPath string
+	flushed   bool
 }
 
 // NewServer builds a server over the given registry and (optional) tracer.
@@ -96,15 +100,76 @@ func (s *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener. Safe to call multiple times.
-func (s *Server) Close() error {
+// SetFlushPath arranges for the retained trace ring to be written as JSON
+// lines (one span per line) to path when the server stops — via Shutdown or
+// Close, whichever runs first. An empty path disables flushing. Set it before
+// the server stops; the flush happens at most once per server.
+func (s *Server) SetFlushPath(path string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.srv == nil {
-		return nil
-	}
-	err := s.srv.Close()
+	s.flushPath = path
+	s.mu.Unlock()
+}
+
+// Shutdown stops the server gracefully: no new connections are accepted,
+// in-flight scrapes are allowed to finish (bounded by ctx), and the trace
+// ring is flushed to the configured path. Safe to call multiple times and
+// without a prior Start — an unstarted server still flushes, so a run
+// interrupted before serving loses no spans.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.srv
 	s.srv = nil
 	s.ln = nil
+	s.mu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	if ferr := s.flushTraces(); ferr != nil && err == nil {
+		err = ferr
+	}
 	return err
+}
+
+// Close stops the listener immediately, dropping in-flight requests, and
+// flushes the trace ring if Shutdown has not already done so. Safe to call
+// multiple times.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv = nil
+	s.ln = nil
+	s.mu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Close()
+	}
+	if ferr := s.flushTraces(); ferr != nil && err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// flushTraces writes the trace ring to the flush path, once.
+func (s *Server) flushTraces() error {
+	s.mu.Lock()
+	path := s.flushPath
+	done := s.flushed
+	s.flushed = true
+	s.mu.Unlock()
+	if done || path == "" || s.tracer == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: flush traces: %w", err)
+	}
+	if err := s.tracer.WriteJSONL(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: flush traces: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: flush traces: %w", err)
+	}
+	return nil
 }

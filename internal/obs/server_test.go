@@ -1,8 +1,13 @@
 package obs
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -72,6 +77,78 @@ func TestServerEndpoints(t *testing.T) {
 
 	if _, err := srv.Start("127.0.0.1:0"); err == nil {
 		t.Error("second Start succeeded")
+	}
+}
+
+func TestServerShutdownFlushesTraces(t *testing.T) {
+	tracer := NewTracer(8)
+	for i := uint64(1); i <= 3; i++ {
+		tracer.Record(spanTrace(i, "visit"))
+	}
+	srv := NewServer(NewRegistry(), tracer)
+	path := filepath.Join(t.TempDir(), "traces.jsonl")
+	srv.SetFlushPath(path)
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("flushed file: %v", err)
+	}
+	defer f.Close()
+	var ids []uint64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var sp Span
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("flushed line %q: %v", sc.Text(), err)
+		}
+		ids = append(ids, sp.Trace)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 1 || ids[2] != 3 {
+		t.Errorf("flushed trace ids = %v, want [1 2 3] oldest first", ids)
+	}
+
+	// The flush happens at most once: a later Close must not rewrite the file.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close after Shutdown: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("Close re-flushed after Shutdown (stat err %v)", err)
+	}
+}
+
+func TestServerShutdownWithoutStart(t *testing.T) {
+	// A run interrupted before the listener opens still persists its spans.
+	tracer := NewTracer(2)
+	tracer.Record(spanTrace(7, "visit"))
+	srv := NewServer(NewRegistry(), tracer)
+	path := filepath.Join(t.TempDir(), "traces.jsonl")
+	srv.SetFlushPath(path)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown without Start: %v", err)
+	}
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"trace":7`) {
+		t.Errorf("flushed body %q missing trace 7", body)
+	}
+
+	// No flush path or tracer: Shutdown is a silent no-op.
+	if err := NewServer(NewRegistry(), nil).Shutdown(context.Background()); err != nil {
+		t.Errorf("Shutdown of bare server: %v", err)
 	}
 }
 

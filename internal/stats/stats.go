@@ -29,6 +29,26 @@ func (w *Welford) Add(x float64) {
 	w.m2 += delta * (x - w.mean)
 }
 
+// Merge folds another accumulator into this one using the parallel
+// combination of Chan, Golub and LeVeque, so sharded collectors can be
+// reduced to the exact aggregate a single-pass accumulation would have
+// produced (up to floating-point rounding). Merge is commutative and
+// associative in that sense.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.mean += delta * float64(o.n) / float64(n)
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
 // Count returns the number of observations.
 func (w *Welford) Count() int64 { return w.n }
 
@@ -123,6 +143,16 @@ func (p *Proportion) AddN(k, n int64) error {
 	p.trials += n
 	return nil
 }
+
+// Merge folds another proportion's counts into this one. Counting is exact,
+// so merging shards in any order or grouping yields identical results.
+func (p *Proportion) Merge(o Proportion) {
+	p.successes += o.successes
+	p.trials += o.trials
+}
+
+// Successes returns the number of recorded successes.
+func (p *Proportion) Successes() int64 { return p.successes }
 
 // Trials returns the number of recorded trials.
 func (p *Proportion) Trials() int64 { return p.trials }

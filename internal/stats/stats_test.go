@@ -184,6 +184,83 @@ func TestWelfordMatchesNaiveProperty(t *testing.T) {
 	}
 }
 
+// Merging sharded accumulators in any grouping must reproduce the single-pass
+// aggregate (exactly for Proportion counts, up to rounding for Welford).
+func TestMergeCommutativeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+	}
+	var whole Welford
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	shard := func(lo, hi int) Welford {
+		var w Welford
+		for _, x := range xs[lo:hi] {
+			w.Add(x)
+		}
+		return w
+	}
+	check := func(name string, got Welford) {
+		t.Helper()
+		if got.Count() != whole.Count() {
+			t.Errorf("%s: count = %d, want %d", name, got.Count(), whole.Count())
+		}
+		if math.Abs(got.Mean()-whole.Mean()) > 1e-9 {
+			t.Errorf("%s: mean = %v, want %v", name, got.Mean(), whole.Mean())
+		}
+		gv, _ := got.Variance()
+		wv, _ := whole.Variance()
+		if math.Abs(gv-wv) > 1e-9 {
+			t.Errorf("%s: variance = %v, want %v", name, gv, wv)
+		}
+	}
+	a, b, c := shard(0, 40), shard(40, 270), shard(270, 300)
+	left := a
+	left.Merge(b)
+	left.Merge(c)
+	check("(a+b)+c", left)
+	bc := b
+	bc.Merge(c)
+	right := a
+	right.Merge(bc)
+	check("a+(b+c)", right)
+	rev := c
+	rev.Merge(b)
+	rev.Merge(a)
+	check("c+b+a", rev)
+	var empty Welford
+	withEmpty := a
+	withEmpty.Merge(empty)
+	if withEmpty != a {
+		t.Error("merging an empty Welford changed the accumulator")
+	}
+	empty.Merge(a)
+	if empty != a {
+		t.Error("merging into an empty Welford did not adopt the source")
+	}
+
+	var p, q, pq, qp Proportion
+	if err := p.AddN(3, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddN(17, 40); err != nil {
+		t.Fatal(err)
+	}
+	pq = p
+	pq.Merge(q)
+	qp = q
+	qp.Merge(p)
+	if pq != qp {
+		t.Errorf("Proportion merge not commutative: %+v vs %+v", pq, qp)
+	}
+	if pq.Successes() != 20 || pq.Trials() != 50 {
+		t.Errorf("merged proportion = %d/%d, want 20/50", pq.Successes(), pq.Trials())
+	}
+}
+
 // The 95% CI of a known Bernoulli(0.3) should usually contain 0.3.
 func TestProportionCoverageSmoke(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))

@@ -1,0 +1,205 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomVisit builds a synthetic visit with mixed outcomes, causes, failed
+// services and durations so merged aggregates exercise every Summary field.
+func randomVisit(id uint64, rng *rand.Rand) VisitTrace {
+	ok := rng.Float64() < 0.8
+	cause := CauseNone
+	svc := ""
+	if !ok {
+		if rng.Float64() < 0.5 {
+			cause = CauseResourceDown
+			svc = []string{"DS", "FR", "HR"}[rng.Intn(3)]
+		} else {
+			cause = CauseBufferOverflow
+		}
+	}
+	name := []string{"Home", "Search", "Book"}[rng.Intn(3)]
+	fn := FunctionTrace{
+		Function: name, OK: ok, Cause: cause, FailedService: svc,
+		Duration: 0.005 + rng.Float64()*0.05,
+		Steps: []StepTrace{{
+			Function: name, Step: "s1",
+			Latency: 0.001 + rng.Float64()*0.02, OK: ok, Cause: cause,
+		}},
+	}
+	return VisitTrace{
+		ID: id, Class: "class A", Scenario: "1: St-Ho-Ex",
+		Duration: fn.Duration, OK: ok, Cause: cause, FailedService: svc,
+		Functions: []FunctionTrace{fn},
+	}
+}
+
+// summaryKey flattens the order-independent parts of a Summary into a
+// comparable string; float aggregates are rounded to absorb the
+// floating-point rounding the merge contract allows.
+func summaryKey(t *testing.T, s Summary) string {
+	t.Helper()
+	key := fmt.Sprintf("visits=%d successes=%d avail=%.12f ci=%.12f±%.12f dur=%.12f",
+		s.Visits, s.Successes, s.Availability, s.CI95.Mean, s.CI95.HalfWidth,
+		s.MeanVisitDuration)
+	for _, name := range []string{"Home", "Search", "Book"} {
+		fn := s.Functions[name]
+		key += fmt.Sprintf(" %s=%d/%d", name, fn.Failures, fn.Invocations)
+	}
+	for _, cause := range []Cause{CauseResourceDown, CauseBufferOverflow} {
+		key += fmt.Sprintf(" %s=%d", cause, s.Causes[cause])
+	}
+	for _, svc := range []string{"DS", "FR", "HR"} {
+		key += fmt.Sprintf(" %s=%d", svc, s.DownByService[svc])
+	}
+	return key
+}
+
+func shardCollectors(visits []VisitTrace, cuts ...int) []*Collector {
+	shards := make([]*Collector, 0, len(cuts)+1)
+	prev := 0
+	for _, cut := range append(cuts, len(visits)) {
+		c := NewCollector(0)
+		for _, tr := range visits[prev:cut] {
+			c.RecordVisit(tr)
+		}
+		shards = append(shards, c)
+		prev = cut
+	}
+	return shards
+}
+
+// TestCollectorMergeProperty checks the merge contract: folding sharded
+// collectors together is commutative and associative, and reproduces the
+// aggregate a single collector would have accumulated — success counts and
+// their Wald CI, duration moments, per-function summaries with latency
+// histograms, the cause taxonomy and the per-service down counts.
+func TestCollectorMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	visits := make([]VisitTrace, 900)
+	for i := range visits {
+		visits[i] = randomVisit(uint64(i), rng)
+	}
+
+	single := NewCollector(0)
+	for _, tr := range visits {
+		single.RecordVisit(tr)
+	}
+	want, err := single.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKey := summaryKey(t, want)
+	wantQ50, err := single.LatencyQuantiles("Home", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merge := func(t *testing.T, dst *Collector, srcs ...*Collector) Summary {
+		t.Helper()
+		for _, src := range srcs {
+			if err := dst.Merge(src); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s, err := dst.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// (a ⊕ b) ⊕ c, with uneven shard sizes.
+	abc := shardCollectors(visits, 100, 650)
+	got := merge(t, abc[0], abc[1], abc[2])
+	if key := summaryKey(t, got); key != wantKey {
+		t.Errorf("left-fold merge diverges from single collector:\n got %s\nwant %s", key, wantKey)
+	}
+
+	// c ⊕ (b ⊕ a): different order and grouping.
+	cba := shardCollectors(visits, 100, 650)
+	if err := cba[1].Merge(cba[0]); err != nil {
+		t.Fatal(err)
+	}
+	got = merge(t, cba[2], cba[1])
+	if key := summaryKey(t, got); key != wantKey {
+		t.Errorf("right-fold merge diverges from single collector:\n got %s\nwant %s", key, wantKey)
+	}
+	gotQ50, err := cba[2].LatencyQuantiles("Home", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotQ50[0]-wantQ50[0]) > 1e-12 {
+		t.Errorf("merged Home p50 = %v, want %v", gotQ50[0], wantQ50[0])
+	}
+
+	// Different shard boundaries entirely.
+	other := shardCollectors(visits, 300, 301, 899)
+	got = merge(t, other[3], other[2], other[1], other[0])
+	if key := summaryKey(t, got); key != wantKey {
+		t.Errorf("reordered shards diverge from single collector:\n got %s\nwant %s", key, wantKey)
+	}
+}
+
+func TestCollectorMergeTracesAndEdges(t *testing.T) {
+	a := NewCollector(3)
+	b := NewCollector(3)
+	for i := 0; i < 2; i++ {
+		a.RecordVisit(visit(uint64(i), true, CauseNone, ""))
+	}
+	for i := 2; i < 6; i++ {
+		b.RecordVisit(visit(uint64(i), true, CauseNone, ""))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	// a held {0,1}; b's ring held {3,4,5}; the merged ring keeps the last 3.
+	got := a.Traces()
+	if len(got) != 3 {
+		t.Fatalf("kept %d traces, want 3", len(got))
+	}
+	for i, tr := range got {
+		if want := uint64(3 + i); tr.ID != want {
+			t.Errorf("trace[%d].ID = %d, want %d (oldest first)", i, tr.ID, want)
+		}
+	}
+	s, err := a.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Visits != 6 {
+		t.Errorf("merged visits = %d, want 6", s.Visits)
+	}
+
+	// Merging must not fire the observability callback: merged visits were
+	// already streamed once by their own collector.
+	var fired int
+	a.SetOnRecord(func(VisitTrace) { fired++ })
+	c := NewCollector(0)
+	c.RecordVisit(visit(99, true, CauseNone, ""))
+	if err := a.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Errorf("Merge fired OnRecord %d times", fired)
+	}
+
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("Merge(nil) = %v, want nil", err)
+	}
+	if err := a.Merge(a); err == nil {
+		t.Error("self-merge succeeded; want error")
+	}
+	// Merging an empty collector is the identity.
+	before, _ := a.Summary()
+	if err := a.Merge(NewCollector(4)); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := a.Summary()
+	if summaryKey(t, before) != summaryKey(t, after) {
+		t.Error("merging an empty collector changed the summary")
+	}
+}

@@ -191,20 +191,101 @@ func (c *Collector) RecordVisit(tr VisitTrace) {
 			agg.latency.Observe(fn.Duration)
 		}
 	}
-	if c.keepTraces > 0 {
-		if len(c.traces) < c.keepTraces {
-			c.traces = append(c.traces, tr)
-		} else {
-			c.traces[c.nextTrace] = tr
-			c.wrapped = true
-		}
-		c.nextTrace = (c.nextTrace + 1) % c.keepTraces
-	}
+	c.insertTrace(tr)
 	fn := c.onRecord
 	c.mu.Unlock()
 	if fn != nil {
 		fn(tr)
 	}
+}
+
+// insertTrace appends one trace to the retention ring. Caller holds c.mu.
+func (c *Collector) insertTrace(tr VisitTrace) {
+	if c.keepTraces <= 0 {
+		return
+	}
+	if len(c.traces) < c.keepTraces {
+		c.traces = append(c.traces, tr)
+	} else {
+		c.traces[c.nextTrace] = tr
+		c.wrapped = true
+	}
+	c.nextTrace = (c.nextTrace + 1) % c.keepTraces
+}
+
+// Merge folds another collector's aggregates into this one: visit and
+// duration statistics (so the merged Wald CI equals the one a single
+// collector would have computed over the union of visits), per-function
+// summaries with their latency histograms, the failure-cause taxonomy, the
+// per-service down counts, and the retained traces (oldest first, subject to
+// this collector's ring capacity). The other collector is left unchanged.
+//
+// Merging is commutative and associative for every counted aggregate, and
+// for duration means/variances up to floating-point rounding — the property
+// that lets a million-visit run shard across collectors and reduce in any
+// order. OnRecord callbacks do not fire for merged visits.
+func (c *Collector) Merge(o *Collector) error {
+	if o == nil {
+		return nil
+	}
+	if o == c {
+		return fmt.Errorf("telemetry: cannot merge a collector into itself")
+	}
+	// Snapshot the source outside c's lock so the two locks never nest in
+	// both orders.
+	o.mu.Lock()
+	visits := o.visits
+	durations := o.durations
+	functions := make(map[string]*functionAgg, len(o.functions))
+	for name, agg := range o.functions {
+		cp := &functionAgg{
+			invocations: agg.invocations,
+			failures:    agg.failures,
+			latency:     defaultLatencyHistogram(),
+		}
+		if err := cp.latency.Merge(agg.latency); err != nil {
+			o.mu.Unlock()
+			return err
+		}
+		functions[name] = cp
+	}
+	causes := make(map[Cause]int64, len(o.causes))
+	for k, v := range o.causes {
+		causes[k] = v
+	}
+	downBySvc := make(map[string]int64, len(o.downBySvc))
+	for k, v := range o.downBySvc {
+		downBySvc[k] = v
+	}
+	traces := o.orderedTraces()
+	o.mu.Unlock()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.visits.Merge(visits)
+	c.durations.Merge(durations)
+	for name, agg := range functions {
+		dst := c.functions[name]
+		if dst == nil {
+			c.functions[name] = agg
+			continue
+		}
+		dst.invocations += agg.invocations
+		dst.failures += agg.failures
+		if err := dst.latency.Merge(agg.latency); err != nil {
+			return err
+		}
+	}
+	for k, v := range causes {
+		c.causes[k] += v
+	}
+	for k, v := range downBySvc {
+		c.downBySvc[k] += v
+	}
+	for _, tr := range traces {
+		c.insertTrace(tr)
+	}
+	return nil
 }
 
 // Summary rolls up everything recorded so far.
@@ -281,6 +362,11 @@ func (c *Collector) StepLatency() *Histogram {
 func (c *Collector) Traces() []VisitTrace {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.orderedTraces()
+}
+
+// orderedTraces copies the retention ring oldest first. Caller holds c.mu.
+func (c *Collector) orderedTraces() []VisitTrace {
 	out := make([]VisitTrace, 0, len(c.traces))
 	if c.wrapped {
 		out = append(out, c.traces[c.nextTrace:]...)

@@ -1,0 +1,103 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/resilience"
+	"repro/internal/travelagency"
+)
+
+// Campaign preset names reachable from cmd/loadtest's -campaign flag.
+const (
+	PresetRenewal    = "renewal"
+	PresetScripted   = "scripted"
+	PresetCorrelated = "correlated"
+)
+
+// CampaignPresets lists the named presets in deterministic order.
+func CampaignPresets() []string {
+	return []string{PresetRenewal, PresetScripted, PresetCorrelated}
+}
+
+// PresetCampaign builds one of the named fault-injection presets over the
+// deployment's resources, so the standard campaign shapes are reachable from
+// the CLI without writing Go:
+//
+//   - renewal: every resource fails and recovers as an alternating-renewal
+//     process matching its steady-state availability (DefaultCampaign).
+//   - scripted: deterministic outage windows — two staggered web-server
+//     outages, an application-host outage and a flight-supplier outage —
+//     with all other resources permanently up.
+//   - correlated: the renewal baseline plus a shared-infrastructure failure
+//     taking down every odd-indexed web server together with one application
+//     host for a quarter of the horizon — the "zone A" outage pattern the
+//     paper's independence assumptions cannot express.
+//
+// horizon is the campaign horizon and mttr the mean outage duration of
+// renewal faults, both in model seconds.
+func PresetCampaign(name string, p travelagency.Params, horizon, mttr float64) (resilience.Campaign, error) {
+	switch name {
+	case PresetRenewal:
+		return DefaultCampaign(p, horizon, mttr)
+	case PresetScripted:
+		if err := p.Validate(); err != nil {
+			return resilience.Campaign{}, err
+		}
+		c := resilience.Campaign{
+			Horizon: horizon,
+			Services: map[string]resilience.FaultSpec{
+				"web-1":    {Outages: []resilience.Window{{Start: 0.05 * horizon, End: 0.15 * horizon}}},
+				"web-2":    {Outages: []resilience.Window{{Start: 0.10 * horizon, End: 0.20 * horizon}}},
+				"app-1":    {Outages: []resilience.Window{{Start: 0.30 * horizon, End: 0.36 * horizon}}},
+				"flight-1": {Outages: []resilience.Window{{Start: 0.40 * horizon, End: 0.52 * horizon}}},
+			},
+		}
+		if err := c.Validate(); err != nil {
+			return resilience.Campaign{}, err
+		}
+		return c, nil
+	case PresetCorrelated:
+		c, err := DefaultCampaign(p, horizon, mttr)
+		if err != nil {
+			return resilience.Campaign{}, err
+		}
+		zone := []string{"app-1"}
+		for i := 1; i <= p.WebServers; i += 2 {
+			zone = append(zone, fmt.Sprintf("web-%d", i))
+		}
+		c.Correlated = append(c.Correlated, resilience.CorrelatedOutage{
+			Window:   resilience.Window{Start: 0.20 * horizon, End: 0.45 * horizon},
+			Services: zone,
+		})
+		if err := c.Validate(); err != nil {
+			return resilience.Campaign{}, err
+		}
+		return c, nil
+	default:
+		return resilience.Campaign{}, fmt.Errorf("%w: unknown campaign preset %q (have %v)",
+			ErrTestbed, name, CampaignPresets())
+	}
+}
+
+// ZoneOutageCampaign scripts a sustained shared-infrastructure failure:
+// every odd-indexed web server up to maxServers ("zone A") is down for the
+// whole window, while even-indexed servers and every other resource stay up.
+// Servers beyond the building topology's size are simply absent from the
+// inventory, so the campaign stays valid across scale-out: newly added
+// odd-indexed servers land in the dead zone, even-indexed ones survive —
+// the scenario a capacity controller must solve by over-provisioning.
+func ZoneOutageCampaign(horizon float64, maxServers int, window resilience.Window) (resilience.Campaign, error) {
+	c := resilience.Campaign{
+		Horizon:  horizon,
+		Services: map[string]resilience.FaultSpec{},
+	}
+	for i := 1; i <= maxServers; i += 2 {
+		c.Services[fmt.Sprintf("web-%d", i)] = resilience.FaultSpec{
+			Outages: []resilience.Window{window},
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return resilience.Campaign{}, err
+	}
+	return c, nil
+}

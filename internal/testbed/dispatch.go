@@ -19,6 +19,7 @@ const (
 	headerAt      = "X-TB-At"      // model instant of the call
 	headerDemand  = "X-TB-Demand"  // sampled service demand, model seconds
 	headerEntry   = "X-TB-Entry"   // "1" marks the user-facing page request
+	headerLossU   = "X-TB-LossU"   // admission-model uniform draw for entry calls
 	headerLatency = "X-TB-Latency" // response: call latency, model seconds
 )
 
@@ -29,6 +30,10 @@ type call struct {
 	at      float64
 	demand  float64
 	entry   bool
+	// lossU is the visit rng's uniform draw deciding analytic admission for
+	// entry calls when the topology runs with an offered load (see
+	// Options.OfferedLoad); negative when no draw was made.
+	lossU float64
 }
 
 // callResult is the outcome of one service invocation.
@@ -40,29 +45,36 @@ type callResult struct {
 
 // callTier executes one service call against the live deployment: check the
 // fault plane for a structurally up replica in every bank, push the
-// user-facing web request through the bounded admission queue, and pace the
-// service demand in real time when the cluster runs scaled. It is the single
-// source of truth for call semantics; the HTTP transport is a transparent
-// wrapper around it.
-func (c *Cluster) callTier(cl call, state VisitState) callResult {
+// user-facing web request through the bounded admission queue (or through the
+// analytic admission model on an unpaced cluster with an offered load), and
+// pace the service demand in real time when the cluster runs scaled. It is
+// the single source of truth for call semantics; the HTTP transport is a
+// transparent wrapper around it.
+func (c *Cluster) callTier(t *topology, cl call, state VisitState) (callResult, error) {
 	if m := c.metrics; m != nil {
 		m.calls.Inc()
 	}
-	g, ok := c.groups[cl.service]
+	g, ok := t.groups[cl.service]
 	if !ok {
-		return c.failCall(telemetry.CauseResourceDown)
+		return c.failCall(telemetry.CauseResourceDown), nil
 	}
 	var extra float64
+	operational := 0
 	for _, bank := range g.banks {
 		serving := ""
 		for _, r := range bank {
 			if state.Up(r, cl.at) {
-				serving = r
-				break
+				if serving == "" {
+					serving = r
+				}
+				if g.tier != TierWeb {
+					break
+				}
+				operational++ // web bank: count capacity for the admission model
 			}
 		}
 		if serving == "" {
-			return c.failCall(telemetry.CauseResourceDown)
+			return c.failCall(telemetry.CauseResourceDown), nil
 		}
 		// Injected latency is observed on the replica actually serving the
 		// call; it is accounted in model time, not slept.
@@ -71,9 +83,24 @@ func (c *Cluster) callTier(cl call, state VisitState) callResult {
 		}
 	}
 	if cl.entry && g.tier == TierWeb {
+		if t.offered > 0 && c.opts.Scale <= 0 {
+			// Analytic admission: reject with the M/M/i/K loss probability at
+			// the offered load for the visit's operational server count —
+			// the unpaced counterpart of a genuinely overflowing buffer.
+			pk, err := c.entryLoss(t, operational)
+			if err != nil {
+				return callResult{}, err
+			}
+			if cl.lossU >= 0 && cl.lossU < pk {
+				c.rejected.Add(1)
+				return c.failCall(telemetry.CauseBufferOverflow), nil
+			}
+			c.admitted.Add(1)
+			return callResult{ok: true, latency: cl.demand + extra}, nil
+		}
 		start := time.Now()
-		if err := c.web.serve(cl.demand); err != nil {
-			return c.failCall(telemetry.CauseBufferOverflow)
+		if err := t.web.serve(cl.demand); err != nil {
+			return c.failCall(telemetry.CauseBufferOverflow), nil
 		}
 		lat := cl.demand + extra
 		if c.opts.Scale > 0 {
@@ -81,10 +108,10 @@ func (c *Cluster) callTier(cl call, state VisitState) callResult {
 			// mapped back to model seconds.
 			lat = time.Since(start).Seconds()/c.opts.Scale + extra
 		}
-		return callResult{ok: true, latency: lat}
+		return callResult{ok: true, latency: lat}, nil
 	}
 	sleepModel(cl.demand, c.opts.Scale)
-	return callResult{ok: true, latency: cl.demand + extra}
+	return callResult{ok: true, latency: cl.demand + extra}, nil
 }
 
 // failCall builds a failed call result and counts it when metered.
@@ -100,9 +127,11 @@ func (c *Cluster) failCall(cause telemetry.Cause) callResult {
 	return callResult{ok: false, cause: cause}
 }
 
-// dispatcher routes a call to the component that owns the service.
+// dispatcher routes a call to the component that owns the service. The
+// topology is the one pinned by the calling visit, so direct dispatch is
+// immune to concurrent reconfiguration.
 type dispatcher interface {
-	dispatch(cl call, state VisitState) (callResult, error)
+	dispatch(t *topology, cl call, state VisitState) (callResult, error)
 	close()
 }
 
@@ -110,8 +139,8 @@ type dispatcher interface {
 // closed-loop validation runs.
 type directDispatcher struct{ c *Cluster }
 
-func (d *directDispatcher) dispatch(cl call, state VisitState) (callResult, error) {
-	return d.c.callTier(cl, state), nil
+func (d *directDispatcher) dispatch(t *topology, cl call, state VisitState) (callResult, error) {
+	return d.c.callTier(t, cl, state)
 }
 
 func (d *directDispatcher) close() {}
@@ -137,8 +166,8 @@ func newHTTPDispatcher(c *Cluster) *httpDispatcher {
 	return d
 }
 
-func (d *httpDispatcher) dispatch(cl call, state VisitState) (callResult, error) {
-	g, ok := d.c.groups[cl.service]
+func (d *httpDispatcher) dispatch(t *topology, cl call, state VisitState) (callResult, error) {
+	g, ok := t.groups[cl.service]
 	if !ok {
 		return callResult{ok: false, cause: telemetry.CauseResourceDown}, nil
 	}
@@ -156,6 +185,7 @@ func (d *httpDispatcher) dispatch(cl call, state VisitState) (callResult, error)
 	req.Header.Set(headerDemand, strconv.FormatFloat(cl.demand, 'g', -1, 64))
 	if cl.entry {
 		req.Header.Set(headerEntry, "1")
+		req.Header.Set(headerLossU, strconv.FormatFloat(cl.lossU, 'g', -1, 64))
 	}
 	resp, err := d.client.Do(req)
 	if err != nil {
@@ -188,11 +218,16 @@ func (d *httpDispatcher) close() {
 // visit's frozen fault-plane state from the cluster registry, verifies the
 // requested service is actually hosted by this tier, and maps the call
 // outcome onto HTTP status codes: 200 success, 429 admission-buffer
-// overflow, 503 resources down.
+// overflow, 503 resources down. Unlike the direct path — which pins one
+// topology per visit — the stateless handler resolves the topology per call,
+// so a visit in flight across a reconfiguration may see the swap mid-walk;
+// its frozen fault-plane state stays valid either way.
 func (c *Cluster) tierHandler(tier string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		svc := r.Header.Get(headerService)
-		g, ok := c.groups[svc]
+		t := c.acquire()
+		defer c.release(t)
+		g, ok := t.groups[svc]
 		if !ok || g.tier != tier {
 			http.Error(w, fmt.Sprintf("service %q not hosted by tier %q", svc, tier), http.StatusNotFound)
 			return
@@ -223,8 +258,18 @@ func (c *Cluster) tierHandler(tier string) http.Handler {
 			at:      at,
 			demand:  demand,
 			entry:   r.Header.Get(headerEntry) == "1",
+			lossU:   -1,
 		}
-		res := c.callTier(cl, stateVal.(VisitState))
+		if cl.entry {
+			if u, err := strconv.ParseFloat(r.Header.Get(headerLossU), 64); err == nil {
+				cl.lossU = u
+			}
+		}
+		res, err := c.callTier(t, cl, stateVal.(VisitState))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set(headerLatency, strconv.FormatFloat(res.latency, 'g', -1, 64))
 		switch {
 		case res.ok:

@@ -29,6 +29,13 @@ type LoadGen struct {
 	Workers int
 	// Seed makes the run reproducible.
 	Seed int64
+	// Offset shifts the global visit index: visit i of this run is visit
+	// Offset+i of the (Seed-determined) global stream, taking its ID and rng
+	// from there. Successive batches with Offset advanced by the previous
+	// batch's Visits replay exactly the visit stream one contiguous run would
+	// — the mechanism controller loops use to interleave observation windows
+	// with actuation while keeping the whole experiment seed-reproducible.
+	Offset int64
 	// Rate, with a paced cluster (Scale > 0), spaces visit starts evenly at
 	// this model-time rate (visits per model second). 0 runs visits back to
 	// back.
@@ -89,7 +96,7 @@ func (g *LoadGen) Run(col *telemetry.Collector) error {
 				if i >= g.Visits {
 					return
 				}
-				rng := rand.New(rand.NewSource(visitSeed(g.Seed, i)))
+				rng := rand.New(rand.NewSource(visitSeed(g.Seed, g.Offset+i)))
 				if g.Rate > 0 && scale > 0 {
 					// Visit i starts at its absolute deadline i/Rate, so
 					// pacing never perturbs the per-visit rng stream.
@@ -97,7 +104,7 @@ func (g *LoadGen) Run(col *telemetry.Collector) error {
 					waitUntil(deadline)
 				}
 				idx := sampler.Sample(rng)
-				tr, err := g.Cluster.RunVisit(uint64(i), scenarios[idx], rng, g.KeepSteps)
+				tr, err := g.Cluster.RunVisit(uint64(g.Offset+i), scenarios[idx], rng, g.KeepSteps)
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
@@ -153,13 +160,17 @@ func (c *Cluster) WebLoad(requests int64, arrivalRate float64, seed int64) (floa
 		lost atomic.Int64
 		wg   sync.WaitGroup
 	)
+	// Pin the topology for the whole stream so a concurrent Reconfigure
+	// cannot close the queue under outstanding requests.
+	t := c.acquire()
+	defer c.release(t)
 	start := time.Now()
 	for i := int64(0); i < requests; i++ {
 		waitUntil(start.Add(arrivals[i]))
 		wg.Add(1)
 		go func(demand float64) {
 			defer wg.Done()
-			if err := c.web.serve(demand); err != nil {
+			if err := t.web.serve(demand); err != nil {
 				lost.Add(1)
 			}
 		}(demands[i])

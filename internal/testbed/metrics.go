@@ -9,17 +9,28 @@ import (
 
 // clusterMetrics holds the hot-path instruments of a metered cluster. A nil
 // *clusterMetrics disables instrumentation entirely, so unmetered runs pay
-// only a nil check per service call.
+// only a nil check per service call. The instruments are cluster-owned and
+// survive runtime reconfigurations: each topology's fault plane is wrapped
+// with the same set (see meterPlane), so counters accumulate across swaps.
 type clusterMetrics struct {
 	calls        *obs.Counter
 	callDown     *obs.Counter
 	callOverflow *obs.Counter
+
+	snapshots   *obs.Counter
+	transitions *obs.Counter
+	webUp       *obs.Gauge
+	// last holds the previous snapshot's operational-server count, offset by
+	// one so the zero value means "no snapshot yet".
+	last atomic.Int64
 }
 
 // registerMetrics wires the cluster's internals into an obs registry:
 // admission decisions and live queue depth of the web buffer, per-call
-// outcome counters, and (via meteredPlane, installed by New) fault-plane
-// snapshot and web-farm state-transition counters.
+// outcome counters, fault-plane snapshot and web-farm state-transition
+// counters, and the current web-tier configuration (servers, buffer,
+// offered load, reconfiguration count) — the signals and actuation trace a
+// controller consumes.
 //
 // The registry should be dedicated to one cluster: pull-style metrics close
 // over this cluster's components, and a second cluster registering the same
@@ -27,17 +38,57 @@ type clusterMetrics struct {
 func (c *Cluster) registerMetrics(reg *obs.Registry) error {
 	if err := reg.CounterFunc("testbed_web_admitted_total",
 		"page requests admitted by the web tier's bounded buffer",
-		c.web.admitted.Load); err != nil {
+		c.admitted.Load); err != nil {
 		return err
 	}
 	if err := reg.CounterFunc("testbed_web_rejected_total",
 		"page requests rejected with buffer overflow (the live M/M/i/K loss)",
-		c.web.rejected.Load); err != nil {
+		c.rejected.Load); err != nil {
 		return err
 	}
 	if err := reg.GaugeFunc("testbed_web_queue_depth",
 		"page requests currently queued or in service at the web tier",
-		func() float64 { return float64(c.web.inSystem.Load()) }); err != nil {
+		func() float64 {
+			if t := c.currentTopology(); t != nil {
+				return float64(t.web.inSystem.Load())
+			}
+			return 0
+		}); err != nil {
+		return err
+	}
+	if err := reg.GaugeFunc("testbed_web_servers",
+		"web servers in the current topology",
+		func() float64 {
+			if t := c.currentTopology(); t != nil {
+				return float64(t.servers)
+			}
+			return 0
+		}); err != nil {
+		return err
+	}
+	if err := reg.GaugeFunc("testbed_web_buffer_size",
+		"admission-buffer capacity of the current topology",
+		func() float64 {
+			if t := c.currentTopology(); t != nil {
+				return float64(t.buffer)
+			}
+			return 0
+		}); err != nil {
+		return err
+	}
+	if err := reg.GaugeFunc("testbed_web_offered_load",
+		"arrival rate of the analytic admission model (0 = disabled)",
+		func() float64 {
+			if t := c.currentTopology(); t != nil {
+				return t.offered
+			}
+			return 0
+		}); err != nil {
+		return err
+	}
+	if err := reg.CounterFunc("testbed_reconfigurations_total",
+		"successful runtime reconfigurations (drain-and-swap cycles)",
+		c.reconfigs.Load); err != nil {
 		return err
 	}
 	calls, err := reg.Counter("testbed_service_calls_total",
@@ -55,47 +106,44 @@ func (c *Cluster) registerMetrics(reg *obs.Registry) error {
 	if err != nil {
 		return err
 	}
-	c.metrics = &clusterMetrics{calls: calls, callDown: down, callOverflow: overflow}
-	return nil
-}
-
-// meteredPlane wraps a FaultPlane to count snapshots and observe the web
-// farm's structural state: a gauge of operational web servers as of the most
-// recent snapshot, and a transition counter that increments whenever two
-// consecutive snapshots disagree on that count — the live trace of movement
-// through the Figure 10 chain's states.
-type meteredPlane struct {
-	inner       FaultPlane
-	webNames    []string
-	snapshots   *obs.Counter
-	transitions *obs.Counter
-	webUp       *obs.Gauge
-	// last holds the previous snapshot's operational-server count, offset by
-	// one so the zero value means "no snapshot yet".
-	last atomic.Int64
-}
-
-// newMeteredPlane registers the fault-plane metrics and wraps the plane.
-func newMeteredPlane(inner FaultPlane, webNames []string, reg *obs.Registry) (*meteredPlane, error) {
 	snapshots, err := reg.Counter("testbed_fault_snapshots_total",
 		"fault-plane states frozen for visits")
 	if err != nil {
-		return nil, err
+		return err
 	}
 	transitions, err := reg.Counter("testbed_web_state_transitions_total",
 		"changes in the operational web-server count between consecutive snapshots")
 	if err != nil {
-		return nil, err
+		return err
 	}
 	webUp, err := reg.Gauge("testbed_web_operational_servers",
 		"operational web servers in the most recent fault-plane snapshot")
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &meteredPlane{
-		inner: inner, webNames: webNames,
+	c.metrics = &clusterMetrics{
+		calls: calls, callDown: down, callOverflow: overflow,
 		snapshots: snapshots, transitions: transitions, webUp: webUp,
-	}, nil
+	}
+	return nil
+}
+
+// meterPlane wraps a topology's fault plane with the cluster's plane
+// instruments. The instruments live on clusterMetrics, so the observation
+// stream is continuous across reconfigurations.
+func (m *clusterMetrics) meterPlane(inner FaultPlane, webNames []string) FaultPlane {
+	return &meteredPlane{m: m, inner: inner, webNames: webNames}
+}
+
+// meteredPlane observes the wrapped plane's snapshots: a counter of frozen
+// states, a gauge of operational web servers as of the most recent snapshot,
+// and a transition counter that increments whenever two consecutive
+// snapshots disagree on that count — the live trace of movement through the
+// Figure 10 chain's states.
+type meteredPlane struct {
+	m        *clusterMetrics
+	inner    FaultPlane
+	webNames []string
 }
 
 // Snapshot delegates to the wrapped plane and records the observation.
@@ -104,16 +152,16 @@ func (p *meteredPlane) Snapshot(rng *rand.Rand) (VisitState, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.snapshots.Inc()
+	p.m.snapshots.Inc()
 	up := 0
 	for _, name := range p.webNames {
 		if st.Up(name, st.Start()) {
 			up++
 		}
 	}
-	p.webUp.Set(float64(up))
-	if prev := p.last.Swap(int64(up) + 1); prev != 0 && prev != int64(up)+1 {
-		p.transitions.Inc()
+	p.m.webUp.Set(float64(up))
+	if prev := p.m.last.Swap(int64(up) + 1); prev != 0 && prev != int64(up)+1 {
+		p.m.transitions.Inc()
 	}
 	return st, nil
 }

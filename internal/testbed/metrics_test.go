@@ -92,10 +92,18 @@ func TestMeteredPlaneTransitions(t *testing.T) {
 		idx++
 		return &steadyVisitState{up: up}
 	})
-	mp, err := newMeteredPlane(inner, []string{"web-1", "web-2", "web-3"}, reg)
-	if err != nil {
+	m := &clusterMetrics{}
+	var err error
+	if m.snapshots, err = reg.Counter("testbed_fault_snapshots_total", "snapshots"); err != nil {
 		t.Fatal(err)
 	}
+	if m.transitions, err = reg.Counter("testbed_web_state_transitions_total", "transitions"); err != nil {
+		t.Fatal(err)
+	}
+	if m.webUp, err = reg.Gauge("testbed_web_operational_servers", "up"); err != nil {
+		t.Fatal(err)
+	}
+	mp := m.meterPlane(inner, []string{"web-1", "web-2", "web-3"})
 	for range states {
 		if _, err := mp.Snapshot(nil); err != nil {
 			t.Fatal(err)

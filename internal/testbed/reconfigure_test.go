@@ -1,0 +1,313 @@
+package testbed
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/queueing"
+	"repro/internal/resilience"
+	"repro/internal/telemetry"
+	"repro/internal/travelagency"
+)
+
+// TestReconfigureBasic exercises the configuration surface: scale-out,
+// buffer resize, offered-load changes, plane switches, and validation.
+func TestReconfigureBasic(t *testing.T) {
+	p := travelagency.DefaultParams()
+	c, err := New(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if s, b := c.Config(); s != p.WebServers || b != p.BufferSize {
+		t.Fatalf("initial config = (%d, %d), want (%d, %d)", s, b, p.WebServers, p.BufferSize)
+	}
+	if err := c.Reconfigure(Reconfig{WebServers: 8, BufferSize: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if s, b := c.Config(); s != 8 || b != 20 {
+		t.Fatalf("config after reconfigure = (%d, %d), want (8, 20)", s, b)
+	}
+	if got := len(c.Resources()); got == 0 {
+		t.Fatal("no resources after reconfigure")
+	}
+	webs := 0
+	for _, r := range c.Resources() {
+		if r.Tier == TierWeb {
+			webs++
+		}
+	}
+	if webs != 8 {
+		t.Fatalf("web resources after scale-out = %d, want 8", webs)
+	}
+
+	offered := 250.0
+	if err := c.Reconfigure(Reconfig{OfferedLoad: &offered}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.OfferedLoad(); got != 250 {
+		t.Fatalf("offered load = %v, want 250", got)
+	}
+	// Zero fields keep current settings.
+	if err := c.Reconfigure(Reconfig{WebServers: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if s, b := c.Config(); s != 6 || b != 20 {
+		t.Fatalf("config = (%d, %d), want (6, 20)", s, b)
+	}
+	if got := c.OfferedLoad(); got != 250 {
+		t.Fatalf("offered load not preserved: %v", got)
+	}
+	if got := c.Reconfigurations(); got != 3 {
+		t.Fatalf("reconfigurations = %d, want 3", got)
+	}
+
+	// Campaign plane on, then back to steady.
+	camp, err := DefaultCampaign(c.params, 3600, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reconfigure(Reconfig{Campaign: &camp}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.currentTopology().plane.(*CampaignPlane); !ok {
+		t.Fatalf("plane after campaign reconfig = %T", c.currentTopology().plane)
+	}
+	if err := c.Reconfigure(Reconfig{Steady: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.currentTopology().plane.(*SteadyStatePlane); !ok {
+		t.Fatalf("plane after steady reconfig = %T", c.currentTopology().plane)
+	}
+
+	// Invalid requests leave the cluster untouched.
+	bad := -1.0
+	if err := c.Reconfigure(Reconfig{OfferedLoad: &bad}); !errors.Is(err, ErrTestbed) {
+		t.Fatalf("negative offered load: err = %v", err)
+	}
+	if err := c.Reconfigure(Reconfig{Campaign: &camp, Steady: true}); !errors.Is(err, ErrTestbed) {
+		t.Fatalf("campaign+steady: err = %v", err)
+	}
+	if s, b := c.Config(); s != 6 || b != 20 {
+		t.Fatalf("config changed by failed reconfigure: (%d, %d)", s, b)
+	}
+}
+
+// TestReconfigureUnderLoad swaps topologies while a paced load generator is
+// mid-run: no visit may fail with an error, every visit must be recorded,
+// and the retired queues must drain without losing admitted requests.
+func TestReconfigureUnderLoad(t *testing.T) {
+	p := travelagency.DefaultParams()
+	c, err := New(p, Options{Scale: 0.0002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	col := telemetry.NewCollector(0)
+	g := LoadGen{Cluster: c, Class: travelagency.ClassA, Visits: 600, Workers: 8, Seed: 42}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var runErr error
+	go func() {
+		defer wg.Done()
+		runErr = g.Run(col)
+	}()
+	for _, rc := range []Reconfig{
+		{WebServers: 2, BufferSize: 5},
+		{WebServers: 12, BufferSize: 30},
+		{WebServers: 4, BufferSize: 10},
+	} {
+		if err := c.Reconfigure(rc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("load run failed across reconfigurations: %v", runErr)
+	}
+	s, err := col.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Visits != 600 {
+		t.Fatalf("recorded visits = %d, want 600", s.Visits)
+	}
+	if got := c.Reconfigurations(); got != 3 {
+		t.Fatalf("reconfigurations = %d, want 3", got)
+	}
+}
+
+// TestOfferedLoadAdmission checks the analytic admission model: on an
+// unpaced cluster with an offered load, entry requests are rejected with the
+// M/M/i/K loss probability, and the measured rejection fraction matches the
+// analytic p_K at the farm's full capacity within sampling error.
+func TestOfferedLoadAdmission(t *testing.T) {
+	p := travelagency.DefaultParams()
+	// Overload: 1000 arrivals/s against 4 × 100/s capacity — a deep, easily
+	// measurable loss probability.
+	c, err := New(p, Options{OfferedLoad: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	col := telemetry.NewCollector(0)
+	g := LoadGen{Cluster: c, Class: travelagency.ClassA, Visits: 4000, Workers: 8, Seed: 7}
+	if err := g.Run(col); err != nil {
+		t.Fatal(err)
+	}
+	admitted, rejected := c.AdmissionStats()
+	if rejected == 0 {
+		t.Fatal("overloaded offered-load run rejected nothing")
+	}
+	measured := float64(rejected) / float64(admitted+rejected)
+	pk, err := queueing.MMcK{
+		Arrival: 1000, Service: p.ServiceRate,
+		Servers: p.WebServers, Capacity: p.BufferSize,
+	}.LossProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The farm is occasionally degraded below 4 servers (raising the loss),
+	// so allow a one-sided slack beyond binomial noise.
+	if measured < pk-0.03 || measured > pk+0.08 {
+		t.Fatalf("measured loss %.4f far from analytic p_K %.4f", measured, pk)
+	}
+	s, err := col.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Causes[telemetry.CauseBufferOverflow] == 0 {
+		t.Fatalf("no buffer-overflow visit failures recorded: %+v", s.Causes)
+	}
+}
+
+// TestOfferedLoadDeterminism: the same seed yields bit-identical outcome
+// counts regardless of worker scheduling, with the admission model engaged.
+func TestOfferedLoadDeterminism(t *testing.T) {
+	run := func(workers int) (int64, int64, int64) {
+		p := travelagency.DefaultParams()
+		c, err := New(p, Options{OfferedLoad: 600})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		col := telemetry.NewCollector(0)
+		g := LoadGen{Cluster: c, Class: travelagency.ClassB, Visits: 2000, Workers: workers, Seed: 20030623}
+		if err := g.Run(col); err != nil {
+			t.Fatal(err)
+		}
+		s, err := col.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rejected := c.AdmissionStats()
+		return s.Visits, s.Successes, rejected
+	}
+	v1, s1, r1 := run(1)
+	v2, s2, r2 := run(8)
+	if v1 != v2 || s1 != s2 || r1 != r2 {
+		t.Fatalf("outcome depends on scheduling: (%d,%d,%d) vs (%d,%d,%d)", v1, s1, r1, v2, s2, r2)
+	}
+}
+
+// TestLoadGenOffset: two consecutive batches with advancing offsets replay
+// exactly the visit stream of one contiguous run.
+func TestLoadGenOffset(t *testing.T) {
+	p := travelagency.DefaultParams()
+	run := func(batches [][2]int64) (int64, int64) {
+		c, err := New(p, Options{OfferedLoad: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		col := telemetry.NewCollector(0)
+		for _, b := range batches {
+			g := LoadGen{
+				Cluster: c, Class: travelagency.ClassA,
+				Visits: b[1], Offset: b[0], Workers: 4, Seed: 99,
+			}
+			if err := g.Run(col); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s, err := col.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Visits, s.Successes
+	}
+	v1, s1 := run([][2]int64{{0, 1500}})
+	v2, s2 := run([][2]int64{{0, 500}, {500, 700}, {1200, 300}})
+	if v1 != v2 || s1 != s2 {
+		t.Fatalf("batched stream diverges from contiguous run: (%d,%d) vs (%d,%d)", v1, s1, v2, s2)
+	}
+}
+
+// TestPresetCampaigns builds every preset and sanity-checks its shape.
+func TestPresetCampaigns(t *testing.T) {
+	p := travelagency.DefaultParams()
+	for _, name := range CampaignPresets() {
+		camp, err := PresetCampaign(name, p, 7200, 120)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if camp.Horizon != 7200 {
+			t.Fatalf("preset %q horizon = %v", name, camp.Horizon)
+		}
+		if len(camp.Services) == 0 {
+			t.Fatalf("preset %q names no services", name)
+		}
+		// Every preset must run as a cluster plane.
+		c, err := New(p, Options{Campaign: &camp})
+		if err != nil {
+			t.Fatalf("preset %q cluster: %v", name, err)
+		}
+		col := telemetry.NewCollector(0)
+		g := LoadGen{Cluster: c, Class: travelagency.ClassA, Visits: 200, Workers: 4, Seed: 5}
+		if err := g.Run(col); err != nil {
+			c.Close()
+			t.Fatalf("preset %q run: %v", name, err)
+		}
+		c.Close()
+	}
+	if _, err := PresetCampaign("bogus", p, 7200, 120); !errors.Is(err, ErrTestbed) {
+		t.Fatalf("unknown preset: err = %v", err)
+	}
+	if camp, err := PresetCampaign(PresetCorrelated, p, 7200, 120); err != nil || len(camp.Correlated) == 0 {
+		t.Fatalf("correlated preset lacks correlated outages: %v %+v", err, camp.Correlated)
+	}
+}
+
+// TestZoneOutageCampaign checks the zone pattern: odd-indexed servers down
+// inside the window, even-indexed servers and out-of-window instants up.
+func TestZoneOutageCampaign(t *testing.T) {
+	camp, err := ZoneOutageCampaign(1000, 6, resilience.Window{Start: 100, End: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := camp.Generate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		at   float64
+		up   bool
+	}{
+		{"web-1", 500, false},
+		{"web-3", 500, false},
+		{"web-5", 500, false},
+		{"web-2", 500, true},
+		{"web-4", 500, true},
+		{"web-1", 50, true},
+		{"web-1", 950, true},
+	} {
+		if got := tl.Up(tc.name, tc.at); got != tc.up {
+			t.Errorf("Up(%s, %v) = %v, want %v", tc.name, tc.at, got, tc.up)
+		}
+	}
+}

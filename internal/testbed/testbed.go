@@ -37,10 +37,12 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/interaction"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/sweep"
 	"repro/internal/travelagency"
 )
 
@@ -80,6 +82,15 @@ type Options struct {
 	// campaign-driven fault injection. Campaign services must be keyed by
 	// resource names (see Cluster.Resources and DefaultCampaign).
 	Campaign *resilience.Campaign
+	// OfferedLoad, when > 0 on an unpaced cluster, engages the analytic
+	// admission model: each user-facing page request is rejected with the
+	// M/M/i/K loss probability computed at this arrival rate for the visit's
+	// operational web-server count — the unpaced counterpart of the paced
+	// buffer, making overload and load ramps measurable in fast deterministic
+	// runs (the same philosophy as SteadyStatePlane's stationary draws).
+	// Ignored when Scale > 0, where the real queue governs admission. It can
+	// be changed at runtime with Reconfigure.
+	OfferedLoad float64
 	// KeepTraces bounds the telemetry trace ring kept by load generators that
 	// use the cluster's default collector sizing.
 	KeepTraces int
@@ -90,17 +101,31 @@ type Options struct {
 	Metrics *obs.Registry
 }
 
-// Cluster is a running deployment of the travel agency.
+// Cluster is a running deployment of the travel agency. Its web tier is
+// reconfigurable at runtime — see Reconfigure for the drain-and-swap
+// semantics that let a controller scale the farm and resize the admission
+// buffer without dropping in-flight visits.
 type Cluster struct {
-	params    travelagency.Params
-	opts      Options
-	resources []Resource
-	groups    map[string]serviceGroup
-	plane     FaultPlane
-	web       *webQueue
-	diagrams  map[string]*interaction.Diagram
-	disp      dispatcher
-	metrics   *clusterMetrics
+	params   travelagency.Params
+	opts     Options
+	diagrams map[string]*interaction.Diagram
+	disp     dispatcher
+	metrics  *clusterMetrics
+
+	// mu guards topo; reconfigMu serializes Reconfigure calls.
+	mu         sync.RWMutex
+	reconfigMu sync.Mutex
+	topo       *topology
+
+	// Cumulative instruments surviving reconfigurations.
+	admitted  atomic.Int64
+	rejected  atomic.Int64
+	reconfigs atomic.Int64
+	webUpSum  atomic.Int64
+	webUpN    atomic.Int64
+
+	// lossMemo caches the analytic admission model's loss probabilities.
+	lossMemo sweep.Memo[lossKey, float64]
 
 	// visitStates resolves visit IDs to frozen fault-plane states for the
 	// HTTP transport's stateless tier handlers.
@@ -121,47 +146,33 @@ func New(p travelagency.Params, opts Options) (*Cluster, error) {
 	if opts.Transport != Direct && opts.Transport != HTTP {
 		return nil, fmt.Errorf("%w: transport %v", ErrTestbed, opts.Transport)
 	}
+	if math.IsNaN(opts.OfferedLoad) || math.IsInf(opts.OfferedLoad, 0) || opts.OfferedLoad < 0 {
+		return nil, fmt.Errorf("%w: offered load %v", ErrTestbed, opts.OfferedLoad)
+	}
 	diagrams, err := travelagency.Diagrams(p)
 	if err != nil {
 		return nil, err
 	}
-	resources, groups := inventory(p)
 	c := &Cluster{
-		params:    p,
-		opts:      opts,
-		resources: resources,
-		groups:    groups,
-		diagrams:  diagrams,
+		params:   p,
+		opts:     opts,
+		diagrams: diagrams,
 	}
-	if opts.Campaign != nil {
-		if err := opts.Campaign.Validate(); err != nil {
-			return nil, err
-		}
-		c.plane = &CampaignPlane{Campaign: *opts.Campaign}
-	} else {
-		plane, err := NewSteadyStatePlane(p)
-		if err != nil {
-			return nil, err
-		}
-		c.plane = plane
-	}
-	c.web = newWebQueue(p.WebServers, p.BufferSize, opts.Scale)
 	if opts.Metrics != nil {
 		if err := c.registerMetrics(opts.Metrics); err != nil {
 			return nil, err
 		}
-		var webNames []string
-		for _, r := range resources {
-			if r.Tier == TierWeb {
-				webNames = append(webNames, r.Name)
-			}
-		}
-		metered, err := newMeteredPlane(c.plane, webNames, opts.Metrics)
-		if err != nil {
-			return nil, err
-		}
-		c.plane = metered
 	}
+	var campaign *resilience.Campaign
+	if opts.Campaign != nil {
+		cp := *opts.Campaign
+		campaign = &cp
+	}
+	topo, err := c.buildTopology(p, campaign, opts.OfferedLoad)
+	if err != nil {
+		return nil, err
+	}
+	c.topo = topo
 	switch opts.Transport {
 	case Direct:
 		c.disp = &directDispatcher{c: c}
@@ -177,10 +188,12 @@ func (c *Cluster) Params() travelagency.Params { return c.params }
 // Options returns the cluster options.
 func (c *Cluster) Options() Options { return c.opts }
 
-// Resources lists the deployment's resources — the unit of fault injection.
+// Resources lists the deployment's resources — the unit of fault injection —
+// as of the current topology.
 func (c *Cluster) Resources() []Resource {
-	out := make([]Resource, len(c.resources))
-	copy(out, c.resources)
+	t := c.currentTopology()
+	out := make([]Resource, len(t.resources))
+	copy(out, t.resources)
 	return out
 }
 
@@ -188,6 +201,6 @@ func (c *Cluster) Resources() []Resource {
 func (c *Cluster) Close() {
 	c.closeOnce.Do(func() {
 		c.disp.close()
-		c.web.close()
+		c.currentTopology().web.close()
 	})
 }

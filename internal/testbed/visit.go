@@ -15,19 +15,32 @@ import (
 const maxWalkSteps = 10000
 
 // RunVisit executes one complete user visit against the live deployment: it
-// snapshots a frozen fault-plane state, then invokes the scenario's functions
-// in order, each function walking its interaction diagram step by step with
-// every step dispatched to the owning tier component.
+// pins the current topology, snapshots a frozen fault-plane state from its
+// plane, then invokes the scenario's functions in order, each function
+// walking its interaction diagram step by step with every step dispatched to
+// the owning tier component. The pin guarantees a concurrent Reconfigure
+// never changes the world under a visit already in flight.
 //
 // Randomness is consumed in a fixed order (fault-plane snapshot, then per
-// function: successor choices and per-service demands in step order), so a
+// function: successor choices, per-service demands, and — with an offered
+// load configured — one admission draw per entry step, in step order), so a
 // per-visit seeded rng makes the visit's outcome reproducible regardless of
 // how load-generator workers are scheduled.
 func (c *Cluster) RunVisit(id uint64, scenario hierarchy.UserScenario, rng *rand.Rand, keepSteps bool) (telemetry.VisitTrace, error) {
-	state, err := c.plane.Snapshot(rng)
+	t := c.acquire()
+	defer c.release(t)
+	state, err := t.plane.Snapshot(rng)
 	if err != nil {
 		return telemetry.VisitTrace{}, err
 	}
+	up := 0
+	for _, name := range t.webNames {
+		if state.Up(name, state.Start()) {
+			up++
+		}
+	}
+	c.webUpSum.Add(int64(up))
+	c.webUpN.Add(1)
 	if c.opts.Transport == HTTP {
 		c.visitStates.Store(id, state)
 		defer c.visitStates.Delete(id)
@@ -40,7 +53,7 @@ func (c *Cluster) RunVisit(id uint64, scenario hierarchy.UserScenario, rng *rand
 	}
 	at := state.Start()
 	for _, fn := range scenario.Functions {
-		ftr, err := c.runFunction(id, fn, at, state, rng, keepSteps)
+		ftr, err := c.runFunction(t, id, fn, at, state, rng, keepSteps)
 		if err != nil {
 			return telemetry.VisitTrace{}, err
 		}
@@ -61,7 +74,7 @@ func (c *Cluster) RunVisit(id uint64, scenario hierarchy.UserScenario, rng *rand
 // a step fails (the user sees the error page and the visit's remaining
 // functions still execute, mirroring the paper's per-function availability
 // semantics under frozen service states).
-func (c *Cluster) runFunction(id uint64, fn string, at float64, state VisitState, rng *rand.Rand, keepSteps bool) (telemetry.FunctionTrace, error) {
+func (c *Cluster) runFunction(t *topology, id uint64, fn string, at float64, state VisitState, rng *rand.Rand, keepSteps bool) (telemetry.FunctionTrace, error) {
 	d, ok := c.diagrams[fn]
 	if !ok {
 		return telemetry.FunctionTrace{}, fmt.Errorf("%w: unknown function %q", ErrTestbed, fn)
@@ -83,7 +96,7 @@ func (c *Cluster) runFunction(id uint64, fn string, at float64, state VisitState
 		if !ok {
 			return telemetry.FunctionTrace{}, fmt.Errorf("%w: function %q step %q undeclared", ErrTestbed, fn, next)
 		}
-		st, err := c.runStep(id, fn, next, services, at+ftr.Duration, state, rng)
+		st, err := c.runStep(t, id, fn, next, services, at+ftr.Duration, state, rng)
 		if err != nil {
 			return telemetry.FunctionTrace{}, err
 		}
@@ -105,7 +118,7 @@ func (c *Cluster) runFunction(id uint64, fn string, at float64, state VisitState
 // AND fan-out of Figure 4 runs them against their tiers), the step succeeds
 // only if all calls succeed, and its latency is the maximum call latency
 // since fan-out calls proceed in parallel in the modeled system.
-func (c *Cluster) runStep(id uint64, fn, step string, services []string, at float64, state VisitState, rng *rand.Rand) (telemetry.StepTrace, error) {
+func (c *Cluster) runStep(t *topology, id uint64, fn, step string, services []string, at float64, state VisitState, rng *rand.Rand) (telemetry.StepTrace, error) {
 	st := telemetry.StepTrace{
 		Function: fn,
 		Step:     step,
@@ -114,6 +127,13 @@ func (c *Cluster) runStep(id uint64, fn, step string, services []string, at floa
 		OK:       true,
 	}
 	entry := entryStep(services)
+	// The admission draw is consumed before per-service demands so the rng
+	// stream of a visit depends only on the offered-load mode, never on the
+	// fault-plane state or topology size.
+	lossU := -1.0
+	if entry && t.offered > 0 && c.opts.Scale <= 0 {
+		lossU = rng.Float64()
+	}
 	for _, svc := range services {
 		cl := call{
 			visit:   id,
@@ -121,8 +141,9 @@ func (c *Cluster) runStep(id uint64, fn, step string, services []string, at floa
 			at:      at,
 			demand:  rng.ExpFloat64() / c.params.ServiceRate,
 			entry:   entry,
+			lossU:   lossU,
 		}
-		res, err := c.disp.dispatch(cl, state)
+		res, err := c.disp.dispatch(t, cl, state)
 		if err != nil {
 			return telemetry.StepTrace{}, err
 		}

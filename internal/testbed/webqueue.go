@@ -28,17 +28,22 @@ type webQueue struct {
 	capacity int64
 	scale    float64
 	inSystem atomic.Int64
-	admitted atomic.Int64
-	rejected atomic.Int64
+	// admitted and rejected are cluster-owned cumulative counters shared
+	// across the queues of successive topologies, so admission statistics
+	// survive runtime reconfigurations.
+	admitted *atomic.Int64
+	rejected *atomic.Int64
 	queue    chan *webJob
 	quit     chan struct{}
 	wg       sync.WaitGroup
 }
 
-func newWebQueue(servers, capacity int, scale float64) *webQueue {
+func newWebQueue(servers, capacity int, scale float64, admitted, rejected *atomic.Int64) *webQueue {
 	q := &webQueue{
 		capacity: int64(capacity),
 		scale:    scale,
+		admitted: admitted,
+		rejected: rejected,
 		queue:    make(chan *webJob, capacity),
 		quit:     make(chan struct{}),
 	}
@@ -92,7 +97,8 @@ func (q *webQueue) serve(demand float64) error {
 }
 
 // close stops the server goroutines. Callers must not invoke serve after
-// close.
+// close; the cluster guarantees this by draining a topology's visit pins
+// before closing its queue (see topology.drainAndClose).
 func (q *webQueue) close() {
 	close(q.quit)
 	q.wg.Wait()

@@ -11,6 +11,17 @@ import (
 // ServiceAvailabilities computes every TA service availability from the
 // parameters: Tables 3, 4 and 5 of the paper in one map.
 func ServiceAvailabilities(p Params) (map[string]float64, error) {
+	return serviceAvailabilities(p, nil)
+}
+
+// ServiceAvailabilitiesWith is ServiceAvailabilities with the web-farm solve
+// routed through a shared Composer, so repeated evaluations across a sweep —
+// or inside a control loop — reuse memoized repair and queueing solutions.
+func ServiceAvailabilitiesWith(p Params, comp *webfarm.Composer) (map[string]float64, error) {
+	return serviceAvailabilities(p, comp)
+}
+
+func serviceAvailabilities(p Params, comp *webfarm.Composer) (map[string]float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -77,7 +88,13 @@ func ServiceAvailabilities(p Params) (map[string]float64, error) {
 	}
 
 	// Table 5: web service via the composite performance-availability model.
-	ws, err := WebFarm(p).Availability()
+	var ws float64
+	var err error
+	if comp != nil {
+		ws, err = comp.Availability(WebFarm(p))
+	} else {
+		ws, err = WebFarm(p).Availability()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("travelagency: web service: %w", err)
 	}
@@ -101,7 +118,17 @@ func WebFarm(p Params) webfarm.Farm {
 
 // Build assembles the full four-level TA model for one user class.
 func Build(p Params, class UserClass) (*hierarchy.Model, error) {
-	avail, err := ServiceAvailabilities(p)
+	return buildWith(p, class, nil)
+}
+
+// BuildWith is Build with the web-farm solve routed through a shared
+// Composer.
+func BuildWith(p Params, class UserClass, comp *webfarm.Composer) (*hierarchy.Model, error) {
+	return buildWith(p, class, comp)
+}
+
+func buildWith(p Params, class UserClass, comp *webfarm.Composer) (*hierarchy.Model, error) {
+	avail, err := serviceAvailabilities(p, comp)
 	if err != nil {
 		return nil, err
 	}
@@ -136,6 +163,20 @@ func Build(p Params, class UserClass) (*hierarchy.Model, error) {
 // Evaluate builds and evaluates the TA model for one user class.
 func Evaluate(p Params, class UserClass) (*hierarchy.Report, error) {
 	m, err := Build(p, class)
+	if err != nil {
+		return nil, err
+	}
+	return m.Evaluate()
+}
+
+// EvaluateWithComposer builds and evaluates the TA model with the web-farm
+// solve routed through a shared Composer. Inside a control loop — where the
+// same (servers, buffer) candidates recur tick after tick at varying
+// arrival rates — the memoized repair chains make each re-evaluation cost
+// only the incremental queueing solves, keeping the full hierarchy solve in
+// the microsecond range.
+func EvaluateWithComposer(p Params, class UserClass, comp *webfarm.Composer) (*hierarchy.Report, error) {
+	m, err := buildWith(p, class, comp)
 	if err != nil {
 		return nil, err
 	}

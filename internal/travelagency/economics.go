@@ -62,3 +62,14 @@ func EstimateRevenueImpact(rep *hierarchy.Report, txPerSecond, revenuePerTransac
 		LostRevenue:           lostTx * revenuePerTransaction,
 	}, nil
 }
+
+// HourlyOutageCost converts the yearly SC4 revenue loss into a per-hour
+// rate, the unit a capacity controller trades against per-hour server cost
+// when ranking candidate configurations.
+func HourlyOutageCost(rep *hierarchy.Report, txPerSecond, revenuePerTransaction float64) (float64, error) {
+	impact, err := EstimateRevenueImpact(rep, txPerSecond, revenuePerTransaction)
+	if err != nil {
+		return 0, err
+	}
+	return impact.LostRevenue / HoursPerYear, nil
+}
