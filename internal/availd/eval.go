@@ -1,0 +1,273 @@
+package availd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/hierarchy"
+	"repro/internal/modelspec"
+	"repro/internal/sweep"
+	"repro/internal/webfarm"
+)
+
+// EvalRequest asks for a point evaluation of a model: either a stored
+// scenario (by name) or an inline spec, optionally perturbed by what-if
+// service-availability overrides.
+type EvalRequest struct {
+	// Scenario names a stored parameterization; mutually exclusive with
+	// Spec.
+	Scenario string `json:"scenario,omitempty"`
+	// Spec is an inline modelspec document.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Overrides replaces named services' availabilities before evaluating
+	// (the what-if delta: the response carries the baseline and the delta).
+	Overrides map[string]float64 `json:"overrides,omitempty"`
+}
+
+// ScenarioAvailability is one user-scenario line of an evaluation.
+type ScenarioAvailability struct {
+	Name         string  `json:"name"`
+	Probability  float64 `json:"probability"`
+	Availability float64 `json:"availability"`
+}
+
+// EvalResponse is the rendered evaluation: the paper's four levels plus,
+// for what-if requests, the unmodified baseline and the delta.
+type EvalResponse struct {
+	Model              string                 `json:"model,omitempty"`
+	Services           map[string]float64     `json:"services"`
+	Functions          map[string]float64     `json:"functions"`
+	Scenarios          []ScenarioAvailability `json:"scenarios"`
+	UserAvailability   float64                `json:"userAvailability"`
+	UserUnavailability float64                `json:"userUnavailability"`
+	// BaselineUserAvailability and Delta are present when overrides were
+	// applied: Delta = UserAvailability − baseline.
+	BaselineUserAvailability *float64 `json:"baselineUserAvailability,omitempty"`
+	Delta                    *float64 `json:"delta,omitempty"`
+}
+
+// Evaluator is the evaluation service: every result is rendered to JSON
+// once and cached in a bounded, single-flight memo keyed by the model's
+// canonical serialization, so identical requests — concurrent or repeated —
+// share one solve and one byte-identical body. Figure and table grids run on
+// the deterministic sweep pool and share one webfarm.Composer across
+// requests. All methods are safe for concurrent use.
+type Evaluator struct {
+	memo     sweep.Memo[string, []byte]
+	composer *webfarm.Composer
+	workers  int
+}
+
+// NewEvaluator builds an evaluation service. workers bounds the sweep pool
+// used by grid evaluations (≤ 0 selects GOMAXPROCS); memoLimit caps the
+// response cache (≤ 0 leaves it unbounded).
+func NewEvaluator(workers, memoLimit int) *Evaluator {
+	e := &Evaluator{composer: webfarm.NewComposer(), workers: workers}
+	e.memo.SetLimit(memoLimit)
+	return e
+}
+
+// MemoStats reports the response cache's hit/miss/eviction counters and
+// current size.
+func (e *Evaluator) MemoStats() (hits, misses, evicted int64, entries int) {
+	hits, misses = e.memo.Stats()
+	return hits, misses, e.memo.Evicted(), e.memo.Len()
+}
+
+// Composer exposes the shared grid composer, for diagnostics.
+func (e *Evaluator) Composer() *webfarm.Composer { return e.composer }
+
+// renderReport converts a hierarchy report to the wire form and marshals it.
+// encoding/json sorts map keys, so the bytes are deterministic.
+func renderReport(name string, rep *hierarchy.Report) ([]byte, error) {
+	resp := EvalResponse{
+		Model:              name,
+		Services:           rep.Services,
+		Functions:          rep.Functions,
+		Scenarios:          make([]ScenarioAvailability, 0, len(rep.Scenarios)),
+		UserAvailability:   rep.UserAvailability,
+		UserUnavailability: rep.UserUnavailability(),
+	}
+	for _, sc := range rep.Scenarios {
+		resp.Scenarios = append(resp.Scenarios, ScenarioAvailability{
+			Name:         sc.Name,
+			Probability:  sc.Probability,
+			Availability: sc.Availability,
+		})
+	}
+	return json.Marshal(resp)
+}
+
+// evaluateKey evaluates the canonical spec document key, memoized and
+// single-flighted: concurrent identical requests coalesce into one solve.
+func (e *Evaluator) evaluateKey(key string) ([]byte, error) {
+	return e.memo.Do("eval:"+key, func() ([]byte, error) {
+		spec, err := modelspec.Parse([]byte(key))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		m, err := spec.Build()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		rep, err := m.Evaluate()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		return renderReport(spec.Name, rep)
+	})
+}
+
+// applyOverrides returns a copy of spec with the named services replaced by
+// fixed availabilities. Unknown services and out-of-range values are
+// ErrInvalid.
+func applyOverrides(spec *modelspec.Spec, overrides map[string]float64) (*modelspec.Spec, error) {
+	mod := *spec
+	mod.Services = append([]modelspec.ServiceSpec(nil), spec.Services...)
+	names := make([]string, 0, len(overrides))
+	for name := range overrides {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		avail := overrides[name]
+		if avail < 0 || avail > 1 {
+			return nil, fmt.Errorf("%w: override %q availability %v outside [0,1]",
+				ErrInvalid, name, avail)
+		}
+		found := false
+		for i, svc := range mod.Services {
+			if svc.Name == name {
+				a := avail
+				mod.Services[i] = modelspec.ServiceSpec{Name: name, Availability: &a}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: override names unknown service %q", ErrInvalid, name)
+		}
+	}
+	return &mod, nil
+}
+
+// Evaluate runs a point evaluation, memoized by the canonical spec. With
+// overrides it evaluates both the modified and the baseline model (each
+// memoized independently) and annotates the response with the baseline and
+// the delta.
+func (e *Evaluator) Evaluate(spec *modelspec.Spec, overrides map[string]float64) ([]byte, error) {
+	baseKey, err := spec.CanonicalKey()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if len(overrides) == 0 {
+		return e.evaluateKey(baseKey)
+	}
+	mod, err := applyOverrides(spec, overrides)
+	if err != nil {
+		return nil, err
+	}
+	modKey, err := mod.CanonicalKey()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	modBody, err := e.evaluateKey(modKey)
+	if err != nil {
+		return nil, err
+	}
+	baseBody, err := e.evaluateKey(baseKey)
+	if err != nil {
+		return nil, err
+	}
+	var modResp, baseResp EvalResponse
+	if err := json.Unmarshal(modBody, &modResp); err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(baseBody, &baseResp); err != nil {
+		return nil, err
+	}
+	baseline := baseResp.UserAvailability
+	delta := modResp.UserAvailability - baseline
+	modResp.BaselineUserAvailability = &baseline
+	modResp.Delta = &delta
+	return json.Marshal(modResp)
+}
+
+// SweepRequest asks for a sensitivity sweep: one service's availability is
+// varied over [From, To] in Points equidistant steps and the user-perceived
+// availability re-evaluated at each point.
+type SweepRequest struct {
+	Scenario string          `json:"scenario,omitempty"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+	// Service names the swept service.
+	Service string `json:"service"`
+	From    float64 `json:"from"`
+	To      float64 `json:"to"`
+	Points  int     `json:"points"`
+}
+
+// maxSweepPoints bounds one job's grid.
+const maxSweepPoints = 10000
+
+// validate checks the grid parameters against the spec.
+func (r SweepRequest) validate(spec *modelspec.Spec) error {
+	if r.Points < 2 || r.Points > maxSweepPoints {
+		return fmt.Errorf("%w: sweep points %d outside [2, %d]", ErrInvalid, r.Points, maxSweepPoints)
+	}
+	if r.From < 0 || r.From > 1 || r.To < 0 || r.To > 1 || r.From > r.To {
+		return fmt.Errorf("%w: sweep range [%v, %v] outside 0 ≤ from ≤ to ≤ 1", ErrInvalid, r.From, r.To)
+	}
+	for _, svc := range spec.Services {
+		if svc.Name == r.Service {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: sweep names unknown service %q", ErrInvalid, r.Service)
+}
+
+// SweepPoint is one cell of a sweep result.
+type SweepPoint struct {
+	ServiceAvailability float64 `json:"serviceAvailability"`
+	UserAvailability    float64 `json:"userAvailability"`
+}
+
+// SweepResponse is a completed sweep.
+type SweepResponse struct {
+	Model   string       `json:"model,omitempty"`
+	Service string       `json:"service"`
+	Points  []SweepPoint `json:"points"`
+}
+
+// Sweep evaluates the sensitivity grid on the shared sweep pool. Every point
+// flows through the same cross-request memo as point evaluations, so sweeps
+// warm the cache for later what-if queries (and vice versa). ctx aborts the
+// sweep between points.
+func (e *Evaluator) Sweep(ctx context.Context, spec *modelspec.Spec, req SweepRequest) ([]byte, error) {
+	if err := req.validate(spec); err != nil {
+		return nil, err
+	}
+	values := make([]float64, req.Points)
+	for i := range values {
+		values[i] = req.From + (req.To-req.From)*float64(i)/float64(req.Points-1)
+	}
+	points, err := sweep.Run(values, func(v float64) (SweepPoint, error) {
+		if err := ctx.Err(); err != nil {
+			return SweepPoint{}, err
+		}
+		body, err := e.Evaluate(spec, map[string]float64{req.Service: v})
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		var resp EvalResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{ServiceAvailability: v, UserAvailability: resp.UserAvailability}, nil
+	}, sweep.Options{Workers: e.workers})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(SweepResponse{Model: spec.Name, Service: req.Service, Points: points})
+}

@@ -1,0 +1,518 @@
+package availd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/modelspec"
+	"repro/internal/obs"
+)
+
+// Options configure a Server.
+type Options struct {
+	// Registry receives the availd_* metrics; nil creates a private one.
+	Registry *obs.Registry
+	// Tracer, when non-nil, records one span per API request.
+	Tracer *obs.Tracer
+	// Workers bounds the sweep pool for grid and sweep evaluations (≤ 0
+	// selects GOMAXPROCS).
+	Workers int
+	// JobWorkers is the async job pool size (default 2).
+	JobWorkers int
+	// QueueCapacity bounds the async job queue; a full queue sheds
+	// submissions with 429 (default 16).
+	QueueCapacity int
+	// MemoLimit caps the cross-request response cache (default 4096
+	// entries; ≤ -1 leaves it unbounded).
+	MemoLimit int
+	// SnapshotPath, when non-empty, persists the scenario store to this
+	// JSON file after every mutation and loads it on startup.
+	SnapshotPath string
+}
+
+// Server is the availability-as-a-service API: scenario CRUD, memoized
+// point/what-if evaluation, async sensitivity sweeps and the paper's
+// figure/table grids, instrumented with request counters, latency
+// histograms and per-request spans.
+type Server struct {
+	store *Store
+	eval  *Evaluator
+	jobs  *Engine
+
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	start    time.Time
+	traceSeq atomic.Uint64
+	resp5xx  *obs.Counter
+}
+
+// New assembles the service stack.
+func New(opts Options) (*Server, error) {
+	if opts.Registry == nil {
+		opts.Registry = obs.NewRegistry()
+	}
+	if opts.JobWorkers == 0 {
+		opts.JobWorkers = 2
+	}
+	if opts.QueueCapacity == 0 {
+		opts.QueueCapacity = 16
+	}
+	if opts.MemoLimit == 0 {
+		opts.MemoLimit = 4096
+	}
+	s := &Server{
+		store:  NewStore(),
+		eval:   NewEvaluator(opts.Workers, opts.MemoLimit),
+		jobs:   NewEngine(opts.JobWorkers, opts.QueueCapacity),
+		reg:    opts.Registry,
+		tracer: opts.Tracer,
+		start:  time.Now(),
+	}
+	if opts.SnapshotPath != "" {
+		if err := s.store.SetSnapshotPath(opts.SnapshotPath); err != nil {
+			s.jobs.Close()
+			return nil, err
+		}
+	}
+	if err := s.registerMetrics(); err != nil {
+		s.jobs.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Store exposes the scenario repository (for seeding and tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Evaluator exposes the evaluation service.
+func (s *Server) Evaluator() *Evaluator { return s.eval }
+
+// Jobs exposes the async engine.
+func (s *Server) Jobs() *Engine { return s.jobs }
+
+// Close stops the job engine (cancelling running jobs) and releases workers.
+func (s *Server) Close() { s.jobs.Close() }
+
+// registerMetrics wires the static availd_* instruments, so every series a
+// CI scrape asserts on exists from the first render.
+func (s *Server) registerMetrics() error {
+	var err error
+	s.resp5xx, err = s.reg.Counter("availd_responses_5xx_total",
+		"API responses with a 5xx status")
+	if err != nil {
+		return err
+	}
+	if err := s.reg.GaugeFunc("availd_uptime_seconds",
+		"seconds since the availd service was assembled",
+		func() float64 { return time.Since(s.start).Seconds() }); err != nil {
+		return err
+	}
+	if err := s.reg.GaugeFunc("availd_scenarios",
+		"scenarios in the store",
+		func() float64 { return float64(s.store.Len()) }); err != nil {
+		return err
+	}
+	memoCounter := func(name, help string, fn func() int64) error {
+		return s.reg.CounterFunc(name, help, fn)
+	}
+	if err := memoCounter("availd_memo_hits_total",
+		"evaluation cache hits (includes coalesced concurrent requests)",
+		func() int64 { h, _, _, _ := s.eval.MemoStats(); return h }); err != nil {
+		return err
+	}
+	if err := memoCounter("availd_memo_misses_total",
+		"evaluation cache misses (distinct models solved)",
+		func() int64 { _, m, _, _ := s.eval.MemoStats(); return m }); err != nil {
+		return err
+	}
+	if err := memoCounter("availd_memo_evicted_total",
+		"evaluation cache entries dropped by the size bound",
+		func() int64 { _, _, e, _ := s.eval.MemoStats(); return e }); err != nil {
+		return err
+	}
+	if err := s.reg.GaugeFunc("availd_memo_entries",
+		"evaluation cache entries resident",
+		func() float64 { _, _, _, n := s.eval.MemoStats(); return float64(n) }); err != nil {
+		return err
+	}
+	jobCounter := func(name, help string, fn func() int64) error {
+		return s.reg.CounterFunc(name, help, fn)
+	}
+	if err := jobCounter("availd_jobs_submitted_total",
+		"async jobs accepted into the queue",
+		func() int64 { return s.jobs.Stats().Submitted }); err != nil {
+		return err
+	}
+	if err := jobCounter("availd_jobs_shed_total",
+		"async job submissions shed with 429 (queue full)",
+		func() int64 { return s.jobs.Stats().Shed }); err != nil {
+		return err
+	}
+	if err := jobCounter("availd_jobs_completed_total",
+		"async jobs finished successfully",
+		func() int64 { return s.jobs.Stats().Completed }); err != nil {
+		return err
+	}
+	if err := jobCounter("availd_jobs_cancelled_total",
+		"async jobs cancelled",
+		func() int64 { return s.jobs.Stats().Cancelled }); err != nil {
+		return err
+	}
+	return s.reg.GaugeFunc("availd_jobs_queued",
+		"async jobs waiting in the queue",
+		func() float64 { return float64(s.jobs.Stats().Queued) })
+}
+
+// Register mounts the /api/v1 routes on mux. Call obs.Server.Register on the
+// same mux to serve /metrics, /traces and /healthz from the same listener.
+func (s *Server) Register(mux *http.ServeMux) {
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(name, h))
+	}
+	route("GET /api/v1/scenarios", "scenarios", s.handleListScenarios)
+	route("POST /api/v1/scenarios", "scenarios", s.handleCreateScenario)
+	route("GET /api/v1/scenarios/{name}", "scenario", s.handleGetScenario)
+	route("PUT /api/v1/scenarios/{name}", "scenario", s.handleUpdateScenario)
+	route("DELETE /api/v1/scenarios/{name}", "scenario", s.handleDeleteScenario)
+	route("POST /api/v1/evaluate", "evaluate", s.handleEvaluate)
+	route("POST /api/v1/sweep", "sweep", s.handleSubmitSweep)
+	route("GET /api/v1/sweep", "sweep", s.handleListJobs)
+	route("GET /api/v1/sweep/{id}", "sweep_job", s.handleGetJob)
+	route("DELETE /api/v1/sweep/{id}", "sweep_job", s.handleCancelJob)
+	route("GET /api/v1/figures/{n}", "figure", s.handleFigure)
+	route("GET /api/v1/tables/8", "table8", s.handleTable8)
+	route("GET /api/v1/stats", "stats", s.handleStats)
+}
+
+// Handler returns a standalone route table (used by tests and the
+// self-test driver).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.Register(mux)
+	return mux
+}
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request counter, latency histogram,
+// 5xx counter and a per-request span.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		elapsed := time.Since(start)
+
+		code := strconv.Itoa(sw.code)
+		if c, err := s.reg.Counter("availd_requests_total", "API requests served",
+			obs.Label{Key: "route", Value: name},
+			obs.Label{Key: "method", Value: r.Method},
+			obs.Label{Key: "code", Value: code}); err == nil {
+			c.Inc()
+		}
+		if sw.code >= 500 {
+			s.resp5xx.Inc()
+		}
+		if hist, err := s.reg.Histogram("availd_request_seconds",
+			"API request latency in seconds", 1e-5, 2, 24,
+			obs.Label{Key: "route", Value: name}); err == nil {
+			hist.Observe(elapsed.Seconds())
+		}
+		if s.tracer != nil {
+			s.tracer.Record(obs.Trace{Spans: []obs.Span{{
+				Trace:    s.traceSeq.Add(1),
+				ID:       1,
+				Level:    obs.LevelVisit,
+				Name:     r.Method + " " + r.URL.Path,
+				Duration: elapsed.Seconds(),
+				OK:       sw.code < 500,
+				Attrs: map[string]string{
+					"route": name,
+					"code":  code,
+				},
+			}}})
+		}
+	}
+}
+
+// errorStatus maps service errors to HTTP statuses.
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrExists), errors.Is(err, ErrVersion):
+		return http.StatusConflict
+	case errors.Is(err, ErrBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrInvalid), errors.Is(err, modelspec.ErrSpec):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	writeBody(w, code, data)
+}
+
+// writeBody writes a pre-rendered JSON body verbatim, preserving
+// bit-identity with the cached bytes.
+func writeBody(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	w.Write(body) //nolint:errcheck // client disconnects are not actionable
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := errorStatus(err)
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// decodeBody decodes a JSON request body strictly (unknown fields rejected).
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("malformed request body: %w", err)
+	}
+	return nil
+}
+
+// --- scenario CRUD -------------------------------------------------------
+
+// scenarioBody is the create/update payload.
+type scenarioBody struct {
+	Name    string          `json:"name,omitempty"`
+	Version int64           `json:"version,omitempty"`
+	Spec    json.RawMessage `json:"spec"`
+}
+
+func (s *Server) handleListScenarios(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": s.store.List()})
+}
+
+func (s *Server) handleCreateScenario(w http.ResponseWriter, r *http.Request) {
+	var body scenarioBody
+	if err := decodeBody(r, &body); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	sc, err := s.store.Create(body.Name, body.Spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sc)
+}
+
+func (s *Server) handleGetScenario(w http.ResponseWriter, r *http.Request) {
+	sc, err := s.store.Get(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sc)
+}
+
+func (s *Server) handleUpdateScenario(w http.ResponseWriter, r *http.Request) {
+	var body scenarioBody
+	if err := decodeBody(r, &body); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	sc, err := s.store.Update(r.PathValue("name"), body.Version, body.Spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sc)
+}
+
+func (s *Server) handleDeleteScenario(w http.ResponseWriter, r *http.Request) {
+	var version int64
+	if v := r.URL.Query().Get("version"); v != "" {
+		parsed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed version"})
+			return
+		}
+		version = parsed
+	}
+	if err := s.store.Delete(r.PathValue("name"), version); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- evaluation ----------------------------------------------------------
+
+// resolveSpec turns an eval/sweep request into a parsed spec: exactly one of
+// scenario (store lookup) or inline spec.
+func (s *Server) resolveSpec(scenario string, inline json.RawMessage) (*modelspec.Spec, error) {
+	switch {
+	case scenario != "" && inline != nil:
+		return nil, fmt.Errorf("%w: give either scenario or spec, not both", ErrInvalid)
+	case scenario != "":
+		sc, err := s.store.Get(scenario)
+		if err != nil {
+			return nil, err
+		}
+		return modelspec.Parse(sc.Spec)
+	case inline != nil:
+		spec, err := modelspec.Parse(inline)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		return spec, nil
+	default:
+		return nil, fmt.Errorf("%w: give a scenario name or an inline spec", ErrInvalid)
+	}
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvalRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	spec, err := s.resolveSpec(req.Scenario, req.Spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body, err := s.eval.Evaluate(spec, req.Overrides)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeBody(w, http.StatusOK, body)
+}
+
+// --- async sweep jobs ----------------------------------------------------
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	spec, err := s.resolveSpec(req.Scenario, req.Spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := req.validate(spec); err != nil {
+		writeError(w, err)
+		return
+	}
+	request, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	job, err := s.jobs.Submit("sweep", request, func(ctx context.Context) ([]byte, error) {
+		return s.eval.Sweep(ctx, spec, req)
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// --- figures, tables, stats ---------------------------------------------
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: figure %q", ErrNotFound, r.PathValue("n")))
+		return
+	}
+	body, err := s.eval.Figure(n)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeBody(w, http.StatusOK, body)
+}
+
+func (s *Server) handleTable8(w http.ResponseWriter, r *http.Request) {
+	body, err := s.eval.Table8()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeBody(w, http.StatusOK, body)
+}
+
+// StatsResponse is the /api/v1/stats body: cache and job-engine health.
+type StatsResponse struct {
+	Scenarios int `json:"scenarios"`
+	Memo      struct {
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+		Evicted int64 `json:"evicted"`
+		Entries int   `json:"entries"`
+	} `json:"memo"`
+	Composer struct {
+		RepairHits   int64 `json:"repairHits"`
+		RepairMisses int64 `json:"repairMisses"`
+		LossHits     int64 `json:"lossHits"`
+		LossMisses   int64 `json:"lossMisses"`
+	} `json:"composer"`
+	Jobs EngineStats `json:"jobs"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp StatsResponse
+	resp.Scenarios = s.store.Len()
+	resp.Memo.Hits, resp.Memo.Misses, resp.Memo.Evicted, resp.Memo.Entries = s.eval.MemoStats()
+	resp.Composer.RepairHits, resp.Composer.RepairMisses,
+		resp.Composer.LossHits, resp.Composer.LossMisses = s.eval.Composer().CacheStats()
+	resp.Jobs = s.jobs.Stats()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,562 @@
+package availd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SelfTestOptions tune the concurrent API driver.
+type SelfTestOptions struct {
+	// Requests is the number of concurrent evaluation requests (default
+	// 240, minimum 2×Clients).
+	Requests int
+	// Clients is the number of concurrent client goroutines (default 32).
+	Clients int
+}
+
+// demoSpec renders a small travel-agency-shaped spec parameterized by the
+// web-service availability, giving the self-test a family of distinct
+// models.
+func demoSpec(webAvail float64) []byte {
+	return []byte(fmt.Sprintf(`{
+	  "name": "selftest",
+	  "services": [
+	    {"name": "WS", "availability": %.6f},
+	    {"name": "DB", "group": {"count": 2, "availability": 0.995}},
+	    {"name": "PS", "availability": 0.99}
+	  ],
+	  "functions": [
+	    {
+	      "name": "Browse",
+	      "steps": [{"name": "serve", "services": ["WS"]}],
+	      "transitions": [
+	        {"from": "Begin", "to": "serve"},
+	        {"from": "serve", "to": "End"}
+	      ]
+	    },
+	    {
+	      "name": "Book",
+	      "steps": [
+	        {"name": "reserve", "services": ["WS", "DB"]},
+	        {"name": "pay", "services": ["PS"]}
+	      ],
+	      "transitions": [
+	        {"from": "Begin", "to": "reserve"},
+	        {"from": "reserve", "to": "pay", "probability": 0.9},
+	        {"from": "reserve", "to": "End", "probability": 0.1},
+	        {"from": "pay", "to": "End"}
+	      ]
+	    }
+	  ],
+	  "scenarios": [
+	    {"name": "browse", "functions": ["Browse"], "probability": 0.7},
+	    {"name": "book", "functions": ["Browse", "Book"], "probability": 0.3}
+	  ]
+	}`, webAvail))
+}
+
+// selfTestBodies builds the distinct evaluation request bodies the driver
+// cycles through: stored-scenario lookups, inline specs and what-if deltas.
+func selfTestBodies() [][]byte {
+	bodies := [][]byte{
+		[]byte(`{"scenario":"st-base"}`),
+		[]byte(`{"scenario":"st-degraded"}`),
+		[]byte(`{"scenario":"st-base","overrides":{"WS":0.97}}`),
+		[]byte(`{"scenario":"st-degraded","overrides":{"DB":0.9,"PS":0.95}}`),
+	}
+	inline := fmt.Sprintf(`{"spec":%s}`, demoSpec(0.9995))
+	bodies = append(bodies, []byte(inline))
+	inlineOverride := fmt.Sprintf(`{"spec":%s,"overrides":{"WS":0.5}}`, demoSpec(0.9995))
+	bodies = append(bodies, []byte(inlineOverride))
+	return bodies
+}
+
+// newSelfTestServer assembles a Server plus a shared mux carrying both the
+// API and the observability endpoints, exactly as cmd/availd wires them.
+func newSelfTestServer() (*Server, *httptest.Server, error) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(128)
+	srv, err := New(Options{
+		Registry:      reg,
+		Tracer:        tracer,
+		JobWorkers:    2,
+		QueueCapacity: 8,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	srv.Register(mux)
+	obs.NewServer(reg, tracer).Register(mux)
+	return srv, httptest.NewServer(mux), nil
+}
+
+// SelfTest drives a full in-process availd deployment through the
+// acceptance gauntlet: scenario CRUD with optimistic-versioning conflicts,
+// hundreds of concurrent evaluation requests asserted bit-identical to a
+// serial uncached evaluation, cross-request memo hits that climb between
+// waves, an async sweep job lifecycle with cancellation and deterministic
+// 429 load shedding, and a /metrics scrape with a zero 5xx count. It returns
+// the first failure, or nil after printing a summary to w.
+func SelfTest(w io.Writer, opts SelfTestOptions) error {
+	if opts.Clients <= 0 {
+		opts.Clients = 32
+	}
+	if opts.Requests < 2*opts.Clients {
+		if opts.Requests != 0 {
+			opts.Requests = 2 * opts.Clients
+		} else {
+			opts.Requests = 240
+		}
+	}
+
+	srv, ts, err := newSelfTestServer()
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	defer ts.Close()
+	client := ts.Client()
+	base := ts.URL
+
+	if err := selfTestCRUD(client, base); err != nil {
+		return fmt.Errorf("selftest CRUD: %w", err)
+	}
+
+	// Serial reference: the same bodies through a fresh, uncached server.
+	bodies := selfTestBodies()
+	reference, err := serialReference(bodies)
+	if err != nil {
+		return fmt.Errorf("selftest serial reference: %w", err)
+	}
+
+	// Two concurrent waves; the memo hit count must climb between them.
+	half := opts.Requests / 2
+	if err := hammer(client, base, bodies, reference, half, opts.Clients); err != nil {
+		return fmt.Errorf("selftest wave 1: %w", err)
+	}
+	st1, err := fetchStats(client, base)
+	if err != nil {
+		return err
+	}
+	if err := hammer(client, base, bodies, reference, opts.Requests-half, opts.Clients); err != nil {
+		return fmt.Errorf("selftest wave 2: %w", err)
+	}
+	st2, err := fetchStats(client, base)
+	if err != nil {
+		return err
+	}
+	if st1.Memo.Hits <= 0 {
+		return fmt.Errorf("selftest: no memo hits after %d concurrent requests", half)
+	}
+	if st2.Memo.Hits <= st1.Memo.Hits {
+		return fmt.Errorf("selftest: memo hits did not climb between waves (%d → %d)",
+			st1.Memo.Hits, st2.Memo.Hits)
+	}
+	total := st2.Memo.Hits + st2.Memo.Misses
+	hitRate := float64(st2.Memo.Hits) / float64(total)
+	if hitRate < 0.5 {
+		return fmt.Errorf("selftest: memo hit rate %.2f < 0.5 (%d hits / %d lookups)",
+			hitRate, st2.Memo.Hits, total)
+	}
+
+	if err := selfTestFigures(client, base); err != nil {
+		return fmt.Errorf("selftest figures: %w", err)
+	}
+	if err := selfTestJobs(srv, client, base); err != nil {
+		return fmt.Errorf("selftest jobs: %w", err)
+	}
+	fiveXX, err := selfTestMetrics(client, base)
+	if err != nil {
+		return fmt.Errorf("selftest metrics: %w", err)
+	}
+	if fiveXX != 0 {
+		return fmt.Errorf("selftest: %d responses with 5xx status", fiveXX)
+	}
+
+	fmt.Fprintf(w, "availd selftest ok: %d concurrent requests bit-identical to serial"+
+		" (%d distinct bodies), memo hit rate %.2f (%d hits, %d misses, climbed %d → %d),"+
+		" job lifecycle + cancellation + 429 shedding exercised, 0 responses 5xx\n",
+		opts.Requests, len(bodies), hitRate, st2.Memo.Hits, st2.Memo.Misses,
+		st1.Memo.Hits, st2.Memo.Hits)
+	return nil
+}
+
+// do issues one request and returns status and body.
+func do(client *http.Client, method, url string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+// selfTestCRUD walks the scenario lifecycle, including every documented
+// failure status.
+func selfTestCRUD(client *http.Client, base string) error {
+	scenarios := base + "/api/v1/scenarios"
+	expect := func(wantCode, code int, body []byte, step string) error {
+		if code != wantCode {
+			return fmt.Errorf("%s: status %d (want %d): %s", step, code, wantCode, body)
+		}
+		return nil
+	}
+
+	mk := func(name string, avail float64) []byte {
+		b, _ := json.Marshal(map[string]any{"name": name, "spec": json.RawMessage(demoSpec(avail))})
+		return b
+	}
+	code, body, err := do(client, http.MethodPost, scenarios, mk("st-base", 0.9999))
+	if err != nil {
+		return err
+	}
+	if err := expect(http.StatusCreated, code, body, "create st-base"); err != nil {
+		return err
+	}
+	code, body, err = do(client, http.MethodPost, scenarios, mk("st-degraded", 0.99))
+	if err != nil {
+		return err
+	}
+	if err := expect(http.StatusCreated, code, body, "create st-degraded"); err != nil {
+		return err
+	}
+	// Duplicate name → 409.
+	code, body, err = do(client, http.MethodPost, scenarios, mk("st-base", 0.5))
+	if err != nil {
+		return err
+	}
+	if err := expect(http.StatusConflict, code, body, "duplicate create"); err != nil {
+		return err
+	}
+	// Invalid spec → 422.
+	bad, _ := json.Marshal(map[string]any{"name": "st-bad", "spec": json.RawMessage(`{"services":[]}`)})
+	code, body, err = do(client, http.MethodPost, scenarios, bad)
+	if err != nil {
+		return err
+	}
+	if err := expect(http.StatusUnprocessableEntity, code, body, "invalid spec"); err != nil {
+		return err
+	}
+	// Stale version → 409; fresh version → 200.
+	up, _ := json.Marshal(map[string]any{"version": 99, "spec": json.RawMessage(demoSpec(0.95))})
+	code, body, err = do(client, http.MethodPut, scenarios+"/st-degraded", up)
+	if err != nil {
+		return err
+	}
+	if err := expect(http.StatusConflict, code, body, "stale update"); err != nil {
+		return err
+	}
+	up, _ = json.Marshal(map[string]any{"version": 1, "spec": json.RawMessage(demoSpec(0.95))})
+	code, body, err = do(client, http.MethodPut, scenarios+"/st-degraded", up)
+	if err != nil {
+		return err
+	}
+	if err := expect(http.StatusOK, code, body, "update"); err != nil {
+		return err
+	}
+	// Unknown scenario → 404.
+	code, body, err = do(client, http.MethodGet, scenarios+"/no-such", nil)
+	if err != nil {
+		return err
+	}
+	return expect(http.StatusNotFound, code, body, "get unknown")
+}
+
+// serialReference evaluates each body once against a fresh server (fresh
+// memo, fresh composer) — the serial semantics the concurrent responses must
+// match byte for byte. The reference server's store is seeded with the same
+// scenarios the driver created over HTTP.
+func serialReference(bodies [][]byte) (map[string][]byte, error) {
+	srv, err := New(Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	if _, err := srv.Store().Create("st-base", demoSpec(0.9999)); err != nil {
+		return nil, err
+	}
+	if _, err := srv.Store().Create("st-degraded", demoSpec(0.95)); err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ref := make(map[string][]byte, len(bodies))
+	for _, body := range bodies {
+		code, resp, err := do(ts.Client(), http.MethodPost, ts.URL+"/api/v1/evaluate", body)
+		if err != nil {
+			return nil, err
+		}
+		if code != http.StatusOK {
+			return nil, fmt.Errorf("reference eval %s: status %d: %s", body, code, resp)
+		}
+		ref[string(body)] = resp
+	}
+	return ref, nil
+}
+
+// hammer fires requests round-robin over the bodies from a bounded client
+// pool and asserts every response is 200 with exactly the reference bytes.
+func hammer(client *http.Client, base string, bodies [][]byte, reference map[string][]byte, requests, clients int) error {
+	type result struct {
+		body string
+		code int
+		resp []byte
+		err  error
+	}
+	jobs := make(chan []byte)
+	results := make(chan result, requests)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for body := range jobs {
+				code, resp, err := do(client, http.MethodPost, base+"/api/v1/evaluate", body)
+				results <- result{body: string(body), code: code, resp: resp, err: err}
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		jobs <- bodies[i%len(bodies)]
+	}
+	close(jobs)
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.err != nil {
+			return r.err
+		}
+		if r.code != http.StatusOK {
+			return fmt.Errorf("request %s: status %d: %s", r.body, r.code, r.resp)
+		}
+		want := reference[r.body]
+		if !bytes.Equal(r.resp, want) {
+			return fmt.Errorf("request %s: response diverged from serial reference:\n got %s\nwant %s",
+				r.body, r.resp, want)
+		}
+	}
+	return nil
+}
+
+func fetchStats(client *http.Client, base string) (StatsResponse, error) {
+	var st StatsResponse
+	code, body, err := do(client, http.MethodGet, base+"/api/v1/stats", nil)
+	if err != nil {
+		return st, err
+	}
+	if code != http.StatusOK {
+		return st, fmt.Errorf("stats: status %d", code)
+	}
+	return st, json.Unmarshal(body, &st)
+}
+
+// selfTestFigures asserts repeated figure/table requests are served
+// byte-identically from the memo.
+func selfTestFigures(client *http.Client, base string) error {
+	for _, path := range []string{"/api/v1/figures/11", "/api/v1/tables/8"} {
+		code, first, err := do(client, http.MethodGet, base+path, nil)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("%s: status %d: %s", path, code, first)
+		}
+		code, second, err := do(client, http.MethodGet, base+path, nil)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK || !bytes.Equal(first, second) {
+			return fmt.Errorf("%s: repeated request diverged", path)
+		}
+	}
+	code, body, err := do(client, http.MethodGet, base+"/api/v1/figures/7", nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusNotFound {
+		return fmt.Errorf("figures/7: status %d (want 404): %s", code, body)
+	}
+	return nil
+}
+
+// selfTestJobs walks the async lifecycle: a sweep runs to completion, a
+// second job is cancelled, and with the workers deliberately jammed the
+// bounded queue sheds an HTTP submission with 429.
+func selfTestJobs(srv *Server, client *http.Client, base string) error {
+	sweepURL := base + "/api/v1/sweep"
+	submit := []byte(`{"scenario":"st-base","service":"WS","from":0.9,"to":0.999,"points":24}`)
+	code, body, err := do(client, http.MethodPost, sweepURL, submit)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusAccepted {
+		return fmt.Errorf("submit: status %d: %s", code, body)
+	}
+	var job Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	done, err := srv.Jobs().Wait(ctx, job.ID)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("wait %s: %w", job.ID, err)
+	}
+	if done.State != JobDone {
+		return fmt.Errorf("job %s finished %s: %s", job.ID, done.State, done.Error)
+	}
+	code, body, err = do(client, http.MethodGet, sweepURL+"/"+job.ID, nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || !strings.Contains(string(body), `"state":"done"`) {
+		return fmt.Errorf("poll %s: status %d: %s", job.ID, code, body)
+	}
+	var polled Job
+	if err := json.Unmarshal(body, &polled); err != nil {
+		return err
+	}
+	var sweepResp SweepResponse
+	if err := json.Unmarshal(polled.Result, &sweepResp); err != nil {
+		return fmt.Errorf("sweep result: %w", err)
+	}
+	if len(sweepResp.Points) != 24 {
+		return fmt.Errorf("sweep result has %d points, want 24", len(sweepResp.Points))
+	}
+	for i := 1; i < len(sweepResp.Points); i++ {
+		if sweepResp.Points[i].UserAvailability < sweepResp.Points[i-1].UserAvailability {
+			return fmt.Errorf("sweep not monotone at point %d", i)
+		}
+	}
+
+	// Jam the workers with blocking jobs submitted directly to the engine,
+	// fill the queue, then prove an HTTP submission sheds with 429.
+	release := make(chan struct{})
+	blocker := func(ctx context.Context) ([]byte, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return []byte(`{}`), nil
+	}
+	const workers = 2 // JobWorkers in newSelfTestServer
+	ids := make([]string, 0, workers+srv.Jobs().Stats().Capacity)
+	for i := 0; i < workers; i++ {
+		j, err := srv.Jobs().Submit("block", nil, blocker)
+		if err != nil {
+			return fmt.Errorf("jam submit %d: %w", i, err)
+		}
+		ids = append(ids, j.ID)
+	}
+	// Wait for both blockers to occupy the workers, so the queue fill below
+	// is deterministic.
+	deadline := time.Now().Add(30 * time.Second)
+	for _, id := range ids {
+		for {
+			j, err := srv.Jobs().Get(id)
+			if err != nil {
+				close(release)
+				return err
+			}
+			if j.State == JobRunning {
+				break
+			}
+			if time.Now().After(deadline) {
+				close(release)
+				return fmt.Errorf("blocker %s never started", id)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for i := 0; i < srv.Jobs().Stats().Capacity; i++ {
+		j, err := srv.Jobs().Submit("block", nil, blocker)
+		if err != nil {
+			close(release)
+			return fmt.Errorf("queue fill %d: %w", i, err)
+		}
+		ids = append(ids, j.ID)
+	}
+	code, body, err = do(client, http.MethodPost, sweepURL, submit)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusTooManyRequests {
+		close(release)
+		return fmt.Errorf("jammed submit: status %d (want 429): %s", code, body)
+	}
+	// Cancel one queued blocker over HTTP, then release the rest.
+	code, body, err = do(client, http.MethodDelete, sweepURL+"/"+ids[len(ids)-1], nil)
+	if err != nil {
+		close(release)
+		return err
+	}
+	if code != http.StatusOK || !strings.Contains(string(body), `"state":"cancelled"`) {
+		close(release)
+		return fmt.Errorf("cancel: status %d: %s", code, body)
+	}
+	close(release)
+	for _, id := range ids {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_, err := srv.Jobs().Wait(ctx, id)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("drain %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// selfTestMetrics scrapes /metrics from the shared mux and returns the
+// availd_responses_5xx_total value, verifying the request counters exist.
+func selfTestMetrics(client *http.Client, base string) (int64, error) {
+	code, body, err := do(client, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return 0, err
+	}
+	if code != http.StatusOK {
+		return 0, fmt.Errorf("/metrics: status %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"availd_requests_total{",
+		"# TYPE availd_request_seconds histogram",
+		"availd_memo_hits_total",
+	} {
+		if !strings.Contains(text, want) {
+			return 0, fmt.Errorf("/metrics missing %q", want)
+		}
+	}
+	var fiveXX int64 = -1
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "availd_responses_5xx_total ") {
+			fmt.Sscanf(line, "availd_responses_5xx_total %d", &fiveXX)
+		}
+	}
+	if fiveXX < 0 {
+		return 0, fmt.Errorf("/metrics missing availd_responses_5xx_total")
+	}
+	return fiveXX, nil
+}

@@ -1,0 +1,265 @@
+package availd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/modelspec"
+)
+
+// Scenario is one stored parameterization: a named, versioned canonical
+// modelspec document. Version starts at 1 and increments on every update;
+// writers must present the version they read (optimistic concurrency).
+type Scenario struct {
+	Name    string          `json:"name"`
+	Version int64           `json:"version"`
+	Spec    json.RawMessage `json:"spec"`
+}
+
+// Store is a concurrency-safe scenario repository: an in-memory map with an
+// optional JSON-file snapshot that is rewritten atomically after every
+// mutation and reloaded on startup, so a restarted server keeps its
+// scenarios. All methods are safe for concurrent use.
+type Store struct {
+	mu        sync.RWMutex
+	scenarios map[string]Scenario
+	path      string
+}
+
+// NewStore returns an empty, non-persistent store.
+func NewStore() *Store {
+	return &Store{scenarios: make(map[string]Scenario)}
+}
+
+// validScenarioName bounds names to path-segment-safe identifiers.
+func validScenarioName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// canonicalize validates a spec document and returns its canonical bytes.
+// Beyond structural validation, the spec must assemble into a hierarchy
+// model (Build catches unknown service references, malformed diagrams and
+// zero-sum scenario probabilities), so everything the store accepts is
+// evaluable.
+func canonicalize(spec []byte) (json.RawMessage, error) {
+	parsed, err := modelspec.Parse(spec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if _, err := parsed.Build(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	canonical, err := parsed.Canonical()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return canonical, nil
+}
+
+// Create stores a new scenario under name at version 1. The spec is
+// validated and canonicalized; invalid specs return ErrInvalid, taken names
+// ErrExists.
+func (s *Store) Create(name string, spec []byte) (Scenario, error) {
+	if !validScenarioName(name) {
+		return Scenario{}, fmt.Errorf("%w: scenario name %q", ErrInvalid, name)
+	}
+	canonical, err := canonicalize(spec)
+	if err != nil {
+		return Scenario{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.scenarios[name]; ok {
+		return Scenario{}, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	sc := Scenario{Name: name, Version: 1, Spec: canonical}
+	s.scenarios[name] = sc
+	if err := s.saveLocked(); err != nil {
+		delete(s.scenarios, name)
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// Get returns the scenario stored under name.
+func (s *Store) Get(name string) (Scenario, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sc, ok := s.scenarios[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("%w: scenario %q", ErrNotFound, name)
+	}
+	return sc, nil
+}
+
+// List returns every stored scenario, sorted by name.
+func (s *Store) List() []Scenario {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Scenario, 0, len(s.scenarios))
+	for _, sc := range s.scenarios {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len reports the number of stored scenarios.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.scenarios)
+}
+
+// Update replaces the spec stored under name, guarded by optimistic
+// versioning: version must equal the stored version or the update fails with
+// ErrVersion and the caller re-reads.
+func (s *Store) Update(name string, version int64, spec []byte) (Scenario, error) {
+	canonical, err := canonicalize(spec)
+	if err != nil {
+		return Scenario{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.scenarios[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("%w: scenario %q", ErrNotFound, name)
+	}
+	if old.Version != version {
+		return Scenario{}, fmt.Errorf("%w: scenario %q is at version %d, not %d",
+			ErrVersion, name, old.Version, version)
+	}
+	sc := Scenario{Name: name, Version: old.Version + 1, Spec: canonical}
+	s.scenarios[name] = sc
+	if err := s.saveLocked(); err != nil {
+		s.scenarios[name] = old
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// Delete removes the scenario stored under name. A version of 0 deletes
+// unconditionally; any other version must match the stored version.
+func (s *Store) Delete(name string, version int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.scenarios[name]
+	if !ok {
+		return fmt.Errorf("%w: scenario %q", ErrNotFound, name)
+	}
+	if version != 0 && old.Version != version {
+		return fmt.Errorf("%w: scenario %q is at version %d, not %d",
+			ErrVersion, name, old.Version, version)
+	}
+	delete(s.scenarios, name)
+	if err := s.saveLocked(); err != nil {
+		s.scenarios[name] = old
+		return err
+	}
+	return nil
+}
+
+// snapshot is the JSON-file layout: scenarios sorted by name.
+type snapshot struct {
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// Snapshot writes the store's content as JSON.
+func (s *Store) Snapshot(w io.Writer) error {
+	snap := snapshot{Scenarios: s.List()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Restore replaces the store's content with a previously written snapshot.
+// Every spec is re-validated, so a hand-edited file cannot smuggle in an
+// unevaluable scenario.
+func (s *Store) Restore(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("availd: restore: %w", err)
+	}
+	scenarios := make(map[string]Scenario, len(snap.Scenarios))
+	for _, sc := range snap.Scenarios {
+		if !validScenarioName(sc.Name) {
+			return fmt.Errorf("availd: restore: %w: scenario name %q", ErrInvalid, sc.Name)
+		}
+		canonical, err := canonicalize(sc.Spec)
+		if err != nil {
+			return fmt.Errorf("availd: restore scenario %q: %w", sc.Name, err)
+		}
+		if sc.Version < 1 {
+			sc.Version = 1
+		}
+		sc.Spec = canonical
+		scenarios[sc.Name] = sc
+	}
+	s.mu.Lock()
+	s.scenarios = scenarios
+	s.mu.Unlock()
+	return nil
+}
+
+// SetSnapshotPath arranges for the store to persist to path after every
+// mutation (atomically: temp file + rename). If the file already exists it
+// is loaded immediately; a missing file is not an error.
+func (s *Store) SetSnapshotPath(path string) error {
+	if path != "" {
+		f, err := os.Open(path)
+		switch {
+		case err == nil:
+			rerr := s.Restore(f)
+			f.Close()
+			if rerr != nil {
+				return rerr
+			}
+		case !os.IsNotExist(err):
+			return fmt.Errorf("availd: load snapshot: %w", err)
+		}
+	}
+	s.mu.Lock()
+	s.path = path
+	s.mu.Unlock()
+	return nil
+}
+
+// saveLocked persists to the snapshot path, if configured. Callers hold mu.
+func (s *Store) saveLocked() error {
+	if s.path == "" {
+		return nil
+	}
+	out := make([]Scenario, 0, len(s.scenarios))
+	for _, sc := range s.scenarios {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	data, err := json.MarshalIndent(snapshot{Scenarios: out}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("availd: snapshot: %w", err)
+	}
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("availd: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("availd: snapshot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package availd
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreCRUDLifecycle(t *testing.T) {
+	s := NewStore()
+	sc, err := s.Create("base", demoSpec(0.999))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if sc.Version != 1 {
+		t.Fatalf("fresh version = %d, want 1", sc.Version)
+	}
+	if _, err := s.Create("base", demoSpec(0.5)); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Create: %v, want ErrExists", err)
+	}
+	if _, err := s.Create("bad name!", demoSpec(0.5)); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("bad name: %v, want ErrInvalid", err)
+	}
+	if _, err := s.Create("bad", []byte(`{"services":[]}`)); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("invalid spec: %v, want ErrInvalid", err)
+	}
+	// Structurally valid but unbuildable: scenario probabilities sum to 0.
+	zeroSum := []byte(`{
+	  "services": [{"name": "S", "availability": 0.9}],
+	  "functions": [{
+	    "name": "F",
+	    "steps": [{"name": "s1", "services": ["S"]}],
+	    "transitions": [{"from": "Begin", "to": "s1"}, {"from": "s1", "to": "End"}]
+	  }],
+	  "scenarios": [{"name": "v", "functions": ["F"]}]
+	}`)
+	if _, err := s.Create("bad", zeroSum); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("unbuildable spec: %v, want ErrInvalid", err)
+	}
+
+	if _, err := s.Update("base", 99, demoSpec(0.9)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("stale Update: %v, want ErrVersion", err)
+	}
+	up, err := s.Update("base", 1, demoSpec(0.9))
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if up.Version != 2 {
+		t.Fatalf("updated version = %d, want 2", up.Version)
+	}
+	if _, err := s.Update("ghost", 1, demoSpec(0.9)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Update unknown: %v, want ErrNotFound", err)
+	}
+
+	got, err := s.Get("base")
+	if err != nil || got.Version != 2 {
+		t.Fatalf("Get = %+v, %v", got, err)
+	}
+	if list := s.List(); len(list) != 1 || list[0].Name != "base" {
+		t.Fatalf("List = %+v", list)
+	}
+
+	if err := s.Delete("base", 1); !errors.Is(err, ErrVersion) {
+		t.Fatalf("stale Delete: %v, want ErrVersion", err)
+	}
+	if err := s.Delete("base", 2); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := s.Delete("base", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete gone: %v, want ErrNotFound", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after delete = %d", s.Len())
+	}
+}
+
+func TestStoreCanonicalizesSpecs(t *testing.T) {
+	s := NewStore()
+	// A spec with implicit defaults stores in canonical form.
+	doc := []byte(`{
+	  "services": [{"name": "S", "availability": 0.9}],
+	  "functions": [{
+	    "name": "F",
+	    "steps": [{"name": "s1", "services": ["S"]}],
+	    "transitions": [{"from": "Begin", "to": "s1"}, {"from": "s1", "to": "End"}]
+	  }],
+	  "scenarios": [{"name": "v", "functions": ["F"], "probability": 1}]
+	}`)
+	sc, err := s.Create("c", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(sc.Spec, []byte(`"probability":1`)) {
+		t.Fatalf("stored spec not canonical: %s", sc.Spec)
+	}
+}
+
+func TestStoreSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenarios.json")
+
+	s := NewStore()
+	if err := s.SetSnapshotPath(path); err != nil {
+		t.Fatalf("SetSnapshotPath: %v", err)
+	}
+	if _, err := s.Create("a", demoSpec(0.99)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("b", demoSpec(0.95)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Update("b", 1, demoSpec(0.9)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second store loading the same path sees the same content.
+	s2 := NewStore()
+	if err := s2.SetSnapshotPath(path); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("reloaded Len = %d, want 2", s2.Len())
+	}
+	b, err := s2.Get("b")
+	if err != nil || b.Version != 2 {
+		t.Fatalf("reloaded b = %+v, %v", b, err)
+	}
+	a1, _ := s.Get("a")
+	a2, _ := s2.Get("a")
+	if !bytes.Equal(a1.Spec, a2.Spec) {
+		t.Fatal("reloaded spec bytes differ")
+	}
+
+	// Deleting persists too.
+	if err := s.Delete("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	s3 := NewStore()
+	if err := s3.SetSnapshotPath(path); err != nil {
+		t.Fatal(err)
+	}
+	if s3.Len() != 1 {
+		t.Fatalf("Len after persisted delete = %d, want 1", s3.Len())
+	}
+}
+
+func TestStoreRestoreRejectsInvalid(t *testing.T) {
+	s := NewStore()
+	bad := bytes.NewBufferString(`{"scenarios":[{"name":"x","version":1,"spec":{"services":[]}}]}`)
+	if err := s.Restore(bad); err == nil {
+		t.Fatal("Restore accepted an unevaluable scenario")
+	}
+	// A missing snapshot file is not an error.
+	if err := s.SetSnapshotPath(filepath.Join(t.TempDir(), "absent.json")); err != nil {
+		t.Fatalf("missing file: %v", err)
+	}
+	// A present but corrupt file is.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	if err := s2.SetSnapshotPath(path); err == nil {
+		t.Fatal("corrupt snapshot loaded without error")
+	}
+}

@@ -1,0 +1,147 @@
+package modelspec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// specDoc is a minimal valid document with defaults spelled implicitly.
+const specDoc = `{
+  "name": "store",
+  "services": [
+    {"name": "Web", "group": {"count": 2, "availability": 0.99}},
+    {"name": "DB", "availability": 0.995}
+  ],
+  "functions": [
+    {
+      "name": "Landing",
+      "steps": [{"name": "serve", "services": ["Web", "DB"]}],
+      "transitions": [
+        {"from": "Begin", "to": "serve"},
+        {"from": "serve", "to": "End"}
+      ]
+    }
+  ],
+  "scenarios": [
+    {"name": "visit", "functions": ["Landing"], "probability": 1}
+  ]
+}`
+
+// specDocReordered is the same document with JSON keys in a different order
+// and the implicit defaults (probability 1, required 1) spelled out.
+const specDocReordered = `{
+  "functions": [
+    {
+      "transitions": [
+        {"probability": 1, "to": "serve", "from": "Begin"},
+        {"to": "End", "from": "serve"}
+      ],
+      "steps": [{"services": ["Web", "DB"], "name": "serve"}],
+      "name": "Landing"
+    }
+  ],
+  "scenarios": [
+    {"probability": 1, "functions": ["Landing"], "name": "visit"}
+  ],
+  "services": [
+    {"group": {"required": 1, "availability": 0.99, "count": 2}, "name": "Web"},
+    {"availability": 0.995, "name": "DB"}
+  ],
+  "name": "store"
+}`
+
+func TestCanonicalKeyStability(t *testing.T) {
+	a, err := Parse([]byte(specDoc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	b, err := Parse([]byte(specDocReordered))
+	if err != nil {
+		t.Fatalf("Parse reordered: %v", err)
+	}
+	ca, err := a.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	cb, err := b.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical reordered: %v", err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Fatalf("canonical forms differ:\n%s\n%s", ca, cb)
+	}
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	spec, err := Parse([]byte(specDoc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	c1, err := spec.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	reparsed, err := Parse(c1)
+	if err != nil {
+		t.Fatalf("Parse canonical: %v", err)
+	}
+	c2, err := reparsed.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical of canonical: %v", err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("canonical form is not a fixed point:\n%s\n%s", c1, c2)
+	}
+
+	// The normalized form must evaluate identically to the original.
+	r1, err := Evaluate([]byte(specDoc))
+	if err != nil {
+		t.Fatalf("Evaluate original: %v", err)
+	}
+	r2, err := Evaluate(c1)
+	if err != nil {
+		t.Fatalf("Evaluate canonical: %v", err)
+	}
+	if r1.UserAvailability != r2.UserAvailability {
+		t.Fatalf("availability changed under canonicalization: %v vs %v",
+			r1.UserAvailability, r2.UserAvailability)
+	}
+}
+
+func TestCanonicalProfileDefaults(t *testing.T) {
+	doc := `{
+	  "services": [{"name": "S", "availability": 0.9}],
+	  "functions": [{
+	    "name": "F",
+	    "steps": [{"name": "s1", "services": ["S"]}],
+	    "transitions": [{"from": "Begin", "to": "s1"}, {"from": "s1", "to": "End"}]
+	  }],
+	  "profile": {"transitions": [
+	    {"from": "Start", "to": "F"},
+	    {"from": "F", "to": "Exit"}
+	  ]}
+	}`
+	spec, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	c, err := spec.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	if !bytes.Contains(c, []byte(`"probability":1`)) {
+		t.Fatalf("profile defaults not spelled out: %s", c)
+	}
+	// Canonicalization must not mutate the receiver.
+	if spec.Profile.Transitions[0].Probability != 0 {
+		t.Fatal("Canonical mutated the original spec")
+	}
+}
+
+func TestCanonicalInvalidSpec(t *testing.T) {
+	spec := &Spec{}
+	if _, err := spec.Canonical(); !errors.Is(err, ErrSpec) {
+		t.Fatalf("Canonical of invalid spec: got %v, want ErrSpec", err)
+	}
+}

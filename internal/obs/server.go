@@ -40,6 +40,16 @@ func NewServer(reg *Registry, tracer *Tracer) *Server {
 // httptest without opening a real listener.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.Register(mux)
+	return mux
+}
+
+// Register mounts the observability endpoints (/metrics, /traces, /healthz
+// and the /debug/pprof tree) on a caller-supplied mux, so a service that
+// already runs its own HTTP listener — e.g. the availd API — can expose its
+// observability plane on the same port instead of opening a second one. The
+// server itself need not be started; Register only wires routes.
+func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := s.reg.WritePrometheus(w); err != nil {
@@ -62,7 +72,6 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // Start listens on addr (e.g. "127.0.0.1:9464", or ":0" for an ephemeral

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -165,5 +166,52 @@ func TestServerCloseIdempotent(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestRegisterSharedMux pins the Register contract: the observability
+// endpoints mount on a caller-supplied mux next to the caller's own routes,
+// while a separately started obs server keeps serving the same registry.
+func TestRegisterSharedMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustCounter("shared_total", "a shared counter").Add(3)
+	tracer := NewTracer(4)
+	tracer.Record(spanTrace(1, "visit"))
+	srv := NewServer(reg, tracer)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/ping", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "pong")
+	})
+	srv.Register(mux)
+	app := httptest.NewServer(mux)
+	defer app.Close()
+
+	code, body, _ := get(t, app.URL+"/api/ping")
+	if code != http.StatusOK || body != "pong" {
+		t.Errorf("/api/ping = %d %q", code, body)
+	}
+	code, body, _ = get(t, app.URL+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "shared_total 3") {
+		t.Errorf("shared-mux /metrics = %d %q", code, body)
+	}
+	code, body, _ = get(t, app.URL+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("shared-mux /healthz = %d %q", code, body)
+	}
+	code, body, _ = get(t, app.URL+"/traces")
+	if code != http.StatusOK || !strings.Contains(body, `"level":"visit"`) {
+		t.Errorf("shared-mux /traces = %d %q", code, body)
+	}
+
+	// A standalone obs server over the same registry still serves too.
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body, _ = get(t, "http://"+addr+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "shared_total 3") {
+		t.Errorf("standalone /metrics = %d %q", code, body)
 	}
 }

@@ -14,11 +14,17 @@ import (
 // The zero value is ready to use. Errors are cached alongside values: a
 // failed computation is not retried, mirroring the deterministic evaluators
 // this package serves (a model that fails once fails always).
+//
+// An unbounded Memo is right for one sweep over a finite grid; a
+// long-running server sharing one Memo across requests should SetLimit it so
+// the cache cannot grow without bound.
 type Memo[K comparable, V any] struct {
 	mu      sync.Mutex
 	entries map[K]*memoEntry[V]
+	limit   int
 	hits    atomic.Int64
 	misses  atomic.Int64
+	evicted atomic.Int64
 }
 
 type memoEntry[V any] struct {
@@ -37,6 +43,15 @@ func (m *Memo[K, V]) Do(key K, compute func() (V, error)) (V, error) {
 	}
 	e, ok := m.entries[key]
 	if !ok {
+		if m.limit > 0 && len(m.entries) >= m.limit {
+			// Cap-and-reset eviction: drop the whole map rather than pick
+			// victims. Callers already blocked on an old entry keep their
+			// pointer and still share its single computation; the next Do for
+			// an evicted key simply recomputes, which is safe because every
+			// evaluator this package serves is deterministic.
+			m.evicted.Add(int64(len(m.entries)))
+			m.entries = make(map[K]*memoEntry[V])
+		}
 		e = new(memoEntry[V])
 		m.entries[key] = e
 	}
@@ -63,3 +78,29 @@ func (m *Memo[K, V]) Len() int {
 func (m *Memo[K, V]) Stats() (hits, misses int64) {
 	return m.hits.Load(), m.misses.Load()
 }
+
+// SetLimit bounds the cache to at most limit entries: inserting a new key
+// into a full cache first drops every cached entry (cap-and-reset). A limit
+// ≤ 0 restores unbounded growth. The limit applies to future insertions; an
+// already-oversized cache shrinks on the next insertion.
+func (m *Memo[K, V]) SetLimit(limit int) {
+	m.mu.Lock()
+	m.limit = limit
+	m.mu.Unlock()
+}
+
+// Purge drops every cached entry and reports how many were dropped.
+// In-flight computations are unaffected: their callers share the old
+// entries, which stay alive until the last waiter returns.
+func (m *Memo[K, V]) Purge() int {
+	m.mu.Lock()
+	n := len(m.entries)
+	m.entries = nil
+	m.mu.Unlock()
+	m.evicted.Add(int64(n))
+	return n
+}
+
+// Evicted reports the cumulative number of entries dropped by Purge and by
+// cap-and-reset evictions.
+func (m *Memo[K, V]) Evicted() int64 { return m.evicted.Load() }

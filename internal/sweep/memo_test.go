@@ -1,0 +1,124 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMemoPurge(t *testing.T) {
+	var m Memo[int, int]
+	for i := 0; i < 5; i++ {
+		if _, err := m.Do(i, func() (int, error) { return i * i, nil }); err != nil {
+			t.Fatalf("Do(%d): %v", i, err)
+		}
+	}
+	if got := m.Len(); got != 5 {
+		t.Fatalf("Len before purge = %d, want 5", got)
+	}
+	if n := m.Purge(); n != 5 {
+		t.Fatalf("Purge dropped %d, want 5", n)
+	}
+	if got := m.Len(); got != 0 {
+		t.Fatalf("Len after purge = %d, want 0", got)
+	}
+	if got := m.Evicted(); got != 5 {
+		t.Fatalf("Evicted = %d, want 5", got)
+	}
+	// Purged keys recompute.
+	var computes atomic.Int64
+	v, err := m.Do(1, func() (int, error) { computes.Add(1); return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("Do after purge = %v, %v", v, err)
+	}
+	if computes.Load() != 1 {
+		t.Fatalf("expected recompute after purge, got %d computes", computes.Load())
+	}
+}
+
+func TestMemoSetLimitCapAndReset(t *testing.T) {
+	var m Memo[int, int]
+	m.SetLimit(3)
+	for i := 0; i < 3; i++ {
+		if _, err := m.Do(i, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Len(); got != 3 {
+		t.Fatalf("Len at cap = %d, want 3", got)
+	}
+	// The fourth distinct key resets the cache, leaving only itself.
+	if _, err := m.Do(99, func() (int, error) { return 99, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Len(); got != 1 {
+		t.Fatalf("Len after cap-and-reset = %d, want 1", got)
+	}
+	if got := m.Evicted(); got != 3 {
+		t.Fatalf("Evicted = %d, want 3", got)
+	}
+	// A hit on the surviving key does not evict.
+	if _, err := m.Do(99, func() (int, error) { t.Fatal("recompute of cached key"); return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Len(); got != 1 {
+		t.Fatalf("Len after hit = %d, want 1", got)
+	}
+}
+
+// TestMemoSingleflightSurvivesEviction pins the eviction contract: callers
+// already blocked on an in-flight computation share its result even when the
+// entry is evicted mid-flight, and a post-eviction Do recomputes.
+func TestMemoSingleflightSurvivesEviction(t *testing.T) {
+	var m Memo[string, int]
+	var computes atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	var startOnce sync.Once
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := m.Do("slow", func() (int, error) {
+				startOnce.Do(func() { close(started) })
+				<-release
+				computes.Add(1)
+				return 7, nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	<-started
+	// Wait until every waiter holds the in-flight entry (the first Do is the
+	// miss, the other waiters count as hits), then evict mid-flight.
+	for h, _ := m.Stats(); h < waiters-1; h, _ = m.Stats() {
+		runtime.Gosched()
+	}
+	m.Purge()
+	close(release)
+	wg.Wait()
+	for i, v := range results {
+		if v != 7 {
+			t.Fatalf("waiter %d got %d, want 7", i, v)
+		}
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("in-flight computation ran %d times, want 1 (singleflight broken by eviction)", got)
+	}
+	// The evicted key recomputes on the next Do.
+	v, err := m.Do("slow", func() (int, error) { computes.Add(1); return 8, nil })
+	if err != nil || v != 8 {
+		t.Fatalf("post-eviction Do = %v, %v", v, err)
+	}
+	if got := computes.Load(); got != 2 {
+		t.Fatalf("post-eviction computes = %d, want 2", got)
+	}
+}
