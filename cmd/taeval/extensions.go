@@ -160,11 +160,15 @@ func runCutSets(w io.Writer, csv bool) error {
 		if err != nil {
 			return err
 		}
-		cuts := faulttree.MinimalCutSets(tree)
-		top, err := faulttree.TopEventProbability(tree)
+		// The compiled tier caches cut sets per tree structure and evaluates
+		// the top event without recursive walks; both are gated bit-identical
+		// to the generic functions in the faulttree tests.
+		cc, err := faulttree.Compile(tree)
 		if err != nil {
 			return err
 		}
+		cuts := cc.MinimalCutSets()
+		top := cc.TopEventProbability()
 		tbl := report.NewTable(
 			fmt.Sprintf("Minimal cut sets — %s fails (P = %s; N_F=N_H=N_C=2)", fn, report.Scientific(top, 3)),
 			"order", "cut set")

@@ -198,28 +198,25 @@ func webServiceCurves(coverage float64) (map[float64][]report.Series, *webfarm.C
 	for i := range ns {
 		ns[i] = float64(i + 1)
 	}
-	type wsCell struct {
-		lambda, alpha float64
-		n             int
-	}
-	cells := make([]wsCell, 0, len(lambdas)*len(alphas)*len(ns))
+	base := travelagency.DefaultParams()
+	cells := make([]webfarm.Farm, 0, len(lambdas)*len(alphas)*len(ns))
 	for _, lambda := range lambdas {
 		for _, alpha := range alphas {
 			for n := 1; n <= len(ns); n++ {
-				cells = append(cells, wsCell{lambda: lambda, alpha: alpha, n: n})
+				farm := travelagency.WebFarm(base)
+				farm.Servers = n
+				farm.ArrivalRate = alpha
+				farm.FailureRate = lambda
+				farm.Coverage = coverage
+				cells = append(cells, farm)
 			}
 		}
 	}
-	base := travelagency.DefaultParams()
+	// The batch flows through the composer's allocation-free direct path;
+	// sweep.Run (rather than UnavailabilityBatch) keeps the -metrics pool
+	// stats attached. Values are bit-identical either way.
 	composer := webfarm.NewComposer()
-	unavail, err := sweep.Run(cells, func(c wsCell) (float64, error) {
-		farm := travelagency.WebFarm(base)
-		farm.Servers = c.n
-		farm.ArrivalRate = c.alpha
-		farm.FailureRate = c.lambda
-		farm.Coverage = coverage
-		return composer.Unavailability(farm)
-	}, sweepOptions())
+	unavail, err := sweep.Run(cells, composer.Unavailability, sweepOptions())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -21,6 +21,9 @@ import (
 	"strings"
 
 	"repro/internal/ctmc"
+	"repro/internal/dtmc"
+	"repro/internal/faulttree"
+	"repro/internal/gspn"
 	"repro/internal/report"
 	"repro/internal/sweep"
 )
@@ -55,6 +58,21 @@ func printMetrics(w io.Writer) error {
 	t.MustAddRow("uniformization steps", fmt.Sprintf("%d", ks.UniformizationSteps))
 	t.MustAddRow("poisson-weight cache hits", fmt.Sprintf("%d", ks.PoissonCacheHits))
 	t.MustAddRow("poisson-weight cache misses", fmt.Sprintf("%d", ks.PoissonCacheMisses))
+	t.MustAddRow("ctmc compiled rate refreshes", fmt.Sprintf("%d", ks.RateRefreshes))
+	ds := dtmc.ReadKernelStats()
+	t.MustAddRow("dtmc compiles", fmt.Sprintf("%d", ds.Compiles))
+	t.MustAddRow("dtmc compiled analyses", fmt.Sprintf("%d", ds.Analyses))
+	t.MustAddRow("dtmc column solves", fmt.Sprintf("%d", ds.ColumnSolves))
+	t.MustAddRow("dtmc rate refreshes", fmt.Sprintf("%d", ds.Refreshes))
+	gs := gspn.ReadKernelStats()
+	t.MustAddRow("gspn reachability explorations", fmt.Sprintf("%d", gs.Freezes))
+	t.MustAddRow("gspn frozen-graph hits", fmt.Sprintf("%d", gs.FreezeHits))
+	t.MustAddRow("gspn frozen solves", fmt.Sprintf("%d", gs.Solves))
+	t.MustAddRow("gspn edge replays", fmt.Sprintf("%d", gs.EdgeReplays))
+	fs := faulttree.ReadKernelStats()
+	t.MustAddRow("fault-tree compiles", fmt.Sprintf("%d", fs.Compiles))
+	t.MustAddRow("fault-tree compiled evals", fmt.Sprintf("%d", fs.Evals))
+	t.MustAddRow("fault-tree cut-set queries", fmt.Sprintf("%d", fs.CutSetQueries))
 	if err := t.Render(w); err != nil {
 		return err
 	}

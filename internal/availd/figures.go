@@ -4,8 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 
-	"repro/internal/sweep"
 	"repro/internal/travelagency"
+	"repro/internal/webfarm"
 )
 
 // FigureResponse is the Figure 11/12 web-service unavailability grid: the
@@ -43,27 +43,21 @@ func (e *Evaluator) Figure(n int) ([]byte, error) {
 		for i := range servers {
 			servers[i] = i + 1
 		}
-		type cell struct {
-			lambda, alpha float64
-			n             int
-		}
-		cells := make([]cell, 0, len(lambdas)*len(alphas)*len(servers))
+		base := travelagency.DefaultParams()
+		farms := make([]webfarm.Farm, 0, len(lambdas)*len(alphas)*len(servers))
 		for _, lambda := range lambdas {
 			for _, alpha := range alphas {
 				for _, nw := range servers {
-					cells = append(cells, cell{lambda: lambda, alpha: alpha, n: nw})
+					farm := travelagency.WebFarm(base)
+					farm.Servers = nw
+					farm.ArrivalRate = alpha
+					farm.FailureRate = lambda
+					farm.Coverage = coverage
+					farms = append(farms, farm)
 				}
 			}
 		}
-		base := travelagency.DefaultParams()
-		unavail, err := sweep.Run(cells, func(c cell) (float64, error) {
-			farm := travelagency.WebFarm(base)
-			farm.Servers = c.n
-			farm.ArrivalRate = c.alpha
-			farm.FailureRate = c.lambda
-			farm.Coverage = coverage
-			return e.composer.Unavailability(farm)
-		}, sweep.Options{Workers: e.workers})
+		unavail, err := e.composer.UnavailabilityBatch(farms, e.workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,94 @@
+package availd
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/travelagency"
+)
+
+// TestFigureEndpointsMatchPreBatchGoldens rebuilds the figure and table
+// responses the way the pre-batch endpoints did — one uncached, serial model
+// solve per cell — and requires the batched endpoints to serve byte-identical
+// bodies. This is the end-to-end gate that the batch evaluation path changed
+// nothing observable.
+func TestFigureEndpointsMatchPreBatchGoldens(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	for figure, coverage := range map[int]float64{11: 1, 12: 0.98} {
+		lambdas := []float64{1e-2, 1e-3, 1e-4}
+		alphas := []float64{50, 100, 150}
+		servers := make([]int, 10)
+		for i := range servers {
+			servers[i] = i + 1
+		}
+		base := travelagency.DefaultParams()
+		want := FigureResponse{
+			Figure:       figure,
+			Coverage:     coverage,
+			FailureRates: lambdas,
+			ArrivalRates: alphas,
+			Servers:      servers,
+		}
+		for _, lambda := range lambdas {
+			grid := make([][]float64, 0, len(alphas))
+			for _, alpha := range alphas {
+				row := make([]float64, 0, len(servers))
+				for _, nw := range servers {
+					farm := travelagency.WebFarm(base)
+					farm.Servers = nw
+					farm.ArrivalRate = alpha
+					farm.FailureRate = lambda
+					farm.Coverage = coverage
+					u, err := farm.Unavailability()
+					if err != nil {
+						t.Fatal(err)
+					}
+					row = append(row, u)
+				}
+				grid = append(grid, row)
+			}
+			want.Unavailability = append(want.Unavailability, grid)
+		}
+		golden, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, body := request(t, ts, http.MethodGet, "/api/v1/figures/"+map[int]string{11: "11", 12: "12"}[figure], nil)
+		if code != http.StatusOK {
+			t.Fatalf("figure %d = %d %s", figure, code, body)
+		}
+		if !bytes.Equal(body, golden) {
+			t.Errorf("figure %d response differs from pre-batch golden\ngot:  %s\nwant: %s", figure, body, golden)
+		}
+	}
+
+	ns := []int{1, 2, 3, 4, 5, 10}
+	want := Table8Response{Table: 8, Rows: make([]Table8Row, len(ns))}
+	for i, n := range ns {
+		p := travelagency.DefaultParams()
+		p.FlightSystems, p.HotelSystems, p.CarSystems = n, n, n
+		repA, err := travelagency.Evaluate(p, travelagency.ClassA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repB, err := travelagency.Evaluate(p, travelagency.ClassB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Rows[i] = Table8Row{N: n, ClassA: repA.UserAvailability, ClassB: repB.UserAvailability}
+	}
+	golden, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := request(t, ts, http.MethodGet, "/api/v1/tables/8", nil)
+	if code != http.StatusOK {
+		t.Fatalf("table 8 = %d %s", code, body)
+	}
+	if !bytes.Equal(body, golden) {
+		t.Errorf("table 8 response differs from pre-batch golden\ngot:  %s\nwant: %s", body, golden)
+	}
+}

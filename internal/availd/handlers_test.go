@@ -463,6 +463,10 @@ func TestMetricsAndStatsSurface(t *testing.T) {
 		"availd_memo_hits_total 1",
 		"# TYPE availd_request_seconds histogram",
 		"availd_scenarios 1",
+		"availd_kernel_ctmc_steady_solves_total",
+		"availd_kernel_dtmc_analyses_total",
+		"availd_kernel_gspn_freeze_hits_total",
+		"availd_kernel_faulttree_evals_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)

@@ -22,6 +22,7 @@ var kernelCounters struct {
 	uniformSteps    atomic.Int64
 	poissonHits     atomic.Int64
 	poissonMisses   atomic.Int64
+	rateRefreshes   atomic.Int64
 }
 
 // KernelStats is a snapshot of the process-wide compiled-kernel counters.
@@ -40,6 +41,9 @@ type KernelStats struct {
 	// are pooled across goroutines, so they are diagnostics, not invariants.
 	PoissonCacheHits   int64
 	PoissonCacheMisses int64
+	// RateRefreshes counts SetRate updates applied to compiled chains by
+	// rate-only re-solve paths (frozen GSPN reachability graphs).
+	RateRefreshes int64
 }
 
 // ReadKernelStats returns the current process-wide kernel counters.
@@ -51,6 +55,7 @@ func ReadKernelStats() KernelStats {
 		UniformizationSteps: kernelCounters.uniformSteps.Load(),
 		PoissonCacheHits:    kernelCounters.poissonHits.Load(),
 		PoissonCacheMisses:  kernelCounters.poissonMisses.Load(),
+		RateRefreshes:       kernelCounters.rateRefreshes.Load(),
 	}
 }
 
@@ -191,6 +196,55 @@ func (cc *Compiled) reachCount(rowPtr, col []int) int {
 		}
 	}
 	return count
+}
+
+// SetRate replaces the rate of an existing transition in the compiled
+// structure. Edges cannot be added or removed (recompile for structural
+// changes), so irreducibility is unaffected; the row's exit rate is re-summed
+// in CSR order and the maximum exit rate re-derived, exactly as Compile
+// computes them, so a refreshed chain is bit-identical to recompiling the
+// source chain with the new rate.
+//
+// SetRate is the rate-only re-solve path used by frozen GSPN reachability
+// graphs. It must not race with solves: mutate, then solve, from one owner —
+// concurrent solves are safe only between mutations.
+func (cc *Compiled) SetRate(from, to string, rate float64) error {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("%w: %q -> %q rate %v", ErrBadRate, from, to, rate)
+	}
+	i, ok := cc.index[from]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownState, from)
+	}
+	j, ok := cc.index[to]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownState, to)
+	}
+	slot := -1
+	for idx := cc.rowPtr[i]; idx < cc.rowPtr[i+1]; idx++ {
+		if cc.col[idx] == j {
+			slot = idx
+			break
+		}
+	}
+	if slot < 0 {
+		return fmt.Errorf("ctmc: no compiled transition %q -> %q (structure is frozen at Compile)", from, to)
+	}
+	cc.rate[slot] = rate
+	var exit float64
+	for idx := cc.rowPtr[i]; idx < cc.rowPtr[i+1]; idx++ {
+		exit += cc.rate[idx]
+	}
+	cc.exit[i] = exit
+	var maxExit float64
+	for _, e := range cc.exit {
+		if e > maxExit {
+			maxExit = e
+		}
+	}
+	cc.maxExit = maxExit
+	kernelCounters.rateRefreshes.Add(1)
+	return nil
 }
 
 // NumStates returns the number of states.

@@ -76,6 +76,30 @@ func (c *Chain) AddTransition(from, to string, rate float64) error {
 	return nil
 }
 
+// SetRate replaces the rate of an existing transition. Unlike AddTransition
+// it does not accumulate and it cannot create new edges: it is the
+// rate-refresh path used by frozen structures (a GSPN reachability graph
+// whose firing rates are re-evaluated) to keep a chain skeleton current
+// without rebuilding it.
+func (c *Chain) SetRate(from, to string, rate float64) error {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("%w: %q -> %q rate %v", ErrBadRate, from, to, rate)
+	}
+	i, err := c.StateIndex(from)
+	if err != nil {
+		return err
+	}
+	j, err := c.StateIndex(to)
+	if err != nil {
+		return err
+	}
+	if _, ok := c.rates[i][j]; !ok {
+		return fmt.Errorf("ctmc: no transition %q -> %q to refresh", from, to)
+	}
+	c.rates[i][j] = rate
+	return nil
+}
+
 // NumStates returns the number of declared states.
 func (c *Chain) NumStates() int { return len(c.names) }
 

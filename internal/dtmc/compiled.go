@@ -1,0 +1,480 @@
+package dtmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/linalg"
+)
+
+// kernelCounters aggregates compiled-solver activity across every Compiled
+// chain in the process, mirroring the ctmc kernel counters: how many chains
+// were compiled, how many absorbing analyses ran, how many fundamental-matrix
+// column solves those analyses performed, and how many rate-only probability
+// refreshes were applied to frozen structures. Exported through
+// ReadKernelStats for `cmd/taeval -metrics` and the obs metrics plane.
+var kernelCounters struct {
+	compiles     atomic.Int64
+	analyses     atomic.Int64
+	columnSolves atomic.Int64
+	refreshes    atomic.Int64
+}
+
+// KernelStats is a snapshot of the process-wide compiled-DTMC counters.
+type KernelStats struct {
+	// Compiles counts Chain.Compile calls; Analyses counts absorbing
+	// analyses through the compiled kernel.
+	Compiles int64
+	Analyses int64
+	// ColumnSolves counts the allocation-free SolveInto column solves used
+	// to build fundamental matrices (one per transient state per analysis).
+	ColumnSolves int64
+	// Refreshes counts SetProbability rate-only updates to frozen chains.
+	Refreshes int64
+}
+
+// ReadKernelStats returns the current process-wide kernel counters.
+func ReadKernelStats() KernelStats {
+	return KernelStats{
+		Compiles:     kernelCounters.compiles.Load(),
+		Analyses:     kernelCounters.analyses.Load(),
+		ColumnSolves: kernelCounters.columnSolves.Load(),
+		Refreshes:    kernelCounters.refreshes.Load(),
+	}
+}
+
+// edgeRef locates one frozen transition inside the compiled CSR blocks.
+type edgeRef struct {
+	inQ bool // true: Q (transient→transient) block, false: R block
+	idx int
+}
+
+// Compiled is a frozen, solver-ready snapshot of an absorbing Chain: the
+// transient/absorbing partition, the Q (transient→transient) and R
+// (transient→absorbing) blocks in CSR form with deterministically sorted
+// successors, and a pool of reusable solver workspaces (dense I−Q scratch, a
+// reusable LU factorization, unit/solution vectors, and a dense R buffer).
+//
+// Structure is frozen at Compile time; SetProbability adjusts transition
+// probabilities along existing edges without re-partitioning, which is the
+// incremental re-solve path used by parameter sweeps (perturb → Analyze).
+// Concurrent Analyze calls are safe; SetProbability must not race with
+// Analyze (single-owner mutation, like rebuilding a Chain).
+//
+// The numeric kernel replicates AnalyzeAbsorbing's arithmetic operation for
+// operation — identity-minus-Q assembly, LU with partial pivoting, unit-vector
+// column solves, and the dense N·R product — so results are bit-identical to
+// the generic path.
+type Compiled struct {
+	names     []string
+	index     map[string]int
+	transient []int // chain indices of transient states
+	absorbing []int // chain indices of absorbing states
+	posT      map[int]int
+	posA      map[int]int
+
+	qRowPtr []int // len t+1
+	qCol    []int // transient positions
+	qVal    []float64
+	rRowPtr []int // len t+1
+	rCol    []int // absorbing positions
+	rVal    []float64
+
+	edges map[[2]int]edgeRef // (from, to) chain indices → CSR slot
+	pool  sync.Pool          // of *compiledWorkspace
+}
+
+// compiledWorkspace holds per-analysis scratch: everything that does not
+// outlive one AnalyzeInto call.
+type compiledWorkspace struct {
+	iq     *linalg.Matrix // t×t I−Q
+	lu     *linalg.LU
+	e      []float64 // unit right-hand side
+	col    []float64 // column solution
+	rDense []float64 // t×|A| dense R
+}
+
+// resize returns dst with length n, reusing its backing array if possible.
+func resize(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float64, n)
+}
+
+// Compile freezes the chain into its solver-ready absorbing form. The chain
+// must have at least one state and at least one absorbing state; row-sum
+// validation is deferred to Analyze (mirroring AnalyzeAbsorbing's per-call
+// Validate), so probabilities can be refreshed between analyses.
+func (c *Chain) Compile() (*Compiled, error) {
+	kernelCounters.compiles.Add(1)
+	n := len(c.names)
+	if n == 0 {
+		return nil, errors.New("dtmc: chain has no states")
+	}
+	cc := &Compiled{
+		names: append([]string(nil), c.names...),
+		index: make(map[string]int, n),
+		posT:  make(map[int]int),
+		posA:  make(map[int]int),
+	}
+	for i, name := range cc.names {
+		cc.index[name] = i
+	}
+	for i := 0; i < n; i++ {
+		if len(c.prob[i]) == 0 {
+			cc.posA[i] = len(cc.absorbing)
+			cc.absorbing = append(cc.absorbing, i)
+		} else {
+			cc.posT[i] = len(cc.transient)
+			cc.transient = append(cc.transient, i)
+		}
+	}
+	if len(cc.absorbing) == 0 {
+		return nil, errors.New("dtmc: chain has no absorbing states")
+	}
+	t := len(cc.transient)
+	cc.qRowPtr = make([]int, t+1)
+	cc.rRowPtr = make([]int, t+1)
+	cc.edges = make(map[[2]int]edgeRef)
+	for r, i := range cc.transient {
+		cc.qRowPtr[r] = len(cc.qCol)
+		cc.rRowPtr[r] = len(cc.rCol)
+		for _, j := range c.successors(i) {
+			p := c.prob[i][j]
+			if col, ok := cc.posT[j]; ok {
+				cc.edges[[2]int{i, j}] = edgeRef{inQ: true, idx: len(cc.qCol)}
+				cc.qCol = append(cc.qCol, col)
+				cc.qVal = append(cc.qVal, p)
+			} else {
+				cc.edges[[2]int{i, j}] = edgeRef{inQ: false, idx: len(cc.rCol)}
+				cc.rCol = append(cc.rCol, cc.posA[j])
+				cc.rVal = append(cc.rVal, p)
+			}
+		}
+	}
+	cc.qRowPtr[t] = len(cc.qCol)
+	cc.rRowPtr[t] = len(cc.rCol)
+	cc.pool.New = func() any { return &compiledWorkspace{} }
+	return cc, nil
+}
+
+// NumStates returns the number of states.
+func (cc *Compiled) NumStates() int { return len(cc.names) }
+
+// StateNames returns the state names in declaration order (a copy).
+func (cc *Compiled) StateNames() []string {
+	out := make([]string, len(cc.names))
+	copy(out, cc.names)
+	return out
+}
+
+// StateIndex returns the index of the named state.
+func (cc *Compiled) StateIndex(name string) (int, error) {
+	i, ok := cc.index[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownState, name)
+	}
+	return i, nil
+}
+
+// SetProbability replaces the probability of an existing transition. The
+// transition must exist in the frozen structure: edges cannot be added or
+// removed after Compile (recompile for structural changes). Row sums are not
+// checked here — Analyze re-validates, so several edges of one row can be
+// refreshed in sequence.
+func (cc *Compiled) SetProbability(from, to string, p float64) error {
+	if p <= 0 || p > 1 || math.IsNaN(p) {
+		return fmt.Errorf("%w: %q -> %q probability %v", ErrBadProbability, from, to, p)
+	}
+	i, ok := cc.index[from]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownState, from)
+	}
+	j, ok := cc.index[to]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownState, to)
+	}
+	ref, ok := cc.edges[[2]int{i, j}]
+	if !ok {
+		return fmt.Errorf("dtmc: no compiled transition %q -> %q (structure is frozen at Compile)", from, to)
+	}
+	if ref.inQ {
+		cc.qVal[ref.idx] = p
+	} else {
+		cc.rVal[ref.idx] = p
+	}
+	kernelCounters.refreshes.Add(1)
+	return nil
+}
+
+// CompiledAnalysis holds the results of absorbing-chain analysis through the
+// compiled kernel: the fundamental matrix N = (I−Q)⁻¹ and the absorption
+// probabilities B = N·R, both row-major over transient positions. The result
+// buffers are owned by the analysis value (not the workspace pool), so a
+// sweep can hold one CompiledAnalysis and refresh it allocation-free with
+// AnalyzeInto.
+type CompiledAnalysis struct {
+	cc     *Compiled
+	fund   []float64 // t×t
+	absorb []float64 // t×|A|
+}
+
+// Analyze runs absorbing-chain analysis with fresh result buffers.
+func (cc *Compiled) Analyze() (*CompiledAnalysis, error) {
+	return cc.AnalyzeInto(nil)
+}
+
+// AnalyzeInto runs absorbing-chain analysis reusing prev's result buffers
+// when prev belongs to this compiled chain (pass nil to allocate). The solve
+// itself is allocation-free in steady state: the dense I−Q scratch, the LU
+// factorization storage, and the dense R buffer live in a pooled workspace
+// and every fundamental-matrix column is an in-place SolveInto.
+func (cc *Compiled) AnalyzeInto(prev *CompiledAnalysis) (*CompiledAnalysis, error) {
+	kernelCounters.analyses.Add(1)
+	t := len(cc.transient)
+	nA := len(cc.absorbing)
+	// Row-sum validation, mirroring Chain.Validate (absorbing rows are empty
+	// by construction).
+	for r := range cc.transient {
+		var s float64
+		for idx := cc.qRowPtr[r]; idx < cc.qRowPtr[r+1]; idx++ {
+			s += cc.qVal[idx]
+		}
+		for idx := cc.rRowPtr[r]; idx < cc.rRowPtr[r+1]; idx++ {
+			s += cc.rVal[idx]
+		}
+		if math.Abs(s-1) > probTolerance {
+			return nil, fmt.Errorf("%w: state %q sums to %v", ErrNotStochastic, cc.names[cc.transient[r]], s)
+		}
+	}
+	an := prev
+	if an == nil || an.cc != cc {
+		an = &CompiledAnalysis{cc: cc}
+	}
+	if t == 0 {
+		an.fund = an.fund[:0]
+		an.absorb = an.absorb[:0]
+		return an, nil
+	}
+
+	ws := cc.pool.Get().(*compiledWorkspace)
+	defer cc.pool.Put(ws)
+	if ws.iq == nil || ws.iq.Rows() != t {
+		ws.iq = linalg.NewMatrix(t, t)
+		ws.lu = linalg.NewLU(t)
+		ws.e = make([]float64, t)
+		ws.col = make([]float64, t)
+	}
+
+	// I − Q exactly as the generic path builds it: identity, then one
+	// subtraction per stored Q entry (each cell is touched at most once, so
+	// assembly order cannot change the bits).
+	iq := ws.iq
+	for i := 0; i < t; i++ {
+		for j := 0; j < t; j++ {
+			if i == j {
+				iq.Set(i, j, 1)
+			} else {
+				iq.Set(i, j, 0)
+			}
+		}
+	}
+	for r := 0; r < t; r++ {
+		for idx := cc.qRowPtr[r]; idx < cc.qRowPtr[r+1]; idx++ {
+			iq.Add(r, cc.qCol[idx], -cc.qVal[idx])
+		}
+	}
+
+	// N = (I−Q)⁻¹ via Refactor + per-column SolveInto, replicating
+	// linalg.Inverse (Factor + unit-vector solves) without its allocations.
+	if err := ws.lu.Refactor(iq); err != nil {
+		return nil, fmt.Errorf("dtmc: fundamental matrix (some transient state cannot reach absorption): %w", err)
+	}
+	fund := resize(an.fund, t*t)
+	for j := 0; j < t; j++ {
+		for i := range ws.e {
+			ws.e[i] = 0
+		}
+		ws.e[j] = 1
+		if err := ws.lu.SolveInto(ws.col, ws.e); err != nil {
+			return nil, fmt.Errorf("dtmc: fundamental matrix (some transient state cannot reach absorption): %w", err)
+		}
+		for i := 0; i < t; i++ {
+			fund[i*t+j] = ws.col[i]
+		}
+	}
+	kernelCounters.columnSolves.Add(int64(t))
+	for r := 0; r < t; r++ {
+		for cIdx := 0; cIdx < t; cIdx++ {
+			if fund[r*t+cIdx] < -1e-9 {
+				return nil, fmt.Errorf("dtmc: fundamental matrix has negative entry %v; transient class %q cannot reach absorption", fund[r*t+cIdx], cc.names[cc.transient[r]])
+			}
+		}
+	}
+	an.fund = fund
+
+	// B = N·R with Matrix.Mul's exact loop order over a dense R scratch,
+	// including the a == 0 row skip, so the accumulation matches the generic
+	// product bit for bit.
+	rd := resize(ws.rDense, t*nA)
+	ws.rDense = rd
+	for i := range rd {
+		rd[i] = 0
+	}
+	for r := 0; r < t; r++ {
+		for idx := cc.rRowPtr[r]; idx < cc.rRowPtr[r+1]; idx++ {
+			rd[r*nA+cc.rCol[idx]] = cc.rVal[idx]
+		}
+	}
+	absorb := resize(an.absorb, t*nA)
+	for i := range absorb {
+		absorb[i] = 0
+	}
+	for i := 0; i < t; i++ {
+		outRow := absorb[i*nA : (i+1)*nA]
+		for k := 0; k < t; k++ {
+			a := fund[i*t+k]
+			if a == 0 {
+				continue
+			}
+			rowK := rd[k*nA : (k+1)*nA]
+			for j, b := range rowK {
+				outRow[j] += a * b
+			}
+		}
+	}
+	an.absorb = absorb
+	return an, nil
+}
+
+// TransientStates returns the names of the transient states.
+func (a *CompiledAnalysis) TransientStates() []string {
+	out := make([]string, len(a.cc.transient))
+	for k, i := range a.cc.transient {
+		out[k] = a.cc.names[i]
+	}
+	return out
+}
+
+// AbsorbingStates returns the names of the absorbing states.
+func (a *CompiledAnalysis) AbsorbingStates() []string {
+	out := make([]string, len(a.cc.absorbing))
+	for k, i := range a.cc.absorbing {
+		out[k] = a.cc.names[i]
+	}
+	return out
+}
+
+// transientRow resolves start to its transient position.
+func (a *CompiledAnalysis) transientRow(start string) (int, error) {
+	i, ok := a.cc.index[start]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownState, start)
+	}
+	row, ok := a.cc.posT[i]
+	if !ok {
+		return 0, fmt.Errorf("dtmc: state %q is absorbing, not transient", start)
+	}
+	return row, nil
+}
+
+// ExpectedVisits returns the expected number of visits to each transient
+// state before absorption, starting from the given transient state.
+func (a *CompiledAnalysis) ExpectedVisits(start string) (map[string]float64, error) {
+	row, err := a.transientRow(start)
+	if err != nil {
+		return nil, err
+	}
+	t := len(a.cc.transient)
+	out := make(map[string]float64, t)
+	for col, j := range a.cc.transient {
+		out[a.cc.names[j]] = a.fund[row*t+col]
+	}
+	return out, nil
+}
+
+// ExpectedVisitsInto writes the fundamental-matrix row for start into dst,
+// indexed by transient position (see TransientStates for the ordering),
+// without allocating when dst has capacity.
+func (a *CompiledAnalysis) ExpectedVisitsInto(dst []float64, start string) ([]float64, error) {
+	row, err := a.transientRow(start)
+	if err != nil {
+		return nil, err
+	}
+	t := len(a.cc.transient)
+	dst = resize(dst, t)
+	copy(dst, a.fund[row*t:(row+1)*t])
+	return dst, nil
+}
+
+// ExpectedStepsToAbsorption returns the expected number of steps before
+// absorption from the given transient state (the row sum of N, accumulated
+// in transient-position order).
+func (a *CompiledAnalysis) ExpectedStepsToAbsorption(start string) (float64, error) {
+	row, err := a.transientRow(start)
+	if err != nil {
+		return 0, err
+	}
+	t := len(a.cc.transient)
+	var s float64
+	for _, v := range a.fund[row*t : (row+1)*t] {
+		s += v
+	}
+	return s, nil
+}
+
+// AbsorptionProbabilities returns, for the given starting state, the
+// probability of ending in each absorbing state. Absorbing starts yield the
+// identity row, matching the generic analysis.
+func (a *CompiledAnalysis) AbsorptionProbabilities(start string) (map[string]float64, error) {
+	i, ok := a.cc.index[start]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownState, start)
+	}
+	nA := len(a.cc.absorbing)
+	out := make(map[string]float64, nA)
+	if col, ok := a.cc.posA[i]; ok {
+		for k, j := range a.cc.absorbing {
+			if k == col {
+				out[a.cc.names[j]] = 1
+			} else {
+				out[a.cc.names[j]] = 0
+			}
+		}
+		return out, nil
+	}
+	row := a.cc.posT[i]
+	for col, j := range a.cc.absorbing {
+		out[a.cc.names[j]] = a.absorb[row*nA+col]
+	}
+	return out, nil
+}
+
+// AbsorptionProbabilitiesInto writes the absorption-probability row for start
+// into dst, indexed by absorbing position (see AbsorbingStates for the
+// ordering), without allocating when dst has capacity.
+func (a *CompiledAnalysis) AbsorptionProbabilitiesInto(dst []float64, start string) ([]float64, error) {
+	i, ok := a.cc.index[start]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownState, start)
+	}
+	nA := len(a.cc.absorbing)
+	dst = resize(dst, nA)
+	if col, ok := a.cc.posA[i]; ok {
+		for k := range dst {
+			if k == col {
+				dst[k] = 1
+			} else {
+				dst[k] = 0
+			}
+		}
+		return dst, nil
+	}
+	row := a.cc.posT[i]
+	copy(dst, a.absorb[row*nA:(row+1)*nA])
+	return dst, nil
+}

@@ -1,0 +1,108 @@
+package dtmc
+
+import (
+	"testing"
+)
+
+// FuzzCompiledDTMC builds random valid absorbing chains from arbitrary bytes
+// and checks the compiled kernel against AnalyzeAbsorbing with tolerance
+// zero: every fundamental-matrix entry and absorption probability must be
+// bit-identical.
+//
+// Byte stream encoding (two bytes per edge): the first byte selects source
+// and destination states from a pool of up to 6 transient and 2 absorbing
+// names, the second byte a raw weight. After the stream is consumed, each
+// transient row's weights are normalized to probabilities summing to one,
+// and every transient state that gained no edges gets a single edge to the
+// first absorbing state, so most inputs produce valid chains.
+func FuzzCompiledDTMC(f *testing.F) {
+	f.Add([]byte{0x01, 10, 0x16, 20, 0x2e, 5})
+	f.Add([]byte{0x00, 1, 0x11, 1, 0x22, 1, 0x33, 1})
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 255, 0xff, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		transients := []string{"t0", "t1", "t2", "t3", "t4", "t5"}
+		absorbing := []string{"a0", "a1"}
+		pool := append(append([]string(nil), transients...), absorbing...)
+		// Accumulate raw weights per (from, to); from is always transient.
+		weights := make(map[string]map[string]float64)
+		for i := 0; i+1 < len(data); i += 2 {
+			from := transients[int(data[i]>>4)%len(transients)]
+			to := pool[int(data[i]&0x0f)%len(pool)]
+			w := float64(int(data[i+1])%100 + 1)
+			if weights[from] == nil {
+				weights[from] = make(map[string]float64)
+			}
+			weights[from][to] += w
+		}
+		c := New()
+		// Declare states in a fixed order so both paths see one ordering.
+		for _, name := range transients {
+			c.AddState(name)
+		}
+		for _, name := range absorbing {
+			c.AddState(name)
+		}
+		for _, from := range transients {
+			row := weights[from]
+			if len(row) == 0 {
+				if err := c.AddTransition(from, absorbing[0], 1); err != nil {
+					t.Fatalf("AddTransition(%s, %s, 1): %v", from, absorbing[0], err)
+				}
+				continue
+			}
+			var sum float64
+			for _, w := range row {
+				sum += w
+			}
+			// Deterministic edge order: iterate the pool, not the map.
+			for _, to := range pool {
+				if w, ok := row[to]; ok {
+					if err := c.AddTransition(from, to, w/sum); err != nil {
+						t.Fatalf("AddTransition(%s, %s, %v): %v", from, to, w/sum, err)
+					}
+				}
+			}
+		}
+		ref, refErr := c.AnalyzeAbsorbing()
+		cc, err := c.Compile()
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		an, anErr := cc.Analyze()
+		if (refErr == nil) != (anErr == nil) {
+			t.Fatalf("generic err = %v, compiled err = %v", refErr, anErr)
+		}
+		if refErr != nil {
+			return // both reject (e.g. closed transient class): agreement is enough
+		}
+		for _, start := range ref.TransientStates() {
+			wantV, err := ref.ExpectedVisits(start)
+			if err != nil {
+				t.Fatalf("generic ExpectedVisits(%s): %v", start, err)
+			}
+			gotV, err := an.ExpectedVisits(start)
+			if err != nil {
+				t.Fatalf("compiled ExpectedVisits(%s): %v", start, err)
+			}
+			for name, w := range wantV {
+				if g := gotV[name]; g != w {
+					t.Errorf("ExpectedVisits(%s)[%s] = %v, want %v", start, name, g, w)
+				}
+			}
+			wantB, err := ref.AbsorptionProbabilities(start)
+			if err != nil {
+				t.Fatalf("generic AbsorptionProbabilities(%s): %v", start, err)
+			}
+			gotB, err := an.AbsorptionProbabilities(start)
+			if err != nil {
+				t.Fatalf("compiled AbsorptionProbabilities(%s): %v", start, err)
+			}
+			for name, w := range wantB {
+				if g := gotB[name]; g != w {
+					t.Errorf("AbsorptionProbabilities(%s)[%s] = %v, want %v", start, name, g, w)
+				}
+			}
+		}
+	})
+}

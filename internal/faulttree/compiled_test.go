@@ -1,0 +1,138 @@
+package faulttree
+
+import (
+	"reflect"
+	"testing"
+)
+
+// sharedEventTree builds a tree with repeated basic events (power feeds both
+// subsystems) and a voting gate, exercising every gate kind plus Shannon
+// factoring. Returns the root and the mutable events.
+func sharedEventTree(t testing.TB) (Node, []*BasicEvent) {
+	t.Helper()
+	power := MustBasicEvent("power-fail", 0.01)
+	cpu1 := MustBasicEvent("cpu1-fail", 0.05)
+	cpu2 := MustBasicEvent("cpu2-fail", 0.05)
+	cpu3 := MustBasicEvent("cpu3-fail", 0.05)
+	disk := MustBasicEvent("disk-fail", 0.02)
+	net := MustBasicEvent("net-fail", 0.03)
+	root := OR("system-fails",
+		AND("compute-fails",
+			AtLeast("cpus-fail", 2, cpu1, cpu2, cpu3),
+			OR("compute-support-fails", power, net),
+		),
+		AND("storage-fails", disk, power),
+	)
+	return root, []*BasicEvent{power, cpu1, cpu2, cpu3, disk, net}
+}
+
+func TestCompiledTopEventBitIdentical(t *testing.T) {
+	root, events := sharedEventTree(t)
+	cc, err := Compile(root)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	want, err := TopEventProbability(root)
+	if err != nil {
+		t.Fatalf("TopEventProbability: %v", err)
+	}
+	if got := cc.TopEventProbability(); got != want {
+		t.Errorf("compiled %v != generic %v (expected bit-identical)", got, want)
+	}
+	// Probabilities stay live: perturb through SetProbability and re-check.
+	for i, e := range events {
+		if err := e.SetProbability(0.001 * float64(i+1)); err != nil {
+			t.Fatalf("SetProbability: %v", err)
+		}
+	}
+	want, err = TopEventProbability(root)
+	if err != nil {
+		t.Fatalf("TopEventProbability after perturbation: %v", err)
+	}
+	if got := cc.TopEventProbability(); got != want {
+		t.Errorf("perturbed compiled %v != generic %v", got, want)
+	}
+}
+
+func TestCompiledRestoresSharedProbabilities(t *testing.T) {
+	root, events := sharedEventTree(t)
+	cc, err := Compile(root)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	before := make([]float64, len(events))
+	for i, e := range events {
+		before[i] = e.Probability()
+	}
+	cc.TopEventProbability()
+	for i, e := range events {
+		if e.Probability() != before[i] {
+			t.Errorf("event %s probability %v != %v after evaluation", e.Label(), e.Probability(), before[i])
+		}
+	}
+}
+
+func TestCompiledNoSharedEvents(t *testing.T) {
+	a := MustBasicEvent("a", 0.1)
+	b := MustBasicEvent("b", 0.2)
+	root := AND("both", a, b)
+	cc, err := Compile(root)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	want, _ := TopEventProbability(root)
+	if got := cc.TopEventProbability(); got != want {
+		t.Errorf("compiled %v != generic %v", got, want)
+	}
+}
+
+func TestCompiledCutSetsMatchAndAreCached(t *testing.T) {
+	root, _ := sharedEventTree(t)
+	cc, err := Compile(root)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	want := MinimalCutSets(root)
+	got := cc.MinimalCutSets()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("compiled cut sets %v != generic %v", got, want)
+	}
+	// Cached: the same backing slice comes back on every query.
+	again := cc.MinimalCutSets()
+	if &got[0] != &again[0] {
+		t.Error("MinimalCutSets did not return the cached slice")
+	}
+}
+
+func TestCompileRejectsTooManyShared(t *testing.T) {
+	shared := make([]*BasicEvent, 21)
+	children := make([]Node, 0, 42)
+	for i := range shared {
+		shared[i] = MustBasicEvent("e", 0.1)
+		children = append(children, shared[i], shared[i])
+	}
+	root := OR("top", children...)
+	if _, err := Compile(root); err == nil {
+		t.Error("Compile accepted 21 shared events")
+	}
+	if _, err := TopEventProbability(root); err == nil {
+		t.Error("generic evaluator accepted 21 shared events")
+	}
+}
+
+func TestCompiledEvalAllocationFree(t *testing.T) {
+	root, events := sharedEventTree(t)
+	cc, err := Compile(root)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	cc.TopEventProbability() // warm the stack
+	allocs := testing.AllocsPerRun(100, func() {
+		events[1].SetProbability(0.07)
+		cc.TopEventProbability()
+		cc.MinimalCutSets()
+	})
+	if allocs != 0 {
+		t.Errorf("allocs/op = %v, want 0", allocs)
+	}
+}

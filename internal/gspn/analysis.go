@@ -24,16 +24,20 @@ const maxVanishingDepth = 64
 // Analyze builds the reachability graph from the initial marking (up to
 // maxMarkings tangible markings), eliminates vanishing markings, solves the
 // resulting CTMC for steady state, and returns the analysis.
+//
+// The reachability graph is cached on the net (see Freeze): after the first
+// call, rate-only perturbations (SetTimedRate, SetTimedRateFunc,
+// SetImmediateWeight) re-solve the embedded compiled CTMC without
+// re-exploring state space. Results are bit-identical to the uncached
+// ToCTMC + SteadyState path.
 func (n *Net) Analyze(maxMarkings int) (*Analysis, error) {
-	chain, markings, err := n.ToCTMC(maxMarkings)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f, err := n.freezeLocked(maxMarkings)
 	if err != nil {
 		return nil, err
 	}
-	steady, err := chain.SteadyState()
-	if err != nil {
-		return nil, fmt.Errorf("%w: steady state: %v", ErrAnalysis, err)
-	}
-	return &Analysis{net: n, chain: chain, markings: markings, steady: steady}, nil
+	return f.solveLocked()
 }
 
 // ToCTMC builds the tangible-marking CTMC without solving it. The returned

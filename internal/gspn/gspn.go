@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 )
 
 // ErrNet is returned for structurally invalid nets.
@@ -70,12 +71,17 @@ type transition struct {
 	inhibitors []arc
 }
 
-// Net is a GSPN under construction.
+// Net is a GSPN under construction. Analysis caches the reachability graph
+// on the net (see Freeze); structural mutations — places, transitions, arcs
+// — invalidate the cache, while the Set* rate and weight mutators do not.
+// All methods are safe for concurrent use.
 type Net struct {
+	mu          sync.Mutex
 	places      []string
 	placeSet    map[string]int // name → initial tokens
 	transitions []*transition
 	transIndex  map[string]*transition
+	frozen      *Frozen // cached reachability graph; nil after structural mutation
 }
 
 // New returns an empty net.
@@ -94,11 +100,14 @@ func (n *Net) AddPlace(name string, initial int) error {
 	if initial < 0 {
 		return fmt.Errorf("%w: place %q initial tokens %d", ErrNet, name, initial)
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if _, ok := n.placeSet[name]; ok {
 		return fmt.Errorf("%w: place %q already declared", ErrNet, name)
 	}
 	n.placeSet[name] = initial
 	n.places = append(n.places, name)
+	n.frozen = nil
 	return nil
 }
 
@@ -136,11 +145,65 @@ func (n *Net) addTransition(t *transition) error {
 	if t.name == "" {
 		return fmt.Errorf("%w: empty transition name", ErrNet)
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if _, ok := n.transIndex[t.name]; ok {
 		return fmt.Errorf("%w: transition %q already declared", ErrNet, t.name)
 	}
 	n.transIndex[t.name] = t
 	n.transitions = append(n.transitions, t)
+	n.frozen = nil
+	return nil
+}
+
+// SetTimedRate replaces a timed transition's rate with a constant. This is a
+// rate-only perturbation: the cached reachability graph stays valid and the
+// next Analyze re-solves the embedded compiled CTMC without re-exploring
+// state space.
+func (n *Net) SetTimedRate(name string, rate float64) error {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("%w: transition %q rate %v", ErrNet, name, rate)
+	}
+	return n.SetTimedRateFunc(name, func(Marking) float64 { return rate })
+}
+
+// SetTimedRateFunc replaces a timed transition's rate function. Like
+// SetTimedRate, it does not invalidate the cached reachability graph:
+// enabling is structural, so a rate change cannot add or remove markings.
+func (n *Net) SetTimedRateFunc(name string, rate RateFunc) error {
+	if rate == nil {
+		return fmt.Errorf("%w: transition %q has nil rate function", ErrNet, name)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t, ok := n.transIndex[name]
+	if !ok {
+		return fmt.Errorf("%w: undeclared transition %q", ErrNet, name)
+	}
+	if t.immediate {
+		return fmt.Errorf("%w: transition %q is immediate, not timed", ErrNet, name)
+	}
+	t.rate = rate
+	return nil
+}
+
+// SetImmediateWeight replaces an immediate transition's weight, another
+// rate-only perturbation: branch probabilities are re-derived from current
+// weights at the next solve over the cached reachability graph.
+func (n *Net) SetImmediateWeight(name string, weight float64) error {
+	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return fmt.Errorf("%w: transition %q weight %v", ErrNet, name, weight)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t, ok := n.transIndex[name]
+	if !ok {
+		return fmt.Errorf("%w: undeclared transition %q", ErrNet, name)
+	}
+	if !t.immediate {
+		return fmt.Errorf("%w: transition %q is timed, not immediate", ErrNet, name)
+	}
+	t.weight = weight
 	return nil
 }
 
@@ -176,10 +239,15 @@ func (n *Net) AddInhibitorArc(place, trans string, mult int) error {
 	return nil
 }
 
+// arcEndpoints validates an arc's endpoints and invalidates the cached
+// reachability graph: arcs are structure, so the caller is about to mutate
+// it. The caller appends to the returned transition's arc list.
 func (n *Net) arcEndpoints(place, trans string, mult int) (*transition, error) {
 	if mult < 1 {
 		return nil, fmt.Errorf("%w: arc multiplicity %d", ErrNet, mult)
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if _, ok := n.placeSet[place]; !ok {
 		return nil, fmt.Errorf("%w: undeclared place %q", ErrNet, place)
 	}
@@ -187,6 +255,7 @@ func (n *Net) arcEndpoints(place, trans string, mult int) (*transition, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: undeclared transition %q", ErrNet, trans)
 	}
+	n.frozen = nil
 	return t, nil
 }
 

@@ -218,14 +218,55 @@ func (r *Report) UnavailabilityWhere(keep func(ScenarioResult) bool) float64 {
 	return u
 }
 
+// svcReq is one (required-service mask, probability) pair of a function's
+// scenario class, relative to the service ordering of one user scenario.
+type svcReq struct {
+	mask int
+	prob float64
+}
+
+// Workspace holds the reusable scratch of one evaluation: the per-function
+// scenario cache and the buffers of the per-scenario Shannon decomposition.
+// A Workspace is not safe for concurrent use — give each sweep worker its
+// own (see sweep.RunScratch) and reuse it across evaluations; results are
+// bit-identical to workspace-free evaluation.
+type Workspace struct {
+	funcScenarios map[string][]interaction.Scenario
+	svcSet        map[string]bool
+	services      []string
+	bit           map[string]int
+	reqs          []svcReq
+	ends          []int
+}
+
+// NewWorkspace returns an empty evaluation workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{
+		funcScenarios: make(map[string][]interaction.Scenario),
+		svcSet:        make(map[string]bool),
+		bit:           make(map[string]int),
+	}
+}
+
 // Evaluate computes service, function, scenario and user availabilities.
 func (m *Model) Evaluate() (*Report, error) {
+	return m.EvaluateWorkspace(nil)
+}
+
+// EvaluateWorkspace is Evaluate with caller-owned scratch: a worker reusing
+// one Workspace across many evaluations performs no per-scenario scratch
+// allocation. A nil workspace allocates a fresh one.
+func (m *Model) EvaluateWorkspace(ws *Workspace) (*Report, error) {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	if len(m.scenarios) == 0 {
 		return nil, fmt.Errorf("%w: no user scenarios installed", ErrModel)
 	}
 	report := &Report{
 		Services:  make(map[string]float64, len(m.services)),
 		Functions: make(map[string]float64, len(m.functions)),
+		Scenarios: make([]ScenarioResult, 0, len(m.scenarios)),
 	}
 	for _, name := range m.serviceOrder {
 		a, err := m.services[name]()
@@ -238,14 +279,14 @@ func (m *Model) Evaluate() (*Report, error) {
 		report.Services[name] = a
 	}
 
-	// Cache each function's scenarios once.
-	funcScenarios := make(map[string][]interaction.Scenario, len(m.functions))
+	// Cache each function's scenarios once per evaluation.
+	clear(ws.funcScenarios)
 	for _, name := range m.funcOrder {
 		scs, err := m.functions[name].Scenarios()
 		if err != nil {
 			return nil, fmt.Errorf("hierarchy: function %q: %w", name, err)
 		}
-		funcScenarios[name] = scs
+		ws.funcScenarios[name] = scs
 		a, err := m.functions[name].Availability(report.Services)
 		if err != nil {
 			return nil, fmt.Errorf("hierarchy: function %q: %w", name, err)
@@ -255,7 +296,7 @@ func (m *Model) Evaluate() (*Report, error) {
 
 	var user float64
 	for _, sc := range m.scenarios {
-		a, err := m.scenarioAvailability(sc, report.Services, funcScenarios)
+		a, err := m.scenarioAvailability(sc, report.Services, ws)
 		if err != nil {
 			return nil, err
 		}
@@ -274,47 +315,49 @@ func (m *Model) Evaluate() (*Report, error) {
 // scenarioAvailability computes P(every invoked function succeeds) by
 // conditioning on the joint state of all services any invoked function can
 // touch. Function branch choices are independent of each other and of the
-// service states; service states are shared across functions.
-func (m *Model) scenarioAvailability(sc UserScenario, avail map[string]float64, funcScenarios map[string][]interaction.Scenario) (float64, error) {
+// service states; service states are shared across functions. All scratch
+// lives in ws; the arithmetic is unchanged from the allocating version.
+func (m *Model) scenarioAvailability(sc UserScenario, avail map[string]float64, ws *Workspace) (float64, error) {
 	// Union of services across the scenario's functions, deterministic order.
-	svcSet := make(map[string]bool)
+	svcSet := ws.svcSet
+	clear(svcSet)
 	for _, fn := range sc.Functions {
-		for _, fscs := range funcScenarios[fn] {
+		for _, fscs := range ws.funcScenarios[fn] {
 			for _, svc := range fscs.Services {
 				svcSet[svc] = true
 			}
 		}
 	}
-	services := make([]string, 0, len(svcSet))
+	services := ws.services[:0]
 	for svc := range svcSet {
 		services = append(services, svc)
 	}
 	sort.Strings(services)
+	ws.services = services
 	if len(services) > maxScenarioServices {
 		return 0, fmt.Errorf("%w: scenario %q touches %d services, exceeding the decomposition limit %d", ErrModel, sc.Name, len(services), maxScenarioServices)
 	}
-	bit := make(map[string]int, len(services))
+	bit := ws.bit
+	clear(bit)
 	for i, svc := range services {
 		bit[svc] = i
 	}
 
-	// Precompute per function the (requiredMask, probability) pairs.
-	type req struct {
-		mask int
-		prob float64
-	}
-	perFunc := make([][]req, 0, len(sc.Functions))
+	// Precompute per function the (requiredMask, probability) pairs, stored
+	// flat with end offsets so the buffers persist across scenarios.
+	reqs := ws.reqs[:0]
+	ends := ws.ends[:0]
 	for _, fn := range sc.Functions {
-		var reqs []req
-		for _, fsc := range funcScenarios[fn] {
+		for _, fsc := range ws.funcScenarios[fn] {
 			mask := 0
 			for _, svc := range fsc.Services {
 				mask |= 1 << bit[svc]
 			}
-			reqs = append(reqs, req{mask: mask, prob: fsc.Probability})
+			reqs = append(reqs, svcReq{mask: mask, prob: fsc.Probability})
 		}
-		perFunc = append(perFunc, reqs)
+		ends = append(ends, len(reqs))
 	}
+	ws.reqs, ws.ends = reqs, ends
 
 	var total float64
 	for up := 0; up < 1<<len(services); up++ {
@@ -333,13 +376,15 @@ func (m *Model) scenarioAvailability(sc UserScenario, avail map[string]float64, 
 			continue
 		}
 		joint := 1.0
-		for _, reqs := range perFunc {
+		start := 0
+		for _, end := range ends {
 			var succ float64
-			for _, r := range reqs {
+			for _, r := range reqs[start:end] {
 				if r.mask&^up == 0 { // required ⊆ up
 					succ += r.prob
 				}
 			}
+			start = end
 			joint *= succ
 			if joint == 0 {
 				break

@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/dtmc"
 )
@@ -38,7 +39,10 @@ const maxServices = 16
 // ErrDiagram is returned for structurally invalid diagrams.
 var ErrDiagram = errors.New("interaction: invalid diagram")
 
-// Diagram is an interaction diagram under construction or analysis.
+// Diagram is an interaction diagram under construction or analysis. The
+// scenario analysis is cached on the diagram: structural mutations (AddStep,
+// AddTransition) invalidate the cache, and every availability query reuses
+// the cached scenarios. Analysis methods are safe for concurrent use.
 type Diagram struct {
 	name      string
 	steps     map[string][]string // step → services required
@@ -46,6 +50,9 @@ type Diagram struct {
 	services  []string
 	svcIndex  map[string]int
 	nodeOrder []string
+
+	mu        sync.Mutex
+	scenarios []Scenario // cached Scenarios() result; nil after mutation
 }
 
 // New returns an empty diagram with the given function name.
@@ -75,6 +82,7 @@ func (d *Diagram) AddStep(step string, services ...string) error {
 	copy(cp, services)
 	d.steps[step] = cp
 	d.nodeOrder = append(d.nodeOrder, step)
+	d.invalidate()
 	for _, s := range services {
 		if _, ok := d.svcIndex[s]; !ok {
 			if len(d.services) >= maxServices {
@@ -115,10 +123,18 @@ func (d *Diagram) AddTransition(from, to string, q float64) error {
 		d.trans[from] = row
 	}
 	row[to] += q
+	d.invalidate()
 	if row[to] > 1+1e-9 {
 		return fmt.Errorf("%w: accumulated probability %s→%s exceeds 1", ErrDiagram, from, to)
 	}
 	return nil
+}
+
+// invalidate drops the cached scenario analysis after a structural mutation.
+func (d *Diagram) invalidate() {
+	d.mu.Lock()
+	d.scenarios = nil
+	d.mu.Unlock()
 }
 
 // Services returns the distinct services referenced by the diagram, in
@@ -188,7 +204,27 @@ func (s Scenario) Key() string { return strings.Join(s.Services, "+") }
 // Scenarios computes the function scenarios: path classes grouped by the set
 // of services they touch, with exact probabilities (cycles collapse like in
 // the operational profile). Results are sorted by descending probability.
+//
+// The analysis is cached on the diagram until the next structural mutation,
+// so repeated availability queries pay for the absorbing-chain solve once.
+// The returned slice is shared with the cache and must not be mutated.
 func (d *Diagram) Scenarios() ([]Scenario, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.scenarios != nil {
+		return d.scenarios, nil
+	}
+	scs, err := d.computeScenarios()
+	if err != nil {
+		return nil, err
+	}
+	d.scenarios = scs
+	return scs, nil
+}
+
+// computeScenarios runs the absorbing-chain scenario analysis through the
+// compiled dtmc kernel (bit-identical to the generic AnalyzeAbsorbing path).
+func (d *Diagram) computeScenarios() ([]Scenario, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -226,7 +262,11 @@ func (d *Diagram) Scenarios() ([]Scenario, error) {
 			}
 		}
 	}
-	analysis, err := chain.AnalyzeAbsorbing()
+	cc, err := chain.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("interaction: scenario analysis of %q: %w", d.name, err)
+	}
+	analysis, err := cc.Analyze()
 	if err != nil {
 		return nil, fmt.Errorf("interaction: scenario analysis of %q: %w", d.name, err)
 	}

@@ -1,0 +1,44 @@
+package queueing
+
+import "testing"
+
+// TestLossProbabilityMatchesDistribution pins the allocation-free loss path
+// to the birth–death reference: p_K must equal StateDistribution()[K] bit for
+// bit across the paper's parameter ranges.
+func TestLossProbabilityMatchesDistribution(t *testing.T) {
+	for _, arrival := range []float64{1, 50, 100, 150, 1e4} {
+		for _, service := range []float64{10, 100, 3600} {
+			for servers := 1; servers <= 10; servers++ {
+				for _, capacity := range []int{servers, 10, 40} {
+					if capacity < servers {
+						continue
+					}
+					q := MMcK{Arrival: arrival, Service: service, Servers: servers, Capacity: capacity}
+					dist, err := q.StateDistribution()
+					if err != nil {
+						t.Fatalf("StateDistribution(%+v): %v", q, err)
+					}
+					got, err := q.LossProbability()
+					if err != nil {
+						t.Fatalf("LossProbability(%+v): %v", q, err)
+					}
+					if got != dist[capacity] {
+						t.Errorf("%+v: LossProbability %v != dist[K] %v (expected bit-identical)", q, got, dist[capacity])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLossProbabilityAllocationFree(t *testing.T) {
+	q := MMcK{Arrival: 100, Service: 100, Servers: 4, Capacity: 10}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := q.LossProbability(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("allocs/op = %v, want 0", allocs)
+	}
+}

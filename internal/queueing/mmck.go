@@ -70,12 +70,44 @@ func (q MMcK) StateDistribution() ([]float64, error) {
 
 // LossProbability returns p_K: the probability that an arriving request is
 // rejected because the system holds K requests.
+//
+// The computation replays the BirthDeath recursion without materializing the
+// rate and probability vectors (the birth and death rates of an M/M/c/K queue
+// are closed-form in the state index), so it is allocation-free; the result
+// is bit-identical to StateDistribution()[Capacity].
 func (q MMcK) LossProbability() (float64, error) {
-	dist, err := q.StateDistribution()
-	if err != nil {
+	if err := q.check(); err != nil {
 		return 0, err
 	}
-	return dist[q.Capacity], nil
+	// deathRate(n) is death[n] of StateDistribution's birth–death system.
+	deathRate := func(n int) float64 {
+		servers := n + 1
+		if servers > q.Servers {
+			servers = q.Servers
+		}
+		return float64(servers) * q.Service
+	}
+	// Pass 1: the BirthDeath logTerm recursion, tracking only the maximum
+	// (which starts at 0 = logTerm[0], exactly as BirthDeath's scan does).
+	var maxLog float64
+	logTerm := 0.0
+	for n := 0; n < q.Capacity; n++ {
+		logTerm = logTerm + math.Log(q.Arrival) - math.Log(deathRate(n))
+		if logTerm > maxLog {
+			maxLog = logTerm
+		}
+	}
+	// Pass 2: recompute the identical terms, accumulating the normalization
+	// sum in index order; the last term is the unnormalized π_K.
+	sum := math.Exp(0 - maxLog)
+	logTerm = 0
+	last := sum
+	for n := 0; n < q.Capacity; n++ {
+		logTerm = logTerm + math.Log(q.Arrival) - math.Log(deathRate(n))
+		last = math.Exp(logTerm - maxLog)
+		sum += last
+	}
+	return last / sum, nil
 }
 
 // LossProbabilityClosedForm evaluates the paper's equation (3) literally

@@ -241,7 +241,9 @@ func logFactorial(n int) float64 {
 }
 
 // normalizeLogs exponentiates log-weights relative to their maximum and
-// normalizes to a probability vector.
+// normalizes to a probability vector. The input slice is overwritten and
+// returned (each position is read exactly once before being written), saving
+// an allocation on every repair-model solve.
 func normalizeLogs(logs []float64) []float64 {
 	maxLog := logs[0]
 	for _, l := range logs {
@@ -249,14 +251,13 @@ func normalizeLogs(logs []float64) []float64 {
 			maxLog = l
 		}
 	}
-	out := make([]float64, len(logs))
 	var sum float64
 	for i, l := range logs {
-		out[i] = math.Exp(l - maxLog)
-		sum += out[i]
+		logs[i] = math.Exp(l - maxLog)
+		sum += logs[i]
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range logs {
+		logs[i] /= sum
 	}
-	return out
+	return logs
 }

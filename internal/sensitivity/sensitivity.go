@@ -35,11 +35,28 @@ func Sweep1D(name string, values []float64, eval func(float64) (float64, error))
 // concurrent use when workers ≠ 1; results are returned in value order
 // either way and are identical to the sequential sweep.
 func Sweep1DParallel(name string, values []float64, eval func(float64) (float64, error), workers int) ([]Point, error) {
-	if name == "" || len(values) == 0 || eval == nil {
+	if eval == nil {
 		return nil, fmt.Errorf("%w: sweep needs a name, values and an evaluator", ErrParam)
 	}
-	return sweep.Run(values, func(v float64) (Point, error) {
-		r, err := eval(v)
+	return Sweep1DScratch(name, values,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, v float64) (float64, error) { return eval(v) },
+		workers)
+}
+
+// Sweep1DScratch is Sweep1DParallel with a per-worker scratch value:
+// newScratch runs once per worker and its result is handed to every
+// evaluation that worker performs. This is the hook through which a
+// single-parameter perturbation study reuses frozen model structures — a
+// compiled CTMC with rate refreshes, a frozen GSPN reachability graph, a
+// hierarchy workspace — instead of rebuilding them per point, while keeping
+// results identical to the sequential sweep for any worker count.
+func Sweep1DScratch[S any](name string, values []float64, newScratch func() S, eval func(S, float64) (float64, error), workers int) ([]Point, error) {
+	if name == "" || len(values) == 0 || eval == nil || newScratch == nil {
+		return nil, fmt.Errorf("%w: sweep needs a name, values and an evaluator", ErrParam)
+	}
+	return sweep.RunScratch(values, newScratch, func(s S, v float64) (Point, error) {
+		r, err := eval(s, v)
 		if err != nil {
 			return Point{}, fmt.Errorf("sensitivity: %s = %v: %w", name, v, err)
 		}

@@ -3,6 +3,7 @@ package sensitivity
 import (
 	"errors"
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -71,6 +72,53 @@ func TestSweep1DParallelEquivalence(t *testing.T) {
 				t.Fatalf("workers=%d: point %d = %+v, want %+v", workers, i, par[i], serial[i])
 			}
 		}
+	}
+}
+
+// TestSweep1DScratch checks the per-worker scratch hook: scratches are
+// created once per worker, reused across that worker's points, and the
+// results match the scratch-free sweep bit for bit.
+func TestSweep1DScratch(t *testing.T) {
+	values := make([]float64, 40)
+	for i := range values {
+		values[i] = 1 + float64(i)*0.25
+	}
+	eval := func(x float64) (float64, error) { return math.Exp(-x) * math.Cos(x), nil }
+	serial, err := Sweep1D("x", values, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		var mu sync.Mutex
+		created := 0
+		pts, err := Sweep1DScratch("x", values,
+			func() *[]float64 {
+				mu.Lock()
+				created++
+				mu.Unlock()
+				buf := make([]float64, 0, len(values))
+				return &buf
+			},
+			func(buf *[]float64, x float64) (float64, error) {
+				*buf = append(*buf, x) // the reused workspace stand-in
+				return eval(x)
+			},
+			workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if created != workers {
+			t.Errorf("workers=%d: %d scratches created, want one per worker", workers, created)
+		}
+		for i := range serial {
+			if pts[i].Result != serial[i].Result || pts[i].Values["x"] != serial[i].Values["x"] {
+				t.Fatalf("workers=%d: point %d = %+v, want %+v", workers, i, pts[i], serial[i])
+			}
+		}
+	}
+	if _, err := Sweep1DScratch("x", values, (func() int)(nil),
+		func(int, float64) (float64, error) { return 0, nil }, 1); err == nil {
+		t.Error("nil newScratch accepted")
 	}
 }
 

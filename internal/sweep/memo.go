@@ -29,6 +29,7 @@ type Memo[K comparable, V any] struct {
 
 type memoEntry[V any] struct {
 	once sync.Once
+	done atomic.Bool // set after once completes; gates Get's lock-free read of val/err
 	val  V
 	err  error
 }
@@ -61,8 +62,29 @@ func (m *Memo[K, V]) Do(key K, compute func() (V, error)) (V, error) {
 	} else {
 		m.misses.Add(1)
 	}
-	e.once.Do(func() { e.val, e.err = compute() })
+	e.once.Do(func() {
+		e.val, e.err = compute()
+		e.done.Store(true)
+	})
 	return e.val, e.err
+}
+
+// Get returns the cached result for key without computing anything: ok is
+// false when the key is absent or its computation is still in flight. A
+// successful Get counts as a hit, exactly like a Do that found the entry, so
+// a Get-then-Do fallback pattern keeps Stats identical to calling Do alone.
+// Unlike Do, the hit path allocates nothing, which makes Get the lookup for
+// allocation-free hot loops over warm caches.
+func (m *Memo[K, V]) Get(key K) (val V, err error, ok bool) {
+	m.mu.Lock()
+	e := m.entries[key]
+	m.mu.Unlock()
+	if e == nil || !e.done.Load() {
+		var zero V
+		return zero, nil, false
+	}
+	m.hits.Add(1)
+	return e.val, e.err, true
 }
 
 // Len returns the number of cached keys.

@@ -3,16 +3,31 @@ package travelagency
 import (
 	"repro/internal/hierarchy"
 	"repro/internal/sweep"
+	"repro/internal/webfarm"
 )
 
 // EvaluateMany evaluates the full four-level hierarchy for every parameter
 // set concurrently through the sweep engine (workers ≤ 0 selects
-// GOMAXPROCS), returning the reports in input order. Each evaluation is
-// independent and deterministic, so the reports are identical to serial
-// Evaluate calls regardless of the worker count. This is the batch path
-// behind the Table 8 rows and the what-if parameter studies.
+// GOMAXPROCS), returning the reports in input order.
+//
+// The batch is truly batched: all workers share one webfarm.Composer, so
+// each distinct repair-model and queueing configuration in the batch solves
+// exactly once, and each worker owns one hierarchy.Workspace reused across
+// every cell it evaluates, so the scenario-decomposition scratch is not
+// reallocated per cell. Both reuses are bit-identical to independent serial
+// Evaluate calls (gated by tests), so the reports are identical regardless
+// of the worker count. This is the batch path behind the Table 8 rows and
+// the what-if parameter studies.
 func EvaluateMany(ps []Params, class UserClass, workers int) ([]*hierarchy.Report, error) {
-	return sweep.Run(ps, func(p Params) (*hierarchy.Report, error) {
-		return Evaluate(p, class)
-	}, sweep.Options{Workers: workers})
+	comp := webfarm.NewComposer()
+	return sweep.RunScratch(ps,
+		hierarchy.NewWorkspace,
+		func(ws *hierarchy.Workspace, p Params) (*hierarchy.Report, error) {
+			m, err := buildWith(p, class, comp)
+			if err != nil {
+				return nil, err
+			}
+			return m.EvaluateWorkspace(ws)
+		},
+		sweep.Options{Workers: workers})
 }

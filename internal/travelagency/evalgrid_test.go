@@ -1,6 +1,9 @@
 package travelagency
 
 import (
+	"bytes"
+	"encoding/json"
+	"sync"
 	"testing"
 )
 
@@ -39,6 +42,56 @@ func TestEvaluateManyMatchesSerial(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestEvaluateManyConcurrentBatchesByteIdentical runs several EvaluateMany
+// batches concurrently (each batch itself parallel, exercising the shared
+// composer and per-worker workspaces under -race) and requires every report —
+// not just the headline availability — to marshal to the same bytes as the
+// serial reference evaluation.
+func TestEvaluateManyConcurrentBatchesByteIdentical(t *testing.T) {
+	var ps []Params
+	for _, n := range []int{1, 2, 4, 6, 8, 10} {
+		p := DefaultParams()
+		p.WebServers = n
+		ps = append(ps, p)
+	}
+	want := make([][]byte, len(ps))
+	for i, p := range ps {
+		rep, err := Evaluate(p, ClassA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = b
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reps, err := EvaluateMany(ps, ClassA, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i, rep := range reps {
+				b, err := json.Marshal(rep)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(b, want[i]) {
+					t.Errorf("report %d: batch bytes differ from serial\nbatch:  %s\nserial: %s", i, b, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // TestEvaluateManyError propagates validation failures.

@@ -122,6 +122,14 @@ func WebServiceAvailabilityViaGSPN(p Params) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return composeWebServiceGSPN(p, analysis)
+}
+
+// composeWebServiceGSPN maps a solved web-farm net onto the structural-state
+// probabilities of the Figure 10 model and runs the Table 5 composition.
+// Shared by the per-parameter and batched GSPN cross-checks so both compose
+// identically.
+func composeWebServiceGSPN(p Params, analysis *gspn.Analysis) (float64, error) {
 	operational := make([]float64, p.WebServers+1)
 	reconfig := make([]float64, p.WebServers+1)
 	for i := 0; i <= p.WebServers; i++ {
@@ -142,4 +150,59 @@ func WebServiceAvailabilityViaGSPN(p Params) (float64, error) {
 		return 0, err
 	}
 	return 1 - model.Unavailability(), nil
+}
+
+// WebServiceAvailabilityViaGSPNSweep evaluates the GSPN cross-check for a
+// whole parameter batch, in input order. One net is built per distinct farm
+// size (WebServers is the only structural parameter of the encoding);
+// subsequent points with the same size apply rate-only mutators and re-solve
+// through the frozen reachability graph without re-exploring it. The results
+// are bit-identical to calling WebServiceAvailabilityViaGSPN per element:
+// the mutators install the same rate expressions the builder uses, and the
+// frozen replay reproduces the fresh exploration's arithmetic exactly.
+func WebServiceAvailabilityViaGSPNSweep(ps []Params) ([]float64, error) {
+	out := make([]float64, len(ps))
+	nets := make(map[int]*gspn.Net)
+	for i, p := range ps {
+		net, ok := nets[p.WebServers]
+		if !ok {
+			n, err := WebFarmNet(p)
+			if err != nil {
+				return nil, fmt.Errorf("travelagency: gspn sweep point %d: %w", i, err)
+			}
+			nets[p.WebServers] = n
+			net = n
+		} else {
+			if err := p.Validate(); err != nil {
+				return nil, fmt.Errorf("travelagency: gspn sweep point %d: %w", i, err)
+			}
+			if p.Coverage >= 1 {
+				return nil, fmt.Errorf("travelagency: gspn sweep point %d: %w: the GSPN encoding models imperfect coverage (c < 1)", i, ErrParams)
+			}
+			lambda := p.WebFailureRate
+			for _, err := range []error{
+				net.SetTimedRateFunc("fail", func(m gspn.Marking) float64 {
+					return float64(m["up"]) * lambda
+				}),
+				net.SetImmediateWeight("covered", p.Coverage),
+				net.SetImmediateWeight("uncovered", 1-p.Coverage),
+				net.SetTimedRate("reconfigure", p.ReconfigRate),
+				net.SetTimedRate("repair", p.WebRepairRate),
+			} {
+				if err != nil {
+					return nil, fmt.Errorf("travelagency: gspn sweep point %d: %w", i, err)
+				}
+			}
+		}
+		analysis, err := net.Analyze(0)
+		if err != nil {
+			return nil, fmt.Errorf("travelagency: gspn sweep point %d: %w", i, err)
+		}
+		a, err := composeWebServiceGSPN(p, analysis)
+		if err != nil {
+			return nil, fmt.Errorf("travelagency: gspn sweep point %d: %w", i, err)
+		}
+		out[i] = a
+	}
+	return out, nil
 }

@@ -3,6 +3,8 @@ package travelagency
 import (
 	"math"
 	"testing"
+
+	"repro/internal/gspn"
 )
 
 // The GSPN path must reproduce the paper's printed A(WS) — four formalisms
@@ -22,6 +24,60 @@ func TestWebServiceAvailabilityViaGSPN(t *testing.T) {
 	}
 	if math.Abs(viaGSPN-closed) > 1e-12 {
 		t.Errorf("GSPN %v vs closed form %v", viaGSPN, closed)
+	}
+}
+
+// TestWebServiceAvailabilityViaGSPNSweep locks the batched GSPN path to the
+// per-parameter one bit for bit, and checks the batch explores one
+// reachability graph per distinct farm size, re-solving the frozen graph for
+// the rate-only perturbations.
+func TestWebServiceAvailabilityViaGSPNSweep(t *testing.T) {
+	var ps []Params
+	for _, n := range []int{3, 4} {
+		for _, lambda := range []float64{1e-2, 1e-3, 1e-4} {
+			for _, c := range []float64{0.9, 0.98} {
+				p := DefaultParams()
+				p.WebServers = n
+				p.WebFailureRate = lambda
+				p.Coverage = c
+				p.ReconfigRate = 6 + lambda // vary β too
+				ps = append(ps, p)
+			}
+		}
+	}
+	want := make([]float64, len(ps))
+	for i, p := range ps {
+		a, err := WebServiceAvailabilityViaGSPN(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = a
+	}
+	before := gspn.ReadKernelStats()
+	got, err := WebServiceAvailabilityViaGSPNSweep(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := gspn.ReadKernelStats()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("point %d (%+v): sweep %v != per-param %v (must be bit-identical)", i, ps[i], got[i], want[i])
+		}
+	}
+	if d := after.Freezes - before.Freezes; d != 2 {
+		t.Errorf("sweep explored %d reachability graphs, want 2 (one per farm size)", d)
+	}
+	if d := after.FreezeHits - before.FreezeHits; d != int64(len(ps)-2) {
+		t.Errorf("frozen-graph re-solves = %d, want %d", d, len(ps)-2)
+	}
+
+	bad := DefaultParams()
+	bad.WebServers = -1
+	if _, err := WebServiceAvailabilityViaGSPNSweep([]Params{DefaultParams(), bad}); err == nil {
+		t.Error("invalid sweep point accepted")
+	}
+	if out, err := WebServiceAvailabilityViaGSPNSweep(nil); err != nil || len(out) != 0 {
+		t.Errorf("empty sweep = %v, %v", out, err)
 	}
 }
 

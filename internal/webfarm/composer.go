@@ -1,6 +1,9 @@
 package webfarm
 
 import (
+	"fmt"
+	"math"
+
 	"repro/internal/perfavail"
 	"repro/internal/queueing"
 	"repro/internal/sweep"
@@ -55,9 +58,13 @@ type Composer struct {
 // NewComposer returns an empty Composer.
 func NewComposer() *Composer { return &Composer{} }
 
-// structural returns the memoized repair-model solution for the farm.
+// structural returns the memoized repair-model solution for the farm. Warm
+// lookups go through Memo.Get and allocate nothing.
 func (c *Composer) structural(f Farm) (repairSolution, error) {
 	key := repairKey{f.Servers, f.FailureRate, f.RepairRate, f.Coverage, f.ReconfigRate}
+	if sol, err, ok := c.repairs.Get(key); ok {
+		return sol, err
+	}
 	return c.repairs.Do(key, func() (repairSolution, error) {
 		operational, reconfig, err := f.structuralStates()
 		if err != nil {
@@ -69,12 +76,15 @@ func (c *Composer) structural(f Farm) (repairSolution, error) {
 
 // lossProbability returns the memoized p_K(i), applying the same
 // small-buffer clamp as Farm.lossProbability so equivalent queues share one
-// cache entry.
+// cache entry. Warm lookups go through Memo.Get and allocate nothing.
 func (c *Composer) lossProbability(f Farm, operational int) (float64, error) {
 	if operational > f.BufferSize {
 		operational = f.BufferSize
 	}
 	key := lossKey{f.ArrivalRate, f.ServiceRate, operational, f.BufferSize}
+	if pk, err, ok := c.losses.Get(key); ok {
+		return pk, err
+	}
 	servers := operational
 	return c.losses.Do(key, func() (float64, error) {
 		q := queueing.MMcK{
@@ -104,20 +114,89 @@ func (c *Composer) Compose(f Farm) (*perfavail.Model, error) {
 
 // Availability returns the user-perceived web-service availability.
 func (c *Composer) Availability(f Farm) (float64, error) {
-	m, err := c.Compose(f)
+	u, err := c.unavailabilityDirect(f)
 	if err != nil {
 		return 0, err
 	}
-	return 1 - m.Unavailability(), nil
+	return 1 - u, nil
 }
 
 // Unavailability returns 1 − A computed without cancellation.
 func (c *Composer) Unavailability(f Farm) (float64, error) {
-	m, err := c.Compose(f)
+	return c.unavailabilityDirect(f)
+}
+
+// UnavailabilityBatch evaluates a whole batch of farm cells through the
+// allocation-free direct path with the sweep engine's bounded worker pool,
+// returning unavailabilities in input order. All workers share this
+// composer's memo caches, so each distinct repair and queueing configuration
+// solves exactly once across the batch; per-cell evaluation on a warm cache
+// allocates nothing. Results are bit-identical to calling Unavailability per
+// cell, in any worker configuration.
+func (c *Composer) UnavailabilityBatch(farms []Farm, workers int) ([]float64, error) {
+	return sweep.Run(farms, func(f Farm) (float64, error) {
+		return c.unavailabilityDirect(f)
+	}, sweep.Options{Workers: workers})
+}
+
+// unavailabilityDirect computes Model.Unavailability for the farm's composite
+// model without materializing it. It replays Compose (validation, memo
+// lookups, state sequence), perfavail.New's per-state validation and
+// probability-sum check, and Unavailability's accumulation expression for
+// expression in the same order, so the result — and any validation error — is
+// bit-identical to Compose + Model.Unavailability while allocating nothing on
+// a warm cache. The bit-identity is gated by TestComposerMatchesFarmCompose.
+func (c *Composer) unavailabilityDirect(f Farm) (float64, error) {
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	sol, err := c.structural(f)
 	if err != nil {
 		return 0, err
 	}
-	return m.Unavailability(), nil
+	operational, reconfig := sol.operational, sol.reconfig
+	if len(operational) != f.Servers+1 {
+		return 0, fmt.Errorf("%w: %d operational-state probabilities for %d servers", ErrParam, len(operational), f.Servers)
+	}
+	if len(reconfig) != f.Servers+1 {
+		return 0, fmt.Errorf("%w: %d reconfiguration-state probabilities for %d servers", ErrParam, len(reconfig), f.Servers)
+	}
+	// Replay composeStatesWith's state sequence, folding perfavail.New's
+	// per-state validation and sum accumulation together with Unavailability's
+	// Σ π·(1−success); each accumulator sees its terms in exactly the state
+	// order of the materialized model.
+	var sum, u float64
+	if operational[0] < 0 || math.IsNaN(operational[0]) {
+		return 0, fmt.Errorf("%w: state %q probability %v", perfavail.ErrInvalid, "0-servers", operational[0])
+	}
+	sum += operational[0]
+	u += operational[0] * (1 - 0)
+	for i := 1; i <= f.Servers; i++ {
+		pk, err := c.lossProbability(f, i)
+		if err != nil {
+			return 0, err
+		}
+		success := 1 - pk
+		if operational[i] < 0 || math.IsNaN(operational[i]) {
+			return 0, fmt.Errorf("%w: state %q probability %v", perfavail.ErrInvalid, fmt.Sprintf("%d-servers", i), operational[i])
+		}
+		if success < 0 || success > 1 || math.IsNaN(success) {
+			return 0, fmt.Errorf("%w: state %q success probability %v", perfavail.ErrInvalid, fmt.Sprintf("%d-servers", i), success)
+		}
+		sum += operational[i]
+		u += operational[i] * (1 - success)
+		if reconfig[i] > 0 {
+			if math.IsNaN(reconfig[i]) {
+				return 0, fmt.Errorf("%w: state %q probability %v", perfavail.ErrInvalid, fmt.Sprintf("reconfig-y%d", i), reconfig[i])
+			}
+			sum += reconfig[i]
+			u += reconfig[i] * (1 - 0)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return 0, fmt.Errorf("%w: state probabilities sum to %v", perfavail.ErrInvalid, sum)
+	}
+	return math.Min(1, math.Max(0, u)), nil
 }
 
 // Breakdown returns the structural-vs-performance unavailability split.

@@ -157,6 +157,74 @@ func TestComposerInvalidFarm(t *testing.T) {
 	}
 }
 
+// TestUnavailabilityBatchBitIdentical requires the batch path to reproduce
+// the per-cell Unavailability values bit for bit, serial and parallel, for
+// both coverage regimes.
+func TestUnavailabilityBatchBitIdentical(t *testing.T) {
+	for _, coverage := range []float64{1, 0.98} {
+		farms := figureGridFarms(coverage)
+		want := make([]float64, len(farms))
+		for i, f := range farms {
+			u, err := f.Unavailability()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = u
+		}
+		for _, workers := range []int{1, 4, 8} {
+			c := NewComposer()
+			got, err := c.UnavailabilityBatch(farms, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("coverage %v workers %d cell %d: batch %v != direct %v (must be bit-identical)",
+						coverage, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestUnavailabilityBatchEmptyAndError covers the batch edge cases: an empty
+// batch returns nil, and an invalid cell surfaces its parameter error with
+// the sweep's point index.
+func TestUnavailabilityBatchEmptyAndError(t *testing.T) {
+	c := NewComposer()
+	if got, err := c.UnavailabilityBatch(nil, 4); err != nil || got != nil {
+		t.Fatalf("empty batch = %v, %v", got, err)
+	}
+	farms := figureGridFarms(1)[:3]
+	farms[1].Servers = 0
+	if _, err := c.UnavailabilityBatch(farms, 1); !errors.Is(err, ErrParam) {
+		t.Fatalf("invalid cell error = %v", err)
+	}
+}
+
+// TestComposerUnavailabilityAllocationFree pins the direct path's core
+// promise: once the memo caches are warm, evaluating a cell allocates
+// nothing.
+func TestComposerUnavailabilityAllocationFree(t *testing.T) {
+	c := NewComposer()
+	farms := figureGridFarms(0.98)
+	for _, f := range farms {
+		if _, err := c.Unavailability(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for _, f := range farms {
+			if _, err := c.Unavailability(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm-cache allocs per grid pass = %v, want 0", allocs)
+	}
+}
+
 // TestComposerConcurrent hammers one composer from many goroutines over the
 // shared grid; run with -race to exercise the memo locking.
 func TestComposerConcurrent(t *testing.T) {
