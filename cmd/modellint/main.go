@@ -1,0 +1,96 @@
+// Command modellint runs the repo's domain analyzer suite (internal/analysis)
+// over a set of packages and exits non-zero on any diagnostic, mirroring the
+// go vet contract so CI can gate on it:
+//
+//	go run ./cmd/modellint ./...
+//	go run ./cmd/modellint -analyzers detrand,ctxflow ./internal/sweep
+//
+// Diagnostics print one per line as position: [analyzer] message. Suppression
+// requires a justification: //lint:ignore <analyzer> <reason> silences the
+// named analyzers on its line, or across the following statement when the
+// directive stands alone (DESIGN.md §13).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("modellint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: modellint [flags] [package patterns]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "modellint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "modellint: %v\n", err)
+		return 2
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadPatterns(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "modellint: %v\n", err)
+		return 2
+	}
+	count := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "modellint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			count++
+		}
+	}
+	if count > 0 {
+		fmt.Fprintf(stderr, "modellint: %d diagnostic(s) across %d package(s)\n", count, len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFixturePackageFails drives the full CLI path over a fixture package
+// that must produce diagnostics.
+func TestFixturePackageFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-analyzers", "probrange", "../../internal/analysis/testdata/probrange"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[probrange]") {
+		t.Errorf("diagnostics missing analyzer tag:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "outside [0,1]") {
+		t.Errorf("expected a probability-range diagnostic:\n%s", stdout.String())
+	}
+}
+
+// TestCleanFixturePasses exercises the zero-diagnostics exit path.
+func TestCleanFixturePasses(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"../../internal/analysis/testdata/clean"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("unexpected diagnostics:\n%s", stdout.String())
+	}
+}
+
+// TestRepoIsLintClean is the acceptance gate: the full suite over the whole
+// module must report nothing. Run from the module so ./... resolves every
+// package (testdata is excluded by Go's wildcard rules).
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"repro/..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("modellint is not clean over the repo (exit %d):\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestUnknownAnalyzer verifies flag validation.
+func TestUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %s", stderr.String())
+	}
+}
+
+// TestListAnalyzers verifies -list names the whole suite.
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"detrand", "hotpathalloc", "ctxflow", "metricname", "probrange"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}

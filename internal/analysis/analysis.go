@@ -1,0 +1,148 @@
+// Package analysis is the repo's static-analysis suite: a self-contained,
+// stdlib-only re-implementation of the golang.org/x/tools/go/analysis core
+// (Analyzer / Pass / Diagnostic, a source-importer package loader, and a
+// want-comment fixture runner) plus five domain analyzers that turn the
+// reproduction's correctness conventions into machine-checked invariants:
+//
+//   - detrand:      no wall clock, global math/rand, or map-iteration-ordered
+//     output inside functions tagged //ta:deterministic — the
+//     serial-vs-parallel byte-identity gates depend on it.
+//   - hotpathalloc: no heap-allocating constructs on the warm path of
+//     functions tagged //ta:hotpath (the *Into / *Scratch /
+//     compiled-kernel refresh paths pinned to 0 allocs by bench).
+//   - ctxflow:      no blocking channel sends or unbounded loops that ignore
+//     ctx.Done()/ctx.Err() in context-carrying functions and HTTP
+//     handlers.
+//   - metricname:   every obs registry registration matches the repo metric
+//     naming convention and no name is registered under two
+//     different metric kinds.
+//   - probrange:    no provably out-of-range constants flowing into
+//     SetProbability / SetBasicProbability / SetImmediateWeight.
+//
+// The suite deliberately avoids external modules: the container that grows
+// this repo has no golang.org/x/tools in its module cache, so the loader
+// type-checks packages with go/importer's source importer and the driver is
+// cmd/modellint rather than a go vet -vettool. Semantics, marker contract and
+// suppression syntax are documented in DESIGN.md §13.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check, mirroring golang.org/x/tools/go/analysis.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one package's syntax and type information through an
+// analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Path is the package's import path ("repro/internal/ctmc").
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{Detrand, HotPathAlloc, CtxFlow, MetricName, ProbRange}
+}
+
+// Run executes the analyzers over a loaded package and returns the
+// diagnostics that survive //lint:ignore suppression, sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Path:     pkg.Path,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	diags = filterIgnored(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// funcType returns the callee *types.Func for a call expression, or nil when
+// the callee is not a declared function or method (builtin, conversion,
+// function-typed variable).
+func funcType(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin (append, make,
+// new, ...).
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isContextType reports whether t is context.Context (possibly behind a named
+// alias).
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sharedLoader caches the (expensive) standard-library source closure across
+// every fixture test in the package.
+var sharedLoader = NewLoader()
+
+// checkFixture runs analyzers over one testdata package and reports
+// want-comment mismatches as test failures.
+func checkFixture(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	problems, err := CheckFixture(sharedLoader, filepath.Join("testdata", dir), analyzers...)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	for _, p := range problems {
+		t.Errorf("%s", p)
+	}
+}
+
+func TestDetrandFixture(t *testing.T)      { checkFixture(t, "detrand", Detrand) }
+func TestHotPathAllocFixture(t *testing.T) { checkFixture(t, "hotpathalloc", HotPathAlloc) }
+func TestCtxFlowFixture(t *testing.T)      { checkFixture(t, "ctxflow", CtxFlow) }
+func TestMetricNameFixture(t *testing.T)   { checkFixture(t, "metricname", MetricName) }
+func TestProbRangeFixture(t *testing.T)    { checkFixture(t, "probrange", ProbRange) }
+
+// TestCleanFixture is the no-false-positive gate: code mirroring the repo's
+// real kernels, workers and handlers must produce zero diagnostics under the
+// full suite.
+func TestCleanFixture(t *testing.T) { checkFixture(t, "clean", All()...) }
+
+// TestPackageMarkerSpansFiles verifies a //ta: marker in the package comment
+// tags functions in every file of the package, not only the file that holds
+// the comment.
+func TestPackageMarkerSpansFiles(t *testing.T) { checkFixture(t, "pkgmarker", Detrand) }
+
+// TestFixturesFailWithoutChecks verifies each analyzer's fixture actually
+// depends on its analyzer: running the fixture with every *other* analyzer
+// must leave want comments unmatched. This is the "fails without its check"
+// acceptance criterion.
+func TestFixturesFailWithoutChecks(t *testing.T) {
+	fixtures := map[string]*Analyzer{
+		"detrand":      Detrand,
+		"hotpathalloc": HotPathAlloc,
+		"ctxflow":      CtxFlow,
+		"metricname":   MetricName,
+		"probrange":    ProbRange,
+	}
+	for dir, excluded := range fixtures {
+		var others []*Analyzer
+		for _, a := range All() {
+			if a != excluded {
+				others = append(others, a)
+			}
+		}
+		problems, err := CheckFixture(sharedLoader, filepath.Join("testdata", dir), others...)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", dir, err)
+		}
+		if len(problems) == 0 {
+			t.Errorf("fixture %s passes without the %s analyzer; it no longer gates anything", dir, excluded.Name)
+		}
+	}
+}
+
+// TestMalformedIgnoreReported verifies an ignore without a justification is
+// itself a diagnostic.
+func TestMalformedIgnoreReported(t *testing.T) {
+	dir := t.TempDir()
+	src := `package badignore
+
+import "time"
+
+// tagged reads the clock under a reasonless ignore.
+//
+//ta:deterministic
+func tagged() time.Time {
+	//lint:ignore detrand
+	return time.Now()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "badignore.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := sharedLoader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{Detrand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMalformed, sawClock bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "malformed //lint:ignore") {
+			sawMalformed = true
+		}
+		if strings.Contains(d.Message, "time.Now") {
+			sawClock = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("reasonless //lint:ignore was not reported: %v", diags)
+	}
+	if !sawClock {
+		t.Errorf("a malformed ignore must not suppress the underlying diagnostic: %v", diags)
+	}
+}
+
+// TestIgnoreCoversFollowingStatement verifies a standalone directive spans a
+// multi-line statement.
+func TestIgnoreCoversFollowingStatement(t *testing.T) {
+	dir := t.TempDir()
+	src := `package span
+
+// warm mirrors a multi-line workspace warm-up block.
+//
+//ta:hotpath
+func warm(n int) [][]float64 {
+	//lint:ignore hotpathalloc one-time warm-up covering the whole statement
+	buffers := [][]float64{
+		make([]float64, n),
+		make([]float64, n),
+	}
+	return buffers
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "span.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := sharedLoader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{HotPathAlloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("statement-scoped ignore left diagnostics: %v", diags)
+	}
+}

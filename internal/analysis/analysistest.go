@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Want-comment fixture checking, mirroring golang.org/x/tools'
+// go/analysis/analysistest: a fixture line carrying
+//
+//	// want "regex" ["regex" ...]
+//
+// must produce exactly the diagnostics matching those regexes on that line
+// (from any analyzer under test), and every diagnostic must be claimed by a
+// want. CheckFixture returns the mismatches as errors so the _test files can
+// report them; an analyzer that stops finding its class of defect fails its
+// fixture, which is what gates "each analyzer has a fixture that fails
+// without its check".
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// wantSpec is one expected diagnostic.
+type wantSpec struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// parseWants extracts the want expectations from a fixture package.
+func parseWants(fset *token.FileSet, files []*ast.File) ([]*wantSpec, error) {
+	var wants []*wantSpec
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					quote := rest[0]
+					if quote != '"' && quote != '`' {
+						return nil, fmt.Errorf("%s:%d: malformed want: %q", pos.Filename, pos.Line, c.Text)
+					}
+					end := 1
+					for end < len(rest) && (rest[end] != quote || (quote == '"' && rest[end-1] == '\\')) {
+						end++
+					}
+					if end >= len(rest) {
+						return nil, fmt.Errorf("%s:%d: unterminated want pattern", pos.Filename, pos.Line)
+					}
+					lit := rest[:end+1]
+					rest = strings.TrimSpace(rest[end+1:])
+					unquoted, err := strconv.Unquote(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+					re, err := regexp.Compile(unquoted)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &wantSpec{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// CheckFixture loads the fixture package in dir, runs the analyzers, and
+// compares the surviving diagnostics against the fixture's want comments.
+// The returned problems are empty exactly when diagnostics and expectations
+// agree one-to-one.
+func CheckFixture(loader *Loader, dir string, analyzers ...*Analyzer) (problems []string, err error) {
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	wants, err := parseWants(pkg.Fset, pkg.Files)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			problems = append(problems, fmt.Sprintf("%s: unexpected diagnostic [%s] %s", pos, d.Analyzer, d.Message))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q was not reported", w.file, w.line, w.pattern))
+		}
+	}
+	return problems, nil
+}

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow enforces cancellation-awareness in the request and job planes:
+// a function that accepts a context.Context (sweep workers, job runners) or
+// has the http.HandlerFunc shape must not perform a blocking channel send
+// outside a select that can also observe cancellation (a ctx.Done() case or
+// a default), and must check ctx.Done()/ctx.Err() somewhere inside an
+// unbounded `for {}` loop. Both patterns are how a shed queue or cancelled
+// sweep turns into a leaked goroutine that holds a worker slot forever.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flags blocking sends and unbounded loops that ignore ctx.Done()/" +
+		"ctx.Err() in context-carrying functions and HTTP handlers",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Bodies already covered by an enclosing checked function; nested
+		// closures are checked as part of their parent.
+		type region struct{ from, to token.Pos }
+		var covered []region
+		inCovered := func(p token.Pos) bool {
+			for _, r := range covered {
+				if p >= r.from && p < r.to {
+					return true
+				}
+			}
+			return false
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasCtxParam(pass, fd.Type) || isHandlerShaped(pass, fd.Type) {
+				checkCtxBody(pass, fd.Body, funcDisplayName(fd))
+				covered = append(covered, region{fd.Body.Pos(), fd.Body.End()})
+			}
+		}
+		// Handler-shaped or context-taking literals outside any checked
+		// function (e.g. http.HandlerFunc(func(w, r) { ... }) in a factory).
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok || inCovered(lit.Pos()) {
+				return true
+			}
+			if hasCtxParam(pass, lit.Type) || isHandlerShaped(pass, lit.Type) {
+				checkCtxBody(pass, lit.Body, "func literal")
+				covered = append(covered, region{lit.Body.Pos(), lit.Body.End()})
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasCtxParam reports whether the function signature carries a
+// context.Context parameter.
+func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := pass.Info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isHandlerShaped matches func(http.ResponseWriter, *http.Request): handlers
+// reach their context via r.Context(), so they are held to the same rules.
+func isHandlerShaped(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil || len(ft.Params.List) == 0 {
+		return false
+	}
+	var paramTypes []types.Type
+	for _, field := range ft.Params.List {
+		t := pass.Info.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			paramTypes = append(paramTypes, t)
+		}
+	}
+	if len(paramTypes) != 2 || paramTypes[0] == nil || paramTypes[1] == nil {
+		return false
+	}
+	return typeIs(paramTypes[0], "net/http", "ResponseWriter") &&
+		typeIsPointerTo(paramTypes[1], "net/http", "Request")
+}
+
+func typeIs(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+func typeIsPointerTo(t types.Type, pkgPath, name string) bool {
+	p, ok := t.(*types.Pointer)
+	return ok && typeIs(p.Elem(), pkgPath, name)
+}
+
+// checkCtxBody walks one cancellation-scoped function body, including nested
+// closures (goroutines spawned by the function inherit its obligations).
+func checkCtxBody(pass *Pass, body *ast.BlockStmt, fnName string) {
+	// Collect the selects so sends appearing as select cases can be judged
+	// by their select, not as bare sends.
+	guardedSends := map[*ast.SendStmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		ok = selectObservesCancel(pass, sel)
+		for _, clause := range sel.Body.List {
+			cc, isCC := clause.(*ast.CommClause)
+			if !isCC {
+				continue
+			}
+			if send, isSend := cc.Comm.(*ast.SendStmt); isSend {
+				guardedSends[send] = ok
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if guarded, inSelect := guardedSends[n]; inSelect {
+				if !guarded {
+					pass.Reportf(n.Pos(),
+						"select sends in %s without a ctx.Done() case or default; a cancelled receiver blocks this goroutine forever",
+						fnName)
+				}
+			} else {
+				pass.Reportf(n.Pos(),
+					"blocking send in %s without a ctx.Done() guard; wrap in select with <-ctx.Done()",
+					fnName)
+			}
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopObservesCancel(pass, n.Body) {
+				pass.Reportf(n.Pos(),
+					"unbounded for-loop in %s never checks ctx.Done()/ctx.Err()",
+					fnName)
+			}
+		}
+		return true
+	})
+}
+
+// selectObservesCancel reports whether the select can always make progress
+// under cancellation: it has a default clause or a receive from a
+// context's Done channel.
+func selectObservesCancel(pass *Pass, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default: the send is non-blocking
+		}
+		if commReceivesDone(pass, cc.Comm) {
+			return true
+		}
+	}
+	return false
+}
+
+// commReceivesDone matches `<-ctx.Done()` (possibly inside an assignment)
+// for any expression of context type.
+func commReceivesDone(pass *Pass, comm ast.Stmt) bool {
+	var expr ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	}
+	un, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "<-" {
+		return false
+	}
+	return isCtxMethodCall(pass, un.X, "Done")
+}
+
+// loopObservesCancel reports whether the loop body contains a ctx.Done() or
+// ctx.Err() call (directly or in a nested select), or a receive from a
+// quit-style channel in a select — the non-context idiom used by
+// pre-context worker loops is accepted only via //lint:ignore.
+func loopObservesCancel(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isCtxMethodCall(pass, call, "Done") || isCtxMethodCall(pass, call, "Err") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isCtxMethodCall matches a call of the named method on any expression whose
+// type is context.Context.
+func isCtxMethodCall(pass *Pass, e ast.Expr, method string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	return t != nil && isContextType(t)
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// timestampAllowlist names packages whose deterministic functions may still
+// read the wall clock: the observability and telemetry planes timestamp their
+// records, but those timestamps never feed model results or byte-compared
+// output.
+var timestampAllowlist = map[string]bool{
+	"repro/internal/obs":       true,
+	"repro/internal/telemetry": true,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// seeded, locally-owned generators — the sanctioned pattern — rather than
+// drawing from the process-global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// Detrand enforces bit-determinism inside //ta:deterministic functions: the
+// sweep engine, load generator and canonicalization paths are gated by
+// serial-vs-parallel byte identity in CI, and a single wall-clock read,
+// global math/rand draw, or map-ordered iteration silently breaks that gate.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "flags time.Now/Since/Until, global math/rand, and map iteration " +
+		"inside functions tagged //ta:deterministic",
+	Run: runDetrand,
+}
+
+func runDetrand(pass *Pass) error {
+	for _, fn := range pass.FuncsTagged(MarkerDeterministic) {
+		fnName := fn.name
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDetrandCall(pass, n, fnName)
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(n.Pos(),
+							"map iteration order is nondeterministic in deterministic function %s; iterate sorted keys",
+							fnName)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetrandCall(pass *Pass, call *ast.CallExpr, fnName string) {
+	f := funcType(pass.Info, call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		switch f.Name() {
+		case "Now", "Since", "Until":
+			if !timestampAllowlist[pass.Path] {
+				pass.Reportf(call.Pos(),
+					"time.%s in deterministic function %s; thread an explicit clock or model time instead",
+					f.Name(), fnName)
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		// Methods on a *rand.Rand value are fine (the caller owns the seed);
+		// package-level draws share the global source and are ordered by
+		// scheduling.
+		if f.Type().(*types.Signature).Recv() != nil {
+			return
+		}
+		if randConstructors[f.Name()] {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"global %s.%s in deterministic function %s; use a seeded rand.New(rand.NewSource(...))",
+			f.Pkg().Name(), f.Name(), fnName)
+	}
+}

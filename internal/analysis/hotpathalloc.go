@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAlloc enforces allocation-freedom on the warm path of functions
+// tagged //ta:hotpath — the *Into / *Scratch / compiled-kernel refresh family
+// whose 0-alloc behavior is pinned by benchmark. The analyzer is
+// intraprocedural and deliberately conservative: it flags the construct
+// classes that reliably allocate or escape (map/slice literals, &composite,
+// make/new, append growth, closures, fmt calls, value-to-interface boxing)
+// and skips guard branches that end in a return, which is where cold error
+// paths live.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "flags heap-allocating constructs on the warm path of functions " +
+		"tagged //ta:hotpath",
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, fn := range pass.FuncsTagged(MarkerHotPath) {
+		walkWarm(fn.decl.Body, func(n ast.Node) {
+			checkHotNode(pass, n, fn.name)
+		})
+	}
+	return nil
+}
+
+// endsInReturn reports whether the block's final statement unconditionally
+// leaves the function — the shape of a cold guard branch.
+func endsInReturn(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		_ = last
+		return false
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// walkWarm visits every node reachable on the warm path: if-bodies that end
+// in a return (cold guards) are skipped, their conditions and init
+// statements are still visited.
+func walkWarm(n ast.Node, visit func(ast.Node)) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == nil {
+			return false
+		}
+		if ifs, ok := node.(*ast.IfStmt); ok {
+			visit(ifs)
+			if ifs.Init != nil {
+				walkWarm(ifs.Init, visit)
+			}
+			walkWarm(ifs.Cond, visit)
+			if !endsInReturn(ifs.Body) {
+				walkWarm(ifs.Body, visit)
+			}
+			if ifs.Else != nil {
+				if blk, ok := ifs.Else.(*ast.BlockStmt); !ok || !endsInReturn(blk) {
+					walkWarm(ifs.Else, visit)
+				}
+			}
+			return false
+		}
+		visit(node)
+		return true
+	})
+}
+
+func checkHotNode(pass *Pass, n ast.Node, fnName string) {
+	switch n := n.(type) {
+	case *ast.CompositeLit:
+		t := pass.Info.TypeOf(n)
+		if t == nil {
+			return
+		}
+		switch t.Underlying().(type) {
+		case *types.Map:
+			pass.Reportf(n.Pos(), "map literal allocates in hot path %s; hoist to a workspace", fnName)
+		case *types.Slice:
+			pass.Reportf(n.Pos(), "slice literal allocates in hot path %s; hoist to a workspace", fnName)
+		}
+	case *ast.UnaryExpr:
+		if n.Op.String() == "&" {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				pass.Reportf(n.Pos(), "&composite literal escapes to the heap in hot path %s", fnName)
+			}
+		}
+	case *ast.FuncLit:
+		pass.Reportf(n.Pos(), "closure allocates in hot path %s; hoist it or use a method value", fnName)
+	case *ast.CallExpr:
+		checkHotCall(pass, n, fnName)
+	}
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, fnName string) {
+	switch {
+	case isBuiltin(pass.Info, call, "make"):
+		pass.Reportf(call.Pos(), "make allocates in hot path %s; reuse a workspace buffer", fnName)
+		return
+	case isBuiltin(pass.Info, call, "new"):
+		pass.Reportf(call.Pos(), "new allocates in hot path %s; reuse a workspace value", fnName)
+		return
+	case isBuiltin(pass.Info, call, "append"):
+		pass.Reportf(call.Pos(), "append may grow its backing array in hot path %s; preallocate with capacity", fnName)
+		return
+	}
+	if f := funcType(pass.Info, call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s allocates (and boxes its arguments) in hot path %s", f.Name(), fnName)
+		return
+	}
+	// Explicit conversion of a non-pointer value to an interface type boxes
+	// the value on the heap. Pointer payloads reuse the pointer word.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := pass.Info.TypeOf(call.Args[0])
+		if src == nil {
+			return
+		}
+		if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+			return
+		}
+		switch src.Underlying().(type) {
+		case *types.Pointer, *types.Interface:
+			return
+		}
+		if src == types.Typ[types.UntypedNil] {
+			return
+		}
+		pass.Reportf(call.Pos(), "conversion to interface boxes a value on the heap in hot path %s", fnName)
+	}
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// //lint:ignore suppression, following the staticcheck convention:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// A trailing comment suppresses the named analyzers on its own line. A
+// comment on a line of its own suppresses them across the whole statement or
+// declaration that starts on the next line (so one directive covers a
+// multi-line warm-up block). The justification is mandatory: an ignore
+// without a reason is itself reported by the driver.
+
+const ignorePrefix = "//lint:ignore"
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Pos
+	analyzers map[string]bool
+	reason    string
+}
+
+// parseIgnores extracts every //lint:ignore directive in the file.
+func parseIgnores(f *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			fields := strings.Fields(rest)
+			d := ignoreDirective{pos: c.Pos(), analyzers: map[string]bool{}}
+			if len(fields) > 0 {
+				for _, name := range strings.Split(fields[0], ",") {
+					d.analyzers[name] = true
+				}
+				d.reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// suppressedRange is a line interval [from, to] within which the named
+// analyzers are silenced.
+type suppressedRange struct {
+	file      string
+	from, to  int
+	analyzers map[string]bool
+}
+
+// ignoreRanges resolves every directive in the package to its suppressed line
+// range. Malformed directives (no analyzer list or no justification) are
+// reported as diagnostics so they cannot silently rot.
+func ignoreRanges(pkg *Package) ([]suppressedRange, []Diagnostic) {
+	var ranges []suppressedRange
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, d := range parseIgnores(f) {
+			if len(d.analyzers) == 0 || d.reason == "" {
+				bad = append(bad, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "modellint",
+					Message:  "malformed //lint:ignore: want `//lint:ignore <analyzer>[,<analyzer>] <justification>`",
+				})
+				continue
+			}
+			pos := pkg.Fset.Position(d.pos)
+			r := suppressedRange{file: pos.Filename, from: pos.Line, to: pos.Line, analyzers: d.analyzers}
+			// A standalone directive extends over the statement or
+			// declaration beginning on the following line.
+			if node := nodeStartingAtLine(pkg.Fset, f, pos.Filename, pos.Line+1); node != nil {
+				r.to = pkg.Fset.Position(node.End()).Line
+			}
+			ranges = append(ranges, r)
+		}
+	}
+	return ranges, bad
+}
+
+// nodeStartingAtLine finds the largest statement or declaration whose first
+// line is the given line of the file.
+func nodeStartingAtLine(fset *token.FileSet, f *ast.File, filename string, line int) ast.Node {
+	var best ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		start := fset.Position(n.Pos())
+		if start.Filename != filename {
+			return false
+		}
+		end := fset.Position(n.End()).Line
+		if end < line {
+			return false // node entirely above the target line
+		}
+		switch n.(type) {
+		case ast.Stmt, ast.Decl:
+			if start.Line == line && best == nil {
+				best = n
+				return false
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// filterIgnored drops diagnostics that fall inside a suppressed range for
+// their analyzer and appends diagnostics for malformed directives.
+func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+	ranges, bad := ignoreRanges(pkg)
+	out := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		suppressed := false
+		for _, r := range ranges {
+			if r.file == pos.Filename && pos.Line >= r.from && pos.Line <= r.to && r.analyzers[d.Analyzer] {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return append(out, bad...)
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path, or a synthetic "fixture/<dir>" path for
+	// testdata packages loaded by directory.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages without golang.org/x/tools: file
+// sets come from `go list`, syntax from go/parser, and dependency type
+// information from go/importer's source importer, which resolves both the
+// standard library and this module's own packages from source. One Loader
+// shares a single importer instance, so the (expensive) standard-library
+// closure is type-checked once and cached across packages.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader creates a loader with a fresh file set and source importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// LoadPatterns expands go-list package patterns ("./...", "repro/internal/...")
+// and loads each matched package. Test files are not analyzed.
+func (l *Loader) LoadPatterns(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	patterns = append([]string(nil), patterns...)
+	for i, p := range patterns {
+		// go list reads a bare "internal/foo" as a (std) import path; when it
+		// names a directory on disk the caller meant the filesystem form.
+		if !strings.HasPrefix(p, ".") && !filepath.IsAbs(p) {
+			if st, err := os.Stat(filepath.Join(dir, strings.TrimSuffix(p, "/..."))); err == nil && st.IsDir() {
+				patterns[i] = "./" + p
+			}
+		}
+	}
+	args := append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}\t{{range .GoFiles}}{{.}} {{end}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*Package
+	for _, line := range strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n") {
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		path, pkgDir, fileList := parts[0], parts[1], strings.Fields(parts[2])
+		if len(fileList) == 0 {
+			continue
+		}
+		files := make([]string, len(fileList))
+		for i, f := range fileList {
+			files[i] = filepath.Join(pkgDir, f)
+		}
+		pkg, err := l.load(path, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads the single package in dir (every non-test .go file), giving
+// it a synthetic import path. This is the entry point for testdata fixtures,
+// which live outside the module's package graph.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			files = append(files, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return l.load("fixture/"+filepath.Base(dir), files)
+}
+
+// load parses the files and type-checks them as one package.
+func (l *Loader) load(path string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: l.fset, Files: files, Pkg: tpkg, Info: info}, nil
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Marker comments. They are written in directive form (no space after //) so
+// gofmt preserves them verbatim and go/doc excludes them from rendered
+// documentation, exactly like //go:build lines.
+const (
+	// MarkerDeterministic tags a function whose observable output must be a
+	// pure function of its inputs: no wall clock, no global math/rand, no
+	// map-iteration-ordered output. Placed in the package comment it tags
+	// every function of the package.
+	MarkerDeterministic = "//ta:deterministic"
+	// MarkerHotPath tags a function on an allocation-free warm path (the
+	// *Into / *Scratch / compiled-kernel refresh family, pinned to 0 allocs
+	// by benchmark). Placed in the package comment it tags every function of
+	// the package.
+	MarkerHotPath = "//ta:hotpath"
+)
+
+// hasMarker reports whether any comment in the group is exactly the marker
+// (modulo trailing whitespace).
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimRight(c.Text, " \t") == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// taggedFunc is one function selected by a marker.
+type taggedFunc struct {
+	decl *ast.FuncDecl
+	// name is the function's diagnostic name ("(*Compiled).SteadyStateInto").
+	name string
+}
+
+// FuncsTagged returns every function in the package carrying the marker,
+// either on its own doc comment or inherited from a package-comment marker.
+func (p *Pass) FuncsTagged(marker string) []taggedFunc {
+	// The package comment lives in one file but tags the whole package, so
+	// resolve package-level markers across all files first.
+	pkgTagged := false
+	for _, f := range p.Files {
+		if hasMarker(f.Doc, marker) {
+			pkgTagged = true
+			break
+		}
+	}
+	var out []taggedFunc
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pkgTagged || hasMarker(fd.Doc, marker) {
+				out = append(out, taggedFunc{decl: fd, name: funcDisplayName(fd)})
+			}
+		}
+	}
+	return out
+}
+
+// funcDisplayName renders a function's name with its receiver type, as it
+// should appear in diagnostics.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	var sb strings.Builder
+	sb.WriteByte('(')
+	writeTypeExpr(&sb, fd.Recv.List[0].Type)
+	sb.WriteString(").")
+	sb.WriteString(fd.Name.Name)
+	return sb.String()
+}
+
+// writeTypeExpr renders the small subset of type expressions that appear in
+// receiver lists (pointers, identifiers, generic instantiations).
+func writeTypeExpr(sb *strings.Builder, e ast.Expr) {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		sb.WriteByte('*')
+		writeTypeExpr(sb, t.X)
+	case *ast.Ident:
+		sb.WriteString(t.Name)
+	case *ast.IndexExpr:
+		writeTypeExpr(sb, t.X)
+	case *ast.IndexListExpr:
+		writeTypeExpr(sb, t.X)
+	default:
+		sb.WriteString("?")
+	}
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// metricNamePattern is the repo's metric naming convention: a subsystem
+// prefix — the five modeling/serving planes plus the two pre-existing
+// exporter prefixes (ta = travel-agency visit bridge, obs = observability
+// plane self-metrics) — followed by lower_snake_case.
+var metricNamePattern = regexp.MustCompile(`^(availd|autoscale|testbed|sweep|kernel|obs|ta)_[a-z0-9_]+$`)
+
+// registryMethods maps the obs.Registry registration methods to the metric
+// kind they create, for duplicate-kind detection.
+var registryMethods = map[string]string{
+	"Counter":       "counter",
+	"MustCounter":   "counter",
+	"CounterFunc":   "counter",
+	"Gauge":         "gauge",
+	"MustGauge":     "gauge",
+	"GaugeFunc":     "gauge",
+	"Histogram":     "histogram",
+	"MustHistogram": "histogram",
+}
+
+// MetricName checks every obs registry registration whose metric name is a
+// compile-time constant: the name must match the subsystem naming convention,
+// and one name must not be registered under two different metric kinds — the
+// one duplicate class the registry itself only rejects at Gather time.
+// Registrations with computed names (prefix+suffix) are skipped.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "checks obs registry metric names against the " +
+		"^(availd|autoscale|testbed|sweep|kernel|obs|ta)_[a-z0-9_]+$ convention " +
+		"and flags kind-conflicting duplicate registrations",
+	Run: runMetricName,
+}
+
+func runMetricName(pass *Pass) error {
+	type seen struct {
+		kind string
+		pos  token.Pos
+	}
+	first := map[string]seen{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := funcType(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			kind, ok := registryMethods[fn.Name()]
+			if !ok || !isObsRegistryMethod(fn) {
+				return true
+			}
+			name, ok := constantString(pass.Info, call.Args[0])
+			if !ok {
+				return true // computed name: out of static reach
+			}
+			if !metricNamePattern.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q violates the %s convention",
+					name, metricNamePattern.String())
+			}
+			if prev, dup := first[name]; dup && prev.kind != kind {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric %q already registered as a %s; re-registering as a %s fails at scrape time",
+					name, prev.kind, kind)
+			} else if !dup {
+				first[name] = seen{kind: kind, pos: call.Args[0].Pos()}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isObsRegistryMethod reports whether fn is a method on the obs metrics
+// Registry (matched by name and package suffix, so fixtures exercising the
+// real obs package and the package itself both resolve).
+func isObsRegistryMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/obs"
+}
+
+// constantString resolves an expression's compile-time string value.
+func constantString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

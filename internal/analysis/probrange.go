@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ProbRange flags provably invalid numeric arguments flowing into the model
+// mutators' probability and weight setters: SetProbability and
+// SetBasicProbability take a probability in [0,1]; SetImmediateWeight takes a
+// strictly positive finite weight (GSPN weights are relative, so values above
+// 1 are legal). Only compile-time constants (literals, consts,
+// constant-folded expressions) and the textual math.NaN()/math.Inf(...)
+// forms are in static reach; runtime values stay guarded by the setters'
+// own validation.
+var ProbRange = &Analyzer{
+	Name: "probrange",
+	Doc: "flags constants outside [0,1] (or NaN/Inf) passed to " +
+		"SetProbability/SetBasicProbability, and non-positive or non-finite " +
+		"constants passed to SetImmediateWeight",
+	Run: runProbRange,
+}
+
+// probSetters maps setter names to their argument domain.
+var probSetters = map[string]struct{ min, max float64 }{
+	"SetProbability":      {0, 1},
+	"SetBasicProbability": {0, 1},
+	"SetImmediateWeight":  {0, 0}, // max 0 marks the weight domain (0, +Inf)
+}
+
+func runProbRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := funcType(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			domain, ok := probSetters[fn.Name()]
+			if !ok || !lastParamIsFloat64(fn) {
+				return true
+			}
+			arg := call.Args[len(call.Args)-1]
+			weight := fn.Name() == "SetImmediateWeight"
+			if nanOrInf(pass.Info, arg) {
+				pass.Reportf(arg.Pos(), "%s called with a non-finite value", fn.Name())
+				return true
+			}
+			v, ok := constantFloat(pass.Info, arg)
+			if !ok {
+				return true
+			}
+			switch {
+			case weight && v <= 0:
+				pass.Reportf(arg.Pos(), "%s called with weight %v; weights must be > 0", fn.Name(), v)
+			case !weight && (v < domain.min || v > domain.max):
+				pass.Reportf(arg.Pos(), "%s called with probability %v outside [0,1]", fn.Name(), v)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lastParamIsFloat64 guards against unrelated same-named methods: every
+// setter this analyzer covers takes the numeric value as its final float64
+// parameter.
+func lastParamIsFloat64(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	last := sig.Params().At(sig.Params().Len() - 1).Type()
+	basic, ok := last.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Float64
+}
+
+// constantFloat resolves an expression's compile-time numeric value.
+func constantFloat(info *types.Info, e ast.Expr) (float64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Float, constant.Int:
+		v, _ := constant.Float64Val(tv.Value)
+		return v, true
+	}
+	return 0, false
+}
+
+// nanOrInf matches the textual math.NaN() and math.Inf(...) argument forms —
+// the only way a non-finite value can appear lexically, since Go has no
+// NaN/Inf literals.
+func nanOrInf(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := funcType(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math" {
+		return false
+	}
+	return fn.Name() == "NaN" || fn.Name() == "Inf"
+}

@@ -1,0 +1,112 @@
+// Package ctxflow is the ctxflow analyzer fixture.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+// badSend blocks forever if the receiver is gone when ctx is cancelled.
+func badSend(ctx context.Context, out chan<- int) {
+	out <- 1 // want `blocking send in badSend without a ctx\.Done\(\) guard`
+}
+
+// goodSend can always observe cancellation.
+func goodSend(ctx context.Context, out chan<- int) error {
+	select {
+	case out <- 1:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// goodNonBlockingSend sheds instead of blocking.
+func goodNonBlockingSend(ctx context.Context, out chan<- int) bool {
+	select {
+	case out <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// badSelectSend selects between two sends but can never unblock on cancel.
+func badSelectSend(ctx context.Context, a, b chan<- int) {
+	select {
+	case a <- 1: // want `select sends in badSelectSend without a ctx\.Done\(\) case`
+	case b <- 2: // want `select sends in badSelectSend without a ctx\.Done\(\) case`
+	}
+}
+
+// badLoop spins without ever consulting its context.
+func badLoop(ctx context.Context, work <-chan int) {
+	for { // want `unbounded for-loop in badLoop never checks ctx\.Done\(\)`
+		v, ok := <-work
+		if !ok {
+			return
+		}
+		_ = v
+	}
+}
+
+// goodLoop drains work but exits on cancellation.
+func goodLoop(ctx context.Context, work <-chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-work:
+			_ = v
+		}
+	}
+}
+
+// goodErrLoop polls ctx.Err between iterations.
+func goodErrLoop(ctx context.Context, step func()) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		step()
+	}
+}
+
+// badHandler is handler-shaped, so r.Context() obligations apply to the
+// goroutine it spawns.
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	results := make(chan int)
+	go func() {
+		results <- compute() // want `blocking send in badHandler without a ctx\.Done\(\) guard`
+	}()
+	<-results
+}
+
+// goodHandler forwards cancellation into the worker it spawns.
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	results := make(chan int)
+	go func() {
+		select {
+		case results <- compute():
+		case <-ctx.Done():
+		}
+	}()
+	select {
+	case <-results:
+	case <-ctx.Done():
+	}
+}
+
+// suppressedSend documents a send proven non-blocking by capacity.
+func suppressedSend(ctx context.Context, out chan int) {
+	//lint:ignore ctxflow the channel is buffered with capacity for every producer
+	out <- 1
+}
+
+// plainWorker has no context and is out of scope.
+func plainWorker(out chan<- int) {
+	out <- 1
+}
+
+func compute() int { return 42 }

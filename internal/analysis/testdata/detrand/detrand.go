@@ -1,0 +1,63 @@
+// Package detrand is the detrand analyzer fixture.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seedMix derives a per-visit seed.
+//
+//ta:deterministic
+func seedMix(seed, visit int64) int64 {
+	z := uint64(seed) + uint64(visit)*0x9e3779b97f4a7c15
+	return int64(z ^ (z >> 31))
+}
+
+// badClock reads the wall clock in a deterministic function.
+//
+//ta:deterministic
+func badClock() int64 {
+	t := time.Now()          // want `time\.Now in deterministic function badClock`
+	elapsed := time.Since(t) // want `time\.Since in deterministic function badClock`
+	return int64(elapsed)
+}
+
+// badGlobalRand draws from the process-global source.
+//
+//ta:deterministic
+func badGlobalRand() float64 {
+	return rand.Float64() // want `global rand\.Float64 in deterministic function badGlobalRand`
+}
+
+// goodSeededRand owns its generator: constructors and methods are fine.
+//
+//ta:deterministic
+func goodSeededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// badMapOrder iterates a map into ordered output.
+//
+//ta:deterministic
+func badMapOrder(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		out = append(out, v)
+	}
+	return out
+}
+
+// suppressed documents a justified wall-clock read.
+//
+//ta:deterministic
+func suppressed() time.Time {
+	//lint:ignore detrand timing feeds progress stats only, never results
+	return time.Now()
+}
+
+// untagged functions are out of scope regardless of content.
+func untagged() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,82 @@
+// Package hotpathalloc is the hotpathalloc analyzer fixture.
+package hotpathalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errEmpty = errors.New("empty")
+
+type workspace struct {
+	dense []float64
+}
+
+// solveInto mirrors a compiled kernel: guard branches returning errors are
+// cold and exempt; the warm loop must stay allocation-free.
+//
+//ta:hotpath
+func solveInto(ws *workspace, dst, src []float64) ([]float64, error) {
+	if len(src) == 0 {
+		// Cold path: the error construction is not flagged.
+		return nil, fmt.Errorf("solveInto: %w", errEmpty)
+	}
+	for i := range src {
+		dst[i] = src[i] * 2
+	}
+	return dst, nil
+}
+
+// badLiterals allocates on the warm path.
+//
+//ta:hotpath
+func badLiterals(n int) float64 {
+	weights := []float64{1, 2, 3} // want `slice literal allocates`
+	seen := map[int]bool{}        // want `map literal allocates`
+	buf := make([]float64, n)     // want `make allocates`
+	ptr := new(workspace)         // want `new allocates`
+	for i := 0; i < n; i++ {
+		buf = append(buf, weights[i%3]) // want `append may grow its backing array`
+		seen[i] = true
+	}
+	_ = ptr
+	return buf[0]
+}
+
+// badEscapes boxes and closes over values on the warm path.
+//
+//ta:hotpath
+func badEscapes(n int) func() int {
+	ws := &workspace{} // want `&composite literal escapes`
+	_ = ws
+	f := func() int { return n } // want `closure allocates`
+	var sink any
+	sink = any(n) // want `conversion to interface boxes a value`
+	_ = sink
+	fmt.Println(n) // want `fmt\.Println allocates`
+	return f
+}
+
+// pointerBoxing is fine: interface payloads that are already pointers reuse
+// the pointer word.
+//
+//ta:hotpath
+func pointerBoxing(ws *workspace) any {
+	return any(ws)
+}
+
+// suppressedWarmup documents a one-time warm-up allocation.
+//
+//ta:hotpath
+func suppressedWarmup(ws *workspace, n int) []float64 {
+	if ws.dense == nil {
+		//lint:ignore hotpathalloc one-time workspace warm-up, amortized across solves
+		ws.dense = make([]float64, n*n)
+	}
+	return ws.dense
+}
+
+// untagged functions may allocate freely.
+func untagged(n int) []float64 {
+	return make([]float64, n)
+}

@@ -1,0 +1,55 @@
+// Package metricname is the metricname analyzer fixture. It registers
+// instruments on the real obs registry so receiver-type matching is
+// exercised end to end.
+package metricname
+
+import "repro/internal/obs"
+
+const solvesName = "kernel_ctmc_solves_total"
+
+func register(reg *obs.Registry) error {
+	// Conforming names, one per subsystem prefix.
+	if _, err := reg.Counter("availd_requests_total", "api requests"); err != nil {
+		return err
+	}
+	if _, err := reg.Gauge("autoscale_web_servers", "current scale"); err != nil {
+		return err
+	}
+	if _, err := reg.Counter(solvesName, "constant-folded name"); err != nil {
+		return err
+	}
+	if _, err := reg.Histogram("testbed_visit_seconds", "visit latency", 0.001, 2, 24); err != nil {
+		return err
+	}
+
+	// Convention violations.
+	if _, err := reg.Counter("requests_total", "missing subsystem prefix"); err != nil { // want `metric name "requests_total" violates`
+		return err
+	}
+	if _, err := reg.Gauge("availd_QueueDepth", "uppercase"); err != nil { // want `metric name "availd_QueueDepth" violates`
+		return err
+	}
+	if _, err := reg.Counter("webfarm_solves_total", "unknown subsystem"); err != nil { // want `metric name "webfarm_solves_total" violates`
+		return err
+	}
+
+	// Kind-conflicting duplicate: same name first as counter, then gauge.
+	if _, err := reg.Counter("sweep_points_total", "points evaluated"); err != nil {
+		return err
+	}
+	if _, err := reg.Gauge("sweep_points_total", "points evaluated"); err != nil { // want `metric "sweep_points_total" already registered as a counter`
+		return err
+	}
+
+	// Re-registering under the same kind is the registry's sanctioned
+	// hot-path idiom and is not a duplicate.
+	if _, err := reg.Counter("sweep_points_total", "points evaluated"); err != nil {
+		return err
+	}
+
+	// Computed names are out of static reach.
+	prefix := dynamicPrefix()
+	return reg.GaugeFunc(prefix+"_uptime_seconds", "computed name", func() float64 { return 0 })
+}
+
+func dynamicPrefix() string { return "availd" }

@@ -1,0 +1,5 @@
+// Package pkgmarker verifies that a package-comment marker tags functions in
+// every file of the package, not just the file carrying the comment.
+//
+//ta:deterministic
+package pkgmarker

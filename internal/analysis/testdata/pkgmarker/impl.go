@@ -1,0 +1,9 @@
+package pkgmarker
+
+import "time"
+
+// stamp lives in a file with a bare package clause; the marker is inherited
+// from the package comment in doc.go.
+func stamp() time.Time {
+	return time.Now() // want `time\.Now in deterministic function stamp`
+}

@@ -1,0 +1,51 @@
+// Package probrange is the probrange analyzer fixture.
+package probrange
+
+import "math"
+
+// event mirrors faulttree.BasicEvent.
+type event struct{ p float64 }
+
+func (e *event) SetProbability(p float64) error { e.p = p; return nil }
+
+// chain mirrors dtmc.Compiled, whose setter takes the probability last.
+type chain struct{}
+
+func (c *chain) SetProbability(from, to string, p float64) error { return nil }
+func (c *chain) SetBasicProbability(label string, p float64) error {
+	return nil
+}
+
+// net mirrors gspn.Net: weights are relative, so >1 is legal but <=0 is not.
+type net struct{}
+
+func (n *net) SetImmediateWeight(name string, w float64) error { return nil }
+
+// unrelated has the same name but no trailing float64: out of scope.
+type unrelated struct{}
+
+func (u *unrelated) SetProbability(p string) error { return nil }
+
+const half = 0.5
+const two = half * 4
+
+func exercise(e *event, c *chain, n *net, u *unrelated, runtime float64) {
+	_ = e.SetProbability(0)
+	_ = e.SetProbability(1)
+	_ = e.SetProbability(half)
+	_ = e.SetProbability(runtime) // runtime values stay out of static reach
+	_ = e.SetProbability(1.5)     // want `SetProbability called with probability 1\.5 outside \[0,1\]`
+	_ = e.SetProbability(-0.1)    // want `SetProbability called with probability -0\.1 outside \[0,1\]`
+	_ = e.SetProbability(two)     // want `SetProbability called with probability 2 outside \[0,1\]`
+
+	_ = c.SetProbability("a", "b", 0.25)
+	_ = c.SetProbability("a", "b", 7)           // want `SetProbability called with probability 7 outside \[0,1\]`
+	_ = c.SetBasicProbability("x", math.NaN())  // want `SetBasicProbability called with a non-finite value`
+	_ = c.SetBasicProbability("x", math.Inf(1)) // want `SetBasicProbability called with a non-finite value`
+
+	_ = n.SetImmediateWeight("t", 4.5) // weights above 1 are legal
+	_ = n.SetImmediateWeight("t", 0)   // want `SetImmediateWeight called with weight 0; weights must be > 0`
+	_ = n.SetImmediateWeight("t", -2)  // want `SetImmediateWeight called with weight -2; weights must be > 0`
+
+	_ = u.SetProbability("not a probability")
+}

@@ -202,7 +202,7 @@ type SweepRequest struct {
 	Scenario string          `json:"scenario,omitempty"`
 	Spec     json.RawMessage `json:"spec,omitempty"`
 	// Service names the swept service.
-	Service string `json:"service"`
+	Service string  `json:"service"`
 	From    float64 `json:"from"`
 	To      float64 `json:"to"`
 	Points  int     `json:"points"`

@@ -107,10 +107,27 @@ func NewEngine(workers, capacity int) *Engine {
 	return e
 }
 
-// Close cancels every running job, stops the workers and waits for them.
+// Close cancels every running job, stops the workers and waits for them,
+// then fails over any job still sitting in the queue to JobCancelled. Without
+// the drain a queued job's done channel never closes, and a Wait on it blocks
+// until the caller's context expires — or forever, if it has none.
 func (e *Engine) Close() {
 	e.cancel()
 	e.wg.Wait()
+	for {
+		select {
+		case j := <-e.queue:
+			j.mu.Lock()
+			if j.state == JobQueued {
+				j.state = JobCancelled
+				e.cancelled.Add(1)
+				close(j.done)
+			}
+			j.mu.Unlock()
+		default:
+			return
+		}
+	}
 }
 
 func (e *Engine) worker() {

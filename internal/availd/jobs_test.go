@@ -183,3 +183,56 @@ func TestEngineCloseCancelsRunning(t *testing.T) {
 		t.Fatalf("state after Close = %s, want cancelled", got.State)
 	}
 }
+
+// TestEngineCloseDrainsQueuedJobs is the regression test for the shutdown
+// drain: a job still in the queue when Close runs must be failed over to
+// cancelled and have its done channel closed, so a Wait on it returns
+// immediately instead of hanging until the caller's context expires.
+func TestEngineCloseDrainsQueuedJobs(t *testing.T) {
+	// The exiting worker's select chooses randomly between shutdown and the
+	// queue, so an undrained Close still empties the queue with probability
+	// 2^-queued per attempt; eight queued jobs over two attempts make a
+	// missing drain fail with overwhelming probability.
+	for attempt := 0; attempt < 2; attempt++ {
+		const queued = 8
+		e := NewEngine(1, queued)
+		started := make(chan struct{})
+		if _, err := e.Submit("runner", nil, func(ctx context.Context) ([]byte, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		<-started
+		// Worker busy: these sit in the queue and never reach a worker.
+		idle := func(ctx context.Context) ([]byte, error) { return nil, nil }
+		ids := make([]string, queued)
+		for i := range ids {
+			j, err := e.Submit("queued", nil, idle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[i] = j.ID
+		}
+		e.Close()
+
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		for _, id := range ids {
+			j, err := e.Wait(ctx, id)
+			if err != nil {
+				t.Fatalf("Wait(%s) after Close: %v (queued job abandoned by shutdown)", id, err)
+			}
+			if j.State != JobCancelled {
+				t.Fatalf("queued job %s after Close: state %s, want cancelled", id, j.State)
+			}
+		}
+		cancel()
+		if got := e.Stats().Cancelled; got != queued+1 {
+			t.Fatalf("Cancelled = %d, want %d (one running + %d queued)", got, queued+1, queued)
+		}
+		if got := e.Stats().Queued; got != 0 {
+			t.Fatalf("Queued after Close = %d, want 0", got)
+		}
+	}
+}

@@ -298,6 +298,8 @@ func (cc *Compiled) SteadyState() (Distribution, error) {
 // into dst (reused when its capacity suffices; pass nil to allocate). Apart
 // from the result vector, the solve is allocation-free in steady state: the
 // dense elimination scratch lives in a pooled workspace.
+//
+//ta:hotpath
 func (cc *Compiled) SteadyStateInto(dst []float64) ([]float64, error) {
 	kernelCounters.steadySolves.Add(1)
 	n := len(cc.names)
@@ -387,6 +389,10 @@ func (cc *Compiled) SteadyStateLU() (Distribution, error) {
 	return cc.Distribution(pi), nil
 }
 
+// steadyStateLUInto is the allocation-free body of SteadyStateLU: the matrix,
+// factorization and right-hand side persist in the pooled workspace.
+//
+//ta:hotpath
 func (cc *Compiled) steadyStateLUInto(dst []float64) ([]float64, error) {
 	kernelCounters.luSolves.Add(1)
 	n := len(cc.names)
@@ -395,6 +401,7 @@ func (cc *Compiled) steadyStateLUInto(dst []float64) ([]float64, error) {
 	}
 	ws := cc.pool.Get().(*compiledWorkspace)
 	defer cc.pool.Put(ws)
+	//lint:ignore hotpathalloc one-time workspace growth, amortized across every later solve
 	if ws.luA == nil || ws.luA.Rows() != n {
 		ws.luA = linalg.NewMatrix(n, n)
 		ws.lu = linalg.NewLU(n)
@@ -505,6 +512,8 @@ func (cc *Compiled) Transient(initial Distribution, t, tol float64) (Distributio
 // ping-pong iteration vectors and the Poisson terms come from a pooled
 // workspace; Poisson terms are cached across calls that share rate·t and
 // tolerance.
+//
+//ta:hotpath
 func (cc *Compiled) TransientInto(p0 []float64, t, tol float64, dst []float64) ([]float64, error) {
 	n := len(cc.names)
 	if len(p0) != n {

@@ -233,6 +233,8 @@ func (cc *Compiled) Analyze() (*CompiledAnalysis, error) {
 // itself is allocation-free in steady state: the dense I−Q scratch, the LU
 // factorization storage, and the dense R buffer live in a pooled workspace
 // and every fundamental-matrix column is an in-place SolveInto.
+//
+//ta:hotpath
 func (cc *Compiled) AnalyzeInto(prev *CompiledAnalysis) (*CompiledAnalysis, error) {
 	kernelCounters.analyses.Add(1)
 	t := len(cc.transient)
@@ -253,6 +255,7 @@ func (cc *Compiled) AnalyzeInto(prev *CompiledAnalysis) (*CompiledAnalysis, erro
 	}
 	an := prev
 	if an == nil || an.cc != cc {
+		//lint:ignore hotpathalloc first-use allocation; steady-state callers pass prev back in
 		an = &CompiledAnalysis{cc: cc}
 	}
 	if t == 0 {
@@ -263,6 +266,7 @@ func (cc *Compiled) AnalyzeInto(prev *CompiledAnalysis) (*CompiledAnalysis, erro
 
 	ws := cc.pool.Get().(*compiledWorkspace)
 	defer cc.pool.Put(ws)
+	//lint:ignore hotpathalloc one-time workspace growth, amortized across every later analysis
 	if ws.iq == nil || ws.iq.Rows() != t {
 		ws.iq = linalg.NewMatrix(t, t)
 		ws.lu = linalg.NewLU(t)
@@ -400,6 +404,8 @@ func (a *CompiledAnalysis) ExpectedVisits(start string) (map[string]float64, err
 // ExpectedVisitsInto writes the fundamental-matrix row for start into dst,
 // indexed by transient position (see TransientStates for the ordering),
 // without allocating when dst has capacity.
+//
+//ta:hotpath
 func (a *CompiledAnalysis) ExpectedVisitsInto(dst []float64, start string) ([]float64, error) {
 	row, err := a.transientRow(start)
 	if err != nil {
@@ -457,6 +463,8 @@ func (a *CompiledAnalysis) AbsorptionProbabilities(start string) (map[string]flo
 // AbsorptionProbabilitiesInto writes the absorption-probability row for start
 // into dst, indexed by absorbing position (see AbsorbingStates for the
 // ordering), without allocating when dst has capacity.
+//
+//ta:hotpath
 func (a *CompiledAnalysis) AbsorptionProbabilitiesInto(dst []float64, start string) ([]float64, error) {
 	i, ok := a.cc.index[start]
 	if !ok {

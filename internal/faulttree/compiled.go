@@ -121,8 +121,11 @@ func (c *Compiled) Root() Node { return c.root }
 // evalProg runs the post-order program once, reproducing the recursive
 // evaluator's arithmetic: children are combined in declaration order with the
 // same expressions, so the result is bit-identical to root.eval().
+//
+//ta:hotpath
 func (c *Compiled) evalProg() float64 {
 	stack := c.stack[:0]
+	//lint:ignore hotpathalloc appends refill c.stack within the capacity reserved at Compile; no growth after the first evaluation
 	for i := range c.prog {
 		n := &c.prog[i]
 		switch n.kind {
@@ -170,6 +173,8 @@ func (c *Compiled) evalProg() float64 {
 // allocation-free and bit-identical to the package-level
 // TopEventProbability. Repeated events use the same Shannon decomposition,
 // reading each event's current probability.
+//
+//ta:hotpath
 func (c *Compiled) TopEventProbability() float64 {
 	kernelCounters.evals.Add(1)
 	if len(c.shared) == 0 {

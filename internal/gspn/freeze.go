@@ -301,6 +301,11 @@ func (f *Frozen) Solve() (*Analysis, error) {
 	return f.solveLocked()
 }
 
+// solveLocked refreshes the frozen edges and solves the embedded compiled
+// chain; apart from the returned Analysis header everything runs in
+// preallocated frozen storage.
+//
+//ta:hotpath
 func (f *Frozen) solveLocked() (*Analysis, error) {
 	kernelCounters.solves.Add(1)
 	kernelCounters.edgeReplays.Add(int64(len(f.edges)))
@@ -334,5 +339,6 @@ func (f *Frozen) solveLocked() (*Analysis, error) {
 		return nil, fmt.Errorf("%w: steady state: %v", ErrAnalysis, err)
 	}
 	f.pi = pi
+	//lint:ignore hotpathalloc one Analysis header per solve; the solve itself reuses frozen storage
 	return &Analysis{net: f.net, chain: f.chain, markings: f.markings, steady: f.cc.Distribution(pi)}, nil
 }

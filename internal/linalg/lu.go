@@ -39,11 +39,14 @@ func Factor(a *Matrix) (*LU, error) {
 // Refactor overwrites f with the factorization of a, reusing f's storage
 // when the dimensions match (no allocations in the steady case). The
 // matrix a is not modified. On error f's previous contents are destroyed.
+//
+//ta:hotpath
 func (f *LU) Refactor(a *Matrix) error {
 	if a.Rows() != a.Cols() {
 		return fmt.Errorf("%w: LU of %dx%d matrix", ErrDimension, a.Rows(), a.Cols())
 	}
 	n := a.Rows()
+	//lint:ignore hotpathalloc one-time storage growth on dimension change, amortized across refactorizations
 	if f.lu == nil || f.lu.rows != n {
 		f.lu = NewMatrix(n, n)
 		f.piv = make([]int, n)
@@ -109,6 +112,8 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 // SolveInto solves A·x = b writing the solution into x without allocating.
 // x and b must have length n and must not alias each other (the permuted
 // copy of b is built in x before substitution).
+//
+//ta:hotpath
 func (f *LU) SolveInto(x, b []float64) error {
 	n := f.lu.Rows()
 	if len(b) != n {

@@ -6,6 +6,13 @@
 // interaction diagrams with branch probabilities and multi-service steps,
 // and a user level given either as explicit scenarios or as an operational
 // profile graph.
+//
+// Canonicalization is a determinism boundary: Canonical output is used as a
+// byte-compared cache key, so every function in this package is held to the
+// bit-determinism contract (modellint's detrand analyzer enforces it
+// package-wide).
+//
+//ta:deterministic
 package modelspec
 
 import (

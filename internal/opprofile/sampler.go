@@ -24,6 +24,8 @@ type Sampler struct {
 // NewSampler builds a sampler from non-negative weights. The weights need not
 // sum to one — they are normalized — but they must be finite, non-negative,
 // and have a positive, finite sum.
+//
+//ta:deterministic
 func NewSampler(weights []float64) (*Sampler, error) {
 	if len(weights) == 0 {
 		return nil, fmt.Errorf("%w: no weights", ErrProfile)
@@ -62,7 +64,11 @@ func (s *Sampler) Probability(i int) float64 {
 // Sample draws one category index. Categories with zero weight are never
 // returned: the search looks for the first cumulative value strictly above
 // the uniform draw, and a zero-weight category shares its cumulative value
-// with its predecessor, so the predecessor always wins the search.
+// with its predecessor, so the predecessor always wins the search. The draw
+// comes from the caller's seeded source, never the global one, so a fixed rng
+// state yields a fixed index.
+//
+//ta:deterministic
 func (s *Sampler) Sample(rng *rand.Rand) int {
 	u := rng.Float64()
 	return sort.Search(len(s.cum), func(i int) bool { return s.cum[i] > u })

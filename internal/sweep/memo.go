@@ -28,15 +28,23 @@ type Memo[K comparable, V any] struct {
 }
 
 type memoEntry[V any] struct {
-	once sync.Once
-	done atomic.Bool // set after once completes; gates Get's lock-free read of val/err
-	val  V
-	err  error
+	once     sync.Once
+	done     atomic.Bool // set after once completes; gates Get's lock-free read of val/err
+	val      V
+	err      error
+	panicked *memoPanic // non-nil when compute panicked; re-thrown to every caller
 }
+
+// memoPanic wraps a recovered panic value so a non-nil pointer marks "compute
+// panicked" even when the panic value itself compares equal to nil.
+type memoPanic struct{ value any }
 
 // Do returns the cached result for key, computing it with compute on the
 // first call. compute must not call Do on the same Memo with the same key
-// (self-deadlock).
+// (self-deadlock). A panic in compute is cached like an error and re-thrown
+// to the panicking caller, to every waiter blocked on the same key, and to
+// every later Do for that key — waiters must not be handed a zero value with
+// a nil error just because the computation died.
 func (m *Memo[K, V]) Do(key K, compute func() (V, error)) (V, error) {
 	m.mu.Lock()
 	if m.entries == nil {
@@ -63,9 +71,24 @@ func (m *Memo[K, V]) Do(key K, compute func() (V, error)) (V, error) {
 		m.misses.Add(1)
 	}
 	e.once.Do(func() {
+		// sync.Once marks itself done even when f panics, so waiters parked
+		// inside this once.Do unblock either way; record the panic before
+		// rethrowing so they (and later callers) see it instead of a zero
+		// value with a nil error. done is stored after panicked so Get's
+		// lock-free read observes both.
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicked = &memoPanic{value: r}
+				e.done.Store(true)
+				panic(r)
+			}
+		}()
 		e.val, e.err = compute()
 		e.done.Store(true)
 	})
+	if e.panicked != nil {
+		panic(e.panicked.value)
+	}
 	return e.val, e.err
 }
 
@@ -74,7 +97,8 @@ func (m *Memo[K, V]) Do(key K, compute func() (V, error)) (V, error) {
 // successful Get counts as a hit, exactly like a Do that found the entry, so
 // a Get-then-Do fallback pattern keeps Stats identical to calling Do alone.
 // Unlike Do, the hit path allocates nothing, which makes Get the lookup for
-// allocation-free hot loops over warm caches.
+// allocation-free hot loops over warm caches. A key whose computation
+// panicked re-panics here too, exactly as Do would.
 func (m *Memo[K, V]) Get(key K) (val V, err error, ok bool) {
 	m.mu.Lock()
 	e := m.entries[key]
@@ -82,6 +106,9 @@ func (m *Memo[K, V]) Get(key K) (val V, err error, ok bool) {
 	if e == nil || !e.done.Load() {
 		var zero V
 		return zero, nil, false
+	}
+	if e.panicked != nil {
+		panic(e.panicked.value)
 	}
 	m.hits.Add(1)
 	return e.val, e.err, true

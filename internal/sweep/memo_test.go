@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMemoPurge(t *testing.T) {
@@ -120,5 +121,76 @@ func TestMemoSingleflightSurvivesEviction(t *testing.T) {
 	}
 	if got := computes.Load(); got != 2 {
 		t.Fatalf("post-eviction computes = %d, want 2", got)
+	}
+}
+
+// TestMemoPanicPropagatesToWaiters is the regression test for panic handling
+// in the single-flight path: when compute panics, the panicking caller, every
+// waiter parked on the same key, and every later Do/Get for that key must see
+// the panic re-thrown — not a zero value with a nil error (the old behavior:
+// sync.Once marks itself done even when f panics, so waiters sailed through).
+func TestMemoPanicPropagatesToWaiters(t *testing.T) {
+	var m Memo[string, int]
+	const waiters = 4
+	arrived := make(chan struct{}, waiters)
+	release := make(chan struct{})
+
+	recovered := make([]any, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { recovered[i] = recover() }()
+			arrived <- struct{}{}
+			m.Do("boom", func() (int, error) {
+				// Only the single flight runs this; hold until every waiter
+				// has at least launched, then die.
+				<-release
+				panic("compute exploded")
+			})
+		}(i)
+	}
+	for i := 0; i < waiters; i++ {
+		<-arrived
+	}
+	close(release)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("waiters deadlocked on a panicked computation")
+	}
+	for i, r := range recovered {
+		if r != "compute exploded" {
+			t.Fatalf("waiter %d recovered %v, want the compute panic", i, r)
+		}
+	}
+
+	// Later callers hit the cached panic instead of a zero value.
+	func() {
+		defer func() {
+			if r := recover(); r != "compute exploded" {
+				t.Fatalf("later Do recovered %v, want the compute panic", r)
+			}
+		}()
+		m.Do("boom", func() (int, error) { return 1, nil })
+		t.Fatal("later Do returned instead of panicking")
+	}()
+	func() {
+		defer func() {
+			if r := recover(); r != "compute exploded" {
+				t.Fatalf("Get recovered %v, want the compute panic", r)
+			}
+		}()
+		m.Get("boom")
+		t.Fatal("Get returned instead of panicking")
+	}()
+
+	// Other keys are unaffected.
+	if v, err := m.Do("fine", func() (int, error) { return 9, nil }); err != nil || v != 9 {
+		t.Fatalf("unrelated key after panic: %v, %v", v, err)
 	}
 }

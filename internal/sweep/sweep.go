@@ -148,6 +148,8 @@ func (o Options) workerCount(points int) int {
 // the sweep. With Workers: 1 the evaluation order is exactly the input
 // order, which makes a single-worker run the reference semantics for the
 // parallel path.
+//
+//ta:deterministic
 func Run[P, R any](points []P, eval func(P) (R, error), opts Options) ([]R, error) {
 	if eval == nil {
 		return nil, ErrNilEval
@@ -163,6 +165,8 @@ func Run[P, R any](points []P, eval func(P) (R, error), opts Options) ([]R, erro
 // performs. This is the hook for reusable solver workspaces (factorization
 // buffers, uniformization vectors) that are cheap to reuse but unsafe to
 // share between goroutines.
+//
+//ta:deterministic
 func RunScratch[P, R, S any](points []P, newScratch func() S, eval func(S, P) (R, error), opts Options) ([]R, error) {
 	if eval == nil || newScratch == nil {
 		return nil, ErrNilEval
@@ -224,13 +228,15 @@ func RunScratch[P, R, S any](points []P, newScratch func() S, eval func(S, P) (R
 
 // evalPoint runs one evaluation, recording timing only when stats is set so
 // the instrumented path costs nothing by default.
+//
+//ta:deterministic
 func evalPoint[P, R, S any](stats *RunStats, worker int, scratch S, p P, eval func(S, P) (R, error)) (R, error) {
 	if stats == nil {
 		return eval(scratch, p)
 	}
 	stats.evalStart()
-	start := time.Now()
+	start := time.Now() //lint:ignore detrand timing feeds RunStats only, never evaluation results
 	r, err := eval(scratch, p)
-	stats.evalDone(worker, time.Since(start))
+	stats.evalDone(worker, time.Since(start)) //lint:ignore detrand timing feeds RunStats only, never evaluation results
 	return r, err
 }

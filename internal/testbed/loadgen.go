@@ -46,7 +46,12 @@ type LoadGen struct {
 }
 
 // Run executes the configured load and records every visit into the
-// collector. It returns the first visit error, if any.
+// collector. It returns the first visit error, if any. For a fixed (Seed,
+// Offset) the recorded visit stream is bit-reproducible in unpaced runs —
+// the property the CI determinism gate byte-compares — so Run is held to the
+// deterministic contract, with the pacing clock explicitly exempted.
+//
+//ta:deterministic
 func (g *LoadGen) Run(col *telemetry.Collector) error {
 	if g.Cluster == nil {
 		return fmt.Errorf("%w: load generator needs a cluster", ErrTestbed)
@@ -85,7 +90,7 @@ func (g *LoadGen) Run(col *telemetry.Collector) error {
 		firstErr atomic.Value
 		wg       sync.WaitGroup
 	)
-	start := time.Now()
+	start := time.Now() //lint:ignore detrand pacing reference only; visit results derive from (Seed, visit index)
 	scale := g.Cluster.opts.Scale
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -124,6 +129,8 @@ func (g *LoadGen) Run(col *telemetry.Collector) error {
 // visitSeed derives a per-visit rng seed from the run seed and the visit
 // index with a splitmix64 mix, so consecutive indices yield decorrelated
 // streams.
+//
+//ta:deterministic
 func visitSeed(seed, visit int64) int64 {
 	z := uint64(seed) + uint64(visit)*0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9

@@ -18,6 +18,8 @@ import (
 // Evaluate calls (gated by tests), so the reports are identical regardless
 // of the worker count. This is the batch path behind the Table 8 rows and
 // the what-if parameter studies.
+//
+//ta:deterministic
 func EvaluateMany(ps []Params, class UserClass, workers int) ([]*hierarchy.Report, error) {
 	comp := webfarm.NewComposer()
 	return sweep.RunScratch(ps,

@@ -133,6 +133,8 @@ func (c *Composer) Unavailability(f Farm) (float64, error) {
 // solves exactly once across the batch; per-cell evaluation on a warm cache
 // allocates nothing. Results are bit-identical to calling Unavailability per
 // cell, in any worker configuration.
+//
+//ta:deterministic
 func (c *Composer) UnavailabilityBatch(farms []Farm, workers int) ([]float64, error) {
 	return sweep.Run(farms, func(f Farm) (float64, error) {
 		return c.unavailabilityDirect(f)
@@ -146,6 +148,9 @@ func (c *Composer) UnavailabilityBatch(farms []Farm, workers int) ([]float64, er
 // expression in the same order, so the result — and any validation error — is
 // bit-identical to Compose + Model.Unavailability while allocating nothing on
 // a warm cache. The bit-identity is gated by TestComposerMatchesFarmCompose.
+//
+//ta:hotpath
+//ta:deterministic
 func (c *Composer) unavailabilityDirect(f Farm) (float64, error) {
 	if err := f.check(); err != nil {
 		return 0, err
