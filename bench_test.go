@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/dtmc"
 	"repro/internal/faulttree"
 	"repro/internal/gspn"
+	"repro/internal/obs"
 	"repro/internal/opprofile"
 	"repro/internal/optimize"
 	"repro/internal/queueing"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/testbed"
+	"repro/internal/tracemine"
 	"repro/internal/travelagency"
 	"repro/internal/webfarm"
 )
@@ -572,4 +575,47 @@ func BenchmarkTestbedVisitLoop(b *testing.B) {
 		}
 		sink += s.Availability
 	}
+}
+
+// BenchmarkTraceMine measures the trace-mining pipeline end to end — JSONL
+// decode, trace grouping, visit folding and estimation — over a span stream
+// generated by a real testbed run (steps retained, so all four levels are
+// present). The spans/s metric is the discovery throughput the live
+// /discovered endpoint sustains.
+func BenchmarkTraceMine(b *testing.B) {
+	cluster, err := testbed.New(travelagency.DefaultParams(), testbed.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	const visits = 2000
+	tracer := obs.NewTracer(visits)
+	bridge := obs.NewBridge(nil, tracer, nil)
+	col := telemetry.NewCollector(1)
+	col.SetOnRecord(bridge.OnVisit)
+	g := testbed.LoadGen{
+		Cluster: cluster, Class: travelagency.ClassA,
+		Visits: visits, Workers: 4, Seed: 1, KeepSteps: true,
+	}
+	if err := g.Run(col); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteJSONL(&buf); err != nil {
+		b.Fatal(err)
+	}
+	payload := buf.Bytes()
+
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	var spans int64
+	for i := 0; i < b.N; i++ {
+		d, err := tracemine.MineJSONL(bytes.NewReader(payload), tracemine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		spans = d.Read.Spans
+		sink += d.Profiles["class A"].Availability.P
+	}
+	b.ReportMetric(float64(spans)*float64(b.N)/b.Elapsed().Seconds(), "spans/s")
 }

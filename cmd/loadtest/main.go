@@ -39,12 +39,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/modelspec"
 	"repro/internal/obs"
 	"repro/internal/queueing"
 	"repro/internal/report"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/testbed"
+	"repro/internal/tracemine"
 	"repro/internal/travelagency"
 )
 
@@ -74,6 +76,7 @@ type config struct {
 	keepSteps  bool
 	serve      string
 	traceOut   string
+	traceRing  int
 	hold       time.Duration
 }
 
@@ -87,16 +90,31 @@ type obsStack struct {
 // onServeStarted is a test hook invoked with the bound listen address.
 var onServeStarted func(addr string)
 
-// startObs brings up the observability endpoint and prints where it listens.
-func startObs(w io.Writer, addr string) (*obsStack, error) {
+// startObs brings up the observability endpoint — including the tracemine
+// /discovered and /modeldrift routes, wired against the travel-agency specs —
+// and prints where it listens.
+func startObs(w io.Writer, addr string, ringCap int) (*obsStack, error) {
 	reg := obs.NewRegistry()
-	tracer := obs.NewTracer(512)
+	tracer := obs.NewTracer(ringCap)
 	srv := obs.NewServer(reg, tracer)
+	p := travelagency.DefaultParams()
+	specs := make(map[string]*modelspec.Spec, 2)
+	for _, class := range []travelagency.UserClass{travelagency.ClassA, travelagency.ClassB} {
+		spec, err := travelagency.SpecForClass(p, class)
+		if err != nil {
+			return nil, err
+		}
+		specs[class.String()] = spec
+	}
+	ep := tracemine.NewEndpoint(tracer, specs, tracemine.Options{}, tracemine.DiffOptions{})
+	if err := ep.Install(srv, reg); err != nil {
+		return nil, err
+	}
 	bound, err := srv.Start(addr)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(w, "observability plane on http://%s (/metrics /traces /healthz /debug/pprof/)\n", bound)
+	fmt.Fprintf(w, "observability plane on http://%s (/metrics /traces /discovered /modeldrift /healthz /debug/pprof/)\n", bound)
 	if onServeStarted != nil {
 		onServeStarted(bound)
 	}
@@ -170,6 +188,7 @@ func run(args []string, w io.Writer) error {
 	fs.BoolVar(&cfg.keepSteps, "steps", false, "retain per-step traces (latency quantile tables)")
 	fs.StringVar(&cfg.serve, "serve", "", "expose /metrics, /traces, /healthz and pprof on this address (empty = off)")
 	fs.StringVar(&cfg.traceOut, "trace-out", "", "with -serve: flush the retained span traces to this JSONL file on exit or SIGINT")
+	fs.IntVar(&cfg.traceRing, "trace-ring", 512, "with -serve: traces retained in the span ring (size it to the run to keep every visit minable)")
 	fs.DurationVar(&cfg.hold, "hold", 0, "with -serve: keep the endpoint alive this long after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -178,7 +197,7 @@ func run(args []string, w io.Writer) error {
 	var stack *obsStack
 	if cfg.serve != "" {
 		var err error
-		stack, err = startObs(w, cfg.serve)
+		stack, err = startObs(w, cfg.serve, cfg.traceRing)
 		if err != nil {
 			return err
 		}
@@ -251,8 +270,10 @@ func run(args []string, w io.Writer) error {
 	}
 	defer cluster.Close()
 
-	for _, class := range classes {
-		if err := runClass(w, cluster, p, class, cfg, stack); err != nil {
+	// Each class gets a disjoint visit-ID range so spans flushed to JSONL
+	// keep one trace per visit (trace IDs are visit IDs).
+	for i, class := range classes {
+		if err := runClass(w, cluster, p, class, cfg, stack, int64(i)*cfg.visits); err != nil {
 			return err
 		}
 	}
@@ -275,7 +296,7 @@ func parseClasses(s string) ([]travelagency.UserClass, error) {
 
 // runClass loads one user class and prints the measurement next to the
 // analytic prediction.
-func runClass(w io.Writer, cluster *testbed.Cluster, p travelagency.Params, class travelagency.UserClass, cfg config, stack *obsStack) error {
+func runClass(w io.Writer, cluster *testbed.Cluster, p travelagency.Params, class travelagency.UserClass, cfg config, stack *obsStack, offset int64) error {
 	analytic, err := travelagency.Evaluate(p, class)
 	if err != nil {
 		return err
@@ -291,6 +312,7 @@ func runClass(w io.Writer, cluster *testbed.Cluster, p travelagency.Params, clas
 		Visits:    cfg.visits,
 		Workers:   cfg.workers,
 		Seed:      cfg.seed,
+		Offset:    offset,
 		Rate:      cfg.rate,
 		KeepSteps: cfg.keepSteps,
 	}
@@ -468,7 +490,7 @@ func runSmoke(w io.Writer, p travelagency.Params, cfg config, stack *obsStack) e
 		"class", "measured", "± CI95", "analytic", "|z|", "verdict")
 	var failed bool
 	var total int64
-	for _, class := range []travelagency.UserClass{travelagency.ClassA, travelagency.ClassB} {
+	for i, class := range []travelagency.UserClass{travelagency.ClassA, travelagency.ClassB} {
 		analytic, err := travelagency.Evaluate(p, class)
 		if err != nil {
 			return err
@@ -480,6 +502,8 @@ func runSmoke(w io.Writer, p travelagency.Params, cfg config, stack *obsStack) e
 		gen := testbed.LoadGen{
 			Cluster: cluster, Class: class,
 			Visits: visitsPerClass, Workers: cfg.workers, Seed: cfg.seed,
+			Offset:    int64(i) * visitsPerClass,
+			KeepSteps: cfg.keepSteps,
 		}
 		if err := gen.Run(col); err != nil {
 			return err

@@ -1,0 +1,256 @@
+// Command tracemine reconstructs the availability model from live spans and
+// diffs it against the hand-specified one. Input is either a JSONL span file
+// (the loadtest -trace-out flush format) or a live obs /traces endpoint; the
+// discovered operational profile, interaction diagrams and service
+// availabilities are printed as tables or JSON, and -diff renders a drift
+// verdict against the built-in travel-agency spec (or a modelspec file),
+// exiting nonzero when the model has drifted.
+//
+// Usage:
+//
+//	tracemine -in spans.jsonl
+//	tracemine -url http://127.0.0.1:9464 -limit 5000
+//	tracemine -in spans.jsonl -diff
+//	tracemine -in spans.jsonl -diff -json > report.json
+//	tracemine -in spans.jsonl -diff -swap '1: St-Ho-Ex|2: St-Br-Ex'
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+
+	"repro/internal/modelspec"
+	"repro/internal/tracemine"
+	"repro/internal/travelagency"
+)
+
+// errDrifted marks a -diff run whose verdict was "drifted"; main maps it to
+// exit status 1 after the report has been printed.
+var errDrifted = errors.New("model drifted from spec")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errDrifted) {
+			fmt.Fprintln(os.Stderr, "tracemine:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tracemine", flag.ContinueOnError)
+	in := fs.String("in", "", "JSONL span file to mine ('-' for stdin)")
+	liveURL := fs.String("url", "", "base URL of a live obs server; spans are fetched from its /traces endpoint")
+	limit := fs.Int("limit", 0, "with -url: fetch only the last N traces (0 = all)")
+	specPath := fs.String("spec", "", "modelspec JSON file to diff against (default: the built-in travel-agency spec per class)")
+	diff := fs.Bool("diff", false, "diff the discovered model against the spec and exit 1 on drift")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable JSON report instead of tables")
+	z := fs.Float64("z", 3, "adjusted-Wald band multiplier for the drift test")
+	minSamples := fs.Int64("min", 50, "minimum trials before an estimate is judged")
+	clusters := fs.Int("clusters", 2, "session clusters for visits without a class attr")
+	swap := fs.String("swap", "", "perturb the spec before diffing: 'scenarioA|scenarioB' swaps two scenario probabilities, 'Fn:from:toA|toB' swaps two branch probabilities (drift drill)")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*in == "") == (*liveURL == "") {
+		return fmt.Errorf("exactly one of -in or -url is required")
+	}
+
+	var (
+		d   *tracemine.Discovery
+		err error
+	)
+	opts := tracemine.Options{Clusters: *clusters}
+	switch {
+	case *in == "-":
+		d, err = tracemine.MineJSONL(os.Stdin, opts)
+	case *in != "":
+		var f *os.File
+		f, err = os.Open(*in)
+		if err != nil {
+			return err
+		}
+		d, err = tracemine.MineJSONL(f, opts)
+		f.Close()
+	default:
+		var body io.ReadCloser
+		body, err = fetchTraces(*liveURL, *limit)
+		if err != nil {
+			return err
+		}
+		d, err = tracemine.MineJSONL(body, opts)
+		body.Close()
+	}
+	if err != nil {
+		return err
+	}
+
+	var rep *tracemine.Report
+	if *diff {
+		specs, err := loadSpecs(*specPath)
+		if err != nil {
+			return err
+		}
+		if *swap != "" {
+			if err := perturbSpecs(specs, *swap); err != nil {
+				return err
+			}
+		}
+		rep, err = tracemine.Diff(d, specs, tracemine.DiffOptions{Z: *z, MinSamples: *minSamples})
+		if err != nil {
+			return err
+		}
+	}
+
+	if *jsonOut {
+		if err := writeJSON(w, struct {
+			Discovery *tracemine.Discovery `json:"discovery"`
+			Report    *tracemine.Report    `json:"report,omitempty"`
+		}{d, rep}); err != nil {
+			return err
+		}
+	} else {
+		if err := tracemine.WriteDiscovery(w, d); err != nil {
+			return err
+		}
+		if rep != nil {
+			fmt.Fprintln(w)
+			if err := tracemine.WriteReport(w, rep); err != nil {
+				return err
+			}
+		}
+	}
+	if rep != nil && rep.Verdict == tracemine.VerdictDrifted {
+		return errDrifted
+	}
+	return nil
+}
+
+// fetchTraces streams the span JSONL from a live obs server.
+func fetchTraces(base string, limit int) (io.ReadCloser, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("bad url %q: %v", base, err)
+	}
+	if u.Path == "" || u.Path == "/" {
+		u.Path = "/traces"
+	}
+	if limit > 0 {
+		q := u.Query()
+		q.Set("limit", fmt.Sprint(limit))
+		u.RawQuery = q.Encode()
+	}
+	resp, err := http.Get(u.String())
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	return resp.Body, nil
+}
+
+// loadSpecs returns the diff targets: a spec file under the "" key (matches
+// every class), or the built-in travel-agency spec per user class.
+func loadSpecs(path string) (map[string]*modelspec.Spec, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := modelspec.Parse(data)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]*modelspec.Spec{"": spec}, nil
+	}
+	p := travelagency.DefaultParams()
+	specs := make(map[string]*modelspec.Spec, 2)
+	for _, class := range []travelagency.UserClass{travelagency.ClassA, travelagency.ClassB} {
+		spec, err := travelagency.SpecForClass(p, class)
+		if err != nil {
+			return nil, err
+		}
+		specs[class.String()] = spec
+	}
+	return specs, nil
+}
+
+// perturbSpecs injects a controlled model error for the CI drift drill:
+// 'A|B' swaps the probabilities of scenarios named A and B in every spec;
+// 'Fn:from:toA|toB' swaps two branch probabilities of one diagram.
+func perturbSpecs(specs map[string]*modelspec.Spec, arg string) error {
+	left, right, ok := strings.Cut(arg, "|")
+	if !ok || left == "" || right == "" {
+		return fmt.Errorf("bad -swap %q: want 'a|b'", arg)
+	}
+	if parts := strings.SplitN(left, ":", 3); len(parts) == 3 && !strings.Contains(right, ":") {
+		fn, from, toA := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]), strings.TrimSpace(parts[2])
+		toB := strings.TrimSpace(right)
+		for _, spec := range specs {
+			if err := swapBranch(spec, fn, from, toA, toB); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	nameA, nameB := strings.TrimSpace(left), strings.TrimSpace(right)
+	for _, spec := range specs {
+		var pa, pb *float64
+		for i := range spec.Scenarios {
+			switch spec.Scenarios[i].Name {
+			case nameA:
+				pa = &spec.Scenarios[i].Probability
+			case nameB:
+				pb = &spec.Scenarios[i].Probability
+			}
+		}
+		if pa == nil || pb == nil {
+			return fmt.Errorf("-swap: spec %q lacks scenario %q or %q", spec.Name, nameA, nameB)
+		}
+		*pa, *pb = *pb, *pa
+	}
+	return nil
+}
+
+func swapBranch(spec *modelspec.Spec, fn, from, toA, toB string) error {
+	for i := range spec.Functions {
+		if spec.Functions[i].Name != fn {
+			continue
+		}
+		var qa, qb *float64
+		trs := spec.Functions[i].Transitions
+		for j := range trs {
+			if trs[j].From != from {
+				continue
+			}
+			switch trs[j].To {
+			case toA:
+				qa = &trs[j].Probability
+			case toB:
+				qb = &trs[j].Probability
+			}
+		}
+		if qa == nil || qb == nil {
+			return fmt.Errorf("-swap: function %q has no %s→%s / %s→%s pair", fn, from, toA, from, toB)
+		}
+		*qa, *qb = *qb, *qa
+		return nil
+	}
+	return fmt.Errorf("-swap: spec %q lacks function %q", spec.Name, fn)
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureJSONL writes a span file for 100 class-A visits: 60 Home-only, 40
+// Home+Browse, matching fixtureSpec below.
+func fixtureJSONL(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	trace := 0
+	emit := func(id, parent int, level, name string, ok bool) {
+		fmt.Fprintf(&sb, `{"trace":%d,"id":%d,"parent":%d,"level":%q,"name":%q,"ok":%v`,
+			trace, id, parent, level, name, ok)
+		if level == "visit" {
+			fmt.Fprintf(&sb, `,"attrs":{"class":"class A","scenario":%q}`, name)
+		}
+		sb.WriteString("}\n")
+	}
+	for i := 0; i < 60; i++ {
+		trace++
+		emit(1, 0, "visit", "home", true)
+		emit(2, 1, "function", "Home", true)
+		emit(3, 2, "step", "serve-home", true)
+		emit(4, 3, "resource", "WS", true)
+	}
+	for i := 0; i < 40; i++ {
+		trace++
+		emit(1, 0, "visit", "browse", true)
+		emit(2, 1, "function", "Home", true)
+		emit(3, 2, "step", "serve-home", true)
+		emit(4, 3, "resource", "WS", true)
+		emit(5, 1, "function", "Browse", true)
+		emit(6, 5, "step", "render", true)
+		emit(7, 6, "resource", "WS", true)
+		if i < 30 { // 75% of browse walks go on to the query step
+			emit(8, 5, "step", "query", true)
+			emit(9, 8, "resource", "DS", true)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fixtureSpec(t *testing.T) string {
+	t.Helper()
+	spec := `{
+  "name": "fixture",
+  "services": [
+    {"name": "WS", "availability": 1.0},
+    {"name": "DS", "availability": 1.0}
+  ],
+  "functions": [
+    {
+      "name": "Home",
+      "steps": [{"name": "serve-home", "services": ["WS"]}],
+      "transitions": [
+        {"from": "Begin", "to": "serve-home"},
+        {"from": "serve-home", "to": "End"}
+      ]
+    },
+    {
+      "name": "Browse",
+      "steps": [
+        {"name": "render", "services": ["WS"]},
+        {"name": "query", "services": ["DS"]}
+      ],
+      "transitions": [
+        {"from": "Begin", "to": "render"},
+        {"from": "render", "to": "query", "probability": 0.75},
+        {"from": "render", "to": "End", "probability": 0.25},
+        {"from": "query", "to": "End"}
+      ]
+    }
+  ],
+  "scenarios": [
+    {"name": "home", "functions": ["Home"], "probability": 0.6},
+    {"name": "browse", "functions": ["Home", "Browse"], "probability": 0.4}
+  ]
+}`
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDiffConsistent(t *testing.T) {
+	spans, spec := fixtureJSONL(t), fixtureSpec(t)
+	var sb strings.Builder
+	err := run([]string{"-in", spans, "-spec", spec, "-diff", "-min", "20"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"verdict: consistent", "class A", "Browse"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunSwapDrifts: the drift drill perturbs the spec and must exit with
+// the sentinel error while naming the offending edges.
+func TestRunSwapDrifts(t *testing.T) {
+	spans, spec := fixtureJSONL(t), fixtureSpec(t)
+	var sb strings.Builder
+	err := run([]string{"-in", spans, "-spec", spec, "-diff", "-min", "20", "-swap", "home|browse"}, &sb)
+	if !errors.Is(err, errDrifted) {
+		t.Fatalf("err = %v, want errDrifted", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "verdict: drifted") || !strings.Contains(out, "scenario") {
+		t.Errorf("drift output:\n%s", out)
+	}
+}
+
+// TestRunSwapBranch: the branch form of -swap perturbs one diagram edge.
+func TestRunSwapBranch(t *testing.T) {
+	spans, spec := fixtureJSONL(t), fixtureSpec(t)
+	var sb strings.Builder
+	// The spec has no query→nothing edge, so swapping must fail loudly...
+	err := run([]string{"-in", spans, "-spec", spec, "-diff", "-swap", "Browse:query:End|nothing"}, &sb)
+	if err == nil || errors.Is(err, errDrifted) {
+		t.Fatalf("missing branch pair: err = %v", err)
+	}
+	// ...while swapping the render branch (0.75 query / 0.25 End) flips the
+	// verdict and names the branch edge.
+	sb.Reset()
+	err = run([]string{"-in", spans, "-spec", spec, "-diff", "-min", "20", "-swap", "Browse:render:query|End"}, &sb)
+	if !errors.Is(err, errDrifted) {
+		t.Fatalf("err = %v, want errDrifted\n%s", err, sb.String())
+	}
+	if out := sb.String(); !strings.Contains(out, "render") || !strings.Contains(out, "branch") {
+		t.Errorf("drift output does not name the branch:\n%s", out)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	spans, spec := fixtureJSONL(t), fixtureSpec(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", spans, "-spec", spec, "-diff", "-min", "20", "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Discovery struct {
+			Visits int64 `json:"visits"`
+		} `json:"discovery"`
+		Report struct {
+			Verdict string `json:"verdict"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, sb.String())
+	}
+	if out.Discovery.Visits != 100 || out.Report.Verdict != "consistent" {
+		t.Errorf("decoded = %+v", out)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("neither -in nor -url rejected? no")
+	}
+	if err := run([]string{"-in", "x", "-url", "http://y"}, &sb); err == nil {
+		t.Error("both -in and -url accepted")
+	}
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "missing.jsonl")}, &sb); err == nil {
+		t.Error("missing input file accepted")
+	}
+}

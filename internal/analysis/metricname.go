@@ -9,10 +9,11 @@ import (
 )
 
 // metricNamePattern is the repo's metric naming convention: a subsystem
-// prefix — the five modeling/serving planes plus the two pre-existing
-// exporter prefixes (ta = travel-agency visit bridge, obs = observability
-// plane self-metrics) — followed by lower_snake_case.
-var metricNamePattern = regexp.MustCompile(`^(availd|autoscale|testbed|sweep|kernel|obs|ta)_[a-z0-9_]+$`)
+// prefix — the five modeling/serving planes plus the pre-existing exporter
+// prefixes (ta = travel-agency visit bridge, obs = observability plane
+// self-metrics, tracemine = trace-mining drift endpoint) — followed by
+// lower_snake_case.
+var metricNamePattern = regexp.MustCompile(`^(availd|autoscale|testbed|sweep|kernel|obs|ta|tracemine)_[a-z0-9_]+$`)
 
 // registryMethods maps the obs.Registry registration methods to the metric
 // kind they create, for duplicate-kind detection.
@@ -35,7 +36,7 @@ var registryMethods = map[string]string{
 var MetricName = &Analyzer{
 	Name: "metricname",
 	Doc: "checks obs registry metric names against the " +
-		"^(availd|autoscale|testbed|sweep|kernel|obs|ta)_[a-z0-9_]+$ convention " +
+		"^(availd|autoscale|testbed|sweep|kernel|obs|ta|tracemine)_[a-z0-9_]+$ convention " +
 		"and flags kind-conflicting duplicate registrations",
 	Run: runMetricName,
 }

@@ -21,6 +21,9 @@ func register(reg *obs.Registry) error {
 	if _, err := reg.Histogram("testbed_visit_seconds", "visit latency", 0.001, 2, 24); err != nil {
 		return err
 	}
+	if _, err := reg.Counter("tracemine_spans_parsed_total", "spans mined"); err != nil {
+		return err
+	}
 
 	// Convention violations.
 	if _, err := reg.Counter("requests_total", "missing subsystem prefix"); err != nil { // want `metric name "requests_total" violates`
@@ -30,6 +33,9 @@ func register(reg *obs.Registry) error {
 		return err
 	}
 	if _, err := reg.Counter("webfarm_solves_total", "unknown subsystem"); err != nil { // want `metric name "webfarm_solves_total" violates`
+		return err
+	}
+	if _, err := reg.Gauge("traceminer_drift_edges", "near-miss prefix"); err != nil { // want `metric name "traceminer_drift_edges" violates`
 		return err
 	}
 

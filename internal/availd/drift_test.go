@@ -1,0 +1,131 @@
+package availd
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// driftSpec matches the span population of driftSpans: every visit runs Home
+// alone over a perfectly available web service.
+const driftSpec = `{
+  "name": "drift-fixture",
+  "services": [{"name": "WS", "availability": 1.0}],
+  "functions": [{
+    "name": "Home",
+    "steps": [{"name": "serve-home", "services": ["WS"]}],
+    "transitions": [
+      {"from": "Begin", "to": "serve-home"},
+      {"from": "serve-home", "to": "End"}
+    ]
+  }],
+  "scenarios": [{"name": "home", "functions": ["Home"], "probability": 1.0}]
+}`
+
+func driftSpans(n int) []obs.Span {
+	var spans []obs.Span
+	for i := 0; i < n; i++ {
+		tid := uint64(i + 1)
+		spans = append(spans,
+			obs.Span{Trace: tid, ID: 1, Level: obs.LevelVisit, Name: "home", OK: true,
+				Attrs: map[string]string{"class": "class A", "scenario": "home"}},
+			obs.Span{Trace: tid, ID: 2, Parent: 1, Level: obs.LevelFunction, Name: "Home", OK: true},
+			obs.Span{Trace: tid, ID: 3, Parent: 2, Level: obs.LevelStep, Name: "serve-home", OK: true},
+			obs.Span{Trace: tid, ID: 4, Parent: 3, Level: obs.LevelResource, Name: "WS", OK: true},
+		)
+	}
+	return spans
+}
+
+func TestDriftRoute(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	body, _ := json.Marshal(DriftRequest{
+		Spec:       json.RawMessage(driftSpec),
+		Spans:      driftSpans(80),
+		MinSamples: 20,
+	})
+	code, data := request(t, ts, http.MethodPost, "/api/v1/drift", body)
+	if code != http.StatusOK {
+		t.Fatalf("drift = %d %s", code, data)
+	}
+	var resp DriftResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verdict != "consistent" || resp.Visits != 80 {
+		t.Errorf("response = %+v", resp)
+	}
+	if resp.Read.Spans != 320 || resp.Report == nil || resp.Report.Checked == 0 {
+		t.Errorf("read = %+v, report = %+v", resp.Read, resp.Report)
+	}
+}
+
+func TestDriftRouteDrifted(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	// The traffic runs a Browse function the spec does not declare.
+	spans := driftSpans(60)
+	for i := 0; i < 60; i++ {
+		tid := uint64(1000 + i)
+		spans = append(spans,
+			obs.Span{Trace: tid, ID: 1, Level: obs.LevelVisit, Name: "browse", OK: true,
+				Attrs: map[string]string{"class": "class A", "scenario": "browse"}},
+			obs.Span{Trace: tid, ID: 2, Parent: 1, Level: obs.LevelFunction, Name: "Browse", OK: true},
+		)
+	}
+	body, _ := json.Marshal(DriftRequest{
+		Spec:       json.RawMessage(driftSpec),
+		Spans:      spans,
+		MinSamples: 20,
+	})
+	code, data := request(t, ts, http.MethodPost, "/api/v1/drift", body)
+	if code != http.StatusOK {
+		t.Fatalf("drift = %d %s", code, data)
+	}
+	var resp DriftResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verdict != "drifted" {
+		t.Fatalf("verdict = %s, want drifted: %+v", resp.Verdict, resp.Report)
+	}
+	var named bool
+	for _, e := range resp.Report.Drift {
+		if e.Function == "Browse" || e.Name == "Browse" {
+			named = true
+		}
+	}
+	if !named {
+		t.Errorf("drift edges do not name Browse: %+v", resp.Report.Drift)
+	}
+}
+
+func TestDriftRouteErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	// No spans.
+	body, _ := json.Marshal(DriftRequest{Spec: json.RawMessage(driftSpec)})
+	if code, data := request(t, ts, http.MethodPost, "/api/v1/drift", body); code != http.StatusUnprocessableEntity {
+		t.Errorf("no spans = %d %s", code, data)
+	}
+
+	// Neither scenario nor spec.
+	body, _ = json.Marshal(DriftRequest{Spans: driftSpans(1)})
+	if code, data := request(t, ts, http.MethodPost, "/api/v1/drift", body); code != http.StatusUnprocessableEntity {
+		t.Errorf("no spec = %d %s", code, data)
+	}
+
+	// Unknown stored scenario.
+	body, _ = json.Marshal(DriftRequest{Scenario: "nope", Spans: driftSpans(1)})
+	if code, data := request(t, ts, http.MethodPost, "/api/v1/drift", body); code != http.StatusNotFound {
+		t.Errorf("unknown scenario = %d %s", code, data)
+	}
+
+	// Malformed body.
+	if code, data := request(t, ts, http.MethodPost, "/api/v1/drift", []byte("{")); code != http.StatusBadRequest {
+		t.Errorf("malformed = %d %s", code, data)
+	}
+}

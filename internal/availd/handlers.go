@@ -216,6 +216,7 @@ func (s *Server) Register(mux *http.ServeMux) {
 	route("PUT /api/v1/scenarios/{name}", "scenario", s.handleUpdateScenario)
 	route("DELETE /api/v1/scenarios/{name}", "scenario", s.handleDeleteScenario)
 	route("POST /api/v1/evaluate", "evaluate", s.handleEvaluate)
+	route("POST /api/v1/drift", "drift", s.handleDrift)
 	route("POST /api/v1/sweep", "sweep", s.handleSubmitSweep)
 	route("GET /api/v1/sweep", "sweep", s.handleListJobs)
 	route("GET /api/v1/sweep/{id}", "sweep_job", s.handleGetJob)

@@ -1,0 +1,70 @@
+package interaction
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Steps returns the declared steps in declaration order.
+func (d *Diagram) Steps() []string {
+	out := make([]string, len(d.nodeOrder))
+	copy(out, d.nodeOrder)
+	return out
+}
+
+// FromObservations builds a diagram from mined evidence: the service set of
+// each observed step and raw per-edge weights (typically transition counts
+// between steps, plus Begin/End boundary edges). Each node's outgoing weights
+// are normalized to branch probabilities, so the maximum-likelihood estimator
+// q̂_ij = n(i→j)/n(i) drops out directly. Steps and edges are added in sorted
+// order so the result is independent of map iteration.
+func FromObservations(name string, steps map[string][]string, weights map[string]map[string]float64) (*Diagram, error) {
+	d := New(name)
+	names := make([]string, 0, len(steps))
+	for step := range steps {
+		names = append(names, step)
+	}
+	sort.Strings(names)
+	for _, step := range names {
+		svcs := append([]string(nil), steps[step]...)
+		sort.Strings(svcs)
+		if err := d.AddStep(step, svcs...); err != nil {
+			return nil, err
+		}
+	}
+	froms := make([]string, 0, len(weights))
+	for from := range weights {
+		froms = append(froms, from)
+	}
+	sort.Strings(froms)
+	for _, from := range froms {
+		row := weights[from]
+		var sum float64
+		for to, w := range row {
+			if w < 0 {
+				return nil, fmt.Errorf("%w: negative weight %v for %s→%s", ErrDiagram, w, from, to)
+			}
+			sum += w
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("%w: node %q has no outgoing weight", ErrDiagram, from)
+		}
+		tos := make([]string, 0, len(row))
+		for to := range row {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			if row[to] == 0 {
+				continue
+			}
+			if err := d.AddTransition(from, to, row[to]/sum); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

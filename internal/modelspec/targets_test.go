@@ -1,0 +1,95 @@
+package modelspec
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestUserScenariosExplicit(t *testing.T) {
+	s := &Spec{Scenarios: []ScenarioSpec{
+		{Name: "home", Functions: []string{"Home"}, Probability: 0.6},
+		{Name: "browse", Functions: []string{"Home", "Browse"}, Probability: 0.4},
+	}}
+	got, err := s.UserScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s.Scenarios) {
+		t.Errorf("UserScenarios = %+v", got)
+	}
+	got[0].Probability = 99 // callers get a copy
+	if s.Scenarios[0].Probability != 0.6 {
+		t.Error("UserScenarios leaked internal state")
+	}
+}
+
+func TestUserScenariosFromProfile(t *testing.T) {
+	s := &Spec{Profile: &ProfileSpec{Transitions: []TransitionSpec{
+		{From: "Start", To: "Home"}, // probability defaults to 1
+		{From: "Home", To: "Exit", Probability: 0.6},
+		{From: "Home", To: "Browse", Probability: 0.4},
+		{From: "Browse", To: "Exit"},
+	}}}
+	got, err := s.UserScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make(map[string]float64, len(got))
+	for _, sc := range got {
+		probs[sc.Name] = sc.Probability
+	}
+	if math.Abs(probs["Home"]-0.6) > 1e-9 || math.Abs(probs["Browse+Home"]-0.4) > 1e-9 {
+		t.Errorf("derived scenarios = %v", probs)
+	}
+
+	if _, err := (&Spec{}).UserScenarios(); err == nil {
+		t.Error("spec without user level accepted")
+	}
+}
+
+func TestEffectiveAvailability(t *testing.T) {
+	a := 0.93
+	fixed := ServiceSpec{Name: "DS", Availability: &a}
+	if got, err := fixed.EffectiveAvailability(); err != nil || got != 0.93 {
+		t.Errorf("fixed = %v, %v", got, err)
+	}
+
+	// 1-of-2 parallel group: 1 − (1−0.9)² = 0.99.
+	group := ServiceSpec{Name: "WS", Group: &GroupSpec{Count: 2, Availability: 0.9}}
+	got, err := group.EffectiveAvailability()
+	if err != nil || math.Abs(got-0.99) > 1e-12 {
+		t.Errorf("1-of-2 group = %v, %v", got, err)
+	}
+
+	// 2-of-2: both must be up.
+	strict := ServiceSpec{Name: "AS", Group: &GroupSpec{Count: 2, Availability: 0.9, Required: 2}}
+	got, err = strict.EffectiveAvailability()
+	if err != nil || math.Abs(got-0.81) > 1e-12 {
+		t.Errorf("2-of-2 group = %v, %v", got, err)
+	}
+
+	if _, err := (ServiceSpec{Name: "empty"}).EffectiveAvailability(); err == nil {
+		t.Error("service without availability or group accepted")
+	}
+}
+
+func TestSpecLookups(t *testing.T) {
+	a := 0.9
+	s := &Spec{
+		Services:  []ServiceSpec{{Name: "WS", Availability: &a}},
+		Functions: []FunctionSpec{{Name: "Home"}},
+	}
+	if fn, ok := s.Function("Home"); !ok || fn.Name != "Home" {
+		t.Errorf("Function(Home) = %+v, %v", fn, ok)
+	}
+	if _, ok := s.Function("Pay"); ok {
+		t.Error("undeclared function found")
+	}
+	if sv, ok := s.Service("WS"); !ok || sv.Name != "WS" {
+		t.Errorf("Service(WS) = %+v, %v", sv, ok)
+	}
+	if _, ok := s.Service("DS"); ok {
+		t.Error("undeclared service found")
+	}
+}

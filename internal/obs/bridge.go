@@ -150,6 +150,12 @@ func visitAttrs(tr telemetry.VisitTrace) map[string]string {
 	if tr.Class != "" {
 		attrs["class"] = tr.Class
 	}
+	// The root span's Name already carries the scenario, but miners should
+	// not have to know that convention: stamp it as an attr too, so profile
+	// discovery keys on attrs alone.
+	if tr.Scenario != "" {
+		attrs["scenario"] = tr.Scenario
+	}
 	if tr.FailedService != "" {
 		attrs["failed_service"] = tr.FailedService
 	}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestTracerSnapshot(t *testing.T) {
+	tr := NewTracer(8)
+	for i := uint64(1); i <= 5; i++ {
+		tr.Record(spanTrace(i, "v"))
+	}
+	for _, tc := range []struct {
+		limit int
+		want  []uint64
+	}{
+		{0, []uint64{1, 2, 3, 4, 5}},
+		{-1, []uint64{1, 2, 3, 4, 5}},
+		{5, []uint64{1, 2, 3, 4, 5}},
+		{99, []uint64{1, 2, 3, 4, 5}},
+		{2, []uint64{4, 5}}, // last N, oldest first
+		{1, []uint64{5}},
+	} {
+		got := tr.Snapshot(tc.limit)
+		if len(got) != len(tc.want) {
+			t.Fatalf("Snapshot(%d) kept %d traces, want %d", tc.limit, len(got), len(tc.want))
+		}
+		for i, want := range tc.want {
+			if got[i].Spans[0].Trace != want {
+				t.Errorf("Snapshot(%d)[%d] = trace %d, want %d", tc.limit, i, got[i].Spans[0].Trace, want)
+			}
+		}
+	}
+}
+
+func TestTracesLimitParam(t *testing.T) {
+	tracer := NewTracer(8)
+	for i := uint64(1); i <= 4; i++ {
+		tracer.Record(spanTrace(i, fmt.Sprintf("scenario-%d", i)))
+	}
+	srv := NewServer(NewRegistry(), tracer)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+
+	code, body, _ := get(t, base+"/traces?limit=2")
+	if code != http.StatusOK {
+		t.Fatalf("/traces?limit=2 = %d", code)
+	}
+	if n := strings.Count(strings.TrimSpace(body), "\n") + 1; n != 2 {
+		t.Errorf("limit=2 returned %d lines:\n%s", n, body)
+	}
+	if !strings.Contains(body, "scenario-4") || strings.Contains(body, "scenario-1") {
+		t.Errorf("limit=2 did not keep the newest traces:\n%s", body)
+	}
+
+	code, body, _ = get(t, base+"/traces?limit=0")
+	if code != http.StatusOK || strings.Count(strings.TrimSpace(body), "\n")+1 != 4 {
+		t.Errorf("/traces?limit=0 = %d:\n%s", code, body)
+	}
+
+	for _, bad := range []string{"x", "-3", "1.5"} {
+		code, body, _ = get(t, base+"/traces?limit="+bad)
+		if code != http.StatusBadRequest {
+			t.Errorf("/traces?limit=%s = %d %q, want 400", bad, code, body)
+		}
+	}
+}
+
+func TestServerHandleExtension(t *testing.T) {
+	srv := NewServer(NewRegistry(), NewTracer(4))
+	if err := srv.Handle("/extension", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "extended")
+	})); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srv.Handle("/metrics", http.NotFoundHandler()); err == nil {
+		t.Error("reserved pattern accepted")
+	}
+	if err := srv.Handle("/extension", http.NotFoundHandler()); err == nil {
+		t.Error("duplicate pattern accepted")
+	}
+	if err := srv.Handle("", http.NotFoundHandler()); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if err := srv.Handle("/nil", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, body, _ := get(t, "http://"+addr+"/extension"); code != http.StatusOK || body != "extended" {
+		t.Errorf("/extension = %d %q", code, body)
+	}
+
+	if err := srv.Handle("/late", http.NotFoundHandler()); err == nil {
+		t.Error("post-Start registration accepted")
+	}
+}
+
+// TestBridgeStampsAttrs: every visit span carries the class and scenario
+// attrs trace miners key on.
+func TestBridgeStampsAttrs(t *testing.T) {
+	tracer := NewTracer(4)
+	b := NewBridge(nil, tracer, nil)
+	col := telemetry.NewCollector(1)
+	col.SetOnRecord(b.OnVisit)
+	col.RecordVisit(bridgeVisit(1, true))
+
+	traces := tracer.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("kept %d traces", len(traces))
+	}
+	root := traces[0].Spans[0]
+	if root.Level != LevelVisit {
+		t.Fatalf("first span level = %s", root.Level)
+	}
+	if got := root.Attrs["class"]; got != "class A" {
+		t.Errorf("class attr = %q", got)
+	}
+	if got := root.Attrs["scenario"]; got != "1: St-Ho-Ex" {
+		t.Errorf("scenario attr = %q", got)
+	}
+}

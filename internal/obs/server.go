@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -29,6 +31,43 @@ type Server struct {
 	start     time.Time
 	flushPath string
 	flushed   bool
+
+	// extra holds caller-registered routes (see Handle). It has its own lock
+	// because Register runs while Start holds mu.
+	extraMu sync.Mutex
+	extra   map[string]http.Handler
+}
+
+// Handle registers an additional route on the observability plane, letting
+// subsystems that would otherwise create an import cycle (obs → them) mount
+// endpoints next to /metrics and /traces — e.g. tracemine's /discovered and
+// /modeldrift. Routes must be registered before Start (or before Register is
+// called on an external mux); duplicate patterns and patterns colliding with
+// the built-in endpoints are rejected.
+func (s *Server) Handle(pattern string, h http.Handler) error {
+	if pattern == "" || h == nil {
+		return fmt.Errorf("obs: Handle needs a pattern and a handler")
+	}
+	switch pattern {
+	case "/metrics", "/traces", "/healthz":
+		return fmt.Errorf("obs: pattern %s is reserved", pattern)
+	}
+	s.mu.Lock()
+	started := s.ln != nil
+	s.mu.Unlock()
+	if started {
+		return fmt.Errorf("obs: Handle(%s) after Start", pattern)
+	}
+	s.extraMu.Lock()
+	defer s.extraMu.Unlock()
+	if s.extra == nil {
+		s.extra = make(map[string]http.Handler)
+	}
+	if _, dup := s.extra[pattern]; dup {
+		return fmt.Errorf("obs: pattern %s already registered", pattern)
+	}
+	s.extra[pattern] = h
+	return nil
 }
 
 // NewServer builds a server over the given registry and (optional) tracer.
@@ -58,9 +97,18 @@ func (s *Server) Register(mux *http.ServeMux) {
 		}
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		limit := 0
+		if raw := r.URL.Query().Get("limit"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 {
+				http.Error(w, fmt.Sprintf("bad limit %q", raw), http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		if s.tracer != nil {
-			_ = s.tracer.WriteJSONL(w)
+			_ = s.tracer.WriteJSONLLimit(w, limit)
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -72,6 +120,17 @@ func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.extraMu.Lock()
+	patterns := make([]string, 0, len(s.extra))
+	for p := range s.extra {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	for _, p := range patterns {
+		mux.Handle(p, s.extra[p])
+	}
+	s.extraMu.Unlock()
 }
 
 // Start listens on addr (e.g. "127.0.0.1:9464", or ":0" for an ephemeral

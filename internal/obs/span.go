@@ -111,11 +111,28 @@ func (t *Tracer) Traces() []Trace {
 	return out
 }
 
+// Snapshot returns up to limit of the most recently retained traces, oldest
+// first. A limit ≤ 0 (or one at least the retained count) returns everything,
+// making Snapshot(0) equivalent to Traces.
+func (t *Tracer) Snapshot(limit int) []Trace {
+	all := t.Traces()
+	if limit > 0 && limit < len(all) {
+		all = all[len(all)-limit:]
+	}
+	return all
+}
+
 // WriteJSONL writes every retained span as one JSON object per line, traces
 // oldest first, spans in tree order within each trace.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	return t.WriteJSONLLimit(w, 0)
+}
+
+// WriteJSONLLimit is WriteJSONL restricted to the last limit traces
+// (limit ≤ 0 writes everything) — the bounded path behind /traces?limit=.
+func (t *Tracer) WriteJSONLLimit(w io.Writer, limit int) error {
 	enc := json.NewEncoder(w)
-	for _, tr := range t.Traces() {
+	for _, tr := range t.Snapshot(limit) {
 		for _, sp := range tr.Spans {
 			if err := enc.Encode(sp); err != nil {
 				return err

@@ -1,0 +1,52 @@
+package opprofile
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FromTransitions builds a profile from raw per-edge weights — typically
+// transition *counts* mined from traces, but any nonnegative weights work:
+// each node's outgoing weights are normalized to probabilities, so the
+// discovered maximum-likelihood estimator p̂(from→to) = n(from→to)/n(from)
+// drops out directly. Edges with zero weight are dropped; a node whose whole
+// row is zero is an error (it would be a trap). Nodes are registered in
+// sorted order so the resulting profile is independent of map iteration.
+func FromTransitions(weights map[string]map[string]float64) (*Profile, error) {
+	p := New()
+	froms := make([]string, 0, len(weights))
+	for from := range weights {
+		froms = append(froms, from)
+	}
+	sort.Strings(froms)
+	for _, from := range froms {
+		row := weights[from]
+		var sum float64
+		for to, w := range row {
+			if w < 0 {
+				return nil, fmt.Errorf("%w: negative weight %v for %s→%s", ErrProfile, w, from, to)
+			}
+			sum += w
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("%w: node %q has no outgoing weight", ErrProfile, from)
+		}
+		tos := make([]string, 0, len(row))
+		for to := range row {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			if row[to] == 0 {
+				continue
+			}
+			if err := p.AddTransition(from, to, row[to]/sum); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,50 @@
+package opprofile
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFromTransitions(t *testing.T) {
+	// Raw mined counts: 100 visits, 60 exit after Home, 40 browse on.
+	p, err := FromTransitions(map[string]map[string]float64{
+		Start:    {"Home": 100},
+		"Home":   {Exit: 60, "Browse": 40},
+		"Browse": {Exit: 40, "skip": 0}, // zero-weight edge dropped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios, err := p.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]float64, len(scenarios))
+	for _, sc := range scenarios {
+		got[sc.Key()] = sc.Probability
+	}
+	if len(got) != 2 {
+		t.Fatalf("scenarios = %v", got)
+	}
+	if math.Abs(got["Home"]-0.6) > 1e-12 || math.Abs(got["Browse+Home"]-0.4) > 1e-12 {
+		t.Errorf("scenario probabilities = %v, want 0.6/0.4", got)
+	}
+}
+
+func TestFromTransitionsErrors(t *testing.T) {
+	if _, err := FromTransitions(map[string]map[string]float64{
+		Start:  {"Home": 1},
+		"Home": {Exit: -3},
+	}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := FromTransitions(map[string]map[string]float64{
+		Start:  {"Home": 1},
+		"Home": {Exit: 0}, // trap: whole row zero
+	}); err == nil {
+		t.Error("zero-sum row accepted")
+	}
+	if _, err := FromTransitions(nil); err == nil {
+		t.Error("empty weights accepted")
+	}
+}

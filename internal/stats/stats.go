@@ -179,6 +179,38 @@ func (p *Proportion) ConfidenceInterval(level float64) (Interval, error) {
 	return Interval{Mean: est, HalfWidth: z * se}, nil
 }
 
+// AdjustedWald returns the Agresti–Coull adjusted-Wald interval for k
+// successes in n trials at the given confidence level (0.90, 0.95 or 0.99).
+// The adjustment adds z² pseudo-trials (half successes), which keeps the
+// interval honest near 0 and 1 where the plain Wald interval collapses —
+// exactly the regime of rare-event availability estimates mined from traces.
+// Note the interval is centered on the adjusted estimate p̃, not on k/n.
+func AdjustedWald(successes, trials int64, level float64) (Interval, error) {
+	z, err := zValue(level)
+	if err != nil {
+		return Interval{}, err
+	}
+	return AdjustedWaldZ(successes, trials, z)
+}
+
+// AdjustedWaldZ is AdjustedWald with an explicit normal quantile z, for
+// callers widening the band beyond the standard levels (e.g. the Z=3 drift
+// bands of the obs drift detector and the tracemine diff engine).
+func AdjustedWaldZ(successes, trials int64, z float64) (Interval, error) {
+	if trials <= 0 || successes < 0 || successes > trials {
+		return Interval{}, fmt.Errorf("stats: invalid counts %d/%d", successes, trials)
+	}
+	if z <= 0 || math.IsNaN(z) || math.IsInf(z, 0) {
+		return Interval{}, fmt.Errorf("stats: invalid z %v", z)
+	}
+	nTilde := float64(trials) + z*z
+	pTilde := (float64(successes) + z*z/2) / nTilde
+	return Interval{
+		Mean:      pTilde,
+		HalfWidth: z * math.Sqrt(pTilde*(1-pTilde)/nTilde),
+	}, nil
+}
+
 // BatchMeans estimates the mean of a *correlated* stationary series by the
 // method of batch means: the stream is cut into fixed-size batches, batch
 // averages are treated as approximately independent, and a normal-theory

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAdjustedWaldKnownValue checks the Agresti–Coull arithmetic against a
+// hand computation: k=81, n=100, 95% (z=1.96): ñ=103.8416,
+// p̃=(81+1.9208)/103.8416=0.798532, hw=1.96·√(p̃(1−p̃)/ñ)=0.077146.
+func TestAdjustedWaldKnownValue(t *testing.T) {
+	iv, err := AdjustedWald(81, 100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Mean-0.798532) > 1e-5 {
+		t.Errorf("mean = %v, want ≈0.798532", iv.Mean)
+	}
+	if math.Abs(iv.HalfWidth-0.077146) > 1e-5 {
+		t.Errorf("half width = %v, want ≈0.077146", iv.HalfWidth)
+	}
+}
+
+// TestAdjustedWaldExtremes: the adjustment keeps degenerate counts (k=0,
+// k=n) away from zero-width intervals — the reason it replaces the plain
+// Wald interval here.
+func TestAdjustedWaldExtremes(t *testing.T) {
+	for _, tc := range []struct{ k, n int64 }{{0, 40}, {40, 40}, {0, 1}, {1, 1}} {
+		iv, err := AdjustedWaldZ(tc.k, tc.n, 3)
+		if err != nil {
+			t.Fatalf("k=%d n=%d: %v", tc.k, tc.n, err)
+		}
+		if iv.HalfWidth <= 0 {
+			t.Errorf("k=%d n=%d: zero-width interval", tc.k, tc.n)
+		}
+		p := float64(tc.k) / float64(tc.n)
+		if !iv.Contains(p) {
+			t.Errorf("k=%d n=%d: interval [%v, %v] excludes p̂=%v",
+				tc.k, tc.n, iv.Low(), iv.High(), p)
+		}
+	}
+}
+
+func TestAdjustedWaldErrors(t *testing.T) {
+	if _, err := AdjustedWald(1, 0, 0.95); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := AdjustedWald(5, 4, 0.95); err == nil {
+		t.Error("successes > trials accepted")
+	}
+	if _, err := AdjustedWald(-1, 4, 0.95); err == nil {
+		t.Error("negative successes accepted")
+	}
+	if _, err := AdjustedWald(1, 4, 0.80); err == nil {
+		t.Error("unsupported level accepted")
+	}
+	for _, z := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := AdjustedWaldZ(1, 4, z); err == nil {
+			t.Errorf("z=%v accepted", z)
+		}
+	}
+}
+
+// TestAdjustedWaldCoverage: across many binomial draws the 95% interval must
+// cover the true p at roughly the nominal rate (the property the trace-mining
+// round trip leans on). Fixed seed keeps it deterministic.
+func TestAdjustedWaldCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const trials, reps = 200, 2000
+	p := 0.13
+	covered := 0
+	for r := 0; r < reps; r++ {
+		var k int64
+		for i := 0; i < trials; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		iv, err := AdjustedWald(k, trials, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(p) {
+			covered++
+		}
+	}
+	rate := float64(covered) / reps
+	if rate < 0.93 || rate > 0.99 {
+		t.Errorf("coverage = %v, want ≈0.95", rate)
+	}
+}

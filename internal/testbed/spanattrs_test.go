@@ -1,0 +1,66 @@
+package testbed
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+	"repro/internal/travelagency"
+)
+
+// TestVisitSpansCarryClassAndScenario runs a small load through the obs
+// bridge and asserts the contract trace miners depend on: every visit-level
+// root span is stamped with both the class and the scenario attr (and the
+// scenario attr agrees with the root span name).
+func TestVisitSpansCarryClassAndScenario(t *testing.T) {
+	p := travelagency.DefaultParams()
+	cluster, err := New(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	const visits = 200
+	tracer := obs.NewTracer(2 * visits)
+	bridge := obs.NewBridge(nil, tracer, nil)
+	col := telemetry.NewCollector(1)
+	col.SetOnRecord(bridge.OnVisit)
+
+	for _, class := range []travelagency.UserClass{travelagency.ClassA, travelagency.ClassB} {
+		gen := LoadGen{
+			Cluster: cluster, Class: class,
+			Visits: visits, Workers: 4, Seed: 3,
+			KeepSteps: true,
+		}
+		if err := gen.Run(col); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	traces := tracer.Traces()
+	if len(traces) != 2*visits {
+		t.Fatalf("kept %d traces, want %d", len(traces), 2*visits)
+	}
+	seenClass := map[string]int{}
+	for _, tr := range traces {
+		root := tr.Spans[0]
+		if root.Level != obs.LevelVisit {
+			t.Fatalf("trace %d does not start with a visit span", root.Trace)
+		}
+		class := root.Attrs["class"]
+		if class == "" {
+			t.Fatalf("trace %d visit span lacks the class attr: %+v", root.Trace, root.Attrs)
+		}
+		seenClass[class]++
+		scenario := root.Attrs["scenario"]
+		if scenario == "" {
+			t.Fatalf("trace %d visit span lacks the scenario attr: %+v", root.Trace, root.Attrs)
+		}
+		if scenario != root.Name {
+			t.Errorf("trace %d scenario attr %q != root name %q", root.Trace, scenario, root.Name)
+		}
+	}
+	if seenClass["class A"] != visits || seenClass["class B"] != visits {
+		t.Errorf("class attr distribution = %v", seenClass)
+	}
+}

@@ -1,0 +1,181 @@
+package tracemine
+
+import (
+	"sort"
+	"strings"
+)
+
+// Session clustering, after the session-based behavior mining of
+// arXiv 1006.4537: when visits carry no user-class attr, they are
+// partitioned into behavior clusters by k-medoids over binary
+// function-incidence vectors (did the session invoke function f or not),
+// with Hamming distance — here computed as the symmetric set difference of
+// the function sets. Everything is deterministic: medoids are seeded from
+// the most frequent signature, ties break on frequency then lexicographic
+// order, so a given visit set always clusters identically.
+
+// signature is one distinct function-set with its observed frequency.
+type signature struct {
+	key   string
+	funcs map[string]bool
+	count int
+}
+
+func signatureDistance(a, b *signature) int {
+	d := 0
+	for f := range a.funcs {
+		if !b.funcs[f] {
+			d++
+		}
+	}
+	for f := range b.funcs {
+		if !a.funcs[f] {
+			d++
+		}
+	}
+	return d
+}
+
+// clusterKeys partitions scenario keys (as produced by opprofile.ScenarioKey:
+// sorted function names joined by "+") into at most k clusters and returns
+// the cluster index per key. Fewer distinct keys than k yields one cluster
+// per key.
+func clusterKeys(counts map[string]int, k int) map[string]int {
+	sigs := make([]*signature, 0, len(counts))
+	keys := make([]string, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		funcs := make(map[string]bool)
+		for _, f := range strings.Split(key, "+") {
+			if f != "" {
+				funcs[f] = true
+			}
+		}
+		sigs = append(sigs, &signature{key: key, funcs: funcs, count: counts[key]})
+	}
+	if k > len(sigs) {
+		k = len(sigs)
+	}
+	if k < 1 {
+		k = 1
+	}
+
+	// moreCentral orders candidate medoids: frequency first, then
+	// lexicographic key, so seeding and updates are deterministic.
+	moreCentral := func(a, b *signature) bool {
+		if a.count != b.count {
+			return a.count > b.count
+		}
+		return a.key < b.key
+	}
+
+	// Seed: most frequent signature, then farthest-point traversal.
+	medoids := make([]*signature, 0, k)
+	best := sigs[0]
+	for _, s := range sigs[1:] {
+		if moreCentral(s, best) {
+			best = s
+		}
+	}
+	medoids = append(medoids, best)
+	for len(medoids) < k {
+		var far *signature
+		farDist := -1
+		for _, s := range sigs {
+			d := 1 << 30
+			for _, m := range medoids {
+				if s == m {
+					d = 0
+					break
+				}
+				if dist := signatureDistance(s, m); dist < d {
+					d = dist
+				}
+			}
+			if d > farDist || (d == farDist && far != nil && moreCentral(s, far)) {
+				far, farDist = s, d
+			}
+		}
+		medoids = append(medoids, far)
+	}
+
+	assign := make([]int, len(sigs))
+	for iter := 0; iter < 32; iter++ {
+		// Assign each signature to its nearest medoid (ties → lower index).
+		changed := false
+		for i, s := range sigs {
+			bestIdx, bestDist := 0, signatureDistance(s, medoids[0])
+			for mi := 1; mi < len(medoids); mi++ {
+				if d := signatureDistance(s, medoids[mi]); d < bestDist {
+					bestIdx, bestDist = mi, d
+				}
+			}
+			if assign[i] != bestIdx {
+				assign[i] = bestIdx
+				changed = true
+			}
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		// Update: each cluster's medoid minimizes the frequency-weighted
+		// total distance to its members.
+		moved := false
+		for mi := range medoids {
+			var bestSig *signature
+			bestCost := 0
+			for ci, s := range sigs {
+				if assign[ci] != mi {
+					continue
+				}
+				cost := 0
+				for cj, o := range sigs {
+					if assign[cj] != mi {
+						continue
+					}
+					cost += o.count * signatureDistance(s, o)
+				}
+				if bestSig == nil || cost < bestCost ||
+					(cost == bestCost && moreCentral(s, bestSig)) {
+					bestSig, bestCost = s, cost
+				}
+			}
+			if bestSig != nil && bestSig != medoids[mi] {
+				medoids[mi] = bestSig
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+
+	// Name clusters by size (largest first; ties on medoid key) so cluster-0
+	// is always the dominant behavior.
+	sizes := make([]int, len(medoids))
+	for i, s := range sigs {
+		sizes[assign[i]] += s.count
+	}
+	order := make([]int, len(medoids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if sizes[order[a]] != sizes[order[b]] {
+			return sizes[order[a]] > sizes[order[b]]
+		}
+		return medoids[order[a]].key < medoids[order[b]].key
+	})
+	rank := make([]int, len(medoids))
+	for r, idx := range order {
+		rank[idx] = r
+	}
+	out := make(map[string]int, len(sigs))
+	for i, s := range sigs {
+		out[s.key] = rank[assign[i]]
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package tracemine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/modelspec"
+	"repro/internal/obs"
+)
+
+// Endpoint serves live trace mining on the observability plane:
+//
+//	/discovered   the model mined from the tracer's retained spans
+//	/modeldrift   the mined model diffed against the configured specs
+//
+// Both accept ?limit=N to bound mining to the last N traces. The endpoint
+// also exports tracemine_* metrics: cumulative spans parsed and traces
+// folded, plus the drift-edge count and verdict of the last /modeldrift run
+// (verdict gauge: 0 consistent, 1 drifted, -1 before the first diff).
+type Endpoint struct {
+	tracer *obs.Tracer
+	specs  map[string]*modelspec.Spec
+	mine   Options
+	diff   DiffOptions
+
+	spansParsed  atomic.Int64
+	tracesFolded atomic.Int64
+	driftEdges   atomic.Int64
+	verdict      atomic.Int64
+}
+
+// NewEndpoint builds an endpoint over the tracer and the per-class specs the
+// live traffic should be diffed against (see Diff for the class-lookup
+// rules).
+func NewEndpoint(tracer *obs.Tracer, specs map[string]*modelspec.Spec, mine Options, diff DiffOptions) *Endpoint {
+	e := &Endpoint{tracer: tracer, specs: specs, mine: mine, diff: diff}
+	e.verdict.Store(-1)
+	return e
+}
+
+// Install mounts /discovered and /modeldrift on the obs server (before it
+// starts) and registers the tracemine_* series on the registry. Either
+// argument may be nil to skip that half.
+func (e *Endpoint) Install(srv *obs.Server, reg *obs.Registry) error {
+	if srv != nil {
+		if err := srv.Handle("/discovered", http.HandlerFunc(e.handleDiscovered)); err != nil {
+			return err
+		}
+		if err := srv.Handle("/modeldrift", http.HandlerFunc(e.handleModelDrift)); err != nil {
+			return err
+		}
+	}
+	if reg != nil {
+		if err := reg.CounterFunc("tracemine_spans_parsed_total",
+			"spans parsed by the live mining endpoints", e.spansParsed.Load); err != nil {
+			return err
+		}
+		if err := reg.CounterFunc("tracemine_traces_folded_total",
+			"traces folded into visit trees by the live mining endpoints", e.tracesFolded.Load); err != nil {
+			return err
+		}
+		if err := reg.GaugeFunc("tracemine_drift_edges",
+			"offending edges in the last /modeldrift diff",
+			func() float64 { return float64(e.driftEdges.Load()) }); err != nil {
+			return err
+		}
+		if err := reg.GaugeFunc("tracemine_verdict",
+			"last /modeldrift verdict (0 consistent, 1 drifted, -1 none yet)",
+			func() float64 { return float64(e.verdict.Load()) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mineNow snapshots the tracer and mines, keeping the cumulative counters.
+func (e *Endpoint) mineNow(limit int) *Discovery {
+	var traces []obs.Trace
+	if e.tracer != nil {
+		traces = e.tracer.Snapshot(limit)
+	}
+	d := Mine(traces, e.mine)
+	e.spansParsed.Add(d.Read.Spans)
+	e.tracesFolded.Add(d.Fold.Visits)
+	return d
+}
+
+func parseLimit(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad limit %q", raw)
+	}
+	return n, nil
+}
+
+func (e *Endpoint) handleDiscovered(w http.ResponseWriter, r *http.Request) {
+	limit, err := parseLimit(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, e.mineNow(limit))
+}
+
+// DriftResponse is the /modeldrift (and availd drift-route) payload.
+type DriftResponse struct {
+	Visits  int64   `json:"visits"`
+	Verdict string  `json:"verdict"`
+	Report  *Report `json:"report"`
+}
+
+func (e *Endpoint) handleModelDrift(w http.ResponseWriter, r *http.Request) {
+	limit, err := parseLimit(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	d := e.mineNow(limit)
+	rep, err := Diff(d, e.specs, e.diff)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	e.driftEdges.Store(int64(len(rep.Drift)))
+	if rep.Verdict == VerdictDrifted {
+		e.verdict.Store(1)
+	} else {
+		e.verdict.Store(0)
+	}
+	writeJSON(w, DriftResponse{Visits: d.Visits, Verdict: rep.Verdict, Report: rep})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,152 @@
+package tracemine
+
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Visit is one user visit reconstructed from a span tree — the mining-side
+// mirror of telemetry.VisitTrace, carrying only what the estimators need.
+type Visit struct {
+	Trace    uint64
+	Class    string // "" when the visit-level class attr is absent
+	Scenario string
+	OK       bool
+	Cause    string
+	// Functions in invocation order; empty Steps when the trace stops at
+	// the function level (step tracing disabled at the source).
+	Functions []VisitFunction
+}
+
+// VisitFunction is one reconstructed function invocation.
+type VisitFunction struct {
+	Name  string
+	OK    bool
+	Cause string
+	Steps []VisitStep
+}
+
+// VisitStep is one executed interaction-diagram step.
+type VisitStep struct {
+	Name      string
+	OK        bool
+	Cause     string
+	Resources []VisitResource
+}
+
+// VisitResource is one service call within a step.
+type VisitResource struct {
+	Service string
+	OK      bool
+	Cause   string
+}
+
+// FoldStats counts tree-reconstruction anomalies.
+type FoldStats struct {
+	// Visits is the number of visit trees successfully reconstructed.
+	Visits int64 `json:"visits"`
+	// NoRoot counts traces dropped for lack of a visit-level root span.
+	NoRoot int64 `json:"no_root"`
+	// Orphans counts spans that could not be attached to a parent of the
+	// expected level (the rest of their trace is still used).
+	Orphans int64 `json:"orphans"`
+}
+
+// Fold reconstructs visit trees from flat span traces. Children attach to
+// parents strictly one level down (visit→function→step→resource), ordered by
+// span ID, which matches emission order; spans violating the hierarchy are
+// counted as orphans and skipped.
+func Fold(traces []obs.Trace) ([]Visit, FoldStats) {
+	var stats FoldStats
+	visits := make([]Visit, 0, len(traces))
+	for _, tr := range traces {
+		v, orphans, ok := foldTrace(tr)
+		stats.Orphans += orphans
+		if !ok {
+			stats.NoRoot++
+			continue
+		}
+		stats.Visits++
+		visits = append(visits, v)
+	}
+	return visits, stats
+}
+
+func foldTrace(tr obs.Trace) (Visit, int64, bool) {
+	spans := append([]obs.Span(nil), tr.Spans...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].ID < spans[j].ID })
+	rootIdx := -1
+	for i, sp := range spans {
+		if sp.Level == obs.LevelVisit && sp.Parent == 0 {
+			rootIdx = i
+			break
+		}
+	}
+	if rootIdx < 0 {
+		return Visit{}, int64(len(spans)), false
+	}
+	root := spans[rootIdx]
+	v := Visit{
+		Trace:    root.Trace,
+		Class:    root.Attrs["class"],
+		Scenario: root.Attrs["scenario"],
+		OK:       root.OK,
+		Cause:    root.Cause,
+	}
+	if v.Scenario == "" {
+		// Older emitters named the root span after the scenario instead of
+		// stamping an attr.
+		v.Scenario = root.Name
+	}
+
+	var orphans int64
+	fnBySpan := make(map[int]int)     // function span ID → index in v.Functions
+	stepOwner := make(map[int][2]int) // step span ID → (function index, step index)
+	for i, sp := range spans {
+		if i == rootIdx {
+			continue
+		}
+		switch sp.Level {
+		case obs.LevelFunction:
+			if sp.Parent != root.ID {
+				orphans++
+				continue
+			}
+			fnBySpan[sp.ID] = len(v.Functions)
+			v.Functions = append(v.Functions, VisitFunction{
+				Name:  sp.Name,
+				OK:    sp.OK,
+				Cause: sp.Cause,
+			})
+		case obs.LevelStep:
+			fi, ok := fnBySpan[sp.Parent]
+			if !ok {
+				orphans++
+				continue
+			}
+			fn := &v.Functions[fi]
+			stepOwner[sp.ID] = [2]int{fi, len(fn.Steps)}
+			fn.Steps = append(fn.Steps, VisitStep{
+				Name:  sp.Name,
+				OK:    sp.OK,
+				Cause: sp.Cause,
+			})
+		case obs.LevelResource:
+			owner, ok := stepOwner[sp.Parent]
+			if !ok {
+				orphans++
+				continue
+			}
+			st := &v.Functions[owner[0]].Steps[owner[1]]
+			st.Resources = append(st.Resources, VisitResource{
+				Service: sp.Name,
+				OK:      sp.OK,
+				Cause:   sp.Cause,
+			})
+		default: // a second visit-level span in the same trace
+			orphans++
+		}
+	}
+	return v, orphans, true
+}

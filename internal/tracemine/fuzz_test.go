@@ -1,0 +1,45 @@
+package tracemine
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadSpans drives arbitrary bytes through the tolerant JSONL reader:
+// it must never panic and never return an error for in-memory input —
+// malformed content is skipped and counted, and the stats must stay
+// internally consistent.
+func FuzzReadSpans(f *testing.F) {
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add(`{"trace":1,"id":1,"parent":0,"level":"visit","name":"v","ok":true}` + "\n")
+	f.Add(`{"trace":1,"id":1,"level":"visit"}` + "\n" + `{"trace":1,"id":1,"level":"visit"}` + "\n")
+	f.Add("{not json}\nplain text\n")
+	f.Add(`{"trace":1,"id":-3,"level":"visit"}` + "\n")
+	f.Add(`{"trace":1,"id":2,"parent":5,"level":"step"}` + "\n")
+	f.Add(`{"trace":1,"id":1,"parent":0,"level":"visit","duration":1e999}` + "\n")
+	f.Add(`{"trace":1,"id":1,"parent":0,"level":"visit","start":"NaN"}` + "\n")
+	f.Add(`{"trace":1,"id":1,"parent":0,"level":"vis`) // truncated tail
+	f.Fuzz(func(t *testing.T, input string) {
+		traces, rs, err := ReadSpans(strings.NewReader(input))
+		if err != nil {
+			t.Fatalf("in-memory read errored: %v", err)
+		}
+		var kept int64
+		for _, tr := range traces {
+			kept += int64(len(tr.Spans))
+		}
+		if kept != rs.Spans {
+			t.Fatalf("stats claim %d spans, traces hold %d", rs.Spans, kept)
+		}
+		if int64(len(traces)) != rs.Traces {
+			t.Fatalf("stats claim %d traces, got %d", rs.Traces, len(traces))
+		}
+		if rs.Spans+rs.Malformed+rs.Duplicates != rs.Lines {
+			t.Fatalf("lines %d != spans %d + malformed %d + duplicates %d",
+				rs.Lines, rs.Spans, rs.Malformed, rs.Duplicates)
+		}
+		// Whatever survived must mine without panicking.
+		Mine(traces, Options{})
+	})
+}

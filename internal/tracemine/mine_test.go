@@ -1,0 +1,225 @@
+package tracemine
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/interaction"
+	"repro/internal/opprofile"
+)
+
+// browseVisit builds a synthetic class-A Browse visit: Home then Browse, with
+// Browse running a two-step walk against WS and DS. The failing variant dies
+// on the DS call of the query step.
+func browseVisit(class string, ok bool) Visit {
+	cause := ""
+	if !ok {
+		cause = "resource-down"
+	}
+	return Visit{
+		Class:    class,
+		Scenario: "3: St-Ho-Br-Ex",
+		OK:       ok,
+		Cause:    cause,
+		Functions: []VisitFunction{
+			{Name: "Home", OK: true, Steps: []VisitStep{
+				{Name: "serve-home", OK: true, Resources: []VisitResource{{Service: "WS", OK: true}}},
+			}},
+			{Name: "Browse", OK: ok, Cause: cause, Steps: []VisitStep{
+				{Name: "render", OK: true, Resources: []VisitResource{{Service: "WS", OK: true}}},
+				{Name: "query", OK: ok, Cause: cause, Resources: []VisitResource{{Service: "DS", OK: ok, Cause: cause}}},
+			}},
+		},
+	}
+}
+
+func homeVisit(class string) Visit {
+	return Visit{
+		Class:    class,
+		Scenario: "1: St-Ho-Ex",
+		OK:       true,
+		Functions: []VisitFunction{
+			{Name: "Home", OK: true, Steps: []VisitStep{
+				{Name: "serve-home", OK: true, Resources: []VisitResource{{Service: "WS", OK: true}}},
+			}},
+		},
+	}
+}
+
+func mineFixture(t *testing.T) *Discovery {
+	t.Helper()
+	visits := make([]Visit, 0, 100)
+	for i := 0; i < 60; i++ {
+		visits = append(visits, homeVisit("class A"))
+	}
+	for i := 0; i < 40; i++ {
+		visits = append(visits, browseVisit("class A", i < 30)) // 10 Browse failures
+	}
+	d := mine(visits, FoldStats{Visits: int64(len(visits))}, Options{})
+	return d
+}
+
+func TestMineProfile(t *testing.T) {
+	d := mineFixture(t)
+	p := d.Profiles["class A"]
+	if p == nil {
+		t.Fatalf("profiles = %v", d.Profiles)
+	}
+	if p.Clustered {
+		t.Error("class-attributed profile marked clustered")
+	}
+	if p.Visits != 100 {
+		t.Fatalf("visits = %d, want 100", p.Visits)
+	}
+	if got := p.Availability.P; math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("availability = %v, want 0.9", got)
+	}
+
+	homeKey := opprofile.ScenarioKey([]string{"Home"})
+	browseKey := opprofile.ScenarioKey([]string{"Home", "Browse"})
+	if got := p.Scenarios[homeKey]; got.P != 0.6 || got.Successes != 60 || got.Trials != 100 {
+		t.Errorf("pi(%s) = %+v, want 60/100", homeKey, got)
+	}
+	if got := p.Scenarios[browseKey]; got.P != 0.4 {
+		t.Errorf("pi(%s) = %v, want 0.4", browseKey, got.P)
+	}
+	if !reflect.DeepEqual(p.ScenarioFunctions[browseKey], []string{"Home", "Browse"}) {
+		t.Errorf("scenario functions = %v", p.ScenarioFunctions[browseKey])
+	}
+	// CI sanity: the band brackets the point estimate and stays in [0,1].
+	e := p.Scenarios[homeKey]
+	if !(e.Low < e.P && e.P < e.High) || e.Low < 0 || e.High > 1 {
+		t.Errorf("CI [%v, %v] does not bracket %v", e.Low, e.High, e.P)
+	}
+
+	// Transition rows: Start→Home 1.0; Home→{Browse 0.4, Exit 0.6}.
+	if got := p.Transitions[opprofile.Start]["Home"]; got.P != 1 || got.Trials != 100 {
+		t.Errorf("Start→Home = %+v", got)
+	}
+	if got := p.Transitions["Home"]["Browse"]; got.P != 0.4 {
+		t.Errorf("Home→Browse = %v, want 0.4", got.P)
+	}
+	if got := p.Transitions["Home"][opprofile.Exit]; got.P != 0.6 {
+		t.Errorf("Home→Exit = %v, want 0.6", got.P)
+	}
+
+	// The discovered graph round-trips into a valid opprofile.Profile.
+	g, err := p.Graph()
+	if err != nil {
+		t.Fatalf("Graph: %v", err)
+	}
+	if _, err := g.Scenarios(); err != nil {
+		t.Errorf("discovered profile does not enumerate scenarios: %v", err)
+	}
+}
+
+func TestMineDiagramsAndServices(t *testing.T) {
+	d := mineFixture(t)
+	dg := d.Diagrams["Browse"]
+	if dg == nil {
+		t.Fatalf("diagrams = %v", d.Diagrams)
+	}
+	if dg.Invocations != 40 || dg.Availability.Successes != 30 {
+		t.Errorf("Browse invocations/ok = %d/%d, want 40/30", dg.Invocations, dg.Availability.Successes)
+	}
+	if dg.Censored != 10 {
+		t.Errorf("censored = %d, want 10", dg.Censored)
+	}
+	if got := dg.Transitions[interaction.Begin]["render"]; got.P != 1 {
+		t.Errorf("Begin→render = %v", got.P)
+	}
+	// All 40 walks took render→query; only the 30 OK walks contribute a
+	// query→End edge (failed walks are censored, so q stays unbiased at 1).
+	if got := dg.Transitions["render"]["query"]; got.Successes != 40 || got.P != 1 {
+		t.Errorf("render→query = %+v", got)
+	}
+	if got := dg.Transitions["query"][interaction.End]; got.Successes != 30 || got.P != 1 {
+		t.Errorf("query→End = %+v", got)
+	}
+	if !reflect.DeepEqual(dg.StepServices["query"], []string{"DS"}) {
+		t.Errorf("query services = %v", dg.StepServices["query"])
+	}
+	if _, err := dg.Graph(); err != nil {
+		t.Errorf("discovered diagram does not validate: %v", err)
+	}
+
+	ws := d.Services["WS"]
+	if ws == nil || ws.Calls != 140 || ws.Failures != 0 {
+		t.Errorf("WS = %+v, want 140 clean calls", ws)
+	}
+	ds := d.Services["DS"]
+	if ds == nil || ds.Calls != 40 || ds.Failures != 10 {
+		t.Fatalf("DS = %+v, want 40 calls / 10 failures", ds)
+	}
+	if got := ds.Availability.P; math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("DS availability = %v, want 0.75", got)
+	}
+	if ds.Causes["resource-down"] != 10 {
+		t.Errorf("DS causes = %v", ds.Causes)
+	}
+}
+
+// TestMineClustersUnclassed: visits without a class attr split into session
+// clusters, largest first, and the profiles are flagged as clustered.
+func TestMineClustersUnclassed(t *testing.T) {
+	var visits []Visit
+	for i := 0; i < 70; i++ {
+		v := homeVisit("")
+		visits = append(visits, v)
+	}
+	for i := 0; i < 30; i++ {
+		v := browseVisit("", true)
+		visits = append(visits, v)
+	}
+	d := mine(visits, FoldStats{}, Options{Clusters: 2})
+	c0, c1 := d.Profiles["cluster-0"], d.Profiles["cluster-1"]
+	if c0 == nil || c1 == nil {
+		t.Fatalf("profiles = %v", d.Profiles)
+	}
+	if !c0.Clustered || !c1.Clustered {
+		t.Error("clustered profiles not flagged")
+	}
+	if c0.Visits != 70 || c1.Visits != 30 {
+		t.Errorf("cluster sizes = %d/%d, want 70/30 (largest first)", c0.Visits, c1.Visits)
+	}
+}
+
+func TestClusterKeysDeterministic(t *testing.T) {
+	counts := map[string]int{
+		"Home":                    50,
+		"Browse+Home":             20,
+		"Home+Search":             15,
+		"Book+Home+Pay+Search":    10,
+		"Book+Browse+Home+Pay":    4,
+		"Book+Browse+Home+Search": 1,
+	}
+	first := clusterKeys(counts, 2)
+	for i := 0; i < 20; i++ {
+		if got := clusterKeys(counts, 2); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d clustered differently: %v vs %v", i, got, first)
+		}
+	}
+	seen := map[int]bool{}
+	for _, c := range first {
+		seen[c] = true
+	}
+	if len(seen) != 2 {
+		t.Errorf("want 2 clusters, got assignment %v", first)
+	}
+	// Browsing-only sessions sit nearer the Home medoid than the booking
+	// signatures do; the two booking-heavy keys must share a cluster.
+	if first["Book+Home+Pay+Search"] != first["Book+Browse+Home+Pay"] {
+		t.Errorf("booking signatures split across clusters: %v", first)
+	}
+	if first["Home"] == first["Book+Home+Pay+Search"] {
+		t.Errorf("dominant Home key clustered with booking: %v", first)
+	}
+}
+
+func TestClusterKeysDegenerate(t *testing.T) {
+	got := clusterKeys(map[string]int{"Home": 5}, 3)
+	if len(got) != 1 || got["Home"] != 0 {
+		t.Errorf("single signature = %v, want {Home:0}", got)
+	}
+}

@@ -1,0 +1,148 @@
+// Package tracemine closes the observability loop in the reverse direction:
+// instead of predicting availability from a hand-specified model, it
+// *discovers* the model from the running system's spans — scenario
+// probabilities π_i and function transitions (the operational profile of
+// Figure 2), per-function step graphs with branch probabilities q_ij (the
+// interaction diagrams of Figures 3–6) and per-service empirical
+// availabilities — each estimate carrying an adjusted-Wald confidence
+// interval. A diff engine then compares the discovered model against a
+// hand-specified modelspec document and renders a drift verdict, turning the
+// trace ring into a drift detector for the model itself.
+package tracemine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/obs"
+)
+
+// ErrMine is returned for invalid mining inputs or options.
+var ErrMine = errors.New("tracemine: invalid input")
+
+// ReadStats counts what the tolerant span reader saw. Content problems are
+// never fatal: malformed and duplicate lines are skipped and counted here.
+type ReadStats struct {
+	// Lines is the number of non-empty input lines consumed.
+	Lines int64 `json:"lines"`
+	// Spans is the number of spans parsed and kept.
+	Spans int64 `json:"spans"`
+	// Malformed counts skipped lines: invalid JSON, truncated tails and
+	// spans failing structural validation (bad ID, level or duration).
+	Malformed int64 `json:"malformed"`
+	// Duplicates counts spans skipped because their (trace, id) pair was
+	// already seen.
+	Duplicates int64 `json:"duplicates"`
+	// Traces is the number of distinct traces assembled.
+	Traces int64 `json:"traces"`
+}
+
+// spanProblem validates one decoded span; a non-nil result means the span
+// must be counted malformed.
+func spanProblem(sp obs.Span) error {
+	if sp.ID < 1 {
+		return fmt.Errorf("span id %d", sp.ID)
+	}
+	if sp.Parent < 0 || sp.Parent >= sp.ID {
+		return fmt.Errorf("span parent %d for id %d", sp.Parent, sp.ID)
+	}
+	switch sp.Level {
+	case obs.LevelVisit, obs.LevelFunction, obs.LevelStep, obs.LevelResource:
+	default:
+		return fmt.Errorf("span level %q", sp.Level)
+	}
+	if sp.Duration < 0 || math.IsNaN(sp.Duration) || math.IsInf(sp.Duration, 0) {
+		return fmt.Errorf("span duration %v", sp.Duration)
+	}
+	if math.IsNaN(sp.Start) || math.IsInf(sp.Start, 0) {
+		return fmt.Errorf("span start %v", sp.Start)
+	}
+	return nil
+}
+
+// grouper folds validated spans into traces in first-appearance order,
+// dropping duplicate (trace, id) pairs.
+type grouper struct {
+	stats ReadStats
+	index map[uint64]int
+	seen  map[uint64]map[int]bool
+	out   []obs.Trace
+}
+
+func newGrouper() *grouper {
+	return &grouper{
+		index: make(map[uint64]int),
+		seen:  make(map[uint64]map[int]bool),
+	}
+}
+
+func (g *grouper) add(sp obs.Span) {
+	if err := spanProblem(sp); err != nil {
+		g.stats.Malformed++
+		return
+	}
+	ids := g.seen[sp.Trace]
+	if ids == nil {
+		ids = make(map[int]bool)
+		g.seen[sp.Trace] = ids
+	}
+	if ids[sp.ID] {
+		g.stats.Duplicates++
+		return
+	}
+	ids[sp.ID] = true
+	idx, ok := g.index[sp.Trace]
+	if !ok {
+		idx = len(g.out)
+		g.index[sp.Trace] = idx
+		g.out = append(g.out, obs.Trace{})
+		g.stats.Traces++
+	}
+	g.out[idx].Spans = append(g.out[idx].Spans, sp)
+	g.stats.Spans++
+}
+
+// GroupSpans folds already-decoded spans into traces in first-appearance
+// order, skipping structurally invalid spans and duplicate (trace, id) pairs.
+func GroupSpans(spans []obs.Span) ([]obs.Trace, ReadStats) {
+	g := newGrouper()
+	for _, sp := range spans {
+		g.add(sp)
+	}
+	return g.out, g.stats
+}
+
+// ReadSpans consumes JSON-lines spans from r — the /traces wire format and
+// the -trace-out flush format — and groups the surviving spans into traces
+// in first-appearance order. The reader is tolerant by design: malformed
+// JSON, truncated final lines, structurally invalid spans and duplicate span
+// IDs are skipped and counted, never fatal. Only an I/O error from the
+// underlying reader aborts the scan.
+func ReadSpans(r io.Reader) ([]obs.Trace, ReadStats, error) {
+	g := newGrouper()
+	br := bufio.NewReaderSize(r, 64<<10)
+	for {
+		line, err := br.ReadBytes('\n')
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			g.stats.Lines++
+			var sp obs.Span
+			if jerr := json.Unmarshal(trimmed, &sp); jerr != nil {
+				g.stats.Malformed++
+			} else {
+				g.add(sp)
+			}
+		}
+		if err == io.EOF {
+			return g.out, g.stats, nil
+		}
+		if err != nil {
+			return g.out, g.stats, fmt.Errorf("tracemine: read spans: %w", err)
+		}
+	}
+}

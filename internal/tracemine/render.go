@@ -1,0 +1,157 @@
+package tracemine
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+)
+
+// WriteDiscovery renders the mined model as aligned tables: the intake
+// summary, one scenario table per class, per-function diagram summaries and
+// the service table.
+func WriteDiscovery(w io.Writer, d *Discovery) error {
+	intake := report.NewTable("Trace mining — intake", "quantity", "count")
+	intake.MustAddRow("lines read", fmt.Sprint(d.Read.Lines))
+	intake.MustAddRow("spans kept", fmt.Sprint(d.Read.Spans))
+	intake.MustAddRow("malformed skipped", fmt.Sprint(d.Read.Malformed))
+	intake.MustAddRow("duplicates skipped", fmt.Sprint(d.Read.Duplicates))
+	intake.MustAddRow("traces", fmt.Sprint(d.Read.Traces))
+	intake.MustAddRow("visits folded", fmt.Sprint(d.Fold.Visits))
+	intake.MustAddRow("traces without root", fmt.Sprint(d.Fold.NoRoot))
+	intake.MustAddRow("orphan spans", fmt.Sprint(d.Fold.Orphans))
+	if err := intake.Render(w); err != nil {
+		return err
+	}
+
+	for _, class := range sortedProfileKeys(d.Profiles) {
+		p := d.Profiles[class]
+		title := fmt.Sprintf("Discovered operational profile — %s (%d visits, availability %.6f)",
+			class, p.Visits, p.Availability.P)
+		if p.Clustered {
+			title += " [session cluster]"
+		}
+		t := report.NewTable(title, "scenario", "π̂", "95% CI", "visits")
+		for _, key := range sortedEstimateKeys(p.Scenarios) {
+			est := p.Scenarios[key]
+			t.MustAddRow(key,
+				fmt.Sprintf("%.4f", est.P),
+				fmt.Sprintf("[%.4f, %.4f]", est.Low, est.High),
+				fmt.Sprint(est.Successes))
+		}
+		fmt.Fprintln(w)
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+
+	if len(d.Diagrams) > 0 {
+		t := report.NewTable("Discovered interaction diagrams",
+			"function", "invocations", "availability", "steps", "censored walks")
+		for _, fn := range sortedDiagramKeys(d.Diagrams) {
+			dg := d.Diagrams[fn]
+			t.MustAddRow(fn,
+				fmt.Sprint(dg.Invocations),
+				fmt.Sprintf("%.6f", dg.Availability.P),
+				fmt.Sprint(len(dg.Steps)),
+				fmt.Sprint(dg.Censored))
+		}
+		fmt.Fprintln(w)
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+
+	if len(d.Services) > 0 {
+		t := report.NewTable("Discovered services",
+			"service", "calls", "availability", "95% CI", "causes")
+		for _, name := range sortedServiceKeys(d.Services) {
+			svc := d.Services[name]
+			t.MustAddRow(name,
+				fmt.Sprint(svc.Calls),
+				fmt.Sprintf("%.6f", svc.Availability.P),
+				fmt.Sprintf("[%.6f, %.6f]", svc.Availability.Low, svc.Availability.High),
+				causeSummary(svc.Causes))
+		}
+		fmt.Fprintln(w)
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteReport renders the diff verdict and, when drifted, the offending
+// edges.
+func WriteReport(w io.Writer, rep *Report) error {
+	fmt.Fprintf(w, "model drift verdict: %s (z=%g, min samples %d; %d comparisons, %d drifted, %d insufficient)\n",
+		rep.Verdict, rep.Z, rep.MinSamples, rep.Checked, rep.Drifted, rep.Insufficient)
+	if len(rep.Drift) == 0 {
+		return nil
+	}
+	t := report.NewTable("Offending edges",
+		"kind", "where", "status", "specified", "observed", "band", "trials")
+	for _, e := range rep.Drift {
+		var loc string
+		switch {
+		case e.From != "" || e.To != "":
+			loc = e.From + "→" + e.To
+			if e.Function != "" {
+				loc = e.Function + ": " + loc
+			}
+		default:
+			loc = e.Name
+			if e.Function != "" && e.Function != e.Name {
+				loc = e.Function + ": " + loc
+			}
+		}
+		if e.Class != "" {
+			loc += " (" + e.Class + ")"
+		}
+		t.MustAddRow(e.Kind, loc, e.Status,
+			fmt.Sprintf("%.4f", e.Specified),
+			fmt.Sprintf("%.4f", e.Observed),
+			fmt.Sprintf("[%.4f, %.4f]", e.Low, e.High),
+			fmt.Sprint(e.Trials))
+	}
+	fmt.Fprintln(w)
+	return t.Render(w)
+}
+
+func causeSummary(causes map[string]int64) string {
+	if len(causes) == 0 {
+		return "-"
+	}
+	var s string
+	for i, cause := range sortedCauseKeys(causes) {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s:%d", cause, causes[cause])
+	}
+	return s
+}
+
+func sortedProfileKeys(m map[string]*Profile) []string {
+	set := make(map[string]bool, len(m))
+	for k := range m {
+		set[k] = true
+	}
+	return sortedKeys(set)
+}
+
+func sortedEstimateKeys(m map[string]Estimate) []string {
+	set := make(map[string]bool, len(m))
+	for k := range m {
+		set[k] = true
+	}
+	return sortedKeys(set)
+}
+
+func sortedCauseKeys(m map[string]int64) []string {
+	set := make(map[string]bool, len(m))
+	for k := range m {
+		set[k] = true
+	}
+	return sortedKeys(set)
+}

@@ -1,0 +1,73 @@
+package travelagency
+
+import (
+	"sort"
+
+	"repro/internal/interaction"
+	"repro/internal/modelspec"
+)
+
+// SpecForClass exports the hand-specified travel-agency model for one user
+// class as a modelspec document: service availabilities resolved from the
+// parameters (Tables 3–5), the five interaction diagrams (Figures 3–6) and
+// the Table 1 scenario mix. This is the canonical diff target for trace
+// mining — `tracemine -diff` compares discovered models against exactly this
+// spec.
+func SpecForClass(p Params, class UserClass) (*modelspec.Spec, error) {
+	avail, err := ServiceAvailabilities(p)
+	if err != nil {
+		return nil, err
+	}
+	spec := &modelspec.Spec{Name: "travel-agency " + class.String()}
+	for _, svc := range []string{
+		SvcInternet, SvcLAN, SvcWeb, SvcApp, SvcDB,
+		SvcFlight, SvcHotel, SvcCar, SvcPayment,
+	} {
+		a := avail[svc]
+		spec.Services = append(spec.Services, modelspec.ServiceSpec{
+			Name:         svc,
+			Availability: &a,
+		})
+	}
+	diagrams, err := Diagrams(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, fn := range []string{FnHome, FnBrowse, FnSearch, FnBook, FnPay} {
+		d := diagrams[fn]
+		fnSpec := modelspec.FunctionSpec{Name: fn}
+		steps := d.Steps()
+		for _, step := range steps {
+			svcs, _ := d.StepServices(step)
+			fnSpec.Steps = append(fnSpec.Steps, modelspec.StepSpec{Name: step, Services: svcs})
+		}
+		for _, from := range append([]string{interaction.Begin}, steps...) {
+			row := d.Successors(from)
+			tos := make([]string, 0, len(row))
+			for to := range row {
+				tos = append(tos, to)
+			}
+			sort.Strings(tos)
+			for _, to := range tos {
+				fnSpec.Transitions = append(fnSpec.Transitions, modelspec.TransitionSpec{
+					From:        from,
+					To:          to,
+					Probability: row[to],
+				})
+			}
+		}
+		spec.Functions = append(spec.Functions, fnSpec)
+	}
+	scenarios, err := Scenarios(class)
+	if err != nil {
+		return nil, err
+	}
+	for _, sc := range scenarios {
+		spec.Scenarios = append(spec.Scenarios, modelspec.ScenarioSpec{
+			Name:        sc.Name,
+			Functions:   sc.Functions,
+			Probability: sc.Probability,
+		})
+	}
+	return spec, nil
+}

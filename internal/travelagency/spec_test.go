@@ -1,0 +1,92 @@
+package travelagency
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSpecForClass checks that the generated modelspec mirrors the built-in
+// model exactly: same services and availabilities, same diagrams, same
+// Table 1 scenario mix — the invariant the trace-mining drift gate relies on
+// (a clean run diffed against SpecForClass must be consistent).
+func TestSpecForClass(t *testing.T) {
+	p := DefaultParams()
+	for _, class := range []UserClass{ClassA, ClassB} {
+		spec, err := SpecForClass(p, class)
+		if err != nil {
+			t.Fatalf("%v: %v", class, err)
+		}
+
+		avail, err := ServiceAvailabilities(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(spec.Services) != len(avail) {
+			t.Errorf("%v: %d services, want %d", class, len(spec.Services), len(avail))
+		}
+		for _, sv := range spec.Services {
+			want, ok := avail[sv.Name]
+			if !ok {
+				t.Errorf("%v: unexpected service %q", class, sv.Name)
+				continue
+			}
+			got, err := sv.EffectiveAvailability()
+			if err != nil || math.Abs(got-want) > 1e-12 {
+				t.Errorf("%v: %s availability = %v (%v), want %v", class, sv.Name, got, err, want)
+			}
+		}
+
+		diagrams, err := Diagrams(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(spec.Functions) != len(diagrams) {
+			t.Errorf("%v: %d functions, want %d", class, len(spec.Functions), len(diagrams))
+		}
+		for _, fn := range spec.Functions {
+			d, ok := diagrams[fn.Name]
+			if !ok {
+				t.Errorf("%v: unexpected function %q", class, fn.Name)
+				continue
+			}
+			if len(fn.Steps) != len(d.Steps()) {
+				t.Errorf("%v: %s has %d steps, want %d", class, fn.Name, len(fn.Steps), len(d.Steps()))
+			}
+		}
+
+		scenarios, err := Scenarios(class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(spec.Scenarios) != len(scenarios) {
+			t.Fatalf("%v: %d scenarios, want %d", class, len(spec.Scenarios), len(scenarios))
+		}
+		var total float64
+		for i, sc := range spec.Scenarios {
+			if sc.Name != scenarios[i].Name || sc.Probability != scenarios[i].Probability {
+				t.Errorf("%v: scenario[%d] = %+v, want %+v", class, i, sc, scenarios[i])
+			}
+			total += sc.Probability
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("%v: scenario probabilities sum to %v", class, total)
+		}
+
+		// The generated document must also pass the spec's own validation
+		// when round-tripped (the CLI writes and reparses these).
+		if _, err := spec.UserScenarios(); err != nil {
+			t.Errorf("%v: UserScenarios: %v", class, err)
+		}
+	}
+}
+
+func TestSpecForClassInvalid(t *testing.T) {
+	p := DefaultParams()
+	if _, err := SpecForClass(p, UserClass(99)); err == nil {
+		t.Error("unknown class accepted")
+	}
+	p.WebServers = 0
+	if _, err := SpecForClass(p, ClassA); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
